@@ -1,0 +1,204 @@
+// Package alpacomm is a Go reproduction of "On Optimizing the
+// Communication of Model Parallelism" (MLSys 2023): a library for planning,
+// simulating and executing cross-mesh resharding — the communication
+// pattern that appears at pipeline-stage boundaries when intra-operator and
+// inter-operator model parallelism are combined.
+//
+// The library has three layers:
+//
+//   - Resharding: describe a tensor sharded on one device mesh and required
+//     under a (possibly different) sharding spec on a disjoint mesh; the
+//     planner decomposes it into unit communication tasks, picks senders
+//     and a launch order (load balancing + scheduling, §3.2), and carries
+//     each unit task with a pipelined broadcast (§3.1). Plans can be timed
+//     on a deterministic cluster network model and executed on real buffers.
+//
+//   - Pipeline schedules: GPipe, 1F1B and the overlapping-friendly
+//     eager-1F1B (§4), with communication overlap and backward weight
+//     delaying.
+//
+//   - End-to-end training simulation: analytic GPT and U-Transformer cost
+//     models drive the pipeline simulator, with every stage boundary's
+//     communication time coming from a resharding plan (§5.2).
+//
+// Since no GPU cluster is required, the "hardware" is a discrete-event
+// model of the paper's testbed (NVLink intra-host, one 10 Gbps NIC per
+// host, full duplex); see DESIGN.md for the substitution argument.
+package alpacomm
+
+import (
+	"alpacomm/internal/intramesh"
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/model"
+	"alpacomm/internal/netsim"
+	"alpacomm/internal/pipeline"
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/schedule"
+	"alpacomm/internal/sharding"
+	"alpacomm/internal/tensor"
+)
+
+// Cluster hardware model.
+type (
+	// Cluster is a homogeneous accelerator cluster (hosts x devices).
+	Cluster = mesh.Cluster
+	// Mesh is an n-dimensional logical device array sliced from a cluster.
+	Mesh = mesh.Mesh
+)
+
+// NewCluster builds a cluster from explicit topology parameters.
+var NewCluster = mesh.NewCluster
+
+// AWSP3Cluster builds the paper's testbed: hosts x 4 V100, NVLink
+// intra-host, 10 Gbps Ethernet between hosts.
+var AWSP3Cluster = mesh.AWSP3Cluster
+
+// Tensors and sharding specs.
+type (
+	// Shape is an N-dimensional tensor shape.
+	Shape = tensor.Shape
+	// DType is a tensor element type.
+	DType = tensor.DType
+	// Spec is a sharding spec in the paper's S/R notation.
+	Spec = sharding.Spec
+	// Placement binds a spec to a mesh and tensor shape.
+	Placement = sharding.Placement
+	// ReshardTask is a decomposed cross-mesh resharding task.
+	ReshardTask = sharding.Task
+	// UnitTask is one unit communication task (one data slice).
+	UnitTask = sharding.UnitTask
+	// Buffer is a device-resident fragment of a global tensor.
+	Buffer = tensor.Buffer
+)
+
+// Element types.
+const (
+	Float16 = tensor.Float16
+	Float32 = tensor.Float32
+	Float64 = tensor.Float64
+)
+
+// NewShape validates and builds a Shape.
+var NewShape = tensor.NewShape
+
+// ParseSpec parses the paper's spec notation ("S0RR", "RS01R", ...).
+var ParseSpec = sharding.Parse
+
+// NewReshardTask decomposes a cross-mesh resharding into unit tasks
+// (Appendix B.2).
+var NewReshardTask = sharding.NewTask
+
+// Resharding planner.
+type (
+	// ReshardOptions selects strategy and scheduler.
+	ReshardOptions = resharding.Options
+	// ReshardPlan is a scheduled resharding ready to simulate or execute.
+	ReshardPlan = resharding.Plan
+	// ReshardResult reports simulated timing.
+	ReshardResult = resharding.SimResult
+	// Strategy is a §3.1 unit-task communication strategy.
+	Strategy = resharding.Strategy
+	// SchedulerKind is a §3.2 load-balance/ordering algorithm.
+	SchedulerKind = resharding.Scheduler
+)
+
+// Strategies (§3.1).
+const (
+	StrategySendRecv        = resharding.SendRecv
+	StrategyLocalAllGather  = resharding.LocalAllGather
+	StrategyGlobalAllGather = resharding.GlobalAllGather
+	StrategyBroadcast       = resharding.Broadcast
+	StrategyAlpa            = resharding.Alpa
+	StrategySignal          = resharding.Signal
+)
+
+// Schedulers (§3.2).
+const (
+	SchedulerNaive           = resharding.SchedNaive
+	SchedulerGreedyLoad      = resharding.SchedGreedyLoad
+	SchedulerLoadBalanceOnly = resharding.SchedLoadBalanceOnly
+	SchedulerEnsemble        = resharding.SchedEnsemble
+)
+
+// PlanReshard schedules a resharding task: load balancing and ordering of
+// its unit tasks per the chosen scheduler.
+var PlanReshard = resharding.NewPlan
+
+// Pipeline schedules (§4).
+type (
+	// PipelineConfig describes one pipeline-parallel iteration.
+	PipelineConfig = pipeline.Config
+	// PipelineResult reports a simulated iteration.
+	PipelineResult = pipeline.Result
+	// PipelineKind is a schedule family.
+	PipelineKind = pipeline.Kind
+)
+
+const (
+	ScheduleGPipe     = pipeline.GPipe
+	Schedule1F1B      = pipeline.OneFOneB
+	ScheduleEager1F1B = pipeline.Eager1F1B
+)
+
+// SimulatePipeline times one iteration of a pipeline schedule.
+var SimulatePipeline = pipeline.Simulate
+
+// Models and parallel configs (§5.2).
+type (
+	// Workload is a pipeline-partitioned model with boundary tensors.
+	Workload = model.Workload
+	// ParallelConfig is the (dp, op, pp) triple of Table 3.
+	ParallelConfig = model.ParallelConfig
+	// DeviceSpec models accelerator throughput.
+	DeviceSpec = model.DeviceSpec
+	// GPTConfig is a GPT-3-style transformer.
+	GPTConfig = model.GPTConfig
+	// UTransConfig is a U-Transformer.
+	UTransConfig = model.UTransConfig
+)
+
+// Model presets from Table 3.
+var (
+	GPT1_3B    = model.GPT1_3B
+	GPT2_6B    = model.GPT2_6B
+	UTrans1B   = model.UTrans1B
+	UTrans2_1B = model.UTrans2_1B
+	V100       = model.V100
+	V100Conv   = model.V100Conv
+)
+
+// Workload constructors.
+var (
+	NewGPTWorkload    = model.NewGPTWorkload
+	NewUTransWorkload = model.NewUTransWorkload
+)
+
+// Low-level building blocks, exposed for extension.
+type (
+	// Sim is the deterministic discrete-event engine.
+	Sim = netsim.Sim
+	// ClusterNet issues topology-aware transfers on a Sim.
+	ClusterNet = netsim.ClusterNet
+	// HostTask is one Eq. 1-3 host-level task.
+	HostTask = schedule.Task
+	// HostPlan is an Eq. 1-3 solution.
+	HostPlan = schedule.Plan
+)
+
+// NewSim creates an empty discrete-event simulator.
+var NewSim = netsim.NewSim
+
+// NewClusterNet creates a simulator bound to a cluster topology.
+var NewClusterNet = netsim.NewClusterNet
+
+// Intra-mesh layout conversion (§2.1 background): resharding a tensor
+// between two specs on the same mesh, served by collective communication.
+type (
+	// IntraMeshTask is a planned layout conversion within one mesh.
+	IntraMeshTask = intramesh.Task
+	// IntraMeshMove is one required data movement of a conversion.
+	IntraMeshMove = intramesh.Move
+)
+
+// NewIntraMeshTask decomposes an intra-mesh layout conversion.
+var NewIntraMeshTask = intramesh.NewTask

@@ -1,0 +1,283 @@
+package alpacomm_test
+
+import (
+	"testing"
+
+	alpacomm "alpacomm"
+)
+
+// TestPublicReshardAPI exercises the full public flow: cluster, meshes,
+// specs, task, plan, simulate, execute, verify.
+func TestPublicReshardAPI(t *testing.T) {
+	cluster := alpacomm.AWSP3Cluster(2)
+	meshA, err := cluster.Slice([]int{2, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshB, err := cluster.Slice([]int{2, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := alpacomm.NewShape(256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := alpacomm.ParseSpec("S01R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := alpacomm.ParseSpec("S0S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := alpacomm.NewReshardTask(shape, alpacomm.Float32, meshA, src, meshB, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := alpacomm.PlanReshard(task, alpacomm.ReshardOptions{
+		Strategy:  alpacomm.StrategyBroadcast,
+		Scheduler: alpacomm.SchedulerEnsemble,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || res.EffectiveGbps <= 0 {
+		t.Errorf("degenerate simulation: %+v", res)
+	}
+	srcBufs, err := task.Src.Buffers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range srcBufs {
+		b.FillLinear()
+	}
+	dstBufs, err := task.Dst.Buffers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Execute(srcBufs, dstBufs); err != nil {
+		t.Fatal(err)
+	}
+	for dev, b := range dstBufs {
+		if ok, _, _, _ := b.VerifyLinear(); !ok {
+			t.Errorf("device %d holds wrong data", dev)
+		}
+	}
+}
+
+func gptJob(t *testing.T, strategy alpacomm.Strategy, sched alpacomm.PipelineKind, overlap bool) *alpacomm.TrainingReport {
+	t.Helper()
+	pc := alpacomm.ParallelConfig{DP: 2, OP: 2, PP: 2}
+	w, err := alpacomm.NewGPTWorkload(alpacomm.GPT1_3B(), pc, alpacomm.Float16, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := alpacomm.TrainingJob{
+		Cluster:  alpacomm.AWSP3Cluster(2),
+		Device:   alpacomm.V100(),
+		Workload: w,
+		Parallel: pc,
+		Schedule: sched,
+		Overlap:  overlap,
+		Reshard:  alpacomm.ReshardOptions{Strategy: strategy, Scheduler: alpacomm.SchedulerEnsemble, Seed: 1},
+	}
+	rep, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestTrainingJobGPTOrdering pins Fig. 7a's ordering on a reduced batch:
+// Send/Recv < Alpa <= Ours <= Signal.
+func TestTrainingJobGPTOrdering(t *testing.T) {
+	sr := gptJob(t, alpacomm.StrategySendRecv, alpacomm.Schedule1F1B, false)
+	alpa := gptJob(t, alpacomm.StrategyAlpa, alpacomm.Schedule1F1B, false)
+	ours := gptJob(t, alpacomm.StrategyBroadcast, alpacomm.ScheduleEager1F1B, true)
+	signal := gptJob(t, alpacomm.StrategySignal, alpacomm.Schedule1F1B, false)
+	if !(sr.TFLOPS < alpa.TFLOPS) {
+		t.Errorf("send/recv (%v) should lose to alpa (%v)", sr.TFLOPS, alpa.TFLOPS)
+	}
+	if !(alpa.TFLOPS < ours.TFLOPS) {
+		t.Errorf("alpa (%v) should lose to ours (%v)", alpa.TFLOPS, ours.TFLOPS)
+	}
+	if ours.TFLOPS > signal.TFLOPS*1.01 {
+		t.Errorf("ours (%v) cannot beat the signal bound (%v)", ours.TFLOPS, signal.TFLOPS)
+	}
+	if ours.TFLOPS < signal.TFLOPS*0.75 {
+		t.Errorf("ours (%v) should reach >=75%% of signal (%v)", ours.TFLOPS, signal.TFLOPS)
+	}
+	// Paper: ~1.1x over Alpa for GPT.
+	if r := ours.TFLOPS / alpa.TFLOPS; r < 1.05 || r > 1.6 {
+		t.Errorf("ours/alpa = %v, expected ≈ 1.1-1.5x", r)
+	}
+}
+
+// TestTrainingJobUTransSpeedup pins Fig. 7c: eager-1F1B+overlap recovers a
+// large fraction of the signal bound on the comm-bound U-Transformer and
+// beats the blocking baseline by ≈1.5x.
+func TestTrainingJobUTransSpeedup(t *testing.T) {
+	pc := alpacomm.ParallelConfig{DP: 2, OP: 4, PP: 2}
+	w, err := alpacomm.NewUTransWorkload(alpacomm.UTrans1B(), pc, alpacomm.Float16, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(strategy alpacomm.Strategy, sched alpacomm.PipelineKind, overlap bool) float64 {
+		job := alpacomm.TrainingJob{
+			Cluster:  alpacomm.AWSP3Cluster(4),
+			Device:   alpacomm.V100Conv(),
+			Workload: w,
+			Parallel: pc,
+			Schedule: sched,
+			Overlap:  overlap,
+			Reshard:  alpacomm.ReshardOptions{Strategy: strategy, Scheduler: alpacomm.SchedulerEnsemble, Seed: 1},
+		}
+		rep, err := job.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TFLOPS
+	}
+	alpa := run(alpacomm.StrategyAlpa, alpacomm.Schedule1F1B, false)
+	ours := run(alpacomm.StrategyBroadcast, alpacomm.ScheduleEager1F1B, true)
+	signal := run(alpacomm.StrategySignal, alpacomm.Schedule1F1B, false)
+	if r := ours / alpa; r < 1.25 {
+		t.Errorf("ours/alpa = %v, expected ≈ 1.5x on the U-Transformer", r)
+	}
+	if ours < signal*0.75 {
+		t.Errorf("ours (%v) should reach >=75%% of signal (%v)", ours, signal)
+	}
+}
+
+func TestTrainingJobValidation(t *testing.T) {
+	pc := alpacomm.ParallelConfig{DP: 2, OP: 2, PP: 2}
+	w, err := alpacomm.NewGPTWorkload(alpacomm.GPT1_3B(), pc, alpacomm.Float16, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := alpacomm.TrainingJob{Cluster: alpacomm.AWSP3Cluster(1), Device: alpacomm.V100(), Workload: w, Parallel: pc}
+	if _, err := job.Run(); err == nil {
+		t.Error("cluster too small should fail")
+	}
+	job.Cluster = alpacomm.AWSP3Cluster(2)
+	job.Parallel = alpacomm.ParallelConfig{DP: 2, OP: 2, PP: 1}
+	if _, err := job.Run(); err == nil {
+		t.Error("stage-count mismatch should fail")
+	}
+	job.Workload = nil
+	if _, err := job.Run(); err == nil {
+		t.Error("nil workload should fail")
+	}
+}
+
+// TestEagerMemoryAccounting cross-checks the Table 1 helpers exposed on
+// the facade.
+func TestEagerMemoryAccounting(t *testing.T) {
+	m := alpacomm.GPTLayerMemory(1024, 12288, 2, 8)
+	if m.ActivationBytes != 48<<20 {
+		t.Errorf("activation bytes = %d", m.ActivationBytes)
+	}
+	if alpacomm.EagerMemoryIncreaseBytes(2, 0, m.ActivationBytes) != m.ActivationBytes {
+		t.Error("2-stage eager increase at stage 0 should be one activation")
+	}
+}
+
+// TestFig9Ordering pins the ablation: Broadcast < Overlap < Eager at 32
+// micro-batches, and the gaps shrink at 4 micro-batches.
+func TestFig9Ordering(t *testing.T) {
+	rows, err := alpacomm.Fig9Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(mb int, method string) float64 {
+		for _, r := range rows {
+			if r.MicroBatches == mb && r.Method == method {
+				return r.TFLOPS
+			}
+		}
+		t.Fatalf("missing %d/%s", mb, method)
+		return 0
+	}
+	for _, mb := range []int{4, 32} {
+		b, o, e := val(mb, "Broadcast"), val(mb, "Overlap"), val(mb, "Eager-1F1B")
+		if !(b < o && o < e) {
+			t.Errorf("mb=%d: want Broadcast < Overlap < Eager, got %v %v %v", mb, b, o, e)
+		}
+	}
+	// The eager-over-overlap gain is larger in the steady-state regime.
+	gain4 := val(4, "Eager-1F1B") / val(4, "Overlap")
+	gain32 := val(32, "Eager-1F1B") / val(32, "Overlap")
+	if gain32 < gain4 {
+		t.Errorf("eager gain should grow with micro-batches: %v (4) vs %v (32)", gain4, gain32)
+	}
+}
+
+// TestDeepPipelineGPT exercises pp=4 (beyond the paper's Table 3): a
+// 4-stage GPT with eager-1F1B must still beat blocking 1F1B and respect
+// the signal bound.
+func TestDeepPipelineGPT(t *testing.T) {
+	pc := alpacomm.ParallelConfig{DP: 1, OP: 4, PP: 4}
+	w, err := alpacomm.NewGPTWorkload(alpacomm.GPT1_3B(), pc, alpacomm.Float16, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(strategy alpacomm.Strategy, sched alpacomm.PipelineKind, overlap bool) *alpacomm.TrainingReport {
+		job := alpacomm.TrainingJob{
+			Cluster:  alpacomm.AWSP3Cluster(4),
+			Device:   alpacomm.V100(),
+			Workload: w,
+			Parallel: pc,
+			Schedule: sched,
+			Overlap:  overlap,
+			Reshard:  alpacomm.ReshardOptions{Strategy: strategy, Scheduler: alpacomm.SchedulerEnsemble, Seed: 1},
+		}
+		rep, err := job.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	blocking := run(alpacomm.StrategyBroadcast, alpacomm.Schedule1F1B, false)
+	ours := run(alpacomm.StrategyBroadcast, alpacomm.ScheduleEager1F1B, true)
+	signal := run(alpacomm.StrategySignal, alpacomm.Schedule1F1B, false)
+	if !(ours.TFLOPS > blocking.TFLOPS) {
+		t.Errorf("eager+overlap (%v) should beat blocking (%v) at pp=4", ours.TFLOPS, blocking.TFLOPS)
+	}
+	if ours.TFLOPS > signal.TFLOPS*1.01 {
+		t.Errorf("ours (%v) cannot beat signal (%v)", ours.TFLOPS, signal.TFLOPS)
+	}
+	// Eager warm-up depths decrease along the pipeline.
+	for s := 0; s+1 < 4; s++ {
+		if ours.PeakActivations[s] < ours.PeakActivations[s+1] {
+			t.Errorf("peak activations should decrease along stages: %v", ours.PeakActivations)
+		}
+	}
+}
+
+// TestIntraMeshFacade exercises the §2.1 intra-mesh conversion through the
+// public API.
+func TestIntraMeshFacade(t *testing.T) {
+	cluster := alpacomm.AWSP3Cluster(1)
+	m, err := cluster.Slice([]int{2, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, _ := alpacomm.NewShape(64, 64)
+	src, _ := alpacomm.ParseSpec("S0S1")
+	dst, _ := alpacomm.ParseSpec("RR")
+	task, err := alpacomm.NewIntraMeshTask(shape, alpacomm.Float32, m, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.CollectiveKind() != "all-gather" {
+		t.Errorf("kind = %s", task.CollectiveKind())
+	}
+	res, err := task.Simulate()
+	if err != nil || res.Makespan <= 0 {
+		t.Errorf("simulate: %+v, %v", res, err)
+	}
+}

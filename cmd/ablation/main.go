@@ -1,0 +1,66 @@
+// Command ablation regenerates the paper's ablation studies: Fig. 8 (load
+// balancing and ordering algorithms over the Table 2 cases) and Fig. 9
+// (overlap and eager-1F1B on the U-Transformer).
+//
+// Usage:
+//
+//	ablation [-fig 8|9|all] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	alpacomm "alpacomm"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which ablation to run: 8, 9, chunks, or all")
+	scale := flag.Int("scale", 1, "divide Fig. 8 message sizes by this factor")
+	flag.Parse()
+
+	runFig8 := func() {
+		rows, err := alpacomm.Fig8Rows(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablation: fig8: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(alpacomm.RenderMicroRows("Fig 8: load-balance ablation (broadcast strategy)", rows))
+		fmt.Println()
+	}
+	runFig9 := func() {
+		rows, err := alpacomm.Fig9Rows()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablation: fig9: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(alpacomm.RenderFig9Rows(rows))
+	}
+
+	runChunks := func() {
+		rows, err := alpacomm.ChunkSweepRows(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablation: chunks: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(alpacomm.RenderChunkRows(rows))
+		fmt.Println()
+	}
+
+	switch *fig {
+	case "8":
+		runFig8()
+	case "9":
+		runFig9()
+	case "chunks":
+		runChunks()
+	case "all":
+		runFig8()
+		runFig9()
+		runChunks()
+	default:
+		fmt.Fprintf(os.Stderr, "ablation: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

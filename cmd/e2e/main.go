@@ -1,0 +1,75 @@
+// Command e2e regenerates the paper's end-to-end evaluation: Fig. 7
+// (training throughput of GPT and U-Transformer under Table 3's
+// configurations), Table 1 (memory accounting), and Fig. 4-style pipeline
+// timelines.
+//
+// Usage:
+//
+//	e2e [-batch-scale N] [-table1] [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	alpacomm "alpacomm"
+	"alpacomm/internal/harness"
+	"alpacomm/internal/pipeline"
+	"alpacomm/internal/trace"
+)
+
+func main() {
+	batchScale := flag.Int("batch-scale", 1, "divide global batch sizes by this factor")
+	tsvOut := flag.String("tsv", "", "also record rows to this TSV file (artifact format)")
+	table1 := flag.Bool("table1", false, "print Table 1 (GPT layer memory) and exit")
+	timeline := flag.Bool("timeline", false, "print Fig. 4-style 1F1B vs eager-1F1B timelines and exit")
+	flag.Parse()
+
+	if *table1 {
+		fmt.Print(alpacomm.Table1Report())
+		return
+	}
+	if *timeline {
+		printTimelines()
+		return
+	}
+
+	rows, err := alpacomm.Fig7Rows(*batchScale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "e2e: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(alpacomm.RenderE2ERows("Fig 7: end-to-end training throughput (Table 3 cases)", rows))
+	if *tsvOut != "" {
+		if err := harness.WriteE2ETSV(*tsvOut, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "e2e: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printTimelines renders the Fig. 4 comparison: 2 stages, 7 micro-batches,
+// with communication visible between dependent tasks.
+func printTimelines() {
+	base := pipeline.Config{
+		Stages:       2,
+		MicroBatches: 7,
+		FwdTime:      []float64{1, 1},
+		BwdTime:      []float64{2, 2},
+		FwdCommTime:  []float64{0.5},
+		Overlap:      true,
+	}
+	for _, kind := range []pipeline.Kind{pipeline.OneFOneB, pipeline.Eager1F1B} {
+		cfg := base
+		cfg.Schedule = kind
+		res, err := pipeline.Simulate(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "e2e: timeline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s schedule (makespan %.2f):\n", kind, res.Makespan)
+		fmt.Print(trace.Gantt(res.Events, trace.StageOrder(2), 100))
+		fmt.Println()
+	}
+}

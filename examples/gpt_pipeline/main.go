@@ -1,0 +1,55 @@
+// gpt_pipeline: simulate multi-node training of the paper's GPT 1.3B
+// under Table 3's (dp=2, op=2, pp=2) configuration, comparing pipeline
+// schedules and communication systems (the Fig. 7a experiment).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	alpacomm "alpacomm"
+)
+
+func main() {
+	cluster := alpacomm.AWSP3Cluster(2) // 8 V100s
+	pc := alpacomm.ParallelConfig{DP: 2, OP: 2, PP: 2}
+	workload, err := alpacomm.NewGPTWorkload(alpacomm.GPT1_3B(), pc, alpacomm.Float16, 1024, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPT 1.3B: %d micro-batches/iter, %d stages, boundary %d MB/micro-batch\n",
+		workload.NumMicroBatches, len(workload.Stages), workload.BoundaryBytes(0)>>20)
+
+	systems := []struct {
+		name     string
+		strategy alpacomm.Strategy
+		schedule alpacomm.PipelineKind
+		overlap  bool
+	}{
+		{"Send/Recv + 1F1B", alpacomm.StrategySendRecv, alpacomm.Schedule1F1B, false},
+		{"Alpa + 1F1B", alpacomm.StrategyAlpa, alpacomm.Schedule1F1B, false},
+		{"Broadcast + 1F1B", alpacomm.StrategyBroadcast, alpacomm.Schedule1F1B, false},
+		{"AlpaComm (eager-1F1B + overlap)", alpacomm.StrategyBroadcast, alpacomm.ScheduleEager1F1B, true},
+		{"Signal Send/Recv (upper bound)", alpacomm.StrategySignal, alpacomm.Schedule1F1B, false},
+	}
+	for _, s := range systems {
+		job := alpacomm.TrainingJob{
+			Cluster:  cluster,
+			Device:   alpacomm.V100(),
+			Workload: workload,
+			Parallel: pc,
+			Schedule: s.schedule,
+			Overlap:  s.overlap,
+			Reshard: alpacomm.ReshardOptions{
+				Strategy:  s.strategy,
+				Scheduler: alpacomm.SchedulerEnsemble,
+			},
+		}
+		rep, err := job.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s iter %7.2fs  %7.1f TFLOPS (%5.1f per GPU)  peak acts %v\n",
+			s.name, rep.IterationTime, rep.TFLOPS, rep.PerGPUTFLOPS, rep.PeakActivations)
+	}
+}

@@ -1,0 +1,78 @@
+package alpacomm
+
+import (
+	"alpacomm/internal/harness"
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/model"
+	"alpacomm/internal/pipeline"
+	"alpacomm/internal/resharding"
+)
+
+// Experiment row types, re-exported for tools and benchmarks.
+type (
+	// MicroRow is one microbenchmark measurement (Figs. 5, 6, 8).
+	MicroRow = harness.MicroRow
+	// E2ERow is one end-to-end throughput measurement (Fig. 7).
+	E2ERow = harness.E2ERow
+	// Fig9Row is one overlap-ablation measurement.
+	Fig9Row = harness.Fig9Row
+)
+
+// trainingRunner adapts TrainingJob to the harness's runner signature.
+func trainingRunner(cluster *mesh.Cluster, device model.DeviceSpec, w *model.Workload,
+	pc model.ParallelConfig, sched pipeline.Kind, overlap bool, opts resharding.Options) (float64, float64, error) {
+	job := TrainingJob{
+		Cluster:  cluster,
+		Device:   device,
+		Workload: w,
+		Parallel: pc,
+		Schedule: sched,
+		Overlap:  overlap,
+		Reshard:  opts,
+	}
+	rep, err := job.Run()
+	if err != nil {
+		return 0, 0, err
+	}
+	return rep.IterationTime, rep.TFLOPS, nil
+}
+
+// Fig5aRows regenerates Fig. 5a (single device to one multi-GPU node).
+// scale >= 1 shrinks the 1 GB message for fast runs.
+func Fig5aRows(scale int) ([]MicroRow, error) { return harness.Fig5a(scale) }
+
+// Fig5bRows regenerates Fig. 5b (single device to multiple 2-GPU nodes).
+func Fig5bRows(scale int) ([]MicroRow, error) { return harness.Fig5b(scale) }
+
+// Fig6Rows regenerates Fig. 6 (the nine Table 2 multi-device cases).
+func Fig6Rows(scale int) ([]MicroRow, error) { return harness.Fig6(scale) }
+
+// Fig7Rows regenerates Fig. 7 (Table 3 end-to-end training throughput).
+// batchScale >= 1 divides the global batch for fast runs.
+func Fig7Rows(batchScale int) ([]E2ERow, error) { return harness.Fig7(trainingRunner, batchScale) }
+
+// Fig8Rows regenerates Fig. 8 (load-balance ablation).
+func Fig8Rows(scale int) ([]MicroRow, error) { return harness.Fig8(scale) }
+
+// Fig9Rows regenerates Fig. 9 (overlap ablation).
+func Fig9Rows() ([]Fig9Row, error) { return harness.Fig9(trainingRunner) }
+
+// Table1Report renders the paper's Table 1 memory accounting.
+func Table1Report() string { return harness.Table1Report() }
+
+// Render helpers.
+var (
+	RenderMicroRows = harness.RenderMicroRows
+	RenderE2ERows   = harness.RenderE2ERows
+	RenderFig9Rows  = harness.RenderFig9Rows
+)
+
+// ChunkRow is one point of the broadcast pipelining-depth ablation.
+type ChunkRow = harness.ChunkRow
+
+// ChunkSweepRows ablates the broadcast chunk count K (§3.1's T = t + A·t/K
+// tradeoff against per-chunk launch latency).
+func ChunkSweepRows(scale int) ([]ChunkRow, error) { return harness.ChunkSweep(scale) }
+
+// RenderChunkRows formats the chunk ablation.
+var RenderChunkRows = harness.RenderChunkRows

@@ -1,0 +1,68 @@
+package collective
+
+import (
+	"sort"
+
+	"alpacomm/internal/mesh"
+)
+
+// BroadcastOrder arranges a sender and its receivers into the chain the
+// paper's broadcast strategy uses: receivers on the sender's own host come
+// first (data rides NVLink), then each remaining host's receivers
+// consecutively in ascending host order — so every receiving host's NIC
+// receives exactly one copy of the message.
+func BroadcastOrder(c *mesh.Cluster, sender int, receivers []int) []int {
+	byHost := map[int][]int{}
+	for _, d := range receivers {
+		h := c.HostOf(d)
+		byHost[h] = append(byHost[h], d)
+	}
+	var hosts []int
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	senderHost := c.HostOf(sender)
+	// Sender's host first, then the rest in ascending order.
+	ordered := make([]int, 0, len(hosts))
+	for _, h := range hosts {
+		if h == senderHost {
+			ordered = append(ordered, h)
+		}
+	}
+	for _, h := range hosts {
+		if h != senderHost {
+			ordered = append(ordered, h)
+		}
+	}
+	chain := []int{sender}
+	for _, h := range ordered {
+		devs := byHost[h]
+		sort.Ints(devs)
+		chain = append(chain, devs...)
+	}
+	return chain
+}
+
+// RingOrder arranges devices into a ring that crosses host boundaries as
+// few times as possible: devices grouped by host, hosts ascending. This is
+// the standard NCCL ring layout for hierarchical clusters.
+func RingOrder(c *mesh.Cluster, devices []int) []int {
+	byHost := map[int][]int{}
+	for _, d := range devices {
+		h := c.HostOf(d)
+		byHost[h] = append(byHost[h], d)
+	}
+	var hosts []int
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	out := make([]int, 0, len(devices))
+	for _, h := range hosts {
+		devs := byHost[h]
+		sort.Ints(devs)
+		out = append(out, devs...)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/resharding"
+)
+
+// ChunkRow is one point of the broadcast pipelining-depth ablation.
+type ChunkRow struct {
+	Chunks   int
+	EffGbps  float64
+	Makespan float64
+}
+
+// ChunkSweep ablates the broadcast chunk count K (§3.1: T = t + A·t/K, but
+// each chunk's first hop pays wire latency, so very large K stops
+// helping). Setting: one sender, 4 receiver hosts x 2 GPUs, 1 GB/scale
+// message — the Fig. 5b worst case.
+func ChunkSweep(scale int) ([]ChunkRow, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	c := mesh.AWSP3Cluster(5)
+	var devs []int
+	for h := 1; h <= 4; h++ {
+		devs = append(devs, h*4, h*4+1)
+	}
+	task, err := fig5Task(c, 16384/scale, devs, []int{4, 2})
+	if err != nil {
+		return nil, err
+	}
+	var out []ChunkRow
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		plan, err := resharding.NewPlan(task, resharding.Options{
+			Strategy:  resharding.Broadcast,
+			Scheduler: resharding.SchedEnsemble,
+			Chunks:    k,
+			Seed:      1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := plan.Simulate()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ChunkRow{Chunks: k, EffGbps: res.EffectiveGbps, Makespan: res.Makespan})
+	}
+	return out, nil
+}
+
+// RenderChunkRows formats the chunk ablation.
+func RenderChunkRows(rows []ChunkRow) string {
+	var b strings.Builder
+	b.WriteString("Broadcast pipelining-depth ablation (1 sender -> 4 hosts x 2 GPUs)\n")
+	fmt.Fprintf(&b, "%-8s %14s %12s\n", "chunks", "eff-bw (Gbps)", "time (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %14.2f %12.4f\n", r.Chunks, r.EffGbps, r.Makespan)
+	}
+	return b.String()
+}

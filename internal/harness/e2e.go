@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/model"
+	"alpacomm/internal/pipeline"
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/tensor"
+)
+
+// E2ERow is one bar of Fig. 7: a (model case, method) throughput.
+type E2ERow struct {
+	Model    string
+	Case     string
+	Method   string
+	TFLOPS   float64
+	IterTime float64
+}
+
+// e2eCase describes one Table 3 configuration.
+type e2eCase struct {
+	model    string
+	name     string
+	hosts    int
+	pc       model.ParallelConfig
+	dtype    tensor.DType
+	batch    int
+	microB   int
+	workload func(pc model.ParallelConfig, dt tensor.DType, batch, mb int) (*model.Workload, error)
+	device   model.DeviceSpec
+}
+
+// table3Cases returns the six Table 3 rows. GPT runs on 2 hosts (8 V100);
+// U-Transformer on 4 hosts (16 V100) with its two stages each spanning 2
+// hosts, so the skip tensors cross the slow inter-host links — the §5.2
+// bottleneck.
+func table3Cases() []e2eCase {
+	gpt := func(g model.GPTConfig) func(pc model.ParallelConfig, dt tensor.DType, batch, mb int) (*model.Workload, error) {
+		return func(pc model.ParallelConfig, dt tensor.DType, batch, mb int) (*model.Workload, error) {
+			return model.NewGPTWorkload(g, pc, dt, batch, mb)
+		}
+	}
+	ut := func(u model.UTransConfig) func(pc model.ParallelConfig, dt tensor.DType, batch, mb int) (*model.Workload, error) {
+		return func(pc model.ParallelConfig, dt tensor.DType, batch, mb int) (*model.Workload, error) {
+			return model.NewUTransWorkload(u, pc, dt, batch, mb)
+		}
+	}
+	return []e2eCase{
+		{"GPT", "case1-1.3B", 2, model.ParallelConfig{DP: 2, OP: 2, PP: 2}, tensor.Float16, 1024, 2, gpt(model.GPT1_3B()), model.V100()},
+		{"GPT", "case1-2.6B", 2, model.ParallelConfig{DP: 2, OP: 2, PP: 2}, tensor.Float16, 1024, 2, gpt(model.GPT2_6B()), model.V100()},
+		{"GPT", "case2-2.6B", 2, model.ParallelConfig{DP: 4, OP: 1, PP: 2}, tensor.Float16, 1024, 2, gpt(model.GPT2_6B()), model.V100()},
+		{"U-Trans", "case1-1B-fp16", 4, model.ParallelConfig{DP: 2, OP: 4, PP: 2}, tensor.Float16, 2048, 2, ut(model.UTrans1B()), model.V100Conv()},
+		{"U-Trans", "case2-2.1B-fp16", 4, model.ParallelConfig{DP: 2, OP: 4, PP: 2}, tensor.Float16, 2048, 2, ut(model.UTrans2_1B()), model.V100Conv()},
+		{"U-Trans", "case3-2.1B-fp32", 4, model.ParallelConfig{DP: 2, OP: 4, PP: 2}, tensor.Float32, 2048, 2, ut(model.UTrans2_1B()), model.V100Conv()},
+	}
+}
+
+// e2eMethod is one bar group of Fig. 7.
+type e2eMethod struct {
+	Name     string
+	Reshard  resharding.Options
+	Schedule pipeline.Kind
+	Overlap  bool
+}
+
+// e2eMethods returns the five Fig. 7 systems.
+func e2eMethods() []e2eMethod {
+	return []e2eMethod{
+		{"Send/Recv", resharding.Options{Strategy: resharding.SendRecv, Scheduler: resharding.SchedGreedyLoad}, pipeline.OneFOneB, false},
+		{"Alpa", resharding.Options{Strategy: resharding.Alpa, Scheduler: resharding.SchedGreedyLoad}, pipeline.OneFOneB, false},
+		{"Broadcast", resharding.Options{Strategy: resharding.Broadcast, Scheduler: resharding.SchedEnsemble, Seed: 1}, pipeline.OneFOneB, false},
+		{"Ours", resharding.Options{Strategy: resharding.Broadcast, Scheduler: resharding.SchedEnsemble, Seed: 1}, pipeline.Eager1F1B, true},
+		{"Signal Send/Recv", resharding.Options{Strategy: resharding.Signal, Scheduler: resharding.SchedNaive}, pipeline.OneFOneB, false},
+	}
+}
+
+// TrainingRunner runs one assembled training job; injected by the root
+// package to avoid an import cycle (the facade imports harness's row
+// types... the facade owns TrainingJob, so the harness receives a runner).
+type TrainingRunner func(cluster *mesh.Cluster, device model.DeviceSpec, w *model.Workload,
+	pc model.ParallelConfig, sched pipeline.Kind, overlap bool, opts resharding.Options) (iterTime, tflops float64, err error)
+
+// Fig7 reproduces Fig. 7's eighteen bars (6 cases x 5 methods) through the
+// injected training runner. batchScale >= 1 divides the global batch for
+// fast runs.
+func Fig7(run TrainingRunner, batchScale int) ([]E2ERow, error) {
+	if batchScale < 1 {
+		batchScale = 1
+	}
+	var out []E2ERow
+	for _, tc := range table3Cases() {
+		batch := tc.batch / batchScale
+		if batch < tc.microB*tc.pc.DP*4 {
+			batch = tc.microB * tc.pc.DP * 4
+		}
+		w, err := tc.workload(tc.pc, tc.dtype, batch, tc.microB)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %v", tc.model, tc.name, err)
+		}
+		cluster := mesh.AWSP3Cluster(tc.hosts)
+		for _, m := range e2eMethods() {
+			iter, tflops, err := run(cluster, tc.device, w, tc.pc, m.Schedule, m.Overlap, m.Reshard)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/%s: %v", tc.model, tc.name, m.Name, err)
+			}
+			out = append(out, E2ERow{Model: tc.model, Case: tc.name, Method: m.Name, TFLOPS: tflops, IterTime: iter})
+		}
+	}
+	return out, nil
+}
+
+// Fig9Row is one point of the overlap ablation.
+type Fig9Row struct {
+	MicroBatches int
+	Method       string
+	TFLOPS       float64
+}
+
+// Fig9 reproduces the Fig. 9 ablation: U-Transformer (1B, fp16) with 4 and
+// 32 micro-batches under Broadcast (no overlap), Overlap (1F1B), and
+// Eager-1F1B.
+func Fig9(run TrainingRunner) ([]Fig9Row, error) {
+	pc := model.ParallelConfig{DP: 2, OP: 4, PP: 2}
+	cluster := mesh.AWSP3Cluster(4)
+	methods := []e2eMethod{
+		{"Broadcast", resharding.Options{Strategy: resharding.Broadcast, Scheduler: resharding.SchedEnsemble, Seed: 1}, pipeline.OneFOneB, false},
+		{"Overlap", resharding.Options{Strategy: resharding.Broadcast, Scheduler: resharding.SchedEnsemble, Seed: 1}, pipeline.OneFOneB, true},
+		{"Eager-1F1B", resharding.Options{Strategy: resharding.Broadcast, Scheduler: resharding.SchedEnsemble, Seed: 1}, pipeline.Eager1F1B, true},
+	}
+	var out []Fig9Row
+	for _, mb := range []int{4, 32} {
+		// Same micro-batch size, different batch size (§5.3.2): the global
+		// batch is micro-batch-size x dp x #micro-batches.
+		w, err := model.NewUTransWorkload(model.UTrans1B(), pc, tensor.Float16, 2*pc.DP*mb, 2)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
+			_, tflops, err := run(cluster, model.V100Conv(), w, pc, m.Schedule, m.Overlap, m.Reshard)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %d/%s: %v", mb, m.Name, err)
+			}
+			out = append(out, Fig9Row{MicroBatches: mb, Method: m.Name, TFLOPS: tflops})
+		}
+	}
+	return out, nil
+}
+
+// RenderE2ERows formats Fig. 7 rows.
+func RenderE2ERows(title string, rows []E2ERow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %-16s %-18s %12s %12s\n", "model", "case", "method", "TFLOPS", "iter (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-16s %-18s %12.1f %12.3f\n", r.Model, r.Case, r.Method, r.TFLOPS, r.IterTime)
+	}
+	return b.String()
+}
+
+// RenderFig9Rows formats the overlap ablation.
+func RenderFig9Rows(rows []Fig9Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 9: overlap ablation (U-Transformer 1B fp16)\n")
+	fmt.Fprintf(&b, "%-6s %-12s %12s\n", "#mb", "method", "TFLOPS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %-12s %12.1f\n", r.MicroBatches, r.Method, r.TFLOPS)
+	}
+	return b.String()
+}
+
+// Table1Report renders the paper's Table 1 from the memory model.
+func Table1Report() string {
+	m := model.GPTLayerMemory(1024, 12288, 2, 8)
+	var b strings.Builder
+	b.WriteString("Table 1: GPT-3 layer per-GPU memory (S=1024 H=12288 B=2 TMP=8)\n")
+	fmt.Fprintf(&b, "%-34s %16s\n", "quantity", "value")
+	fmt.Fprintf(&b, "%-34s %15.0fM\n", "#parameter (12H^2/TMP)", float64(m.Params)/(1<<20))
+	fmt.Fprintf(&b, "%-34s %15.0fM\n", "#optimizer state (24H^2/TMP)", float64(m.OptStateParams)/(1<<20))
+	fmt.Fprintf(&b, "%-34s %15.0fM\n", "#activation elements (BSH)", float64(m.ActivationElements)/(1<<20))
+	fmt.Fprintf(&b, "%-34s %14.2fGB\n", "weights+optimizer (168H^2/TMP)", float64(m.WeightOptBytes)/(1<<30))
+	fmt.Fprintf(&b, "%-34s %14.0fMB\n", "activation (2BSH)", float64(m.ActivationBytes)/(1<<20))
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The paper's artifact records microbenchmark results in JSON files and
+// end-to-end results in TSV files (Appendix A.5); these helpers mirror
+// that format so downstream tooling can diff runs.
+
+// WriteMicroJSON writes microbenchmark rows as a JSON array.
+func WriteMicroJSON(path string, rows []MicroRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadMicroJSON loads rows written by WriteMicroJSON.
+func ReadMicroJSON(path string) ([]MicroRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []MicroRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("harness: %s: %v", path, err)
+	}
+	return rows, nil
+}
+
+// WriteE2ETSV writes end-to-end rows as tab-separated values with a header
+// line, the artifact's format for training results.
+func WriteE2ETSV(path string, rows []E2ERow) error {
+	var b strings.Builder
+	b.WriteString("model\tcase\tmethod\ttflops\titer_seconds\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%.4f\t%.6f\n", r.Model, r.Case, r.Method, r.TFLOPS, r.IterTime)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// ReadE2ETSV loads rows written by WriteE2ETSV.
+func ReadE2ETSV(path string) ([]E2ERow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 1 {
+		return nil, fmt.Errorf("harness: %s: empty file", path)
+	}
+	var rows []E2ERow
+	for i, line := range lines[1:] {
+		f := strings.Split(line, "\t")
+		if len(f) != 5 {
+			return nil, fmt.Errorf("harness: %s line %d: %d fields", path, i+2, len(f))
+		}
+		var r E2ERow
+		r.Model, r.Case, r.Method = f[0], f[1], f[2]
+		if _, err := fmt.Sscanf(f[3], "%f", &r.TFLOPS); err != nil {
+			return nil, fmt.Errorf("harness: %s line %d: %v", path, i+2, err)
+		}
+		if _, err := fmt.Sscanf(f[4], "%f", &r.IterTime); err != nil {
+			return nil, fmt.Errorf("harness: %s line %d: %v", path, i+2, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}

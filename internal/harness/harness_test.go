@@ -1,0 +1,319 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/model"
+	"alpacomm/internal/pipeline"
+	"alpacomm/internal/resharding"
+)
+
+// get returns the row for (case, method) or fails.
+func get(t *testing.T, rows []MicroRow, c, m string) MicroRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Case == c && r.Method == m {
+			return r
+		}
+	}
+	t.Fatalf("no row for %s/%s", c, m)
+	return MicroRow{}
+}
+
+// TestFig5aShape pins the paper's Fig. 5a: Send/Recv effective bandwidth
+// decays ~1/n with receiver count; Ours stays flat; Alpa collapses at the
+// uneven 3-GPU point.
+func TestFig5aShape(t *testing.T) {
+	rows, err := Fig5a(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	sr1 := get(t, rows, "1gpu", "Send/Recv").EffGbps
+	sr4 := get(t, rows, "4gpu", "Send/Recv").EffGbps
+	if sr1/sr4 < 3.5 {
+		t.Errorf("send/recv should decay ~4x from 1 to 4 GPUs: %v -> %v", sr1, sr4)
+	}
+	ours1 := get(t, rows, "1gpu", "Ours").EffGbps
+	ours4 := get(t, rows, "4gpu", "Ours").EffGbps
+	if ours4 < ours1*0.9 {
+		t.Errorf("ours should stay flat: %v -> %v", ours1, ours4)
+	}
+	alpa2 := get(t, rows, "2gpu", "Alpa").EffGbps
+	alpa3 := get(t, rows, "3gpu", "Alpa").EffGbps
+	if alpa3 > alpa2/2 {
+		t.Errorf("alpa should collapse at the uneven 3-GPU point: %v vs %v", alpa3, alpa2)
+	}
+	ours3 := get(t, rows, "3gpu", "Ours").EffGbps
+	if ours3 < ours1*0.9 {
+		t.Errorf("ours must handle the uneven point natively: %v vs %v", ours3, ours1)
+	}
+}
+
+// TestFig5bShape pins Fig. 5b: Ours flat across 1-4 receiver hosts; Alpa
+// degrades for multi-host receivers and collapses at 3 hosts.
+func TestFig5bShape(t *testing.T) {
+	rows, err := Fig5b(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours1 := get(t, rows, "1host", "Ours").EffGbps
+	ours4 := get(t, rows, "4host", "Ours").EffGbps
+	if ours4 < ours1*0.85 {
+		t.Errorf("ours should stay flat across hosts: %v -> %v", ours1, ours4)
+	}
+	alpa2 := get(t, rows, "2host", "Alpa").EffGbps
+	ours2 := get(t, rows, "2host", "Ours").EffGbps
+	if alpa2 > ours2 {
+		t.Errorf("multi-host alpa (%v) must not beat ours (%v)", alpa2, ours2)
+	}
+	alpa3 := get(t, rows, "3host", "Alpa").EffGbps
+	if alpa3 > alpa2/2 {
+		t.Errorf("alpa should collapse at 3 hosts (uneven): %v vs %v", alpa3, alpa2)
+	}
+	sr4 := get(t, rows, "4host", "Send/Recv").EffGbps
+	if sr4 > ours4/4 {
+		t.Errorf("send/recv at 4 hosts (%v) should be ~8x below ours (%v)", sr4, ours4)
+	}
+}
+
+// TestFig6Shape pins Fig. 6's qualitative outcomes: parity on case 1,
+// clear wins on cases 3, 4 and 9 (reordering uses both sender NICs),
+// and wins on 7 (pipelining vs cross-node all-gather).
+func TestFig6Shape(t *testing.T) {
+	rows, err := Fig6(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 27 {
+		t.Fatalf("rows = %d, want 27", len(rows))
+	}
+	// Case 1: parity between Alpa and Ours.
+	a1, o1 := get(t, rows, "case1", "Alpa").EffGbps, get(t, rows, "case1", "Ours").EffGbps
+	if o1 < a1*0.9 || o1 > a1*1.3 {
+		t.Errorf("case1 should be parity: alpa %v ours %v", a1, o1)
+	}
+	// Cases 3, 4, 9: ours clearly faster than Alpa.
+	for _, c := range []string{"case3", "case4", "case9"} {
+		a, o := get(t, rows, c, "Alpa").EffGbps, get(t, rows, c, "Ours").EffGbps
+		if o < a*1.3 {
+			t.Errorf("%s: ours (%v) should clearly beat alpa (%v)", c, o, a)
+		}
+	}
+	// Case 7: ours faster than Alpa (pipelined vs staged all-gather).
+	a7, o7 := get(t, rows, "case7", "Alpa").EffGbps, get(t, rows, "case7", "Ours").EffGbps
+	if o7 < a7*1.3 {
+		t.Errorf("case7: ours (%v) should beat alpa (%v)", o7, a7)
+	}
+	// Ours never loses to Send/Recv anywhere.
+	for _, c := range []string{"case1", "case2", "case3", "case4", "case5", "case6", "case7", "case8", "case9"} {
+		sr, o := get(t, rows, c, "Send/Recv").EffGbps, get(t, rows, c, "Ours").EffGbps
+		if o < sr*0.99 {
+			t.Errorf("%s: ours (%v) lost to send/recv (%v)", c, o, sr)
+		}
+	}
+}
+
+// TestFig8Shape pins the load-balance ablation: all methods tie on cases 1
+// and 8 (pure point-to-point / single broadcast), naive congests on case 2,
+// and Ours is never worse than either baseline.
+func TestFig8Shape(t *testing.T) {
+	rows, err := Fig8(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"case1", "case8"} {
+		n := get(t, rows, c, "Naive").EffGbps
+		o := get(t, rows, c, "Ours").EffGbps
+		if o < n*0.95 || o > n*1.05 {
+			t.Errorf("%s: all methods should tie (naive %v ours %v)", c, n, o)
+		}
+	}
+	n2 := get(t, rows, "case2", "Naive").EffGbps
+	l2 := get(t, rows, "case2", "LoadBalanceOnly").EffGbps
+	if l2 < n2*1.5 {
+		t.Errorf("case2: load balance (%v) should fix naive congestion (%v)", l2, n2)
+	}
+	for _, c := range []string{"case1", "case2", "case3", "case4", "case5", "case6", "case7", "case8", "case9"} {
+		n := get(t, rows, c, "Naive").EffGbps
+		l := get(t, rows, c, "LoadBalanceOnly").EffGbps
+		o := get(t, rows, c, "Ours").EffGbps
+		if o < n*0.99 || o < l*0.99 {
+			t.Errorf("%s: ours (%v) must dominate naive (%v) and LB (%v)", c, o, n, l)
+		}
+	}
+	// Cases 3/4/9: ordering beats load balance alone.
+	for _, c := range []string{"case3", "case4", "case9"} {
+		l := get(t, rows, c, "LoadBalanceOnly").EffGbps
+		o := get(t, rows, c, "Ours").EffGbps
+		if o < l*1.2 {
+			t.Errorf("%s: ordering should add on top of load balance (%v vs %v)", c, o, l)
+		}
+	}
+}
+
+// stubRunner returns throughput keyed by method so Fig7/Fig9 plumbing can
+// be tested without the full simulation.
+func stubRunner(tflops map[string]float64) TrainingRunner {
+	return func(cluster *mesh.Cluster, device model.DeviceSpec, w *model.Workload,
+		pc model.ParallelConfig, sched pipeline.Kind, overlap bool, opts resharding.Options) (float64, float64, error) {
+		key := opts.Strategy.String()
+		if overlap {
+			key += "+overlap"
+		}
+		if sched == pipeline.Eager1F1B {
+			key += "+eager"
+		}
+		return 1.0, tflops[key], nil
+	}
+}
+
+func TestFig7Enumeration(t *testing.T) {
+	vals := map[string]float64{
+		"send/recv": 100, "alpa": 200, "broadcast": 210, "broadcast+overlap+eager": 280, "signal": 300,
+	}
+	rows, err := Fig7(stubRunner(vals), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 cases x 5 methods.
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d, want 30", len(rows))
+	}
+	models := map[string]int{}
+	for _, r := range rows {
+		models[r.Model]++
+		if r.TFLOPS <= 0 {
+			t.Errorf("row %+v has no throughput", r)
+		}
+	}
+	if models["GPT"] != 15 || models["U-Trans"] != 15 {
+		t.Errorf("model split = %v", models)
+	}
+}
+
+func TestFig9Enumeration(t *testing.T) {
+	vals := map[string]float64{"broadcast": 100, "broadcast+overlap": 130, "broadcast+overlap+eager": 150}
+	rows, err := Fig9(stubRunner(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	seen := map[int]int{}
+	for _, r := range rows {
+		seen[r.MicroBatches]++
+	}
+	if seen[4] != 3 || seen[32] != 3 {
+		t.Errorf("micro-batch groups = %v", seen)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	rows := []MicroRow{{Case: "c", Method: "m", EffGbps: 1, Makespan: 2, Units: 3}}
+	if !strings.Contains(RenderMicroRows("T", rows), "eff-bw") {
+		t.Error("micro render missing header")
+	}
+	e2e := []E2ERow{{Model: "GPT", Case: "c", Method: "m", TFLOPS: 1, IterTime: 2}}
+	if !strings.Contains(RenderE2ERows("T", e2e), "TFLOPS") {
+		t.Error("e2e render missing header")
+	}
+	f9 := []Fig9Row{{MicroBatches: 4, Method: "m", TFLOPS: 1}}
+	if !strings.Contains(RenderFig9Rows(f9), "method") {
+		t.Error("fig9 render missing header")
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	rep := Table1Report()
+	for _, want := range []string{"216M", "432M", "2.95GB", "48MB", "24M"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Table 1 report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestTable2CaseConstruction(t *testing.T) {
+	for _, tc := range table2Cases() {
+		task, err := buildTable2Task(tc, 16)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if len(task.Units) == 0 {
+			t.Errorf("%s: no unit tasks", tc.name)
+		}
+	}
+}
+
+// TestChunkSweepMonotone: more chunks pipeline better (up to latency
+// effects), and the sweep covers the documented K range.
+func TestChunkSweepMonotone(t *testing.T) {
+	rows, err := ChunkSweep(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 || rows[0].Chunks != 1 || rows[len(rows)-1].Chunks != 256 {
+		t.Fatalf("sweep rows = %+v", rows)
+	}
+	if rows[len(rows)-1].EffGbps < rows[0].EffGbps*2 {
+		t.Errorf("deep pipelining (%v Gbps) should far exceed K=1 (%v Gbps)",
+			rows[len(rows)-1].EffGbps, rows[0].EffGbps)
+	}
+	if !strings.Contains(RenderChunkRows(rows), "chunks") {
+		t.Error("render missing header")
+	}
+}
+
+func TestMicroJSONRoundTrip(t *testing.T) {
+	rows := []MicroRow{
+		{Case: "case1", Method: "Ours", EffGbps: 19.9, Makespan: 0.86, Units: 2},
+		{Case: "case2", Method: "Alpa", EffGbps: 9.9, Makespan: 1.7, Units: 2},
+	}
+	path := t.TempDir() + "/micro.json"
+	if err := WriteMicroJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMicroJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != rows[0] || got[1] != rows[1] {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := ReadMicroJSON(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestE2ETSVRoundTrip(t *testing.T) {
+	rows := []E2ERow{
+		{Model: "GPT", Case: "case1-1.3B", Method: "Ours", TFLOPS: 447.6, IterTime: 18.394},
+		{Model: "U-Trans", Case: "case1-1B-fp16", Method: "Alpa", TFLOPS: 176.4, IterTime: 55.687},
+	}
+	path := t.TempDir() + "/e2e.tsv"
+	if err := WriteE2ETSV(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadE2ETSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Method != "Ours" || got[1].Model != "U-Trans" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if got[0].TFLOPS != 447.6 {
+		t.Errorf("tflops = %v", got[0].TFLOPS)
+	}
+	bad := t.TempDir() + "/bad.tsv"
+	os.WriteFile(bad, []byte("header\nonly\ttwo\n"), 0o644)
+	if _, err := ReadE2ETSV(bad); err == nil {
+		t.Error("malformed TSV should fail")
+	}
+}

@@ -1,0 +1,216 @@
+package intramesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/sharding"
+	"alpacomm/internal/tensor"
+)
+
+func oneHostMesh(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	c := mesh.AWSP3Cluster(1)
+	m, err := c.Slice([]int{2, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestIdentityConversionNeedsNoMoves(t *testing.T) {
+	m := oneHostMesh(t)
+	task, err := NewTask(tensor.MustShape(8, 8), tensor.Float32, m, sharding.MustParse("S0R"), sharding.MustParse("S0R"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.Moves) != 0 {
+		t.Errorf("identity conversion produced %d moves", len(task.Moves))
+	}
+	if task.CollectiveKind() != "none" {
+		t.Errorf("kind = %s", task.CollectiveKind())
+	}
+	res, err := task.Simulate()
+	if err != nil || res.Makespan != 0 {
+		t.Errorf("identity should be free: %+v, %v", res, err)
+	}
+}
+
+func TestReplicatedToShardedIsFree(t *testing.T) {
+	// R -> S: every device already holds its shard (slicing is local).
+	m := oneHostMesh(t)
+	task, err := NewTask(tensor.MustShape(8, 8), tensor.Float32, m, sharding.MustParse("RR"), sharding.MustParse("S0S1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.Moves) != 0 {
+		t.Errorf("R->S should need no communication, got %d moves", len(task.Moves))
+	}
+	if task.MovedElements != 0 {
+		t.Errorf("moved elements = %d", task.MovedElements)
+	}
+}
+
+func TestShardedToReplicatedIsAllGather(t *testing.T) {
+	// S0S1 -> RR: classic all-gather; every device needs the other 3
+	// shards.
+	m := oneHostMesh(t)
+	task, err := NewTask(tensor.MustShape(8, 8), tensor.Float32, m, sharding.MustParse("S0S1"), sharding.MustParse("RR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.CollectiveKind() != "all-gather" {
+		t.Errorf("kind = %s", task.CollectiveKind())
+	}
+	// 4 shards x 3 needers each.
+	if len(task.Moves) != 4 {
+		t.Errorf("moves = %d, want 4", len(task.Moves))
+	}
+	for _, mv := range task.Moves {
+		if len(mv.Needers) != 3 {
+			t.Errorf("move %d has %d needers, want 3", mv.Index, len(mv.Needers))
+		}
+	}
+	// Each device keeps its own shard locally: 4 x 16 elements local.
+	if task.LocalElements != 64 {
+		t.Errorf("local elements = %d, want 64", task.LocalElements)
+	}
+}
+
+func TestAxisSwapIsAllToAll(t *testing.T) {
+	m := oneHostMesh(t)
+	task, err := NewTask(tensor.MustShape(8, 8), tensor.Float32, m, sharding.MustParse("S0R"), sharding.MustParse("RS0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.CollectiveKind() != "all-to-all" {
+		t.Errorf("kind = %s", task.CollectiveKind())
+	}
+	if len(task.Moves) == 0 {
+		t.Error("axis swap needs communication")
+	}
+}
+
+func TestSimulatePrefersNVLink(t *testing.T) {
+	// On one host all transfers ride NVLink: an 8x8 fp32 all-gather is
+	// orders of magnitude below NIC time.
+	m := oneHostMesh(t)
+	task, _ := NewTask(tensor.MustShape(1024, 1024), tensor.Float32, m, sharding.MustParse("S0S1"), sharding.MustParse("RR"))
+	res, err := task.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nicTime := float64(1024*1024*4) / mesh.P3HostBandwidth
+	if res.Makespan > nicTime/10 {
+		t.Errorf("intra-host conversion (%v) should be far below NIC time (%v)", res.Makespan, nicTime)
+	}
+}
+
+func TestCrossHostConversionUsesNIC(t *testing.T) {
+	// A (2,4) mesh across two hosts: S0R -> RR forces each row's data to
+	// the other host.
+	c := mesh.AWSP3Cluster(2)
+	m, _ := c.Slice([]int{2, 4}, 0)
+	task, err := NewTask(tensor.MustShape(1024, 1024), tensor.Float32, m, sharding.MustParse("S0R"), sharding.MustParse("RR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := task.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the tensor must cross each NIC (both directions in parallel).
+	wantMin := float64(1024*1024*4/2) / mesh.P3HostBandwidth
+	if res.Makespan < wantMin*0.9 {
+		t.Errorf("cross-host conversion too fast: %v < %v", res.Makespan, wantMin)
+	}
+}
+
+func TestExecuteCorrectness(t *testing.T) {
+	m := oneHostMesh(t)
+	task, err := NewTask(tensor.MustShape(8, 8), tensor.Float32, m, sharding.MustParse("S0S1"), sharding.MustParse("S1S0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcBufs, err := task.Src.Buffers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range srcBufs {
+		b.FillLinear()
+	}
+	dstBufs, err := task.Dst.Buffers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Execute(srcBufs, dstBufs); err != nil {
+		t.Fatal(err)
+	}
+	for dev, b := range dstBufs {
+		if ok, pt, got, want := b.VerifyLinear(); !ok {
+			t.Errorf("device %d wrong at %v: got %v want %v", dev, pt, got, want)
+		}
+	}
+}
+
+func TestNewTaskRejectsBadSpecs(t *testing.T) {
+	m := oneHostMesh(t)
+	if _, err := NewTask(tensor.MustShape(8, 8), tensor.Float32, m, sharding.MustParse("S2R"), sharding.MustParse("RR")); err == nil {
+		t.Error("bad source spec should fail")
+	}
+	if _, err := NewTask(tensor.MustShape(8, 8), tensor.Float32, m, sharding.MustParse("RR"), sharding.MustParse("S2R")); err == nil {
+		t.Error("bad destination spec should fail")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	m := oneHostMesh(t)
+	task, _ := NewTask(tensor.MustShape(8, 8), tensor.Float32, m, sharding.MustParse("S0S1"), sharding.MustParse("RR"))
+	if task.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: for any spec pair, executing the conversion delivers the
+// linear pattern to every destination device, and the accounting
+// (local + moved unique elements) covers every destination requirement.
+func TestConversionProperty(t *testing.T) {
+	specs := []string{"RR", "S0R", "S1R", "RS0", "RS1", "S0S1", "S1S0", "S01R", "RS01"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := mesh.AWSP3Cluster(2)
+		m, _ := c.Slice([]int{2, 2}, r.Intn(4))
+		shape := tensor.MustShape(4+2*r.Intn(10), 4+2*r.Intn(10))
+		task, err := NewTask(shape, tensor.Float32, m,
+			sharding.MustParse(specs[r.Intn(len(specs))]), sharding.MustParse(specs[r.Intn(len(specs))]))
+		if err != nil {
+			return false
+		}
+		srcBufs, err := task.Src.Buffers()
+		if err != nil {
+			return false
+		}
+		for _, b := range srcBufs {
+			b.FillLinear()
+		}
+		dstBufs, err := task.Dst.Buffers()
+		if err != nil {
+			return false
+		}
+		if err := task.Execute(srcBufs, dstBufs); err != nil {
+			return false
+		}
+		for _, b := range dstBufs {
+			if ok, _, _, _ := b.VerifyLinear(); !ok {
+				return false
+			}
+		}
+		res, err := task.Simulate()
+		return err == nil && res.Makespan >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

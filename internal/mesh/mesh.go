@@ -1,0 +1,182 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mesh is an n-dimensional logical array of devices sliced from a cluster
+// (GSPMD's definition, §2.2). Devices is the row-major flattening of the
+// logical array; the same physical devices can be viewed under different
+// shapes.
+type Mesh struct {
+	Cluster *Cluster
+	// Shape is the logical extent of each mesh dimension.
+	Shape []int
+	// Devices holds the physical device index at each logical position, in
+	// row-major order. len(Devices) == product(Shape).
+	Devices []int
+}
+
+// NewMesh validates and builds a mesh over explicit device indices.
+func NewMesh(c *Cluster, shape []int, devices []int) (*Mesh, error) {
+	if c == nil {
+		return nil, fmt.Errorf("mesh: nil cluster")
+	}
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("mesh: mesh must have at least one dimension")
+	}
+	n := 1
+	for i, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("mesh: dimension %d has non-positive extent %d", i, d)
+		}
+		n *= d
+	}
+	if len(devices) != n {
+		return nil, fmt.Errorf("mesh: shape %v needs %d devices, got %d", shape, n, len(devices))
+	}
+	seen := make(map[int]bool, n)
+	for _, d := range devices {
+		if !c.ValidDevice(d) {
+			return nil, fmt.Errorf("mesh: device %d outside cluster with %d devices", d, c.NumDevices())
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("mesh: duplicate device %d", d)
+		}
+		seen[d] = true
+	}
+	return &Mesh{
+		Cluster: c,
+		Shape:   append([]int(nil), shape...),
+		Devices: append([]int(nil), devices...),
+	}, nil
+}
+
+// Slice builds a mesh from a contiguous run of cluster devices starting at
+// firstDevice, laid out row-major over shape. This is how pipeline stages
+// carve meshes out of the cluster (§2.1).
+func (c *Cluster) Slice(shape []int, firstDevice int) (*Mesh, error) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("mesh: non-positive extent in shape %v", shape)
+		}
+		n *= d
+	}
+	devices := make([]int, n)
+	for i := range devices {
+		devices[i] = firstDevice + i
+	}
+	return NewMesh(c, shape, devices)
+}
+
+// Rank returns the number of logical mesh dimensions.
+func (m *Mesh) Rank() int { return len(m.Shape) }
+
+// NumDevices returns the number of devices in the mesh.
+func (m *Mesh) NumDevices() int { return len(m.Devices) }
+
+// flatIndex converts logical coordinates to the row-major position.
+func (m *Mesh) flatIndex(coord []int) (int, error) {
+	if len(coord) != len(m.Shape) {
+		return 0, fmt.Errorf("mesh: coordinate rank %d != mesh rank %d", len(coord), len(m.Shape))
+	}
+	idx := 0
+	for i, c := range coord {
+		if c < 0 || c >= m.Shape[i] {
+			return 0, fmt.Errorf("mesh: coordinate %v outside shape %v", coord, m.Shape)
+		}
+		idx = idx*m.Shape[i] + c
+	}
+	return idx, nil
+}
+
+// DeviceAt returns the physical device at logical coordinates.
+func (m *Mesh) DeviceAt(coord ...int) (int, error) {
+	idx, err := m.flatIndex(coord)
+	if err != nil {
+		return 0, err
+	}
+	return m.Devices[idx], nil
+}
+
+// CoordOf returns the logical coordinates of the i-th mesh position
+// (row-major).
+func (m *Mesh) CoordOf(flat int) []int {
+	coord := make([]int, len(m.Shape))
+	for i := len(m.Shape) - 1; i >= 0; i-- {
+		coord[i] = flat % m.Shape[i]
+		flat /= m.Shape[i]
+	}
+	return coord
+}
+
+// Hosts returns the sorted set of host indices the mesh spans.
+func (m *Mesh) Hosts() []int {
+	seen := map[int]bool{}
+	var hosts []int
+	for _, d := range m.Devices {
+		h := m.Cluster.HostOf(d)
+		if !seen[h] {
+			seen[h] = true
+			hosts = append(hosts, h)
+		}
+	}
+	sort.Ints(hosts)
+	return hosts
+}
+
+// DevicesByHost groups the mesh's devices by host, sorted by host then
+// device index.
+func (m *Mesh) DevicesByHost() map[int][]int {
+	out := map[int][]int{}
+	for _, d := range m.Devices {
+		h := m.Cluster.HostOf(d)
+		out[h] = append(out[h], d)
+	}
+	for h := range out {
+		sort.Ints(out[h])
+	}
+	return out
+}
+
+// Contains reports whether the mesh includes the physical device.
+func (m *Mesh) Contains(device int) bool {
+	for _, d := range m.Devices {
+		if d == device {
+			return true
+		}
+	}
+	return false
+}
+
+// Disjoint reports whether two meshes share no devices. Cross-mesh
+// resharding is only defined between disjoint meshes (§2.2).
+func Disjoint(a, b *Mesh) bool {
+	set := make(map[int]bool, len(a.Devices))
+	for _, d := range a.Devices {
+		set[d] = true
+	}
+	for _, d := range b.Devices {
+		if set[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reshape returns a new logical view of the same devices under a different
+// shape (e.g. a (2,2) mesh viewed as (1,4)).
+func (m *Mesh) Reshape(shape []int) (*Mesh, error) {
+	return NewMesh(m.Cluster, shape, m.Devices)
+}
+
+func (m *Mesh) String() string {
+	dims := make([]string, len(m.Shape))
+	for i, d := range m.Shape {
+		dims[i] = fmt.Sprintf("%d", d)
+	}
+	return fmt.Sprintf("mesh(%s)%v", strings.Join(dims, "x"), m.Devices)
+}

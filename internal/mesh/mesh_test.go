@@ -1,0 +1,177 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, 4, 1, 1, 0, 0); err == nil {
+		t.Error("zero hosts should fail")
+	}
+	if _, err := NewCluster(2, 0, 1, 1, 0, 0); err == nil {
+		t.Error("zero devices per host should fail")
+	}
+	if _, err := NewCluster(2, 4, 0, 1, 0, 0); err == nil {
+		t.Error("zero intra bandwidth should fail")
+	}
+	if _, err := NewCluster(2, 4, 1, 1, -1, 0); err == nil {
+		t.Error("negative latency should fail")
+	}
+	c, err := NewCluster(2, 4, 100, 10, 1e-6, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDevices() != 8 {
+		t.Errorf("NumDevices = %d", c.NumDevices())
+	}
+}
+
+func TestAWSP3Cluster(t *testing.T) {
+	c := AWSP3Cluster(3)
+	if c.NumHosts != 3 || c.DevicesPerHost != 4 {
+		t.Errorf("p3 cluster = %v", c)
+	}
+	if c.HostBandwidth*8 != 10e9 {
+		t.Errorf("NIC bandwidth = %g bits/s, want 10e9", c.HostBandwidth*8)
+	}
+	if c.IntraHostBandwidth <= c.HostBandwidth {
+		t.Error("NVLink must be faster than the NIC")
+	}
+}
+
+func TestClusterHostMapping(t *testing.T) {
+	c := AWSP3Cluster(2)
+	if c.HostOf(0) != 0 || c.HostOf(3) != 0 || c.HostOf(4) != 1 || c.HostOf(7) != 1 {
+		t.Error("HostOf mapping wrong")
+	}
+	if !c.SameHost(0, 3) || c.SameHost(3, 4) {
+		t.Error("SameHost wrong")
+	}
+	if !reflect.DeepEqual(c.DevicesOnHost(1), []int{4, 5, 6, 7}) {
+		t.Errorf("DevicesOnHost(1) = %v", c.DevicesOnHost(1))
+	}
+	if c.ValidDevice(8) || c.ValidDevice(-1) || !c.ValidDevice(7) {
+		t.Error("ValidDevice wrong")
+	}
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	c := AWSP3Cluster(2)
+	if _, err := NewMesh(nil, []int{2}, []int{0, 1}); err == nil {
+		t.Error("nil cluster should fail")
+	}
+	if _, err := NewMesh(c, nil, nil); err == nil {
+		t.Error("empty shape should fail")
+	}
+	if _, err := NewMesh(c, []int{2, 0}, nil); err == nil {
+		t.Error("zero extent should fail")
+	}
+	if _, err := NewMesh(c, []int{2, 2}, []int{0, 1, 2}); err == nil {
+		t.Error("wrong device count should fail")
+	}
+	if _, err := NewMesh(c, []int{2}, []int{0, 0}); err == nil {
+		t.Error("duplicate devices should fail")
+	}
+	if _, err := NewMesh(c, []int{2}, []int{0, 99}); err == nil {
+		t.Error("out-of-cluster device should fail")
+	}
+}
+
+func TestMeshSliceAndCoords(t *testing.T) {
+	c := AWSP3Cluster(2)
+	// A (2,2) mesh [[0,1],[2,3]] as in Figure 2's MeshA.
+	m, err := c.Slice([]int{2, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := m.DeviceAt(0, 1); d != 1 {
+		t.Errorf("DeviceAt(0,1) = %d", d)
+	}
+	if d, _ := m.DeviceAt(1, 0); d != 2 {
+		t.Errorf("DeviceAt(1,0) = %d", d)
+	}
+	if _, err := m.DeviceAt(2, 0); err == nil {
+		t.Error("out-of-range coordinate should fail")
+	}
+	if _, err := m.DeviceAt(0); err == nil {
+		t.Error("rank mismatch should fail")
+	}
+	if !reflect.DeepEqual(m.CoordOf(3), []int{1, 1}) {
+		t.Errorf("CoordOf(3) = %v", m.CoordOf(3))
+	}
+}
+
+func TestMeshHosts(t *testing.T) {
+	c := AWSP3Cluster(3)
+	// (2,4): spans hosts 0 and 1.
+	m, _ := c.Slice([]int{2, 4}, 0)
+	if !reflect.DeepEqual(m.Hosts(), []int{0, 1}) {
+		t.Errorf("Hosts = %v", m.Hosts())
+	}
+	byHost := m.DevicesByHost()
+	if !reflect.DeepEqual(byHost[1], []int{4, 5, 6, 7}) {
+		t.Errorf("DevicesByHost[1] = %v", byHost[1])
+	}
+}
+
+func TestMeshDisjoint(t *testing.T) {
+	c := AWSP3Cluster(4)
+	a, _ := c.Slice([]int{2, 2}, 0)
+	b, _ := c.Slice([]int{2, 2}, 4)
+	overlapping, _ := c.Slice([]int{2, 2}, 2)
+	if !Disjoint(a, b) {
+		t.Error("meshes on different hosts should be disjoint")
+	}
+	if Disjoint(a, overlapping) {
+		t.Error("meshes sharing devices should not be disjoint")
+	}
+}
+
+func TestMeshReshape(t *testing.T) {
+	c := AWSP3Cluster(1)
+	m, _ := c.Slice([]int{2, 2}, 0)
+	flat, err := m.Reshape([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := flat.DeviceAt(0, 3); d != 3 {
+		t.Errorf("reshaped DeviceAt(0,3) = %d", d)
+	}
+	if _, err := m.Reshape([]int{3, 2}); err == nil {
+		t.Error("reshape to wrong element count should fail")
+	}
+}
+
+func TestMeshContains(t *testing.T) {
+	c := AWSP3Cluster(2)
+	m, _ := c.Slice([]int{1, 4}, 4)
+	if !m.Contains(5) || m.Contains(3) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	c := AWSP3Cluster(2)
+	if c.String() == "" {
+		t.Error("cluster String empty")
+	}
+	m, _ := c.Slice([]int{1, 2}, 0)
+	if m.String() == "" {
+		t.Error("mesh String empty")
+	}
+}
+
+func TestClusterNICs(t *testing.T) {
+	c := AWSP3Cluster(2)
+	if c.NICs() != 1 {
+		t.Errorf("default NICs = %d, want 1", c.NICs())
+	}
+	c2 := c.WithNICs(4)
+	if c2.NICs() != 4 || c.NICs() != 1 {
+		t.Error("WithNICs must copy, not mutate")
+	}
+	if c.WithNICs(0).NICs() != 1 {
+		t.Error("zero NICs should clamp to 1")
+	}
+}

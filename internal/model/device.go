@@ -1,0 +1,55 @@
+// Package model provides analytic cost models for the paper's two
+// evaluation workloads — a GPT-3-style transformer and the U-Transformer
+// (U-Net with attention and long skip connections) — plus the Table 1
+// per-GPU memory accounting. The models produce stage graphs (per-stage
+// FLOPs and the tensors crossing each pipeline boundary with their sharding
+// specs), which the training simulator turns into pipeline configurations.
+package model
+
+import "alpacomm/internal/tensor"
+
+// DeviceSpec models one accelerator's sustained compute throughput.
+type DeviceSpec struct {
+	// PeakFlopsFP16 is the peak half-precision throughput (FLOP/s).
+	PeakFlopsFP16 float64
+	// PeakFlopsFP32 is the peak single-precision throughput.
+	PeakFlopsFP32 float64
+	// MFU is the model FLOPs utilization actually sustained (0..1).
+	MFU float64
+}
+
+// V100 returns the paper's testbed accelerator (Tesla V100 16GB): 125
+// TFLOPS tensor-core fp16, 15.7 TFLOPS fp32, at a typical 45% utilization.
+func V100() DeviceSpec {
+	return DeviceSpec{PeakFlopsFP16: 125e12, PeakFlopsFP32: 15.7e12, MFU: 0.45}
+}
+
+// V100Conv is the V100 running convolution/attention-mixed kernels, which
+// sustain a much lower fraction of peak than transformer GEMMs. Used for
+// the U-Transformer workloads.
+func V100Conv() DeviceSpec {
+	return DeviceSpec{PeakFlopsFP16: 125e12, PeakFlopsFP32: 15.7e12, MFU: 0.15}
+}
+
+// Effective returns sustained FLOP/s for the given element type.
+func (d DeviceSpec) Effective(dt tensor.DType) float64 {
+	if dt == tensor.Float16 {
+		return d.PeakFlopsFP16 * d.MFU
+	}
+	return d.PeakFlopsFP32 * d.MFU
+}
+
+// ParallelConfig is the paper's Table 3 notation: (data-parallel degree,
+// operator-parallel degree, pipeline-parallel degree).
+type ParallelConfig struct {
+	DP, OP, PP int
+}
+
+// DevicesPerStage returns DP·OP, the mesh size of one pipeline stage.
+func (p ParallelConfig) DevicesPerStage() int { return p.DP * p.OP }
+
+// TotalDevices returns DP·OP·PP.
+func (p ParallelConfig) TotalDevices() int { return p.DP * p.OP * p.PP }
+
+// Valid reports whether all degrees are positive.
+func (p ParallelConfig) Valid() bool { return p.DP >= 1 && p.OP >= 1 && p.PP >= 1 }

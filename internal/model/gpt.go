@@ -1,0 +1,99 @@
+package model
+
+import (
+	"fmt"
+
+	"alpacomm/internal/tensor"
+)
+
+// GPTConfig describes a GPT-3-style decoder-only transformer.
+type GPTConfig struct {
+	// Layers is the number of transformer blocks.
+	Layers int
+	// Hidden is the model dimension H.
+	Hidden int
+	// SeqLen is the sequence length S.
+	SeqLen int
+	// Vocab is the vocabulary size (embedding parameters only).
+	Vocab int
+}
+
+// GPT1_3B is the paper's Table 3 "GPT 1.3B" model.
+func GPT1_3B() GPTConfig { return GPTConfig{Layers: 24, Hidden: 2048, SeqLen: 1024, Vocab: 51200} }
+
+// GPT2_6B is the paper's Table 3 "GPT 2.6B" model.
+func GPT2_6B() GPTConfig { return GPTConfig{Layers: 32, Hidden: 2560, SeqLen: 1024, Vocab: 51200} }
+
+// NumParams returns the parameter count: 12·L·H² transformer weights plus
+// V·H embeddings.
+func (g GPTConfig) NumParams() int64 {
+	h := int64(g.Hidden)
+	return 12*int64(g.Layers)*h*h + int64(g.Vocab)*h
+}
+
+// LayerFlopsFwd returns the forward FLOPs of one transformer block for a
+// micro-batch of b sequences: 24·b·S·H² for the matmuls plus 4·b·S²·H for
+// attention scores (multiply-accumulate counted as 2 FLOPs).
+func (g GPTConfig) LayerFlopsFwd(b int) float64 {
+	bf, s, h := float64(b), float64(g.SeqLen), float64(g.Hidden)
+	return 24*bf*s*h*h + 4*bf*s*s*h
+}
+
+// LayerFlopsBwd is the backward cost, conventionally 2x forward.
+func (g GPTConfig) LayerFlopsBwd(b int) float64 { return 2 * g.LayerFlopsFwd(b) }
+
+// ActivationShape is the (micro-batch, sequence, hidden) tensor a stage
+// sends to its successor.
+func (g GPTConfig) ActivationShape(b int) tensor.Shape {
+	return tensor.MustShape(b, g.SeqLen, g.Hidden)
+}
+
+// NewGPTWorkload partitions the model into pp equal pipeline stages for
+// the given parallel config and batch settings. The boundary activation is
+// partitioned over data-parallel devices and replicated over
+// operator-parallel devices (§5.2: spec S0RR on a (dp, op) mesh).
+func NewGPTWorkload(g GPTConfig, pc ParallelConfig, dt tensor.DType, globalBatch, microBatch int) (*Workload, error) {
+	if !pc.Valid() {
+		return nil, fmt.Errorf("model: invalid parallel config %+v", pc)
+	}
+	if g.Layers%pc.PP != 0 {
+		return nil, fmt.Errorf("model: %d layers do not split into %d stages", g.Layers, pc.PP)
+	}
+	if microBatch < 1 || globalBatch < microBatch*pc.DP {
+		return nil, fmt.Errorf("model: invalid batch sizes global=%d micro=%d dp=%d", globalBatch, microBatch, pc.DP)
+	}
+	numMB := globalBatch / (microBatch * pc.DP)
+	layersPerStage := g.Layers / pc.PP
+	h := int64(g.Hidden)
+	paramBytesPerLayer := 12 * h * h * dt.Size()
+
+	w := &Workload{
+		Name:            fmt.Sprintf("gpt-L%d-H%d", g.Layers, g.Hidden),
+		DType:           dt,
+		MicroBatch:      microBatch,
+		NumMicroBatches: numMB,
+	}
+	for s := 0; s < pc.PP; s++ {
+		w.Stages = append(w.Stages, StageCost{
+			FlopsFwd:   float64(layersPerStage) * g.LayerFlopsFwd(microBatch),
+			FlopsBwd:   float64(layersPerStage) * g.LayerFlopsBwd(microBatch),
+			ParamBytes: int64(layersPerStage) * paramBytesPerLayer,
+		})
+	}
+	// The micro-batch activation is sharded over all DP·OP samples... the
+	// batch dimension is partitioned across data-parallel replicas, so the
+	// tensor crossing the boundary covers microBatch samples per replica;
+	// we describe the full micro-batch with the batch dim sharded on mesh
+	// axis 0 (data parallel) and replicated on axis 1 (operator parallel).
+	actShape := g.ActivationShape(microBatch * pc.DP)
+	for s := 0; s < pc.PP-1; s++ {
+		w.Boundaries = append(w.Boundaries, BoundaryTensor{
+			Boundary: s,
+			Name:     fmt.Sprintf("hidden%d", s),
+			Shape:    actShape,
+			SrcSpec:  "S0RR",
+			DstSpec:  "S0RR",
+		})
+	}
+	return w, w.Validate()
+}

@@ -1,0 +1,221 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"alpacomm/internal/tensor"
+)
+
+func TestGPTPresetsMatchTable3(t *testing.T) {
+	// Table 3: 1.3B and 2.6B parameters.
+	p13 := float64(GPT1_3B().NumParams())
+	if p13 < 1.2e9 || p13 > 1.4e9 {
+		t.Errorf("GPT 1.3B params = %g", p13)
+	}
+	p26 := float64(GPT2_6B().NumParams())
+	if p26 < 2.5e9 || p26 > 2.8e9 {
+		t.Errorf("GPT 2.6B params = %g", p26)
+	}
+}
+
+func TestUTransPresetsMatchTable3(t *testing.T) {
+	p1 := float64(UTrans1B().NumParams())
+	if p1 < 0.8e9 || p1 > 1.25e9 {
+		t.Errorf("U-Trans 1B params = %g", p1)
+	}
+	p2 := float64(UTrans2_1B().NumParams())
+	if p2 < 1.8e9 || p2 > 2.4e9 {
+		t.Errorf("U-Trans 2.1B params = %g", p2)
+	}
+}
+
+func TestGPTLayerFlops(t *testing.T) {
+	g := GPTConfig{Layers: 1, Hidden: 1024, SeqLen: 512, Vocab: 1000}
+	fwd := g.LayerFlopsFwd(2)
+	want := 24*2*512*1024*1024 + 4*2*512*512*1024
+	if math.Abs(fwd-float64(want)) > 1 {
+		t.Errorf("LayerFlopsFwd = %g, want %d", fwd, want)
+	}
+	if g.LayerFlopsBwd(2) != 2*fwd {
+		t.Error("backward should be 2x forward")
+	}
+}
+
+func TestNewGPTWorkload(t *testing.T) {
+	pc := ParallelConfig{DP: 2, OP: 2, PP: 2}
+	w, err := NewGPTWorkload(GPT1_3B(), pc, tensor.Float16, 1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Stages) != 2 {
+		t.Fatalf("stages = %d", len(w.Stages))
+	}
+	if w.NumMicroBatches != 1024/(2*2) {
+		t.Errorf("num micro-batches = %d, want %d", w.NumMicroBatches, 256)
+	}
+	if len(w.Boundaries) != 1 {
+		t.Fatalf("boundaries = %d", len(w.Boundaries))
+	}
+	b := w.Boundaries[0]
+	// Activation: (microBatch*dp, S, H).
+	if !b.Shape.Equal(tensor.MustShape(4, 1024, 2048)) {
+		t.Errorf("boundary shape = %v", b.Shape)
+	}
+	if b.SrcSpec != "S0RR" || b.DstSpec != "S0RR" {
+		t.Errorf("boundary specs = %s -> %s", b.SrcSpec, b.DstSpec)
+	}
+	// Stage FLOPs split evenly.
+	if w.Stages[0].FlopsFwd != w.Stages[1].FlopsFwd {
+		t.Error("uniform GPT stages should have equal FLOPs")
+	}
+	if w.TotalFlopsPerIteration() <= 0 {
+		t.Error("iteration FLOPs must be positive")
+	}
+}
+
+func TestNewGPTWorkloadValidation(t *testing.T) {
+	g := GPT1_3B()
+	if _, err := NewGPTWorkload(g, ParallelConfig{DP: 0, OP: 1, PP: 1}, tensor.Float16, 64, 2); err == nil {
+		t.Error("invalid parallel config should fail")
+	}
+	if _, err := NewGPTWorkload(g, ParallelConfig{DP: 1, OP: 1, PP: 7}, tensor.Float16, 64, 2); err == nil {
+		t.Error("non-divisible layer split should fail")
+	}
+	if _, err := NewGPTWorkload(g, ParallelConfig{DP: 4, OP: 1, PP: 2}, tensor.Float16, 2, 2); err == nil {
+		t.Error("batch smaller than micro*dp should fail")
+	}
+}
+
+func TestNewUTransWorkload(t *testing.T) {
+	pc := ParallelConfig{DP: 2, OP: 2, PP: 2}
+	u := UTrans1B()
+	w, err := NewUTransWorkload(u, pc, tensor.Float16, 2048, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bottleneck + one skip per level all cross boundary 0.
+	if len(w.Boundaries) != 1+u.Levels {
+		t.Fatalf("boundaries = %d, want %d", len(w.Boundaries), 1+u.Levels)
+	}
+	// Skip 0 is the largest tensor (full resolution).
+	var skip0, skipLast int64
+	for _, b := range w.Boundaries {
+		if b.Name == "skip0" {
+			skip0 = b.Elements()
+		}
+		if b.Name == "skip3" {
+			skipLast = b.Elements()
+		}
+	}
+	if skip0 <= skipLast {
+		t.Errorf("skip0 (%d) should dwarf skip3 (%d)", skip0, skipLast)
+	}
+	if w.BoundaryBytes(0) <= 0 {
+		t.Error("boundary bytes must be positive")
+	}
+}
+
+func TestNewUTransWorkloadValidation(t *testing.T) {
+	u := UTrans1B()
+	if _, err := NewUTransWorkload(u, ParallelConfig{DP: 1, OP: 1, PP: 3}, tensor.Float16, 64, 1); err == nil {
+		t.Error("pp != 2 should fail")
+	}
+	if _, err := NewUTransWorkload(u, ParallelConfig{DP: 0, OP: 1, PP: 2}, tensor.Float16, 64, 1); err == nil {
+		t.Error("invalid parallel config should fail")
+	}
+	if _, err := NewUTransWorkload(u, ParallelConfig{DP: 64, OP: 1, PP: 2}, tensor.Float16, 8, 1); err == nil {
+		t.Error("batch too small should fail")
+	}
+}
+
+// TestUTransCommHeavierThanGPT pins the motivation for §5.2: per unit of
+// compute, the U-Transformer moves far more bytes across the stage
+// boundary than GPT.
+func TestUTransCommHeavierThanGPT(t *testing.T) {
+	pc := ParallelConfig{DP: 2, OP: 2, PP: 2}
+	gw, err := NewGPTWorkload(GPT1_3B(), pc, tensor.Float16, 1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uw, err := NewUTransWorkload(UTrans1B(), pc, tensor.Float16, 2048, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gRatio := float64(gw.BoundaryBytes(0)) / (gw.Stages[0].FlopsFwd + gw.Stages[0].FlopsBwd)
+	uRatio := float64(uw.BoundaryBytes(0)) / (uw.Stages[0].FlopsFwd + uw.Stages[0].FlopsBwd)
+	if uRatio < 3*gRatio {
+		t.Errorf("U-Trans comm/compute (%g) should far exceed GPT's (%g)", uRatio, gRatio)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Paper's Table 1: S=1024, H=12288, B=2, TMP=8.
+	m := GPTLayerMemory(1024, 12288, 2, 8)
+	if m.Params != 216*1024*1024-m.Params%1 && m.Params != 12*12288*12288/8 {
+		t.Errorf("params = %d", m.Params)
+	}
+	if m.Params != 226492416 { // 12*12288^2/8 = 216M (binary M)
+		t.Errorf("params = %d, want 226492416 (216M)", m.Params)
+	}
+	if m.OptStateParams != 2*m.Params {
+		t.Errorf("optimizer state = %d, want 2x params", m.OptStateParams)
+	}
+	if m.ActivationElements != 2*1024*12288 {
+		t.Errorf("activation elements = %d", m.ActivationElements)
+	}
+	// 2.95 GB weights+optimizer.
+	gb := float64(m.WeightOptBytes) / (1 << 30)
+	if gb < 2.9 || gb > 3.0 {
+		t.Errorf("weight+opt = %.2f GiB, want 2.95", gb)
+	}
+	// 48 MB activations.
+	mb := float64(m.ActivationBytes) / (1 << 20)
+	if mb != 48 {
+		t.Errorf("activation = %v MiB, want 48", mb)
+	}
+}
+
+func TestEagerMemoryIncrease(t *testing.T) {
+	act := int64(48 << 20)
+	// Stage 0 of 4: eager holds 7, 1f1b holds 4: +3 activations.
+	if got := EagerMemoryIncreaseBytes(4, 0, act); got != 3*act {
+		t.Errorf("increase = %d, want %d", got, 3*act)
+	}
+	// Last stage: no increase.
+	if got := EagerMemoryIncreaseBytes(4, 3, act); got != 0 {
+		t.Errorf("last stage increase = %d", got)
+	}
+}
+
+func TestDeviceSpecEffective(t *testing.T) {
+	v := V100()
+	if v.Effective(tensor.Float16) <= v.Effective(tensor.Float32) {
+		t.Error("fp16 must be faster than fp32 on V100")
+	}
+	if v.Effective(tensor.Float16) != 125e12*0.45 {
+		t.Errorf("fp16 effective = %g", v.Effective(tensor.Float16))
+	}
+}
+
+func TestParallelConfig(t *testing.T) {
+	pc := ParallelConfig{DP: 2, OP: 2, PP: 2}
+	if pc.DevicesPerStage() != 4 || pc.TotalDevices() != 8 {
+		t.Error("device counts wrong")
+	}
+	if (ParallelConfig{DP: 0, OP: 1, PP: 1}).Valid() {
+		t.Error("zero degree should be invalid")
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := &Workload{Name: "x", MicroBatch: 1, NumMicroBatches: 1}
+	if err := w.Validate(); err == nil {
+		t.Error("no stages should fail")
+	}
+	w.Stages = []StageCost{{FlopsFwd: 1, FlopsBwd: 2}}
+	w.Boundaries = []BoundaryTensor{{Boundary: 5, Shape: tensor.MustShape(1)}}
+	if err := w.Validate(); err == nil {
+		t.Error("out-of-range boundary should fail")
+	}
+}

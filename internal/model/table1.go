@@ -1,0 +1,50 @@
+package model
+
+// Table1 reproduces the paper's Table 1: per-GPU sizes of parameters,
+// optimizer state and activations for one GPT-3 layer under mixed-precision
+// training with tensor-model-parallel degree TMP.
+type Table1 struct {
+	// Params is the per-GPU parameter count: 12·H²/TMP.
+	Params int64
+	// OptStateParams is the per-GPU optimizer state count: 24·H²/TMP
+	// (fp32 master weights, momentum and variance).
+	OptStateParams int64
+	// ActivationElements is B·S·H.
+	ActivationElements int64
+	// WeightOptBytes is the memory of weights plus optimizer state:
+	// 168·H²/TMP bytes (2B fp16 weights + 2B fp16 grads... following the
+	// paper's 168·H² accounting).
+	WeightOptBytes int64
+	// ActivationBytes is 2·B·S·H (fp16).
+	ActivationBytes int64
+}
+
+// GPTLayerMemory evaluates Table 1's formulas for sequence length S,
+// hidden size H, per-GPU micro-batch B and tensor-model-parallel degree
+// TMP.
+func GPTLayerMemory(S, H, B, TMP int) Table1 {
+	h2 := int64(H) * int64(H)
+	bsh := int64(B) * int64(S) * int64(H)
+	return Table1{
+		Params:             12 * h2 / int64(TMP),
+		OptStateParams:     24 * h2 / int64(TMP),
+		ActivationElements: bsh,
+		WeightOptBytes:     168 * h2 / int64(TMP),
+		ActivationBytes:    2 * bsh,
+	}
+}
+
+// EagerMemoryIncreaseBytes bounds the extra activation memory of the
+// eager-1F1B schedule at stage s (0-indexed) of a `stages`-deep pipeline:
+// (eager warm-up − 1F1B warm-up) extra in-flight activations, each of
+// activationBytes — at most stages·activationBytes (§4's Table 1
+// argument).
+func EagerMemoryIncreaseBytes(stages, s int, activationBytes int64) int64 {
+	oneF := stages - s
+	eager := 2*(stages-s-1) + 1
+	extra := eager - oneF
+	if extra < 0 {
+		extra = 0
+	}
+	return int64(extra) * activationBytes
+}

@@ -1,0 +1,199 @@
+package model
+
+import (
+	"fmt"
+
+	"alpacomm/internal/tensor"
+)
+
+// UTransConfig describes a U-Transformer (Petit et al. 2021): a U-Net with
+// attention blocks and long skip connections from each encoder level to
+// the mirrored decoder level. When the network is pipeline-partitioned
+// into an encoder stage and a decoder stage, every skip connection crosses
+// the mesh boundary — the communication pattern that makes cross-mesh
+// resharding the bottleneck in §5.2.
+//
+// Calibration note (see DESIGN.md): the paper does not publish the scaled
+// network's geometry. The presets below are chosen to land the ratio of
+// skip-connection bytes to stage FLOPs in the regime the paper reports
+// (cross-mesh communication comparable to or exceeding per-micro-batch
+// compute, shrinking as the model grows), while keeping the parameter
+// counts near Table 3's 1B / 2.1B.
+type UTransConfig struct {
+	// Levels is the number of down/up-sampling levels.
+	Levels int
+	// BaseChannels is the channel count at full resolution.
+	BaseChannels int
+	// Mult scales channels per level: level k uses BaseChannels·Mult[k]
+	// channels at 1/2^k resolution. len(Mult) == Levels.
+	Mult []int
+	// Resolution is the (square) input resolution.
+	Resolution int
+	// InChannels is the input image channel count.
+	InChannels int
+	// AttentionFrom is the first level with attention blocks.
+	AttentionFrom int
+}
+
+// UTrans1B is the paper's Table 3 "U-Trans case1" (~1 B parameters).
+func UTrans1B() UTransConfig {
+	return UTransConfig{Levels: 4, BaseChannels: 1792, Mult: []int{1, 1, 1, 1}, Resolution: 64, InChannels: 4, AttentionFrom: 2}
+}
+
+// UTrans2_1B is Table 3's "U-Trans case2/case3" (~2.1 B parameters).
+func UTrans2_1B() UTransConfig {
+	return UTransConfig{Levels: 4, BaseChannels: 2800, Mult: []int{1, 1, 1, 1}, Resolution: 64, InChannels: 4, AttentionFrom: 2}
+}
+
+// channels returns the channel count at level k.
+func (u UTransConfig) channels(k int) int64 {
+	return int64(u.BaseChannels) * int64(u.Mult[k])
+}
+
+// spatial returns the number of spatial positions at level k.
+func (u UTransConfig) spatial(k int) int64 {
+	r := int64(u.Resolution >> uint(k))
+	return r * r
+}
+
+// Validate checks structural consistency.
+func (u UTransConfig) Validate() error {
+	if u.Levels < 1 || len(u.Mult) != u.Levels {
+		return fmt.Errorf("model: U-Trans Mult must have one entry per level")
+	}
+	if u.Resolution>>uint(u.Levels-1) < 1 {
+		return fmt.Errorf("model: resolution %d too small for %d levels", u.Resolution, u.Levels)
+	}
+	if u.BaseChannels < 1 {
+		return fmt.Errorf("model: non-positive base channels")
+	}
+	return nil
+}
+
+// NumParams counts parameters: per level, two 3x3 convs in the encoder,
+// two in the decoder (the first consuming the concatenated skip), down/up
+// transition convs, and attention projections (4·C²) at attention levels,
+// mirrored in the decoder.
+func (u UTransConfig) NumParams() int64 {
+	var p int64
+	for k := 0; k < u.Levels; k++ {
+		c := u.channels(k)
+		// Encoder: conv(c,c) x2; decoder: conv(2c,c) + conv(c,c).
+		p += 9 * (2*c*c + 2*c*c + c*c)
+		if k < u.Levels-1 {
+			// Down and up transitions between level widths.
+			p += 2 * 9 * c * u.channels(k+1)
+		}
+		if k >= u.AttentionFrom {
+			p += 2 * 4 * c * c // QKVO in encoder and decoder blocks
+		}
+	}
+	// Bottleneck: two convs at the deepest width.
+	cb := u.channels(u.Levels - 1)
+	p += 9 * 2 * cb * cb
+	return p
+}
+
+// levelFlopsFwd returns the forward FLOPs of one level's blocks (encoder or
+// decoder side) for a micro-batch of b images.
+func (u UTransConfig) levelFlopsFwd(k, b int, decoder bool) float64 {
+	c := float64(u.channels(k))
+	n := float64(u.spatial(k))
+	bf := float64(b)
+	// Two 3x3 convs; the decoder's first conv reads 2c channels (concat).
+	convIn := c
+	if decoder {
+		convIn = 2 * c
+	}
+	fl := 2 * 9 * (convIn*c + c*c) * n * bf
+	if k >= u.AttentionFrom {
+		// Self-attention: scores+AV 4·b·n²·c, projections 8·b·n·c².
+		fl += 4*bf*n*n*c + 8*bf*n*c*c
+	}
+	return fl
+}
+
+// EncoderFlopsFwd returns the encoder+bottleneck forward FLOPs per
+// micro-batch.
+func (u UTransConfig) EncoderFlopsFwd(b int) float64 {
+	var fl float64
+	for k := 0; k < u.Levels; k++ {
+		fl += u.levelFlopsFwd(k, b, false)
+	}
+	// Bottleneck ≈ one more deepest-level block.
+	fl += u.levelFlopsFwd(u.Levels-1, b, false)
+	return fl
+}
+
+// DecoderFlopsFwd returns the decoder forward FLOPs per micro-batch.
+func (u UTransConfig) DecoderFlopsFwd(b int) float64 {
+	var fl float64
+	for k := 0; k < u.Levels; k++ {
+		fl += u.levelFlopsFwd(k, b, true)
+	}
+	return fl
+}
+
+// SkipShape is the tensor carried by the level-k skip connection for a
+// micro-batch of b images, as (batch, channels, spatial).
+func (u UTransConfig) SkipShape(b, k int) tensor.Shape {
+	return tensor.MustShape(b, int(u.channels(k)), int(u.spatial(k)))
+}
+
+// NewUTransWorkload partitions the network into two pipeline stages —
+// encoder(+bottleneck) and decoder — the paper's manual partition (§5.2).
+// The bottleneck activation and every skip tensor cross the boundary.
+func NewUTransWorkload(u UTransConfig, pc ParallelConfig, dt tensor.DType, globalBatch, microBatch int) (*Workload, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if !pc.Valid() {
+		return nil, fmt.Errorf("model: invalid parallel config %+v", pc)
+	}
+	if pc.PP != 2 {
+		return nil, fmt.Errorf("model: U-Transformer is partitioned into exactly 2 stages, got pp=%d", pc.PP)
+	}
+	if microBatch < 1 || globalBatch < microBatch*pc.DP {
+		return nil, fmt.Errorf("model: invalid batch sizes global=%d micro=%d dp=%d", globalBatch, microBatch, pc.DP)
+	}
+	numMB := globalBatch / (microBatch * pc.DP)
+	paramBytes := u.NumParams() * dt.Size()
+	w := &Workload{
+		Name:            fmt.Sprintf("utrans-C%d-L%d", u.BaseChannels, u.Levels),
+		DType:           dt,
+		MicroBatch:      microBatch,
+		NumMicroBatches: numMB,
+		Stages: []StageCost{
+			{
+				FlopsFwd:   u.EncoderFlopsFwd(microBatch),
+				FlopsBwd:   2 * u.EncoderFlopsFwd(microBatch),
+				ParamBytes: paramBytes * 6 / 10, // encoder+bottleneck share
+			},
+			{
+				FlopsFwd:   u.DecoderFlopsFwd(microBatch),
+				FlopsBwd:   2 * u.DecoderFlopsFwd(microBatch),
+				ParamBytes: paramBytes * 4 / 10,
+			},
+		},
+	}
+	// Bottleneck output.
+	bAll := microBatch * pc.DP
+	w.Boundaries = append(w.Boundaries, BoundaryTensor{
+		Boundary: 0,
+		Name:     "bottleneck",
+		Shape:    u.SkipShape(bAll, u.Levels-1),
+		SrcSpec:  "S0RR",
+		DstSpec:  "S0RR",
+	})
+	// One long skip per level: the U-shape's defining communication.
+	for k := 0; k < u.Levels; k++ {
+		w.Boundaries = append(w.Boundaries, BoundaryTensor{
+			Boundary: 0,
+			Name:     fmt.Sprintf("skip%d", k),
+			Shape:    u.SkipShape(bAll, k),
+			SrcSpec:  "S0RR",
+			DstSpec:  "S0RR",
+		})
+	}
+	return w, w.Validate()
+}

@@ -1,0 +1,90 @@
+package model
+
+import (
+	"fmt"
+
+	"alpacomm/internal/tensor"
+)
+
+// BoundaryTensor is one tensor that crosses a pipeline-stage boundary and
+// therefore requires a cross-mesh resharding every forward (and its
+// gradient every backward).
+type BoundaryTensor struct {
+	// Boundary is the stage boundary index: tensor flows from stage
+	// Boundary to stage Boundary+1 (forward direction).
+	Boundary int
+	// Name describes the tensor (for reports).
+	Name string
+	// Shape is the per-micro-batch tensor shape.
+	Shape tensor.Shape
+	// SrcSpec / DstSpec are the sharding specs on the producing and
+	// consuming meshes, in the paper's string notation.
+	SrcSpec, DstSpec string
+}
+
+// Elements returns the tensor's element count.
+func (b BoundaryTensor) Elements() int64 { return b.Shape.NumElements() }
+
+// StageCost is the per-micro-batch compute cost of one pipeline stage.
+type StageCost struct {
+	// FlopsFwd / FlopsBwd are forward and backward FLOPs per micro-batch.
+	FlopsFwd, FlopsBwd float64
+	// ParamBytes is the stage's parameter memory (one copy).
+	ParamBytes int64
+}
+
+// Workload is a model partitioned into pipeline stages: everything the
+// training simulator needs.
+type Workload struct {
+	// Name identifies the workload in reports.
+	Name string
+	// DType is the training precision.
+	DType tensor.DType
+	// MicroBatch is the per-micro-batch sample count.
+	MicroBatch int
+	// NumMicroBatches per training iteration.
+	NumMicroBatches int
+	// Stages lists per-stage compute costs.
+	Stages []StageCost
+	// Boundaries lists every tensor crossing a stage boundary.
+	Boundaries []BoundaryTensor
+}
+
+// Validate checks structural consistency.
+func (w *Workload) Validate() error {
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("model: workload %q has no stages", w.Name)
+	}
+	if w.MicroBatch < 1 || w.NumMicroBatches < 1 {
+		return fmt.Errorf("model: workload %q has invalid batch configuration", w.Name)
+	}
+	for _, b := range w.Boundaries {
+		if b.Boundary < 0 || b.Boundary >= len(w.Stages)-1 {
+			return fmt.Errorf("model: boundary tensor %q at invalid boundary %d", b.Name, b.Boundary)
+		}
+	}
+	return nil
+}
+
+// TotalFlopsPerIteration returns the summed forward+backward FLOPs of one
+// training iteration across all stages and micro-batches — the numerator
+// of the paper's aggregated-TFLOPS throughput metric.
+func (w *Workload) TotalFlopsPerIteration() float64 {
+	var per float64
+	for _, s := range w.Stages {
+		per += s.FlopsFwd + s.FlopsBwd
+	}
+	return per * float64(w.NumMicroBatches)
+}
+
+// BoundaryBytes returns the total bytes crossing the given boundary per
+// micro-batch in the forward direction.
+func (w *Workload) BoundaryBytes(boundary int) int64 {
+	var total int64
+	for _, b := range w.Boundaries {
+		if b.Boundary == boundary {
+			total += b.Elements() * w.DType.Size()
+		}
+	}
+	return total
+}

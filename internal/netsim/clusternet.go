@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+
+	"alpacomm/internal/mesh"
+)
+
+// ClusterNet binds a Sim to a cluster topology and issues point-to-point
+// transfers with the right resources and durations:
+//
+//   - intra-host transfers occupy the source device's send side and the
+//     destination device's receive side at NVLink bandwidth;
+//   - cross-host transfers occupy the source host's NIC send side and the
+//     destination host's NIC receive side at NIC bandwidth (one NIC per
+//     host, full duplex — §3's cluster properties).
+type ClusterNet struct {
+	Sim     *Sim
+	Cluster *mesh.Cluster
+	// nic selects which of the host's NICs cross-host transfers ride
+	// (always 0 for single-NIC clusters). Set with OnNIC.
+	nic int
+}
+
+// OnNIC returns a view of the net whose cross-host transfers use the k-th
+// NIC of each host (k taken modulo the cluster's NIC count). The paper's
+// multi-NIC extension splits a unit task into one sub-task per NIC.
+func (n *ClusterNet) OnNIC(k int) *ClusterNet {
+	cp := *n
+	cp.nic = ((k % n.Cluster.NICs()) + n.Cluster.NICs()) % n.Cluster.NICs()
+	return &cp
+}
+
+// NewClusterNet creates a fresh simulator over the cluster.
+func NewClusterNet(c *mesh.Cluster) *ClusterNet {
+	return &ClusterNet{Sim: NewSim(), Cluster: c}
+}
+
+// DeviceSend returns the send-side resource of a device's intra-host link.
+func (n *ClusterNet) DeviceSend(dev int) *Resource {
+	return n.Sim.Resource(fmt.Sprintf("dev%d:send", dev))
+}
+
+// DeviceRecv returns the receive-side resource of a device's intra-host link.
+func (n *ClusterNet) DeviceRecv(dev int) *Resource {
+	return n.Sim.Resource(fmt.Sprintf("dev%d:recv", dev))
+}
+
+// HostSend returns the send side of the host NIC this net view uses.
+func (n *ClusterNet) HostSend(host int) *Resource {
+	if n.Cluster.NICs() > 1 {
+		return n.Sim.Resource(fmt.Sprintf("host%d:send:nic%d", host, n.nic))
+	}
+	return n.Sim.Resource(fmt.Sprintf("host%d:send", host))
+}
+
+// HostRecv returns the receive side of the host NIC this net view uses.
+func (n *ClusterNet) HostRecv(host int) *Resource {
+	if n.Cluster.NICs() > 1 {
+		return n.Sim.Resource(fmt.Sprintf("host%d:recv:nic%d", host, n.nic))
+	}
+	return n.Sim.Resource(fmt.Sprintf("host%d:recv", host))
+}
+
+// TransferTime returns the modelled duration of one point-to-point transfer
+// of the given size between two devices (latency + bytes/bandwidth).
+func (n *ClusterNet) TransferTime(src, dst int, bytes int64) float64 {
+	c := n.Cluster
+	if c.SameHost(src, dst) {
+		return c.IntraHostLatency + float64(bytes)/c.IntraHostBandwidth
+	}
+	return c.InterHostLatency + float64(bytes)/c.HostBandwidth
+}
+
+// Transfer registers a point-to-point transfer op between two devices and
+// returns its id. seq fixes per-resource FIFO order among simultaneously
+// ready transfers.
+func (n *ClusterNet) Transfer(label string, src, dst int, bytes int64, seq int, deps ...OpID) (OpID, error) {
+	return n.transfer(label, src, dst, bytes, seq, true, deps)
+}
+
+// StreamTransfer registers a transfer that continues an established stream
+// on the same route: it pays bandwidth but not the per-transfer latency.
+// Used for the non-first chunks of a pipelined broadcast, which NCCL
+// streams without re-paying launch and wire latency.
+func (n *ClusterNet) StreamTransfer(label string, src, dst int, bytes int64, seq int, deps ...OpID) (OpID, error) {
+	return n.transfer(label, src, dst, bytes, seq, false, deps)
+}
+
+func (n *ClusterNet) transfer(label string, src, dst int, bytes int64, seq int, withLatency bool, deps []OpID) (OpID, error) {
+	c := n.Cluster
+	if !c.ValidDevice(src) || !c.ValidDevice(dst) {
+		return 0, fmt.Errorf("netsim: transfer %q between invalid devices %d -> %d", label, src, dst)
+	}
+	if src == dst {
+		return 0, fmt.Errorf("netsim: transfer %q to self on device %d", label, src)
+	}
+	if bytes < 0 {
+		return 0, fmt.Errorf("netsim: transfer %q has negative size %d", label, bytes)
+	}
+	var res []*Resource
+	dur := n.TransferTime(src, dst, bytes)
+	if !withLatency {
+		if c.SameHost(src, dst) {
+			dur -= c.IntraHostLatency
+		} else {
+			dur -= c.InterHostLatency
+		}
+	}
+	if c.SameHost(src, dst) {
+		res = []*Resource{n.DeviceSend(src), n.DeviceRecv(dst)}
+	} else {
+		res = []*Resource{n.HostSend(c.HostOf(src)), n.HostRecv(c.HostOf(dst))}
+	}
+	return n.Sim.AddOp(label, dur, seq, res, deps...)
+}
+
+// MustTransfer is Transfer that panics on error.
+func (n *ClusterNet) MustTransfer(label string, src, dst int, bytes int64, seq int, deps ...OpID) OpID {
+	id, err := n.Transfer(label, src, dst, bytes, seq, deps...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Run executes the accumulated schedule and returns its makespan.
+func (n *ClusterNet) Run() (float64, error) { return n.Sim.Run() }

@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"alpacomm/internal/mesh"
+)
+
+// testCluster returns a cluster with round numbers for exact assertions:
+// 2 devices/host, intra 100 B/s, NIC 10 B/s, zero latency.
+func testCluster(hosts int) *mesh.Cluster {
+	c, err := mesh.NewCluster(hosts, 2, 100, 10, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestTransferTimes(t *testing.T) {
+	n := NewClusterNet(testCluster(2))
+	if got := n.TransferTime(0, 1, 100); got != 1.0 {
+		t.Errorf("intra-host time = %v, want 1.0", got)
+	}
+	if got := n.TransferTime(0, 2, 100); got != 10.0 {
+		t.Errorf("cross-host time = %v, want 10.0", got)
+	}
+}
+
+func TestTransferLatency(t *testing.T) {
+	c, _ := mesh.NewCluster(2, 2, 100, 10, 0.5, 2.0)
+	n := NewClusterNet(c)
+	if got := n.TransferTime(0, 1, 100); got != 1.5 {
+		t.Errorf("intra time with latency = %v", got)
+	}
+	if got := n.TransferTime(0, 2, 0); got != 2.0 {
+		t.Errorf("zero-byte cross time = %v (signal send/recv must cost latency only)", got)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	n := NewClusterNet(testCluster(1))
+	if _, err := n.Transfer("bad", 0, 9, 1, 0); err == nil {
+		t.Error("invalid destination should fail")
+	}
+	if _, err := n.Transfer("bad", 0, 0, 1, 0); err == nil {
+		t.Error("self transfer should fail")
+	}
+	if _, err := n.Transfer("bad", 0, 1, -5, 0); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+// TestNICSerialization pins the §3 host-bottleneck property: two devices on
+// one host sending cross-host at the same time share the host NIC and
+// serialize.
+func TestNICSerialization(t *testing.T) {
+	n := NewClusterNet(testCluster(2))
+	n.MustTransfer("a", 0, 2, 100, 0) // host0 -> host1, 10s
+	n.MustTransfer("b", 1, 3, 100, 1) // also host0 -> host1
+	mk, err := n.Run()
+	if err != nil || mk != 20 {
+		t.Errorf("makespan = %v, %v; want 20 (serialized NIC)", mk, err)
+	}
+}
+
+// TestFullDuplex pins the full-duplex property: a host can send and receive
+// at full bandwidth simultaneously.
+func TestFullDuplex(t *testing.T) {
+	n := NewClusterNet(testCluster(2))
+	n.MustTransfer("out", 0, 2, 100, 0) // host0 sends
+	n.MustTransfer("in", 2, 0, 100, 1)  // host0 receives
+	mk, _ := n.Run()
+	if mk != 10 {
+		t.Errorf("makespan = %v, want 10 (full duplex)", mk)
+	}
+}
+
+// TestDisjointHostPairs pins the fully-connected fabric property: transfers
+// between disjoint host pairs do not interfere.
+func TestDisjointHostPairs(t *testing.T) {
+	n := NewClusterNet(testCluster(4))
+	n.MustTransfer("a", 0, 2, 100, 0) // host0 -> host1
+	n.MustTransfer("b", 4, 6, 100, 1) // host2 -> host3
+	mk, _ := n.Run()
+	if mk != 10 {
+		t.Errorf("makespan = %v, want 10 (independent pairs)", mk)
+	}
+}
+
+// TestIntraNodeParallelism: intra-host transfers between different device
+// pairs proceed in parallel (NVLink is per-device, not shared per host).
+func TestIntraNodeParallelism(t *testing.T) {
+	c, _ := mesh.NewCluster(1, 4, 100, 10, 0, 0)
+	n := NewClusterNet(c)
+	n.MustTransfer("a", 0, 1, 100, 0)
+	n.MustTransfer("b", 2, 3, 100, 1)
+	mk, _ := n.Run()
+	if mk != 1 {
+		t.Errorf("makespan = %v, want 1", mk)
+	}
+}
+
+// TestIntraCrossIndependence: a device sending intra-host does not block
+// its host's NIC.
+func TestIntraCrossIndependence(t *testing.T) {
+	n := NewClusterNet(testCluster(2))
+	n.MustTransfer("nvlink", 0, 1, 100, 0) // 1s intra
+	n.MustTransfer("nic", 1, 2, 100, 1)    // 10s cross; device 1 recv is busy 1s but NIC path is separate
+	mk, _ := n.Run()
+	if math.Abs(mk-10) > 1e-9 {
+		t.Errorf("makespan = %v, want 10", mk)
+	}
+}
+
+func TestTransferWithDeps(t *testing.T) {
+	n := NewClusterNet(testCluster(2))
+	a := n.MustTransfer("first", 0, 2, 100, 0)
+	n.MustTransfer("second", 2, 0, 100, 1, a) // depends on first
+	mk, _ := n.Run()
+	if mk != 20 {
+		t.Errorf("makespan = %v, want 20 (chained)", mk)
+	}
+}
+
+func TestMustTransferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTransfer should panic on invalid transfer")
+		}
+	}()
+	NewClusterNet(testCluster(1)).MustTransfer("bad", 0, 0, 1, 0)
+}
+
+// TestStreamTransferSkipsLatency: streamed chunks pay bandwidth only.
+func TestStreamTransferSkipsLatency(t *testing.T) {
+	c, _ := mesh.NewCluster(2, 2, 100, 10, 0.5, 2.0)
+	n := NewClusterNet(c)
+	a, err := n.Transfer("first", 0, 2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.StreamTransfer("stream", 0, 2, 100, 1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// First: 2.0 latency + 10 transfer; stream: 10 only.
+	if got := n.Sim.OpFinish(a); got != 12 {
+		t.Errorf("first finish = %v, want 12", got)
+	}
+	if got := n.Sim.OpFinish(b); got != 22 {
+		t.Errorf("stream finish = %v, want 22", got)
+	}
+	// Intra-host stream skips the intra latency.
+	n2 := NewClusterNet(c)
+	x, _ := n2.Transfer("i1", 0, 1, 100, 0)
+	y, _ := n2.StreamTransfer("i2", 0, 1, 100, 1, x)
+	n2.Run()
+	if got := n2.Sim.OpFinish(y) - n2.Sim.OpFinish(x); got != 1.0 {
+		t.Errorf("intra stream duration = %v, want 1.0", got)
+	}
+}
+
+// TestStreamTransferValidation: stream transfers validate like normal ones.
+func TestStreamTransferValidation(t *testing.T) {
+	n := NewClusterNet(testCluster(1))
+	if _, err := n.StreamTransfer("bad", 0, 0, 1, 0); err == nil {
+		t.Error("self stream transfer should fail")
+	}
+}
+
+// TestMultiNICParallelism: with 2 NICs per host, two cross-host transfers
+// from one host proceed in parallel on distinct NICs.
+func TestMultiNICParallelism(t *testing.T) {
+	c := testCluster(2).WithNICs(2)
+	n := NewClusterNet(c)
+	if _, err := n.OnNIC(0).Transfer("a", 0, 2, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.OnNIC(1).Transfer("b", 1, 3, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	mk, err := n.Run()
+	if err != nil || mk != 10 {
+		t.Errorf("makespan = %v, %v; want 10 (parallel NICs)", mk, err)
+	}
+	// Same NIC still serializes.
+	n2 := NewClusterNet(c)
+	n2.OnNIC(1).Transfer("a", 0, 2, 100, 0)
+	n2.OnNIC(1).Transfer("b", 1, 3, 100, 1)
+	mk2, _ := n2.Run()
+	if mk2 != 20 {
+		t.Errorf("same-NIC makespan = %v, want 20", mk2)
+	}
+	// Modulo wrap: OnNIC(3) on a 2-NIC host is NIC 1.
+	if n.OnNIC(3).HostSend(0) != n.OnNIC(1).HostSend(0) {
+		t.Error("OnNIC should wrap modulo NIC count")
+	}
+}

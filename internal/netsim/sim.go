@@ -1,0 +1,259 @@
+// Package netsim is a deterministic discrete-event simulator for
+// communication and compute schedules.
+//
+// The model: an Op has dependencies (other ops), a set of serial Resources
+// it occupies (e.g. a host NIC's send side), a fixed duration, and an issue
+// sequence number. Ops become ready when all dependencies finish; ready ops
+// are started in (readyTime, seq) order; an op starts at the latest of its
+// ready time and the availability of all its resources, and occupies every
+// resource exclusively until it finishes.
+//
+// Per-resource FIFO in issue order models NCCL-style stream queueing, which
+// is what makes the paper's §3.2 schedule-ordering algorithms observable in
+// simulated time. The simulator is O(N log N) in the number of ops and
+// fully deterministic.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// OpID identifies an op inside one Sim.
+type OpID int
+
+// Resource is a serially occupied entity: a NIC direction, a device link
+// direction, or a compute unit.
+type Resource struct {
+	// Name is the unique identifier of the resource within its Sim.
+	Name string
+	// BusyUntil is the simulated time at which the resource next becomes
+	// free; valid during and after Run.
+	BusyUntil float64
+	// BusyTime accumulates total occupied time, for utilization reports.
+	BusyTime float64
+}
+
+type op struct {
+	id        OpID
+	label     string
+	duration  float64
+	seq       int
+	resources []*Resource
+	deps      []OpID
+
+	ndeps      int
+	dependents []OpID
+	readyTime  float64
+	start      float64
+	finish     float64
+	done       bool
+}
+
+// Sim accumulates ops and resources, then computes the schedule.
+type Sim struct {
+	resources map[string]*Resource
+	resOrder  []*Resource
+	ops       []*op
+	ran       bool
+	makespan  float64
+}
+
+// NewSim returns an empty simulator.
+func NewSim() *Sim {
+	return &Sim{resources: map[string]*Resource{}}
+}
+
+// Resource returns the resource with the given name, creating it on first
+// use.
+func (s *Sim) Resource(name string) *Resource {
+	if r, ok := s.resources[name]; ok {
+		return r
+	}
+	r := &Resource{Name: name}
+	s.resources[name] = r
+	s.resOrder = append(s.resOrder, r)
+	return r
+}
+
+// AddOp registers an op. seq controls per-resource FIFO order among ops that
+// become ready simultaneously; pass the op's position in the intended
+// schedule (or 0 to order by insertion). Duration must be non-negative, and
+// deps must refer to already-added ops.
+func (s *Sim) AddOp(label string, duration float64, seq int, resources []*Resource, deps ...OpID) (OpID, error) {
+	if s.ran {
+		return 0, fmt.Errorf("netsim: cannot add ops after Run")
+	}
+	if duration < 0 {
+		return 0, fmt.Errorf("netsim: op %q has negative duration %g", label, duration)
+	}
+	id := OpID(len(s.ops))
+	for _, d := range deps {
+		if d < 0 || int(d) >= len(s.ops) {
+			return 0, fmt.Errorf("netsim: op %q depends on unknown op %d", label, d)
+		}
+	}
+	o := &op{
+		id:        id,
+		label:     label,
+		duration:  duration,
+		seq:       seq,
+		resources: resources,
+		deps:      append([]OpID(nil), deps...),
+	}
+	s.ops = append(s.ops, o)
+	return id, nil
+}
+
+// MustAddOp is AddOp that panics on error; for builders whose inputs are
+// structurally valid by construction.
+func (s *Sim) MustAddOp(label string, duration float64, seq int, resources []*Resource, deps ...OpID) OpID {
+	id, err := s.AddOp(label, duration, seq, resources, deps...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// readyHeap orders ready ops by (readyTime, seq, id).
+type readyHeap []*op
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].readyTime != h[j].readyTime {
+		return h[i].readyTime < h[j].readyTime
+	}
+	if h[i].seq != h[j].seq {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].id < h[j].id
+}
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(*op)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the schedule and returns the makespan (finish time of the
+// last op). It fails if the dependency graph has a cycle. Run may be called
+// once; results are then available through OpStart/OpFinish/Events.
+func (s *Sim) Run() (float64, error) {
+	if s.ran {
+		return s.makespan, nil
+	}
+	// Build dependent lists and dependency counts.
+	for _, o := range s.ops {
+		o.ndeps = len(o.deps)
+		for _, d := range o.deps {
+			s.ops[d].dependents = append(s.ops[d].dependents, o.id)
+		}
+	}
+	h := &readyHeap{}
+	for _, o := range s.ops {
+		if o.ndeps == 0 {
+			heap.Push(h, o)
+		}
+	}
+	scheduled := 0
+	for h.Len() > 0 {
+		o := heap.Pop(h).(*op)
+		start := o.readyTime
+		for _, r := range o.resources {
+			if r.BusyUntil > start {
+				start = r.BusyUntil
+			}
+		}
+		o.start = start
+		o.finish = start + o.duration
+		o.done = true
+		for _, r := range o.resources {
+			r.BusyUntil = o.finish
+			r.BusyTime += o.duration
+		}
+		if o.finish > s.makespan {
+			s.makespan = o.finish
+		}
+		scheduled++
+		for _, did := range o.dependents {
+			d := s.ops[did]
+			if o.finish > d.readyTime {
+				d.readyTime = o.finish
+			}
+			d.ndeps--
+			if d.ndeps == 0 {
+				heap.Push(h, d)
+			}
+		}
+	}
+	if scheduled != len(s.ops) {
+		return 0, fmt.Errorf("netsim: dependency cycle — scheduled %d of %d ops", scheduled, len(s.ops))
+	}
+	s.ran = true
+	return s.makespan, nil
+}
+
+// Makespan returns the finish time of the completed run.
+func (s *Sim) Makespan() float64 { return s.makespan }
+
+// NumOps returns the number of registered ops.
+func (s *Sim) NumOps() int { return len(s.ops) }
+
+// OpStart returns the scheduled start time of an op after Run.
+func (s *Sim) OpStart(id OpID) float64 { return s.ops[id].start }
+
+// OpFinish returns the scheduled finish time of an op after Run.
+func (s *Sim) OpFinish(id OpID) float64 { return s.ops[id].finish }
+
+// Event is one scheduled op, for traces and timeline rendering.
+type Event struct {
+	Label     string
+	Start     float64
+	Finish    float64
+	Resources []string
+}
+
+// Events returns all scheduled ops sorted by (start, finish, label).
+func (s *Sim) Events() []Event {
+	out := make([]Event, 0, len(s.ops))
+	for _, o := range s.ops {
+		names := make([]string, len(o.resources))
+		for i, r := range o.resources {
+			names[i] = r.Name
+		}
+		out = append(out, Event{Label: o.label, Start: o.start, Finish: o.finish, Resources: names})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && eventLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func eventLess(a, b Event) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.Finish != b.Finish {
+		return a.Finish < b.Finish
+	}
+	return a.Label < b.Label
+}
+
+// Utilization returns BusyTime/makespan per resource name. Resources that
+// were never used report 0.
+func (s *Sim) Utilization() map[string]float64 {
+	out := make(map[string]float64, len(s.resOrder))
+	for _, r := range s.resOrder {
+		if s.makespan > 0 {
+			out[r.Name] = r.BusyTime / s.makespan
+		} else {
+			out[r.Name] = 0
+		}
+	}
+	return out
+}

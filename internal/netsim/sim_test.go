@@ -1,0 +1,304 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleOp(t *testing.T) {
+	s := NewSim()
+	r := s.Resource("r")
+	s.MustAddOp("a", 5, 0, []*Resource{r})
+	mk, err := s.Run()
+	if err != nil || mk != 5 {
+		t.Fatalf("makespan = %v, %v", mk, err)
+	}
+	if s.OpStart(0) != 0 || s.OpFinish(0) != 5 {
+		t.Errorf("op window = [%v,%v]", s.OpStart(0), s.OpFinish(0))
+	}
+}
+
+func TestSerialResource(t *testing.T) {
+	s := NewSim()
+	r := s.Resource("nic")
+	s.MustAddOp("a", 3, 0, []*Resource{r})
+	s.MustAddOp("b", 4, 1, []*Resource{r})
+	mk, _ := s.Run()
+	if mk != 7 {
+		t.Errorf("two ops on one resource: makespan = %v, want 7", mk)
+	}
+}
+
+func TestParallelResources(t *testing.T) {
+	s := NewSim()
+	s.MustAddOp("a", 3, 0, []*Resource{s.Resource("r1")})
+	s.MustAddOp("b", 4, 1, []*Resource{s.Resource("r2")})
+	mk, _ := s.Run()
+	if mk != 4 {
+		t.Errorf("independent ops: makespan = %v, want 4", mk)
+	}
+}
+
+func TestDependencyChain(t *testing.T) {
+	s := NewSim()
+	a := s.MustAddOp("a", 2, 0, nil)
+	b := s.MustAddOp("b", 3, 0, nil, a)
+	s.MustAddOp("c", 1, 0, nil, b)
+	mk, _ := s.Run()
+	if mk != 6 {
+		t.Errorf("chain makespan = %v, want 6", mk)
+	}
+}
+
+func TestSeqControlsTieBreak(t *testing.T) {
+	// Two ops ready at t=0 on the same resource: the one with smaller seq
+	// must run first.
+	s := NewSim()
+	r := s.Resource("r")
+	slow := s.MustAddOp("slow", 10, 2, []*Resource{r})
+	fast := s.MustAddOp("fast", 1, 1, []*Resource{r})
+	s.Run()
+	if s.OpStart(fast) != 0 {
+		t.Errorf("fast (seq 1) should start first, started at %v", s.OpStart(fast))
+	}
+	if s.OpStart(slow) != 1 {
+		t.Errorf("slow should start at 1, started at %v", s.OpStart(slow))
+	}
+}
+
+func TestReadyTimeBeatsSeq(t *testing.T) {
+	// An op that becomes ready earlier grabs the resource even with a
+	// larger seq (FIFO by readiness, then seq).
+	s := NewSim()
+	r := s.Resource("r")
+	gate := s.MustAddOp("gate", 5, 0, nil)
+	early := s.MustAddOp("early", 2, 9, []*Resource{r})
+	late := s.MustAddOp("late", 2, 1, []*Resource{r}, gate)
+	s.Run()
+	if s.OpStart(early) != 0 {
+		t.Errorf("early started at %v, want 0", s.OpStart(early))
+	}
+	if s.OpStart(late) != 5 {
+		t.Errorf("late started at %v, want 5", s.OpStart(late))
+	}
+}
+
+func TestMultiResourceOp(t *testing.T) {
+	// An op occupying two resources blocks both.
+	s := NewSim()
+	r1, r2 := s.Resource("r1"), s.Resource("r2")
+	s.MustAddOp("both", 5, 0, []*Resource{r1, r2})
+	s.MustAddOp("on1", 1, 1, []*Resource{r1})
+	s.MustAddOp("on2", 1, 1, []*Resource{r2})
+	mk, _ := s.Run()
+	if mk != 6 {
+		t.Errorf("makespan = %v, want 6", mk)
+	}
+}
+
+func TestAddOpValidation(t *testing.T) {
+	s := NewSim()
+	if _, err := s.AddOp("bad", -1, 0, nil); err == nil {
+		t.Error("negative duration should fail")
+	}
+	if _, err := s.AddOp("bad", 1, 0, nil, OpID(5)); err == nil {
+		t.Error("unknown dependency should fail")
+	}
+	s.MustAddOp("ok", 1, 0, nil)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddOp("late", 1, 0, nil); err == nil {
+		t.Error("adding after Run should fail")
+	}
+}
+
+func TestRunTwiceIsIdempotent(t *testing.T) {
+	s := NewSim()
+	s.MustAddOp("a", 2, 0, nil)
+	m1, _ := s.Run()
+	m2, err := s.Run()
+	if err != nil || m1 != m2 {
+		t.Errorf("second Run = %v, %v", m2, err)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	// Build a cycle by hand: a <- b requires forward references, which
+	// AddOp forbids; so simulate one by making an op depend on itself via
+	// the internal path: two ops each depending on the other is impossible
+	// through the API, so the only reachable "cycle" is a self-dependency
+	// at the last index.
+	s := NewSim()
+	a := s.MustAddOp("a", 1, 0, nil)
+	_ = a
+	// Self-dependency: op 1 depends on op 1 — AddOp checks d < len(ops),
+	// and at call time len(ops) == 1, so OpID(1) is rejected. The API makes
+	// cycles unrepresentable; verify the validation.
+	if _, err := s.AddOp("self", 1, 0, nil, OpID(1)); err == nil {
+		t.Error("self-dependency should be rejected")
+	}
+}
+
+func TestZeroDurationOps(t *testing.T) {
+	s := NewSim()
+	a := s.MustAddOp("a", 0, 0, nil)
+	b := s.MustAddOp("b", 0, 0, nil, a)
+	mk, _ := s.Run()
+	if mk != 0 {
+		t.Errorf("makespan = %v", mk)
+	}
+	if s.OpFinish(b) != 0 {
+		t.Errorf("finish = %v", s.OpFinish(b))
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	s := NewSim()
+	r := s.Resource("r")
+	s.MustAddOp("second", 1, 2, []*Resource{r})
+	s.MustAddOp("first", 1, 1, []*Resource{r})
+	s.Run()
+	ev := s.Events()
+	if len(ev) != 2 || ev[0].Label != "first" || ev[1].Label != "second" {
+		t.Errorf("events = %+v", ev)
+	}
+	if len(ev[0].Resources) != 1 || ev[0].Resources[0] != "r" {
+		t.Errorf("event resources = %v", ev[0].Resources)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := NewSim()
+	r1, r2 := s.Resource("busy"), s.Resource("half")
+	s.MustAddOp("a", 4, 0, []*Resource{r1})
+	s.MustAddOp("b", 2, 0, []*Resource{r2})
+	s.Run()
+	u := s.Utilization()
+	if u["busy"] != 1.0 || u["half"] != 0.5 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestResourceIdentity(t *testing.T) {
+	s := NewSim()
+	if s.Resource("x") != s.Resource("x") {
+		t.Error("Resource must return the same object for the same name")
+	}
+}
+
+// Property: makespan >= critical path length and >= max per-resource load;
+// every op starts after all of its dependencies finish.
+func TestSimInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		nres := 1 + r.Intn(4)
+		res := make([]*Resource, nres)
+		for i := range res {
+			res[i] = s.Resource(string(rune('a' + i)))
+		}
+		n := 1 + r.Intn(40)
+		durations := make([]float64, n)
+		deps := make([][]OpID, n)
+		for i := 0; i < n; i++ {
+			durations[i] = float64(r.Intn(10))
+			var d []OpID
+			for j := 0; j < i; j++ {
+				if r.Float64() < 0.1 {
+					d = append(d, OpID(j))
+				}
+			}
+			deps[i] = d
+			rs := []*Resource{res[r.Intn(nres)]}
+			s.MustAddOp("op", durations[i], i, rs, d...)
+		}
+		mk, err := s.Run()
+		if err != nil {
+			return false
+		}
+		// Dependency ordering holds.
+		for i := 0; i < n; i++ {
+			for _, d := range deps[i] {
+				if s.OpStart(OpID(i)) < s.OpFinish(d)-1e-9 {
+					return false
+				}
+			}
+		}
+		// Makespan lower bounds.
+		var totalPerRes = map[*Resource]float64{}
+		longest := make([]float64, n)
+		var critical float64
+		for i := 0; i < n; i++ {
+			longest[i] = durations[i]
+			for _, d := range deps[i] {
+				if longest[d]+durations[i] > longest[i] {
+					longest[i] = longest[d] + durations[i]
+				}
+			}
+			if longest[i] > critical {
+				critical = longest[i]
+			}
+		}
+		if mk < critical-1e-9 {
+			return false
+		}
+		for _, v := range totalPerRes {
+			if mk < v-1e-9 {
+				return false
+			}
+		}
+		return !math.IsNaN(mk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: resources never run two ops at once (verified by reconstructing
+// intervals from events per resource).
+func TestResourceExclusivity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		res := []*Resource{s.Resource("r1"), s.Resource("r2")}
+		n := 2 + r.Intn(30)
+		type window struct{ start, finish float64 }
+		byRes := map[string][]window{}
+		ids := make([]OpID, 0, n)
+		resOf := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			rs := res[r.Intn(2)]
+			var d []OpID
+			if i > 0 && r.Float64() < 0.3 {
+				d = append(d, ids[r.Intn(len(ids))])
+			}
+			id := s.MustAddOp("op", 1+float64(r.Intn(5)), i, []*Resource{rs}, d...)
+			ids = append(ids, id)
+			resOf = append(resOf, rs.Name)
+		}
+		if _, err := s.Run(); err != nil {
+			return false
+		}
+		for i, id := range ids {
+			byRes[resOf[i]] = append(byRes[resOf[i]], window{s.OpStart(id), s.OpFinish(id)})
+		}
+		for _, ws := range byRes {
+			for i := range ws {
+				for j := i + 1; j < len(ws); j++ {
+					lo := math.Max(ws[i].start, ws[j].start)
+					hi := math.Min(ws[i].finish, ws[j].finish)
+					if hi-lo > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,369 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func uniform(stages int, v float64) []float64 {
+	out := make([]float64, stages)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func baseConfig(kind Kind, stages, mb int, comm float64) Config {
+	return Config{
+		Stages:       stages,
+		MicroBatches: mb,
+		Schedule:     kind,
+		FwdTime:      uniform(stages, 1),
+		BwdTime:      uniform(stages, 2),
+		FwdCommTime:  uniform(stages-1, comm),
+	}
+}
+
+func TestBuildScheduleCounts(t *testing.T) {
+	for _, kind := range []Kind{GPipe, OneFOneB, Eager1F1B} {
+		orders, err := BuildSchedule(kind, 4, 8, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, order := range orders {
+			nf, nb := 0, 0
+			for _, task := range order {
+				switch task.Kind {
+				case F:
+					nf++
+				case B:
+					nb++
+				}
+			}
+			if nf != 8 || nb != 8 {
+				t.Errorf("%v stage %d: %d F, %d B; want 8 each", kind, s, nf, nb)
+			}
+		}
+	}
+}
+
+func TestBuildScheduleSplitBackward(t *testing.T) {
+	orders, err := BuildSchedule(OneFOneB, 2, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, order := range orders {
+		nbd, nbw := 0, 0
+		lastBd := -1
+		for i, task := range order {
+			switch task.Kind {
+			case Bd:
+				nbd++
+				lastBd = i
+			case Bw:
+				nbw++
+				if i != lastBd+1 {
+					t.Errorf("stage %d: Bw not immediately after Bd at %d", s, i)
+				}
+			case B:
+				t.Errorf("stage %d: unsplit B present", s)
+			}
+		}
+		if nbd != 4 || nbw != 4 {
+			t.Errorf("stage %d: %d Bd, %d Bw", s, nbd, nbw)
+		}
+	}
+}
+
+func TestBuildScheduleValidation(t *testing.T) {
+	if _, err := BuildSchedule(OneFOneB, 0, 4, false); err == nil {
+		t.Error("zero stages should fail")
+	}
+	if _, err := BuildSchedule(OneFOneB, 2, 0, false); err == nil {
+		t.Error("zero micro-batches should fail")
+	}
+}
+
+// TestWarmupDepths pins the paper's warm-up formulas: 1F1B stage i runs
+// (#stages - i + 1) forwards (1-indexed); eager-1F1B runs
+// (2(#stages - i) + 1).
+func TestWarmupDepths(t *testing.T) {
+	const stages, mb = 4, 16
+	for s := 0; s < stages; s++ {
+		if w := WarmupForwards(OneFOneB, stages, mb, s); w != stages-s {
+			t.Errorf("1f1b warmup stage %d = %d, want %d", s, w, stages-s)
+		}
+		if w := WarmupForwards(Eager1F1B, stages, mb, s); w != 2*(stages-s-1)+1 {
+			t.Errorf("eager warmup stage %d = %d, want %d", s, w, 2*(stages-s-1)+1)
+		}
+	}
+	// Last stage always warms up exactly one forward.
+	if WarmupForwards(Eager1F1B, stages, mb, stages-1) != 1 {
+		t.Error("last stage eager warmup must be 1")
+	}
+	// Clamped by micro-batch count.
+	if w := WarmupForwards(Eager1F1B, 8, 3, 0); w != 3 {
+		t.Errorf("clamped warmup = %d, want 3", w)
+	}
+}
+
+// TestZeroCommSchedulesMatch pins §4's claim: with no communication cost,
+// 1F1B and eager-1F1B have identical latency.
+func TestZeroCommSchedulesMatch(t *testing.T) {
+	a, err := Simulate(baseConfig(OneFOneB, 4, 16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(baseConfig(Eager1F1B, 4, 16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Makespan-b.Makespan) > 1e-9 {
+		t.Errorf("1f1b = %v, eager = %v; must match with zero comm", a.Makespan, b.Makespan)
+	}
+}
+
+// TestPerfectPipelineMakespan: with zero comm, the 1F1B makespan is the
+// classic (M + S - 1) fwd+bwd slots for uniform stages.
+func TestPerfectPipelineMakespan(t *testing.T) {
+	res, err := Simulate(baseConfig(OneFOneB, 2, 4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform F=1, B=2: iteration = (M + S - 1) * (F + B) = 5 * 3 = 15.
+	if math.Abs(res.Makespan-15) > 1e-9 {
+		t.Errorf("makespan = %v, want 15", res.Makespan)
+	}
+}
+
+// TestEagerHidesCommunication is the paper's headline §4 claim: with
+// non-negligible comm and overlap enabled, eager-1F1B beats 1F1B, and
+// overlapped 1F1B beats blocking 1F1B.
+func TestEagerHidesCommunication(t *testing.T) {
+	const comm = 1.0
+	blocking := baseConfig(OneFOneB, 4, 16, comm)
+	r0, err := Simulate(blocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlapped := blocking
+	overlapped.Overlap = true
+	r1, err := Simulate(overlapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager := overlapped
+	eager.Schedule = Eager1F1B
+	r2, err := Simulate(eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := baseConfig(OneFOneB, 4, 16, 0)
+	r3, err := Simulate(signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r1.Makespan < r0.Makespan) {
+		t.Errorf("overlap (%v) must beat blocking (%v)", r1.Makespan, r0.Makespan)
+	}
+	if !(r2.Makespan < r1.Makespan) {
+		t.Errorf("eager (%v) must beat plain overlap (%v)", r2.Makespan, r1.Makespan)
+	}
+	if r2.Makespan < r3.Makespan {
+		t.Errorf("eager (%v) cannot beat the zero-comm bound (%v)", r2.Makespan, r3.Makespan)
+	}
+	// Eager should recover most of the gap to the signal bound.
+	gap0 := r0.Makespan - r3.Makespan
+	gap2 := r2.Makespan - r3.Makespan
+	if gap2 > 0.5*gap0 {
+		t.Errorf("eager recovers too little: blocking gap %v, eager gap %v", gap0, gap2)
+	}
+}
+
+// TestBackwardWeightDelayingHelps: splitting the backward lets the gradient
+// comm start after Bd and overlap with Bw.
+func TestBackwardWeightDelayingHelps(t *testing.T) {
+	cfg := baseConfig(OneFOneB, 4, 12, 1.0)
+	cfg.Overlap = true
+	whole, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SplitBackward = true
+	split, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Makespan > whole.Makespan+1e-9 {
+		t.Errorf("split backward (%v) should not be slower than whole (%v)", split.Makespan, whole.Makespan)
+	}
+}
+
+// TestPeakActivations pins the §4 memory claim: eager-1F1B stores at most
+// (2(#stages - i) + 1) activations — bounded, and GPipe stores all M.
+func TestPeakActivations(t *testing.T) {
+	r1, _ := Simulate(baseConfig(OneFOneB, 4, 16, 0))
+	r2, _ := Simulate(baseConfig(Eager1F1B, 4, 16, 0))
+	rg, _ := Simulate(baseConfig(GPipe, 4, 16, 0))
+	for s := 0; s < 4; s++ {
+		if r1.PeakActivations[s] != 4-s {
+			t.Errorf("1f1b peak[%d] = %d, want %d", s, r1.PeakActivations[s], 4-s)
+		}
+		if r2.PeakActivations[s] != 2*(4-s-1)+1 {
+			t.Errorf("eager peak[%d] = %d, want %d", s, r2.PeakActivations[s], 2*(4-s-1)+1)
+		}
+		if rg.PeakActivations[s] != 16 {
+			t.Errorf("gpipe peak[%d] = %d, want 16", s, rg.PeakActivations[s])
+		}
+		// The paper's bound: eager adds at most #stages activations.
+		if r2.PeakActivations[s]-r1.PeakActivations[s] > 4 {
+			t.Errorf("eager memory increase at stage %d exceeds #stages", s)
+		}
+	}
+}
+
+func TestGPipeSlowerThan1F1BWithComm(t *testing.T) {
+	// Same compute; GPipe is never faster for these uniform settings.
+	g, _ := Simulate(baseConfig(GPipe, 4, 16, 0.5))
+	o, _ := Simulate(baseConfig(OneFOneB, 4, 16, 0.5))
+	if o.Makespan > g.Makespan+1e-9 {
+		t.Errorf("1f1b (%v) should be <= gpipe (%v)", o.Makespan, g.Makespan)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Config{Stages: 0, MicroBatches: 1}); err == nil {
+		t.Error("zero stages should fail")
+	}
+	cfg := baseConfig(OneFOneB, 2, 2, 0)
+	cfg.FwdTime = []float64{1}
+	if _, err := Simulate(cfg); err == nil {
+		t.Error("wrong FwdTime length should fail")
+	}
+	cfg = baseConfig(OneFOneB, 2, 2, 0)
+	cfg.FwdCommTime = []float64{0, 0}
+	if _, err := Simulate(cfg); err == nil {
+		t.Error("wrong FwdCommTime length should fail")
+	}
+	cfg = baseConfig(OneFOneB, 2, 2, 0)
+	cfg.BwdTime = []float64{-1, 1}
+	if _, err := Simulate(cfg); err == nil {
+		t.Error("negative time should fail")
+	}
+	cfg = baseConfig(OneFOneB, 2, 2, 0)
+	cfg.BwdCommTime = []float64{0, 0}
+	if _, err := Simulate(cfg); err == nil {
+		t.Error("wrong BwdCommTime length should fail")
+	}
+}
+
+func TestSingleStage(t *testing.T) {
+	cfg := Config{
+		Stages: 1, MicroBatches: 4, Schedule: OneFOneB,
+		FwdTime: []float64{1}, BwdTime: []float64{2},
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-12) > 1e-9 {
+		t.Errorf("single stage makespan = %v, want 12", res.Makespan)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{GPipe, OneFOneB, Eager1F1B, Kind(9)} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+	for _, k := range []TaskKind{F, B, Bd, Bw, TaskKind(9)} {
+		if k.String() == "" {
+			t.Error("empty task kind name")
+		}
+	}
+}
+
+// Property: every schedule/overlap/split combination simulates without
+// deadlock, the makespan is at least the critical path of one micro-batch,
+// and at least total per-stage compute.
+func TestSimulateInvariants(t *testing.T) {
+	kinds := []Kind{GPipe, OneFOneB, Eager1F1B}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stages := 1 + r.Intn(6)
+		mb := 1 + r.Intn(24)
+		cfg := Config{
+			Stages:        stages,
+			MicroBatches:  mb,
+			Schedule:      kinds[r.Intn(len(kinds))],
+			FwdTime:       make([]float64, stages),
+			BwdTime:       make([]float64, stages),
+			Overlap:       r.Intn(2) == 0,
+			SplitBackward: r.Intn(2) == 0,
+		}
+		comm := make([]float64, stages-1)
+		for s := 0; s < stages; s++ {
+			cfg.FwdTime[s] = 0.5 + r.Float64()
+			cfg.BwdTime[s] = 0.5 + 2*r.Float64()
+		}
+		for s := range comm {
+			comm[s] = r.Float64()
+		}
+		if stages > 1 {
+			cfg.FwdCommTime = comm
+		}
+		res, err := Simulate(cfg)
+		if err != nil {
+			return false
+		}
+		// Critical path of one micro-batch: forwards down the pipe, then
+		// backwards up. With backward weight delaying only Bd gates the
+		// upstream stage; the final Bw of stage 0 still runs at the end.
+		var critical, maxStage float64
+		for s := 0; s < stages; s++ {
+			critical += cfg.FwdTime[s]
+			if cfg.SplitBackward {
+				critical += cfg.BwdTime[s] / 2
+			} else {
+				critical += cfg.BwdTime[s]
+			}
+			load := float64(mb) * (cfg.FwdTime[s] + cfg.BwdTime[s])
+			if load > maxStage {
+				maxStage = load
+			}
+		}
+		if cfg.SplitBackward {
+			critical += cfg.BwdTime[0] / 2
+		}
+		return res.Makespan >= critical-1e-9 && res.Makespan >= maxStage-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFig4Shape: reconstruct the 2-stage, 7-micro-batch setting of Fig. 4
+// and verify eager-1F1B's warm-up is deeper on stage 0 (3 vs 2).
+func TestFig4Shape(t *testing.T) {
+	o1, _ := BuildSchedule(OneFOneB, 2, 7, false)
+	oe, _ := BuildSchedule(Eager1F1B, 2, 7, false)
+	countLeadingF := func(order []StageTask) int {
+		n := 0
+		for _, t := range order {
+			if t.Kind != F {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	if countLeadingF(o1[0]) != 2 || countLeadingF(o1[1]) != 1 {
+		t.Errorf("1f1b warmups = %d,%d want 2,1", countLeadingF(o1[0]), countLeadingF(o1[1]))
+	}
+	if countLeadingF(oe[0]) != 3 || countLeadingF(oe[1]) != 1 {
+		t.Errorf("eager warmups = %d,%d want 3,1", countLeadingF(oe[0]), countLeadingF(oe[1]))
+	}
+}

@@ -1,0 +1,138 @@
+// Package pipeline implements the paper's §4: synchronous pipeline
+// schedules (GPipe, 1F1B, and the proposed eager-1F1B), optional
+// communication overlap, backward weight delaying, and a simulator that
+// times a schedule over per-stage compute costs and per-boundary
+// cross-mesh communication costs.
+package pipeline
+
+import (
+	"fmt"
+)
+
+// Kind selects a pipeline schedule.
+type Kind int
+
+const (
+	// GPipe runs all forwards then all backwards per stage.
+	GPipe Kind = iota
+	// OneFOneB is the 1F1B schedule of Narayanan et al. (Fig. 4a): stage i
+	// (1-indexed) runs (#stages - i + 1) warm-up forwards, then alternates
+	// one forward and one backward.
+	OneFOneB
+	// Eager1F1B is the paper's overlapping-friendly schedule (Fig. 4b):
+	// stage i runs (2·(#stages - i) + 1) warm-up forwards, creating slack
+	// between dependent tasks that hides cross-mesh communication.
+	Eager1F1B
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GPipe:
+		return "gpipe"
+	case OneFOneB:
+		return "1f1b"
+	case Eager1F1B:
+		return "eager-1f1b"
+	default:
+		return fmt.Sprintf("schedule(%d)", int(k))
+	}
+}
+
+// TaskKind labels one compute task in a stage's static order.
+type TaskKind int
+
+const (
+	// F is a forward pass of one micro-batch.
+	F TaskKind = iota
+	// B is a full backward pass.
+	B
+	// Bd computes gradients of activations only (the part cross-mesh
+	// communication depends on).
+	Bd
+	// Bw computes gradients of weights (delayable, §4's backward weight
+	// delaying).
+	Bw
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case F:
+		return "F"
+	case B:
+		return "B"
+	case Bd:
+		return "Bd"
+	case Bw:
+		return "Bw"
+	default:
+		return "?"
+	}
+}
+
+// StageTask is one entry of a stage's static execution order.
+type StageTask struct {
+	Kind       TaskKind
+	MicroBatch int
+}
+
+// WarmupForwards returns the number of warm-up forward passes stage s
+// (0-indexed) runs before its first backward, clamped to the micro-batch
+// count.
+func WarmupForwards(kind Kind, stages, microBatches, s int) int {
+	var w int
+	switch kind {
+	case GPipe:
+		w = microBatches
+	case OneFOneB:
+		w = stages - s
+	case Eager1F1B:
+		w = 2*(stages-s-1) + 1
+	default:
+		w = microBatches
+	}
+	if w > microBatches {
+		w = microBatches
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// BuildSchedule produces the static per-stage task orders for the given
+// schedule. With splitBackward, every backward is emitted as Bd followed by
+// Bw, enabling backward weight delaying: cross-mesh communication depends
+// only on Bd, so it overlaps with the Bw compute.
+func BuildSchedule(kind Kind, stages, microBatches int, splitBackward bool) ([][]StageTask, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("pipeline: need at least one stage, got %d", stages)
+	}
+	if microBatches < 1 {
+		return nil, fmt.Errorf("pipeline: need at least one micro-batch, got %d", microBatches)
+	}
+	emitB := func(order []StageTask, m int) []StageTask {
+		if splitBackward {
+			return append(order, StageTask{Bd, m}, StageTask{Bw, m})
+		}
+		return append(order, StageTask{B, m})
+	}
+	out := make([][]StageTask, stages)
+	for s := 0; s < stages; s++ {
+		w := WarmupForwards(kind, stages, microBatches, s)
+		var order []StageTask
+		for m := 0; m < w; m++ {
+			order = append(order, StageTask{F, m})
+		}
+		// Steady phase: one backward, one forward.
+		for m := 0; w+m < microBatches; m++ {
+			order = emitB(order, m)
+			order = append(order, StageTask{F, w + m})
+		}
+		// Drain remaining backwards.
+		for m := microBatches - w; m < microBatches; m++ {
+			order = emitB(order, m)
+		}
+		out[s] = order
+	}
+	return out, nil
+}

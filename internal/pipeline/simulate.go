@@ -1,0 +1,294 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"alpacomm/internal/netsim"
+)
+
+// Config describes one pipeline-parallel training iteration.
+type Config struct {
+	// Stages is the number of pipeline stages.
+	Stages int
+	// MicroBatches per iteration.
+	MicroBatches int
+	// Schedule kind.
+	Schedule Kind
+	// FwdTime[s] is stage s's forward compute time for one micro-batch.
+	FwdTime []float64
+	// BwdTime[s] is stage s's full backward compute time.
+	BwdTime []float64
+	// FwdCommTime[s] is the cross-mesh resharding time for the activation
+	// sent from stage s to s+1 (len Stages-1; nil means no cost).
+	FwdCommTime []float64
+	// BwdCommTime[s] is the gradient resharding time from stage s+1 back
+	// to s (len Stages-1; nil means same as FwdCommTime).
+	BwdCommTime []float64
+	// Overlap routes communication over dedicated channel resources so it
+	// can hide behind other compute; without it, communication blocks the
+	// sending stage inline (Fig. 4a's behaviour).
+	Overlap bool
+	// SplitBackward enables backward weight delaying (§4): backwards are
+	// split into Bd (activation gradients, fraction BdFraction of BwdTime)
+	// and Bw; backward communication depends only on Bd.
+	SplitBackward bool
+	// BdFraction is Bd's share of BwdTime (default 0.5).
+	BdFraction float64
+}
+
+// Result reports one simulated iteration.
+type Result struct {
+	// Makespan is the iteration time.
+	Makespan float64
+	// PeakActivations[s] is the maximum number of micro-batches whose
+	// activations stage s holds simultaneously (§4's memory cost).
+	PeakActivations []int
+	// StageBusy[s] is the fraction of the makespan stage s spent
+	// computing.
+	StageBusy []float64
+	// Events is the full task trace for timeline rendering.
+	Events []netsim.Event
+	// Orders are the static per-stage schedules that were executed.
+	Orders [][]StageTask
+}
+
+func (c *Config) validate() error {
+	if c.Stages < 1 || c.MicroBatches < 1 {
+		return fmt.Errorf("pipeline: invalid config: %d stages, %d micro-batches", c.Stages, c.MicroBatches)
+	}
+	if len(c.FwdTime) != c.Stages || len(c.BwdTime) != c.Stages {
+		return fmt.Errorf("pipeline: FwdTime/BwdTime must have one entry per stage")
+	}
+	if c.FwdCommTime != nil && len(c.FwdCommTime) != c.Stages-1 {
+		return fmt.Errorf("pipeline: FwdCommTime must have %d entries", c.Stages-1)
+	}
+	if c.BwdCommTime != nil && len(c.BwdCommTime) != c.Stages-1 {
+		return fmt.Errorf("pipeline: BwdCommTime must have %d entries", c.Stages-1)
+	}
+	for s := 0; s < c.Stages; s++ {
+		if c.FwdTime[s] < 0 || c.BwdTime[s] < 0 {
+			return fmt.Errorf("pipeline: negative compute time at stage %d", s)
+		}
+	}
+	return nil
+}
+
+// Simulate times one training iteration under the configured schedule.
+func Simulate(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BdFraction == 0 {
+		cfg.BdFraction = 0.5
+	}
+	fwdComm := cfg.FwdCommTime
+	if fwdComm == nil {
+		fwdComm = make([]float64, cfg.Stages-1)
+	}
+	bwdComm := cfg.BwdCommTime
+	if bwdComm == nil {
+		bwdComm = fwdComm
+	}
+	orders, err := BuildSchedule(cfg.Schedule, cfg.Stages, cfg.MicroBatches, cfg.SplitBackward)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := netsim.NewSim()
+	stageRes := make([]*netsim.Resource, cfg.Stages)
+	for s := range stageRes {
+		stageRes[s] = sim.Resource(fmt.Sprintf("stage%d", s))
+	}
+	chanRes := func(s int, dir string) *netsim.Resource {
+		return sim.Resource(fmt.Sprintf("ch%d:%s", s, dir))
+	}
+
+	type key struct {
+		kind TaskKind
+		s, m int
+	}
+	computeOp := map[key]netsim.OpID{}    // compute tasks
+	fwdCommOp := map[[2]int]netsim.OpID{} // boundary s -> s+1, micro-batch m
+	bwdCommOp := map[[2]int]netsim.OpID{} // boundary s+1 -> s, micro-batch m
+
+	// Two passes: forward communication ops are created when the producing
+	// F is registered; backward similarly. Because stage orders interleave,
+	// we iterate per stage in order and resolve cross-stage dependencies
+	// lazily — a task may need a comm op whose producer lives on another
+	// stage and appears "later" in our outer loop. To keep registration in
+	// dependency order (AddOp requires existing deps), we emit tasks in
+	// rounds: repeatedly scan all stages and emit the next task of a stage
+	// if its dependencies' ops already exist.
+	cursor := make([]int, cfg.Stages)
+	prevOnStage := make([]netsim.OpID, cfg.Stages)
+	hasPrev := make([]bool, cfg.Stages)
+	emitted := 0
+	total := 0
+	for _, o := range orders {
+		total += len(o)
+	}
+	seq := 0
+	for emitted < total {
+		progress := false
+		for s := 0; s < cfg.Stages; s++ {
+			for cursor[s] < len(orders[s]) {
+				t := orders[s][cursor[s]]
+				var deps []netsim.OpID
+				ready := true
+				switch t.Kind {
+				case F:
+					if s > 0 {
+						id, ok := fwdCommOp[[2]int{s - 1, t.MicroBatch}]
+						if !ok {
+							ready = false
+							break
+						}
+						deps = append(deps, id)
+					}
+				case B, Bd:
+					// Needs this stage's forward of the same micro-batch
+					// (activations) and, unless last stage, the gradient
+					// from downstream.
+					fid, ok := computeOp[key{F, s, t.MicroBatch}]
+					if !ok {
+						ready = false
+						break
+					}
+					deps = append(deps, fid)
+					if s < cfg.Stages-1 {
+						id, ok := bwdCommOp[[2]int{s, t.MicroBatch}]
+						if !ok {
+							ready = false
+							break
+						}
+						deps = append(deps, id)
+					}
+				case Bw:
+					id, ok := computeOp[key{Bd, s, t.MicroBatch}]
+					if !ok {
+						ready = false
+						break
+					}
+					deps = append(deps, id)
+				}
+				if !ready {
+					break
+				}
+				// Static order: chain to the previous task on this stage.
+				if hasPrev[s] {
+					deps = append(deps, prevOnStage[s])
+				}
+				dur := taskDuration(&cfg, t, s)
+				id, err := sim.AddOp(fmt.Sprintf("s%d/%s%d", s, t.Kind, t.MicroBatch), dur, seq, []*netsim.Resource{stageRes[s]}, deps...)
+				if err != nil {
+					return nil, err
+				}
+				seq++
+				computeOp[key{t.Kind, s, t.MicroBatch}] = id
+				prevOnStage[s] = id
+				hasPrev[s] = true
+				cursor[s]++
+				emitted++
+				progress = true
+
+				// Emit the communication op this task produces.
+				switch t.Kind {
+				case F:
+					if s < cfg.Stages-1 {
+						cid, err := addComm(sim, &cfg, chanRes, stageRes, "fwd", s, t.MicroBatch, fwdComm[s], id, &prevOnStage[s], &seq)
+						if err != nil {
+							return nil, err
+						}
+						fwdCommOp[[2]int{s, t.MicroBatch}] = cid
+					}
+				case B, Bd:
+					if s > 0 {
+						cid, err := addComm(sim, &cfg, chanRes, stageRes, "bwd", s-1, t.MicroBatch, bwdComm[s-1], id, &prevOnStage[s], &seq)
+						if err != nil {
+							return nil, err
+						}
+						bwdCommOp[[2]int{s - 1, t.MicroBatch}] = cid
+					}
+				}
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("pipeline: schedule deadlock — emitted %d of %d tasks", emitted, total)
+		}
+	}
+
+	makespan, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Makespan:        makespan,
+		PeakActivations: peakActivations(orders),
+		StageBusy:       make([]float64, cfg.Stages),
+		Events:          sim.Events(),
+		Orders:          orders,
+	}
+	util := sim.Utilization()
+	for s := 0; s < cfg.Stages; s++ {
+		res.StageBusy[s] = util[fmt.Sprintf("stage%d", s)]
+	}
+	return res, nil
+}
+
+// addComm registers one cross-mesh communication op. With overlap it rides
+// a dedicated channel; without, it is chained into the sending stage's
+// static order (blocking the stage inline, Fig. 4a).
+func addComm(sim *netsim.Sim, cfg *Config, chanRes func(int, string) *netsim.Resource, stageRes []*netsim.Resource, dir string, boundary, mb int, dur float64, producer netsim.OpID, prevOnStage *netsim.OpID, seq *int) (netsim.OpID, error) {
+	label := fmt.Sprintf("c%d:%s/%d", boundary, dir, mb)
+	if cfg.Overlap {
+		id, err := sim.AddOp(label, dur, *seq, []*netsim.Resource{chanRes(boundary, dir)}, producer)
+		(*seq)++
+		return id, err
+	}
+	// Inline: occupy the channel and chain into the sender stage's order.
+	id, err := sim.AddOp(label, dur, *seq, []*netsim.Resource{chanRes(boundary, dir)}, producer, *prevOnStage)
+	if err != nil {
+		return 0, err
+	}
+	(*seq)++
+	*prevOnStage = id
+	return id, nil
+}
+
+func taskDuration(cfg *Config, t StageTask, s int) float64 {
+	switch t.Kind {
+	case F:
+		return cfg.FwdTime[s]
+	case B:
+		return cfg.BwdTime[s]
+	case Bd:
+		return cfg.BwdTime[s] * cfg.BdFraction
+	case Bw:
+		return cfg.BwdTime[s] * (1 - cfg.BdFraction)
+	default:
+		return 0
+	}
+}
+
+// peakActivations computes, per stage, the maximum number of in-flight
+// micro-batch activations implied by the static order: +1 at each forward,
+// released when the backward that consumes them completes (Bw when split).
+func peakActivations(orders [][]StageTask) []int {
+	out := make([]int, len(orders))
+	for s, order := range orders {
+		cur, peak := 0, 0
+		for _, t := range order {
+			switch t.Kind {
+			case F:
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+			case B, Bw:
+				cur--
+			}
+		}
+		out[s] = peak
+	}
+	return out
+}

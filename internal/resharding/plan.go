@@ -1,0 +1,133 @@
+package resharding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"alpacomm/internal/schedule"
+	"alpacomm/internal/sharding"
+)
+
+// Plan is a scheduled cross-mesh resharding: for every unit task, a chosen
+// sender device, and a global launch order.
+type Plan struct {
+	Task *sharding.Task
+	Opts Options
+	// SenderOf maps unit-task index to the chosen sender device.
+	SenderOf map[int]int
+	// Order lists unit-task indices in launch order.
+	Order []int
+	// HostPlan is the host-level schedule the plan was derived from.
+	HostPlan schedule.Plan
+	// HostTasks is the Eq. 1-3 problem instance (one entry per unit task).
+	HostTasks []schedule.Task
+}
+
+// NewPlan schedules a resharding task under the given options.
+func NewPlan(task *sharding.Task, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	if task.Src.Mesh.Cluster != task.Dst.Mesh.Cluster {
+		return nil, fmt.Errorf("resharding: source and destination meshes must share a cluster")
+	}
+	cluster := task.Src.Mesh.Cluster
+
+	// Build the host-level Eq. 1-3 instance. Task durations estimate the
+	// strategy's cross-host cost: one copy per receiver host for SendRecv,
+	// one copy total for the gather/broadcast strategies.
+	hostTasks := make([]schedule.Task, len(task.Units))
+	for i, u := range task.Units {
+		bytes := float64(u.Bytes(task.DType))
+		recvHosts := task.ReceiverHosts(u)
+		dur := bytes / cluster.HostBandwidth
+		if opts.Strategy == SendRecv {
+			dur *= float64(len(u.Receivers))
+		}
+		if opts.Strategy == Signal {
+			dur = cluster.InterHostLatency
+		}
+		hostTasks[i] = schedule.Task{
+			ID:            u.Index,
+			SenderHosts:   task.SenderHosts(u),
+			ReceiverHosts: recvHosts,
+			Duration:      dur,
+		}
+	}
+
+	var hostPlan schedule.Plan
+	switch opts.Scheduler {
+	case SchedNaive:
+		hostPlan = schedule.Naive(hostTasks)
+	case SchedGreedyLoad:
+		hostPlan = greedyLoad(hostTasks)
+	case SchedLoadBalanceOnly:
+		hostPlan = schedule.LoadBalanceOnly(hostTasks)
+	case SchedEnsemble:
+		rng := rand.New(rand.NewSource(opts.Seed))
+		hostPlan = schedule.Ensemble(hostTasks, opts.DFSBudget, opts.Trials, rng)
+	default:
+		return nil, fmt.Errorf("resharding: unknown scheduler %v", opts.Scheduler)
+	}
+	if err := schedule.Validate(hostTasks, hostPlan); err != nil {
+		return nil, fmt.Errorf("resharding: scheduler produced invalid plan: %v", err)
+	}
+
+	// Resolve host-level senders to devices, spreading intra-host load
+	// round-robin over the replicas available on the chosen host.
+	p := &Plan{
+		Task:      task,
+		Opts:      opts,
+		SenderOf:  map[int]int{},
+		Order:     hostPlan.Order,
+		HostPlan:  hostPlan,
+		HostTasks: hostTasks,
+	}
+	perHostCount := map[int]int{}
+	for _, idx := range hostPlan.Order {
+		u := task.Units[idx]
+		host := hostPlan.Sender[idx]
+		var onHost []int
+		for _, s := range u.Senders {
+			if cluster.HostOf(s) == host {
+				onHost = append(onHost, s)
+			}
+		}
+		if len(onHost) == 0 {
+			return nil, fmt.Errorf("resharding: unit %d has no sender on chosen host %d", idx, host)
+		}
+		dev := onHost[perHostCount[host]%len(onHost)]
+		perHostCount[host]++
+		p.SenderOf[idx] = dev
+	}
+	return p, nil
+}
+
+// greedyLoad is the baselines' load balancing (§5.1.2): iterate unit tasks
+// in order and give each to the candidate sender host with the lowest
+// committed load.
+func greedyLoad(tasks []schedule.Task) schedule.Plan {
+	load := map[int]float64{}
+	p := schedule.Plan{Sender: map[int]int{}}
+	for _, t := range tasks {
+		best, bestLoad := -1, math.Inf(1)
+		for _, c := range t.SenderHosts {
+			if load[c] < bestLoad || (load[c] == bestLoad && c < best) {
+				best, bestLoad = c, load[c]
+			}
+		}
+		p.Sender[t.ID] = best
+		load[best] += t.Duration
+		p.Order = append(p.Order, t.ID)
+	}
+	return p
+}
+
+// HostMakespan returns the Eq. 1-3 objective value of the host-level plan,
+// before chunk-level simulation.
+func (p *Plan) HostMakespan() (float64, error) {
+	return schedule.Makespan(p.HostTasks, p.HostPlan)
+}
+
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan(%s, %s, %d units)", p.Opts.Strategy, p.Opts.Scheduler, len(p.Task.Units))
+}

@@ -1,0 +1,79 @@
+package resharding
+
+import (
+	"fmt"
+
+	"alpacomm/internal/netsim"
+)
+
+// SimResult reports the simulated execution of a plan.
+type SimResult struct {
+	// Makespan is the completion time of the last unit task, seconds.
+	Makespan float64
+	// EffectiveGbps is the paper's figure-of-merit: total tensor bits
+	// divided by the makespan (Figs. 5, 6, 8).
+	EffectiveGbps float64
+	// NumOps is the number of transfer ops issued.
+	NumOps int
+	// Events is the full op trace, for timeline rendering.
+	Events []netsim.Event
+	// Utilization maps resource name to busy fraction.
+	Utilization map[string]float64
+}
+
+// Simulate times the plan on the cluster's network model. Unit tasks that
+// share a sender host (send side) or a receiver host (receive side) are
+// serialized in plan order per Eq. 3; everything else proceeds in parallel
+// at chunk granularity.
+func (p *Plan) Simulate() (*SimResult, error) {
+	cluster := p.Task.Src.Mesh.Cluster
+	net := netsim.NewClusterNet(cluster)
+	// lastUse[key] holds the completion ops of the previous unit task that
+	// occupied the host-side resource identified by key.
+	lastUse := map[string][]netsim.OpID{}
+	for pos, idx := range p.Order {
+		u := p.Task.Units[idx]
+		sender, ok := p.SenderOf[idx]
+		if !ok {
+			return nil, fmt.Errorf("resharding: no sender assigned for unit %d", idx)
+		}
+		keys := exclusivityKeys(cluster.HostOf(sender), p.Task.ReceiverHosts(u))
+		var deps []netsim.OpID
+		for _, k := range keys {
+			deps = append(deps, lastUse[k]...)
+		}
+		done, err := buildUnitOps(net, p.Opts, fmt.Sprintf("u%d", idx), sender, u.Receivers,
+			u.Slice.NumElements(), u.Bytes(p.Task.DType), pos, deps)
+		if err != nil {
+			return nil, fmt.Errorf("resharding: unit %d: %v", idx, err)
+		}
+		for _, k := range keys {
+			lastUse[k] = done
+		}
+	}
+	makespan, err := net.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &SimResult{
+		Makespan:    makespan,
+		NumOps:      net.Sim.NumOps(),
+		Events:      net.Sim.Events(),
+		Utilization: net.Sim.Utilization(),
+	}
+	if makespan > 0 {
+		res.EffectiveGbps = float64(p.Task.TotalBytes()) * 8 / makespan / 1e9
+	}
+	return res, nil
+}
+
+// exclusivityKeys identifies the host-side resources a unit task occupies
+// for Eq. 3 serialization: the sender host's send side and each receiver
+// host's receive side.
+func exclusivityKeys(senderHost int, receiverHosts []int) []string {
+	keys := []string{fmt.Sprintf("s%d", senderHost)}
+	for _, h := range receiverHosts {
+		keys = append(keys, fmt.Sprintf("r%d", h))
+	}
+	return keys
+}

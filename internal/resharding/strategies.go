@@ -1,0 +1,200 @@
+package resharding
+
+import (
+	"fmt"
+	"sort"
+
+	"alpacomm/internal/collective"
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/netsim"
+)
+
+// buildUnitOps registers the communication ops of one unit task under the
+// plan's strategy and returns the completion ops (one per receiver-side
+// endpoint), used to chain Eq. 3 exclusivity between unit tasks.
+func buildUnitOps(net *netsim.ClusterNet, opts Options, label string, sender int, receivers []int, elements, bytes int64, seq int, deps []netsim.OpID) ([]netsim.OpID, error) {
+	switch opts.Strategy {
+	case SendRecv:
+		return buildSendRecv(net, label, sender, receivers, bytes, seq, deps)
+	case LocalAllGather:
+		return buildLocalAllGather(net, label, sender, receivers, bytes, seq, deps)
+	case GlobalAllGather:
+		return buildGlobalAllGather(net, label, sender, receivers, bytes, seq, deps, false)
+	case Broadcast:
+		return buildBroadcast(net, opts, label, sender, receivers, bytes, seq, deps)
+	case Alpa:
+		return buildAlpa(net, label, sender, receivers, elements, bytes, seq, deps)
+	case Signal:
+		return buildSendRecv(net, label, sender, receivers, 1, seq, deps)
+	default:
+		return nil, fmt.Errorf("resharding: unknown strategy %v", opts.Strategy)
+	}
+}
+
+// buildSendRecv: one full copy per receiver device, serialized on the
+// sender's resources (Fig. 3a).
+func buildSendRecv(net *netsim.ClusterNet, label string, sender int, receivers []int, bytes int64, seq int, deps []netsim.OpID) ([]netsim.OpID, error) {
+	var done []netsim.OpID
+	for _, dst := range receivers {
+		id, err := net.Transfer(fmt.Sprintf("%s/sr->%d", label, dst), sender, dst, bytes, seq, deps...)
+		if err != nil {
+			return nil, err
+		}
+		done = append(done, id)
+	}
+	return done, nil
+}
+
+// buildLocalAllGather: per receiver host, scatter 1/B to each device and
+// all-gather locally (Fig. 3b). Receivers on the sender's own host get
+// direct NVLink copies.
+func buildLocalAllGather(net *netsim.ClusterNet, label string, sender int, receivers []int, bytes int64, seq int, deps []netsim.OpID) ([]netsim.OpID, error) {
+	c := net.Cluster
+	var done []netsim.OpID
+	for _, group := range groupByHost(c, receivers) {
+		if c.HostOf(group[0]) == c.HostOf(sender) || len(group) == 1 {
+			d, err := buildSendRecv(net, label, sender, group, bytes, seq, deps)
+			if err != nil {
+				return nil, err
+			}
+			done = append(done, d...)
+			continue
+		}
+		parts := splitBytes(bytes, len(group))
+		startDeps := map[int][]netsim.OpID{}
+		for i, dst := range group {
+			id, err := net.Transfer(fmt.Sprintf("%s/scatter->%d", label, dst), sender, dst, parts[i], seq, deps...)
+			if err != nil {
+				return nil, err
+			}
+			startDeps[dst] = []netsim.OpID{id}
+		}
+		res, err := collective.RingAllGather(net, label+"/lag", group, bytes, seq, startDeps)
+		if err != nil {
+			return nil, err
+		}
+		done = append(done, res.AllDone()...)
+	}
+	return done, nil
+}
+
+// buildGlobalAllGather: scatter 1/(A·B) to every receiver, then one global
+// ring all-gather (Fig. 3c). With barrier=true the all-gather waits for the
+// whole scatter phase (separate launches, the Alpa baseline's behaviour);
+// otherwise each device's part of the all-gather starts as soon as its own
+// chunk arrives.
+func buildGlobalAllGather(net *netsim.ClusterNet, label string, sender int, receivers []int, bytes int64, seq int, deps []netsim.OpID, barrier bool) ([]netsim.OpID, error) {
+	if len(receivers) == 1 {
+		return buildSendRecv(net, label, sender, receivers, bytes, seq, deps)
+	}
+	ring := collective.RingOrder(net.Cluster, receivers)
+	parts := splitBytes(bytes, len(ring))
+	startDeps := map[int][]netsim.OpID{}
+	var scatterOps []netsim.OpID
+	for i, dst := range ring {
+		id, err := net.Transfer(fmt.Sprintf("%s/scatter->%d", label, dst), sender, dst, parts[i], seq, deps...)
+		if err != nil {
+			return nil, err
+		}
+		scatterOps = append(scatterOps, id)
+		startDeps[dst] = []netsim.OpID{id}
+	}
+	if barrier {
+		for _, dst := range ring {
+			startDeps[dst] = scatterOps
+		}
+	}
+	res, err := collective.RingAllGather(net, label+"/gag", ring, bytes, seq, startDeps)
+	if err != nil {
+		return nil, err
+	}
+	return res.AllDone(), nil
+}
+
+// buildBroadcast: the paper's pipelined broadcast chain (Fig. 3d). On
+// clusters with several NICs per host, the unit task is divided into one
+// sub-task per NIC (the §3.1 future-work extension): each part travels its
+// own chain over a distinct NIC, multiplying cross-host bandwidth.
+func buildBroadcast(net *netsim.ClusterNet, opts Options, label string, sender int, receivers []int, bytes int64, seq int, deps []netsim.OpID) ([]netsim.OpID, error) {
+	chain := collective.BroadcastOrder(net.Cluster, sender, receivers)
+	chunks := opts.Chunks
+	if chunks <= 0 {
+		chunks = collective.DefaultChunks(bytes)
+	}
+	nics := net.Cluster.NICs()
+	if nics == 1 || bytes < int64(nics) {
+		res, err := collective.BroadcastChain(net, label+"/bc", chain, bytes, chunks, seq, deps...)
+		if err != nil {
+			return nil, err
+		}
+		return res.AllDone(), nil
+	}
+	parts := splitBytes(bytes, nics)
+	perNICChunks := (chunks + nics - 1) / nics
+	if perNICChunks < 1 {
+		perNICChunks = 1
+	}
+	var done []netsim.OpID
+	for k, part := range parts {
+		res, err := collective.BroadcastChain(net.OnNIC(k), fmt.Sprintf("%s/bc.nic%d", label, k), chain, part, perNICChunks, seq, deps...)
+		if err != nil {
+			return nil, err
+		}
+		done = append(done, res.AllDone()...)
+	}
+	return done, nil
+}
+
+// buildAlpa models the Alpa/Megatron-LM all-gather baseline: per-host
+// all-gather when the receivers sit on one host, global all-gather with a
+// scatter barrier otherwise — but only when the slice divides evenly over
+// the receivers; uneven partitions fall back to naive send/recv (§5.1.1:
+// "Alpa cannot handle uneven partition").
+func buildAlpa(net *netsim.ClusterNet, label string, sender int, receivers []int, elements, bytes int64, seq int, deps []netsim.OpID) ([]netsim.OpID, error) {
+	c := net.Cluster
+	groups := groupByHost(c, receivers)
+	multiHost := len(groups) > 1
+	if !multiHost {
+		if elements%int64(len(receivers)) != 0 {
+			return buildSendRecv(net, label, sender, receivers, bytes, seq, deps)
+		}
+		return buildLocalAllGather(net, label, sender, receivers, bytes, seq, deps)
+	}
+	if elements%int64(len(receivers)) != 0 {
+		return buildSendRecv(net, label, sender, receivers, bytes, seq, deps)
+	}
+	return buildGlobalAllGather(net, label, sender, receivers, bytes, seq, deps, true)
+}
+
+// groupByHost splits devices into per-host groups, hosts ascending,
+// devices ascending within a host.
+func groupByHost(c *mesh.Cluster, devices []int) [][]int {
+	byHost := map[int][]int{}
+	for _, d := range devices {
+		byHost[c.HostOf(d)] = append(byHost[c.HostOf(d)], d)
+	}
+	var hosts []int
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	out := make([][]int, 0, len(hosts))
+	for _, h := range hosts {
+		g := byHost[h]
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	return out
+}
+
+// splitBytes divides bytes into n near-even parts.
+func splitBytes(bytes int64, n int) []int64 {
+	out := make([]int64, n)
+	prev := int64(0)
+	for j := 1; j <= n; j++ {
+		b := int64(j) * bytes / int64(n)
+		out[j-1] = b - prev
+		prev = b
+	}
+	return out
+}

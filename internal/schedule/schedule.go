@@ -1,0 +1,426 @@
+// Package schedule solves the paper's §3.2 load-balancing and ordering
+// problem (Eq. 1-3): given the unit communication tasks of a cross-mesh
+// resharding — each with candidate sender hosts n_i, receiver hosts m_i and
+// duration T_i — pick one sender per task and an execution order that
+// minimize the completion time of the last task, under the constraint that
+// tasks sharing a host never overlap.
+//
+// Four algorithms are provided, mirroring the paper: Naive (lowest-index
+// sender, arbitrary order), LoadBalanceOnly (classic LPT greedy on Eq. 4),
+// DFSPruning (budgeted exhaustive search), and GreedyRandomized (iterative
+// maximal non-conflicting batches). Ensemble runs all and keeps the best,
+// which is AlpaComm's configuration ("we run both algorithms and choose
+// the better result", §5.3.1).
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Task is one host-level communication task.
+type Task struct {
+	// ID identifies the task; IDs must be unique within a problem.
+	ID int
+	// SenderHosts are the candidate hosts holding the data (n_i), at least
+	// one.
+	SenderHosts []int
+	// ReceiverHosts are the hosts that must receive the data (m_i), at
+	// least one.
+	ReceiverHosts []int
+	// Duration is the task's execution time T_i (e.g. bytes / NIC
+	// bandwidth for a pipelined broadcast).
+	Duration float64
+}
+
+// Plan is a solution: a sender per task and a launch order.
+type Plan struct {
+	// Sender maps task ID to the chosen sender host.
+	Sender map[int]int
+	// Order lists task IDs in launch order.
+	Order []int
+}
+
+// Validate checks that the plan covers every task exactly once and picks
+// senders from the candidate sets.
+func Validate(tasks []Task, p Plan) error {
+	if len(p.Order) != len(tasks) {
+		return fmt.Errorf("schedule: order has %d entries for %d tasks", len(p.Order), len(tasks))
+	}
+	byID := make(map[int]*Task, len(tasks))
+	for i := range tasks {
+		t := &tasks[i]
+		if _, dup := byID[t.ID]; dup {
+			return fmt.Errorf("schedule: duplicate task ID %d", t.ID)
+		}
+		byID[t.ID] = t
+	}
+	seen := map[int]bool{}
+	for _, id := range p.Order {
+		t, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("schedule: order references unknown task %d", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("schedule: task %d appears twice in order", id)
+		}
+		seen[id] = true
+		s, ok := p.Sender[id]
+		if !ok {
+			return fmt.Errorf("schedule: no sender chosen for task %d", id)
+		}
+		found := false
+		for _, c := range t.SenderHosts {
+			if c == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("schedule: sender %d for task %d not among candidates %v", s, id, t.SenderHosts)
+		}
+	}
+	return nil
+}
+
+// Makespan evaluates a plan with list scheduling: tasks launch in Order;
+// each starts as soon as its sender host and all receiver hosts are free,
+// and occupies them for its duration (Eq. 3 exclusivity). Sender-side
+// occupancy uses the host's send side and receiver-side occupancy the
+// receive side — hosts are full duplex (§3), so a host may send one task
+// while receiving another.
+func Makespan(tasks []Task, p Plan) (float64, error) {
+	if err := Validate(tasks, p); err != nil {
+		return 0, err
+	}
+	byID := make(map[int]*Task, len(tasks))
+	for i := range tasks {
+		byID[tasks[i].ID] = &tasks[i]
+	}
+	sendFree := map[int]float64{}
+	recvFree := map[int]float64{}
+	var makespan float64
+	for _, id := range p.Order {
+		t := byID[id]
+		s := p.Sender[id]
+		start := sendFree[s]
+		for _, r := range t.ReceiverHosts {
+			if recvFree[r] > start {
+				start = recvFree[r]
+			}
+		}
+		finish := start + t.Duration
+		sendFree[s] = finish
+		for _, r := range t.ReceiverHosts {
+			recvFree[r] = finish
+		}
+		if finish > makespan {
+			makespan = finish
+		}
+	}
+	return makespan, nil
+}
+
+// LowerBound returns a makespan lower bound independent of the plan: the
+// longest single task, and the heaviest receiver host's total incoming
+// work.
+func LowerBound(tasks []Task) float64 {
+	lb := 0.0
+	recvLoad := map[int]float64{}
+	for _, t := range tasks {
+		if t.Duration > lb {
+			lb = t.Duration
+		}
+		seen := map[int]bool{}
+		for _, r := range t.ReceiverHosts {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			recvLoad[r] += t.Duration
+		}
+	}
+	for _, v := range recvLoad {
+		if v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+// Naive is the paper's baseline: every task is sent by its lowest-indexed
+// candidate host, in task-ID order.
+func Naive(tasks []Task) Plan {
+	p := Plan{Sender: map[int]int{}}
+	for _, t := range tasks {
+		min := t.SenderHosts[0]
+		for _, c := range t.SenderHosts {
+			if c < min {
+				min = c
+			}
+		}
+		p.Sender[t.ID] = min
+		p.Order = append(p.Order, t.ID)
+	}
+	return p
+}
+
+// LoadBalanceOnly solves the Eq. 4 relaxation with the classical LPT
+// greedy: tasks sorted by descending duration, each assigned to the
+// candidate sender with the lightest committed load. The order is the
+// assignment order (longest first).
+func LoadBalanceOnly(tasks []Task) Plan {
+	idx := make([]int, len(tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if tasks[idx[a]].Duration != tasks[idx[b]].Duration {
+			return tasks[idx[a]].Duration > tasks[idx[b]].Duration
+		}
+		return tasks[idx[a]].ID < tasks[idx[b]].ID
+	})
+	load := map[int]float64{}
+	p := Plan{Sender: map[int]int{}}
+	for _, i := range idx {
+		t := tasks[i]
+		best, bestLoad := -1, math.Inf(1)
+		for _, c := range t.SenderHosts {
+			if load[c] < bestLoad || (load[c] == bestLoad && c < best) {
+				best, bestLoad = c, load[c]
+			}
+		}
+		p.Sender[t.ID] = best
+		load[best] += t.Duration
+		p.Order = append(p.Order, t.ID)
+	}
+	return p
+}
+
+// DFSPruning searches jointly over sender assignments and launch orders
+// with depth-first search, pruning branches whose lower bound (current
+// makespan, or any host's committed send load plus unavoidable future
+// load) meets the best complete schedule found. The search stops at the
+// time budget and returns the best plan seen; with a generous budget and
+// few tasks (the paper reports < 20) the result is optimal.
+func DFSPruning(tasks []Task, budget time.Duration) Plan {
+	if len(tasks) == 0 {
+		return Plan{Sender: map[int]int{}}
+	}
+	deadline := time.Now().Add(budget)
+
+	// Seed with the LPT plan so pruning has a baseline.
+	best := LoadBalanceOnly(tasks)
+	bestSpan, err := Makespan(tasks, best)
+	if err != nil {
+		panic(err) // unreachable: LoadBalanceOnly plans are valid
+	}
+
+	n := len(tasks)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	sender := map[int]int{}
+	sendFree := map[int]float64{}
+	recvFree := map[int]float64{}
+
+	var expired bool
+	checkCount := 0
+
+	var dfs func(depth int, span float64)
+	dfs = func(depth int, span float64) {
+		if expired {
+			return
+		}
+		checkCount++
+		if checkCount%1024 == 0 && time.Now().After(deadline) {
+			expired = true
+			return
+		}
+		if span >= bestSpan {
+			return
+		}
+		if depth == n {
+			bestSpan = span
+			cp := Plan{Sender: map[int]int{}, Order: append([]int(nil), order...)}
+			for k, v := range sender {
+				cp.Sender[k] = v
+			}
+			best = cp
+			return
+		}
+		// Symmetry breaking: among unscheduled tasks with identical
+		// (senders, receivers, duration), try only the first.
+		type key struct {
+			s, r string
+			d    float64
+		}
+		tried := map[key]bool{}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			t := tasks[i]
+			k := key{fmt.Sprint(t.SenderHosts), fmt.Sprint(t.ReceiverHosts), t.Duration}
+			if tried[k] {
+				continue
+			}
+			tried[k] = true
+			for _, s := range t.SenderHosts {
+				start := sendFree[s]
+				for _, r := range t.ReceiverHosts {
+					if recvFree[r] > start {
+						start = recvFree[r]
+					}
+				}
+				finish := start + t.Duration
+				newSpan := span
+				if finish > newSpan {
+					newSpan = finish
+				}
+				if newSpan >= bestSpan {
+					continue
+				}
+				// Commit.
+				used[i] = true
+				order = append(order, t.ID)
+				sender[t.ID] = s
+				oldSend := sendFree[s]
+				oldRecv := make([]float64, len(t.ReceiverHosts))
+				sendFree[s] = finish
+				for j, r := range t.ReceiverHosts {
+					oldRecv[j] = recvFree[r]
+					recvFree[r] = finish
+				}
+				dfs(depth+1, newSpan)
+				// Roll back.
+				sendFree[s] = oldSend
+				for j, r := range t.ReceiverHosts {
+					recvFree[r] = oldRecv[j]
+				}
+				delete(sender, t.ID)
+				order = order[:len(order)-1]
+				used[i] = false
+				if expired {
+					return
+				}
+			}
+		}
+	}
+	dfs(0, 0)
+	return best
+}
+
+// GreedyRandomized is the paper's scalable algorithm: repeatedly select a
+// maximal set of mutually non-conflicting tasks (found as the best of
+// `trials` random orderings), launch the set, and recurse on the rest.
+// Senders within a batch are chosen to avoid conflicts and balance load.
+func GreedyRandomized(tasks []Task, trials int, rng *rand.Rand) Plan {
+	if trials < 1 {
+		trials = 1
+	}
+	remaining := make([]int, len(tasks))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	load := map[int]float64{}
+	p := Plan{Sender: map[int]int{}}
+	for len(remaining) > 0 {
+		type pick struct {
+			taskIdx int
+			sender  int
+		}
+		var bestBatch []pick
+		bestHosts := -1
+		for trial := 0; trial < trials; trial++ {
+			perm := append([]int(nil), remaining...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			usedSend := map[int]bool{}
+			usedRecv := map[int]bool{}
+			var batch []pick
+			hosts := 0
+			for _, ti := range perm {
+				t := tasks[ti]
+				conflict := false
+				for _, r := range t.ReceiverHosts {
+					if usedRecv[r] {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					continue
+				}
+				// Pick a free candidate sender with the lightest load.
+				s, sLoad := -1, math.Inf(1)
+				for _, c := range t.SenderHosts {
+					if usedSend[c] {
+						continue
+					}
+					if load[c] < sLoad || (load[c] == sLoad && c < s) {
+						s, sLoad = c, load[c]
+					}
+				}
+				if s < 0 {
+					continue
+				}
+				usedSend[s] = true
+				for _, r := range t.ReceiverHosts {
+					usedRecv[r] = true
+				}
+				batch = append(batch, pick{ti, s})
+				hosts += 1 + len(t.ReceiverHosts)
+			}
+			if hosts > bestHosts {
+				bestHosts = hosts
+				bestBatch = batch
+			}
+		}
+		// Launch the batch, longest tasks first so stragglers start early.
+		sort.SliceStable(bestBatch, func(a, b int) bool {
+			return tasks[bestBatch[a].taskIdx].Duration > tasks[bestBatch[b].taskIdx].Duration
+		})
+		inBatch := map[int]bool{}
+		for _, b := range bestBatch {
+			t := tasks[b.taskIdx]
+			p.Sender[t.ID] = b.sender
+			p.Order = append(p.Order, t.ID)
+			load[b.sender] += t.Duration
+			inBatch[b.taskIdx] = true
+		}
+		var rest []int
+		for _, ti := range remaining {
+			if !inBatch[ti] {
+				rest = append(rest, ti)
+			}
+		}
+		remaining = rest
+	}
+	return p
+}
+
+// Ensemble runs Naive, LoadBalanceOnly, GreedyRandomized and (for small
+// problems) DFSPruning, and returns the plan with the smallest makespan.
+// This is AlpaComm's production configuration.
+func Ensemble(tasks []Task, dfsBudget time.Duration, trials int, rng *rand.Rand) Plan {
+	candidates := []Plan{Naive(tasks), LoadBalanceOnly(tasks), GreedyRandomized(tasks, trials, rng)}
+	// DFS explodes combinatorially; the paper reports it fails beyond ~20
+	// unit tasks, so only attempt it below that scale.
+	if len(tasks) <= 20 {
+		candidates = append(candidates, DFSPruning(tasks, dfsBudget))
+	}
+	best := candidates[0]
+	bestSpan := math.Inf(1)
+	for _, c := range candidates {
+		span, err := Makespan(tasks, c)
+		if err != nil {
+			continue
+		}
+		if span < bestSpan {
+			best, bestSpan = c, span
+		}
+	}
+	return best
+}

@@ -1,0 +1,131 @@
+package sharding
+
+import (
+	"fmt"
+	"sort"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/tensor"
+)
+
+// UnitTask is one unit communication task of a cross-mesh resharding
+// (§2.2): a unique data slice that must travel from the source mesh (where
+// Senders hold replicas) to every device in Receivers on the destination
+// mesh.
+type UnitTask struct {
+	// Index is the task's position in the decomposition, used as a stable
+	// identifier by the scheduler.
+	Index int
+	// Slice is the region of the global tensor this task moves.
+	Slice tensor.Region
+	// Senders are the physical devices on the source mesh holding a
+	// replica of Slice (the paper's N_i). Sorted ascending.
+	Senders []int
+	// Receivers are the physical devices on the destination mesh that need
+	// Slice (the paper's M_i). Sorted ascending.
+	Receivers []int
+}
+
+// Bytes returns the size of the task's slice in bytes.
+func (u UnitTask) Bytes(dt tensor.DType) int64 {
+	return u.Slice.NumElements() * dt.Size()
+}
+
+// Task is a full cross-mesh resharding task: send tensor Global, sharded as
+// SrcSpec on SrcMesh, to DstMesh where it must be laid out as DstSpec.
+type Task struct {
+	Global tensor.Shape
+	DType  tensor.DType
+	Src    *Placement
+	Dst    *Placement
+	Units  []UnitTask
+}
+
+// NewTask validates the resharding endpoints and decomposes the task into
+// unit communication tasks with the Appendix B.2 cutpoint algorithm:
+//
+//  1. per tensor dimension, merge the shard cut points of the sender and
+//     receiver placements;
+//  2. the cross product of the resulting interval lists tiles the tensor
+//     into slices;
+//  3. each slice becomes a unit task whose senders are all source devices
+//     holding it and whose receivers are all destination devices needing it.
+func NewTask(global tensor.Shape, dt tensor.DType, srcMesh *mesh.Mesh, srcSpec Spec, dstMesh *mesh.Mesh, dstSpec Spec) (*Task, error) {
+	if !mesh.Disjoint(srcMesh, dstMesh) {
+		return nil, fmt.Errorf("sharding: cross-mesh resharding requires disjoint meshes")
+	}
+	src, err := NewPlacement(srcMesh, srcSpec, global)
+	if err != nil {
+		return nil, fmt.Errorf("sharding: source placement: %v", err)
+	}
+	dst, err := NewPlacement(dstMesh, dstSpec, global)
+	if err != nil {
+		return nil, fmt.Errorf("sharding: destination placement: %v", err)
+	}
+	t := &Task{Global: global.Clone(), DType: dt, Src: src, Dst: dst}
+	t.Units = decompose(src, dst)
+	return t, nil
+}
+
+// decompose implements Appendix B.2 over two placements.
+func decompose(src, dst *Placement) []UnitTask {
+	rank := src.Global.Rank()
+	dims := make([][]tensor.Interval, rank)
+	for i := 0; i < rank; i++ {
+		cuts := tensor.MergeCuts(src.Cuts(i), dst.Cuts(i))
+		dims[i] = tensor.IntervalsFromCuts(cuts)
+	}
+	slices := tensor.CrossProduct(dims)
+	units := make([]UnitTask, 0, len(slices))
+	for _, s := range slices {
+		senders := src.HoldersOf(s)
+		receivers := dst.HoldersOf(s)
+		sort.Ints(senders)
+		sort.Ints(receivers)
+		units = append(units, UnitTask{
+			Index:     len(units),
+			Slice:     s,
+			Senders:   senders,
+			Receivers: receivers,
+		})
+	}
+	return units
+}
+
+// TotalBytes returns the lower bound on cross-mesh traffic: the full tensor
+// size (§2.2 — "the size of messages transferred between two meshes is
+// lower bound by the size of D").
+func (t *Task) TotalBytes() int64 {
+	return t.Global.NumElements() * t.DType.Size()
+}
+
+// SenderHosts returns the candidate sender hosts of a unit task (the
+// paper's n_i: scheduling happens at host granularity, §3.2).
+func (t *Task) SenderHosts(u UnitTask) []int {
+	return hostsOf(t.Src.Mesh.Cluster, u.Senders)
+}
+
+// ReceiverHosts returns the receiver hosts of a unit task (m_i).
+func (t *Task) ReceiverHosts(u UnitTask) []int {
+	return hostsOf(t.Dst.Mesh.Cluster, u.Receivers)
+}
+
+func hostsOf(c *mesh.Cluster, devices []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, d := range devices {
+		h := c.HostOf(d)
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	// Devices are sorted, and host = device / perHost is monotone, so the
+	// host list is already sorted.
+	return out
+}
+
+func (t *Task) String() string {
+	return fmt.Sprintf("reshard %v %s: %s on %v -> %s on %v (%d unit tasks)",
+		t.Global, t.DType, t.Src.Spec, t.Src.Mesh.Devices, t.Dst.Spec, t.Dst.Mesh.Devices, len(t.Units))
+}

@@ -1,0 +1,207 @@
+package sharding
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/tensor"
+)
+
+// TestFig2Task1 pins the paper's cross-mesh resharding Task 1 (Figure 2 and
+// Figure 10): S01R on MeshA -> S0R on MeshB decomposes into four unit
+// tasks, one per row, where the first sends row 0 to devices 4 and 5.
+func TestFig2Task1(t *testing.T) {
+	c := mesh.AWSP3Cluster(2)
+	meshA, _ := c.Slice([]int{2, 2}, 0)
+	meshB, _ := c.Slice([]int{2, 2}, 4)
+	task, err := NewTask(tensor.MustShape(4, 4), tensor.Float32, meshA, MustParse("S01R"), meshB, MustParse("S0R"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.Units) != 4 {
+		t.Fatalf("unit tasks = %d, want 4", len(task.Units))
+	}
+	want := []UnitTask{
+		{Index: 0, Slice: tensor.Box(0, 1, 0, 4), Senders: []int{0}, Receivers: []int{4, 5}},
+		{Index: 1, Slice: tensor.Box(1, 2, 0, 4), Senders: []int{1}, Receivers: []int{4, 5}},
+		{Index: 2, Slice: tensor.Box(2, 3, 0, 4), Senders: []int{2}, Receivers: []int{6, 7}},
+		{Index: 3, Slice: tensor.Box(3, 4, 0, 4), Senders: []int{3}, Receivers: []int{6, 7}},
+	}
+	for i, w := range want {
+		got := task.Units[i]
+		if !got.Slice.Equal(w.Slice) || !reflect.DeepEqual(got.Senders, w.Senders) || !reflect.DeepEqual(got.Receivers, w.Receivers) {
+			t.Errorf("unit %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestFig2Task2 pins Task 2 (Figure 2 and Figure 11): S0R on MeshB -> S0S1
+// on MeshA. The Appendix B.2 refinement yields four 2x2 unit tasks, each
+// replicated on two senders and required by one receiver.
+func TestFig2Task2(t *testing.T) {
+	c := mesh.AWSP3Cluster(2)
+	meshA, _ := c.Slice([]int{2, 2}, 0)
+	meshB, _ := c.Slice([]int{2, 2}, 4)
+	task, err := NewTask(tensor.MustShape(4, 4), tensor.Float32, meshB, MustParse("S0R"), meshA, MustParse("S0S1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.Units) != 4 {
+		t.Fatalf("unit tasks = %d, want 4", len(task.Units))
+	}
+	want := []UnitTask{
+		{Slice: tensor.Box(0, 2, 0, 2), Senders: []int{4, 5}, Receivers: []int{0}},
+		{Slice: tensor.Box(0, 2, 2, 4), Senders: []int{4, 5}, Receivers: []int{1}},
+		{Slice: tensor.Box(2, 4, 0, 2), Senders: []int{6, 7}, Receivers: []int{2}},
+		{Slice: tensor.Box(2, 4, 2, 4), Senders: []int{6, 7}, Receivers: []int{3}},
+	}
+	for i, w := range want {
+		got := task.Units[i]
+		if !got.Slice.Equal(w.Slice) || !reflect.DeepEqual(got.Senders, w.Senders) || !reflect.DeepEqual(got.Receivers, w.Receivers) {
+			t.Errorf("unit %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestNewTaskRejectsOverlappingMeshes(t *testing.T) {
+	c := mesh.AWSP3Cluster(2)
+	a, _ := c.Slice([]int{2, 2}, 0)
+	b, _ := c.Slice([]int{2, 2}, 2)
+	if _, err := NewTask(tensor.MustShape(4, 4), tensor.Float32, a, MustParse("S0R"), b, MustParse("S0R")); err == nil {
+		t.Error("overlapping meshes should be rejected")
+	}
+}
+
+func TestNewTaskRejectsBadSpecs(t *testing.T) {
+	c := mesh.AWSP3Cluster(2)
+	a, _ := c.Slice([]int{2, 2}, 0)
+	b, _ := c.Slice([]int{2, 2}, 4)
+	if _, err := NewTask(tensor.MustShape(4, 4), tensor.Float32, a, MustParse("S2R"), b, MustParse("S0R")); err == nil {
+		t.Error("bad source spec should be rejected")
+	}
+	if _, err := NewTask(tensor.MustShape(4, 4), tensor.Float32, a, MustParse("S0R"), b, MustParse("S2R")); err == nil {
+		t.Error("bad destination spec should be rejected")
+	}
+}
+
+func TestTaskHostSets(t *testing.T) {
+	c := mesh.AWSP3Cluster(2) // 4 devices per host
+	meshA, _ := c.Slice([]int{1, 4}, 0)
+	meshB, _ := c.Slice([]int{1, 4}, 4)
+	task, err := NewTask(tensor.MustShape(8, 8), tensor.Float32, meshA, MustParse("RR"), meshB, MustParse("RR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.Units) != 1 {
+		t.Fatalf("replicated->replicated should be one unit task, got %d", len(task.Units))
+	}
+	u := task.Units[0]
+	if !reflect.DeepEqual(task.SenderHosts(u), []int{0}) {
+		t.Errorf("sender hosts = %v", task.SenderHosts(u))
+	}
+	if !reflect.DeepEqual(task.ReceiverHosts(u), []int{1}) {
+		t.Errorf("receiver hosts = %v", task.ReceiverHosts(u))
+	}
+}
+
+func TestTaskTotalBytes(t *testing.T) {
+	c := mesh.AWSP3Cluster(2)
+	meshA, _ := c.Slice([]int{2, 2}, 0)
+	meshB, _ := c.Slice([]int{2, 2}, 4)
+	task, _ := NewTask(tensor.MustShape(4, 4), tensor.Float16, meshA, MustParse("S01R"), meshB, MustParse("S0R"))
+	if task.TotalBytes() != 16*2 {
+		t.Errorf("TotalBytes = %d", task.TotalBytes())
+	}
+	if task.String() == "" {
+		t.Error("task String empty")
+	}
+}
+
+func TestUnitTaskBytes(t *testing.T) {
+	u := UnitTask{Slice: tensor.Box(0, 2, 0, 4)}
+	if u.Bytes(tensor.Float32) != 32 {
+		t.Errorf("Bytes = %d", u.Bytes(tensor.Float32))
+	}
+}
+
+// Property (the paper's correctness requirement for the decomposition):
+// for any pair of valid specs, the unit slices tile the tensor exactly,
+// every unit task has at least one sender and one receiver, senders hold
+// the slice, and receivers need it.
+func TestDecomposeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := mesh.AWSP3Cluster(4)
+		meshA, _ := c.Slice([]int{2, 2}, 0)
+		meshB, _ := c.Slice([]int{2, 2}, 8)
+		shape := tensor.MustShape(4+r.Intn(13), 4+r.Intn(13))
+		task, err := NewTask(shape, tensor.Float32, meshA, randomSpec(r), meshB, randomSpec(r))
+		if err != nil {
+			return false
+		}
+		var total int64
+		for i, u := range task.Units {
+			if len(u.Senders) == 0 || len(u.Receivers) == 0 {
+				return false
+			}
+			total += u.Slice.NumElements()
+			for j := i + 1; j < len(task.Units); j++ {
+				if u.Slice.Overlaps(task.Units[j].Slice) {
+					return false
+				}
+			}
+			for _, s := range u.Senders {
+				reg, err := task.Src.RegionOfDevice(s)
+				if err != nil || !reg.Contains(u.Slice) {
+					return false
+				}
+			}
+			for _, d := range u.Receivers {
+				reg, err := task.Dst.RegionOfDevice(d)
+				if err != nil || !reg.Contains(u.Slice) {
+					return false
+				}
+			}
+		}
+		return total == shape.NumElements()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every destination device's full region is covered exactly by
+// the unit tasks that list it as receiver (no gaps, no overlap).
+func TestDecomposeCoversReceivers(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := mesh.AWSP3Cluster(4)
+		meshA, _ := c.Slice([]int{2, 2}, 0)
+		meshB, _ := c.Slice([]int{2, 2}, 8)
+		shape := tensor.MustShape(4+r.Intn(13), 4+r.Intn(13))
+		task, err := NewTask(shape, tensor.Float32, meshA, randomSpec(r), meshB, randomSpec(r))
+		if err != nil {
+			return false
+		}
+		for _, dr := range task.Dst.DeviceRegions() {
+			var got int64
+			for _, u := range task.Units {
+				for _, rcv := range u.Receivers {
+					if rcv == dr.Device {
+						got += u.Slice.NumElements()
+					}
+				}
+			}
+			if got != dr.Region.NumElements() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package sharding
+
+import (
+	"fmt"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/tensor"
+)
+
+// Placement binds a spec to a concrete mesh and tensor shape and answers
+// "which region of the global tensor does each device hold?".
+type Placement struct {
+	Mesh   *mesh.Mesh
+	Spec   Spec
+	Global tensor.Shape
+	// cuts[i] holds the shard boundaries of tensor dimension i.
+	cuts [][]int
+}
+
+// NewPlacement validates the triple and precomputes shard boundaries.
+func NewPlacement(m *mesh.Mesh, spec Spec, global tensor.Shape) (*Placement, error) {
+	if err := spec.Validate(m, global); err != nil {
+		return nil, err
+	}
+	cuts := make([][]int, global.Rank())
+	for i := range cuts {
+		deg := spec.ShardDegree(m, i)
+		b, err := tensor.PartitionBoundaries(global[i], deg)
+		if err != nil {
+			return nil, fmt.Errorf("sharding: dim %d: %v", i, err)
+		}
+		cuts[i] = b
+	}
+	return &Placement{Mesh: m, Spec: spec, Global: global.Clone(), cuts: cuts}, nil
+}
+
+// Cuts returns the shard boundaries along tensor dimension i.
+func (p *Placement) Cuts(i int) []int { return p.cuts[i] }
+
+// shardIndex computes which shard of tensor dim i the device at the given
+// mesh coordinates holds: the lexicographic combination of its coordinates
+// along the dim's mesh axes.
+func (p *Placement) shardIndex(dim int, coord []int) int {
+	idx := 0
+	for _, a := range p.Spec.Dims[dim].MeshAxes {
+		idx = idx*p.Mesh.Shape[a] + coord[a]
+	}
+	return idx
+}
+
+// RegionAt returns the global-tensor region held by the device at the given
+// logical mesh coordinates.
+func (p *Placement) RegionAt(coord ...int) (tensor.Region, error) {
+	if len(coord) != p.Mesh.Rank() {
+		return nil, fmt.Errorf("sharding: coordinate rank %d != mesh rank %d", len(coord), p.Mesh.Rank())
+	}
+	for i, c := range coord {
+		if c < 0 || c >= p.Mesh.Shape[i] {
+			return nil, fmt.Errorf("sharding: coordinate %v outside mesh shape %v", coord, p.Mesh.Shape)
+		}
+	}
+	r := make(tensor.Region, p.Global.Rank())
+	for i := range r {
+		j := p.shardIndex(i, coord)
+		r[i] = tensor.Interval{Lo: p.cuts[i][j], Hi: p.cuts[i][j+1]}
+	}
+	return r, nil
+}
+
+// RegionOfDevice returns the region held by a physical device that belongs
+// to the mesh.
+func (p *Placement) RegionOfDevice(device int) (tensor.Region, error) {
+	for flat, d := range p.Mesh.Devices {
+		if d == device {
+			return p.RegionAt(p.Mesh.CoordOf(flat)...)
+		}
+	}
+	return nil, fmt.Errorf("sharding: device %d not in mesh %v", device, p.Mesh)
+}
+
+// DeviceRegions returns, for every device of the mesh (in mesh row-major
+// order), the pair (physical device index, region held).
+func (p *Placement) DeviceRegions() []DeviceRegion {
+	out := make([]DeviceRegion, p.Mesh.NumDevices())
+	for flat, d := range p.Mesh.Devices {
+		r, err := p.RegionAt(p.Mesh.CoordOf(flat)...)
+		if err != nil {
+			panic(err) // unreachable: coordinates come from the mesh itself
+		}
+		out[flat] = DeviceRegion{Device: d, Region: r}
+	}
+	return out
+}
+
+// DeviceRegion pairs a physical device with the global-tensor region it
+// holds under a placement.
+type DeviceRegion struct {
+	Device int
+	Region tensor.Region
+}
+
+// HoldersOf returns the physical devices whose region fully contains r
+// (replicas of the slice, the paper's set N_i / M_i).
+func (p *Placement) HoldersOf(r tensor.Region) []int {
+	var out []int
+	for _, dr := range p.DeviceRegions() {
+		if dr.Region.Contains(r) {
+			out = append(out, dr.Device)
+		}
+	}
+	return out
+}
+
+// Buffers allocates one data-plane buffer per device, covering exactly the
+// region the placement assigns it. The map key is the physical device index.
+func (p *Placement) Buffers() (map[int]*tensor.Buffer, error) {
+	out := make(map[int]*tensor.Buffer, p.Mesh.NumDevices())
+	for _, dr := range p.DeviceRegions() {
+		b, err := tensor.NewBuffer(p.Global, dr.Region)
+		if err != nil {
+			return nil, err
+		}
+		out[dr.Device] = b
+	}
+	return out, nil
+}
+
+// BytesPerDevice returns the size in bytes of the largest per-device region
+// under the placement.
+func (p *Placement) BytesPerDevice(dt tensor.DType) int64 {
+	var max int64
+	for _, dr := range p.DeviceRegions() {
+		if b := dr.Region.NumElements() * dt.Size(); b > max {
+			max = b
+		}
+	}
+	return max
+}

@@ -1,0 +1,216 @@
+package sharding
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/tensor"
+)
+
+// fig2MeshA returns the (2,2) mesh [[0,1],[2,3]] from Figure 2.
+func fig2MeshA(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	c := mesh.AWSP3Cluster(2)
+	m, err := c.Slice([]int{2, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// fig2MeshB returns the (2,2) mesh [[4,5],[6,7]] from Figure 2.
+func fig2MeshB(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	c := mesh.AWSP3Cluster(2)
+	m, err := c.Slice([]int{2, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFig2Spec1 pins the first sharding spec of Figure 2: S01R on MeshA —
+// each device holds one 1x4 row slice.
+func TestFig2Spec1(t *testing.T) {
+	m := fig2MeshA(t)
+	p, err := NewPlacement(m, MustParse("S01R"), tensor.MustShape(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]tensor.Region{
+		0: tensor.Box(0, 1, 0, 4),
+		1: tensor.Box(1, 2, 0, 4),
+		2: tensor.Box(2, 3, 0, 4),
+		3: tensor.Box(3, 4, 0, 4),
+	}
+	for dev, wr := range want {
+		r, err := p.RegionOfDevice(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Equal(wr) {
+			t.Errorf("device %d region = %v, want %v", dev, r, wr)
+		}
+	}
+}
+
+// TestFig2Spec2 pins the second spec: S0R on MeshB — devices 4,5 replicate
+// the top 2x4 slice, devices 6,7 the bottom.
+func TestFig2Spec2(t *testing.T) {
+	m := fig2MeshB(t)
+	p, err := NewPlacement(m, MustParse("S0R"), tensor.MustShape(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := tensor.Box(0, 2, 0, 4)
+	bottom := tensor.Box(2, 4, 0, 4)
+	for _, dev := range []int{4, 5} {
+		r, _ := p.RegionOfDevice(dev)
+		if !r.Equal(top) {
+			t.Errorf("device %d region = %v, want %v", dev, r, top)
+		}
+	}
+	for _, dev := range []int{6, 7} {
+		r, _ := p.RegionOfDevice(dev)
+		if !r.Equal(bottom) {
+			t.Errorf("device %d region = %v, want %v", dev, r, bottom)
+		}
+	}
+	// Replicas: the top slice is held by exactly devices 4 and 5.
+	if got := p.HoldersOf(top); !reflect.DeepEqual(got, []int{4, 5}) {
+		t.Errorf("HoldersOf(top) = %v", got)
+	}
+}
+
+// TestFig2Spec3 pins the third spec: S0S1 on MeshA — a 2x2 block per device.
+func TestFig2Spec3(t *testing.T) {
+	m := fig2MeshA(t)
+	p, err := NewPlacement(m, MustParse("S0S1"), tensor.MustShape(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]tensor.Region{
+		0: tensor.Box(0, 2, 0, 2),
+		1: tensor.Box(0, 2, 2, 4),
+		2: tensor.Box(2, 4, 0, 2),
+		3: tensor.Box(2, 4, 2, 4),
+	}
+	for dev, wr := range want {
+		r, _ := p.RegionOfDevice(dev)
+		if !r.Equal(wr) {
+			t.Errorf("device %d region = %v, want %v", dev, r, wr)
+		}
+	}
+}
+
+func TestPlacementReplicatedAll(t *testing.T) {
+	m := fig2MeshA(t)
+	p, err := NewPlacement(m, MustParse("RR"), tensor.MustShape(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tensor.MustShape(4, 4).Region()
+	if got := p.HoldersOf(full); len(got) != 4 {
+		t.Errorf("all devices should hold the full tensor, got %v", got)
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	m := fig2MeshA(t)
+	if _, err := NewPlacement(m, MustParse("S0S0"), tensor.MustShape(4, 4)); err == nil {
+		t.Error("invalid spec should fail")
+	}
+	p, _ := NewPlacement(m, MustParse("S0R"), tensor.MustShape(4, 4))
+	if _, err := p.RegionAt(0); err == nil {
+		t.Error("wrong coordinate rank should fail")
+	}
+	if _, err := p.RegionAt(2, 0); err == nil {
+		t.Error("out-of-range coordinate should fail")
+	}
+	if _, err := p.RegionOfDevice(99); err == nil {
+		t.Error("device outside mesh should fail")
+	}
+}
+
+func TestPlacementBuffers(t *testing.T) {
+	m := fig2MeshB(t)
+	p, _ := NewPlacement(m, MustParse("S0R"), tensor.MustShape(4, 4))
+	bufs, err := p.Buffers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bufs) != 4 {
+		t.Fatalf("got %d buffers", len(bufs))
+	}
+	if got := bufs[4].Region; !got.Equal(tensor.Box(0, 2, 0, 4)) {
+		t.Errorf("buffer region = %v", got)
+	}
+	if p.BytesPerDevice(tensor.Float32) != 8*4 {
+		t.Errorf("BytesPerDevice = %d", p.BytesPerDevice(tensor.Float32))
+	}
+}
+
+// randomSpec builds a random valid spec for a rank-2 tensor on a rank-2 mesh.
+func randomSpec(r *rand.Rand) Spec {
+	choices := []string{"RR", "S0R", "S1R", "RS0", "RS1", "S0S1", "S1S0", "S01R", "RS01", "S10R", "RS10"}
+	return MustParse(choices[r.Intn(len(choices))])
+}
+
+// Property: under any valid placement, the regions held by all devices
+// cover the whole tensor (every element is held by at least one device),
+// and devices in the same replica group hold identical regions.
+func TestPlacementCoversTensor(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := mesh.AWSP3Cluster(2)
+		m, _ := c.Slice([]int{2, 2}, 0)
+		shape := tensor.MustShape(4+r.Intn(8), 4+r.Intn(8))
+		spec := randomSpec(r)
+		p, err := NewPlacement(m, spec, shape)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		shape.Region().ForEachPoint(func(pt []int) {
+			for _, dr := range p.DeviceRegions() {
+				if dr.Region.ContainsPoint(pt) {
+					covered++
+					return
+				}
+			}
+		})
+		return int64(covered) == shape.NumElements()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total elements held across devices = tensor size x replication
+// factor (mesh size / total shard degree).
+func TestPlacementReplicationAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := mesh.AWSP3Cluster(2)
+		m, _ := c.Slice([]int{2, 2}, 0)
+		shape := tensor.MustShape(8, 8) // divisible by all degrees here
+		spec := randomSpec(r)
+		p, err := NewPlacement(m, spec, shape)
+		if err != nil {
+			return false
+		}
+		deg := int64(spec.ShardDegree(m, 0) * spec.ShardDegree(m, 1))
+		replicas := int64(m.NumDevices()) / deg
+		var total int64
+		for _, dr := range p.DeviceRegions() {
+			total += dr.Region.NumElements()
+		}
+		return total == shape.NumElements()*replicas
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package sharding implements the paper's tensor-layout formalism (§2.2):
+// sharding specs over device meshes, per-device data regions, and the
+// decomposition of a cross-mesh resharding into unit communication tasks
+// (Appendix B.2).
+package sharding
+
+import (
+	"fmt"
+	"strings"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/tensor"
+)
+
+// DimSharding describes how one tensor dimension is laid out on a mesh:
+// replicated (MeshAxes empty) or sharded over one or more mesh axes in
+// order (S0, S1, S01, ...).
+type DimSharding struct {
+	// MeshAxes lists the mesh dimensions this tensor dimension is sharded
+	// over, in significance order (S01 means axis 0 is the major axis).
+	// Empty means replicated (R).
+	MeshAxes []int
+}
+
+// Replicated reports whether this dimension is replicated.
+func (d DimSharding) Replicated() bool { return len(d.MeshAxes) == 0 }
+
+// Spec is a sharding spec: one DimSharding per tensor dimension, e.g.
+// "S01R" for a 2-D tensor whose first dim is sharded over both mesh axes
+// and whose second dim is replicated.
+type Spec struct {
+	Dims []DimSharding
+}
+
+// R is a replicated dimension, for building specs as literals.
+func R() DimSharding { return DimSharding{} }
+
+// S returns a dimension sharded over the given mesh axes.
+func S(axes ...int) DimSharding {
+	return DimSharding{MeshAxes: append([]int(nil), axes...)}
+}
+
+// NewSpec builds a spec from per-dimension shardings.
+func NewSpec(dims ...DimSharding) Spec {
+	out := make([]DimSharding, len(dims))
+	copy(out, dims)
+	return Spec{Dims: out}
+}
+
+// Replicated returns the fully replicated spec of the given tensor rank.
+func Replicated(rank int) Spec {
+	return Spec{Dims: make([]DimSharding, rank)}
+}
+
+// Rank returns the tensor rank the spec applies to.
+func (s Spec) Rank() int { return len(s.Dims) }
+
+// Validate checks the spec against a mesh and tensor shape: mesh axes must
+// exist, no mesh axis may shard two tensor dimensions, and every sharded
+// dimension must be long enough to give each shard at least one element.
+func (s Spec) Validate(m *mesh.Mesh, shape tensor.Shape) error {
+	if len(s.Dims) != shape.Rank() {
+		return fmt.Errorf("sharding: spec rank %d != tensor rank %d", len(s.Dims), shape.Rank())
+	}
+	used := map[int]bool{}
+	for i, d := range s.Dims {
+		deg := 1
+		for _, a := range d.MeshAxes {
+			if a < 0 || a >= m.Rank() {
+				return fmt.Errorf("sharding: dim %d refers to mesh axis %d, mesh rank is %d", i, a, m.Rank())
+			}
+			if used[a] {
+				return fmt.Errorf("sharding: mesh axis %d used by more than one tensor dimension", a)
+			}
+			used[a] = true
+			deg *= m.Shape[a]
+		}
+		if deg > shape[i] {
+			return fmt.Errorf("sharding: dim %d of length %d cannot be sharded %d ways", i, shape[i], deg)
+		}
+	}
+	return nil
+}
+
+// ShardDegree returns the number of shards of tensor dimension i on mesh m.
+func (s Spec) ShardDegree(m *mesh.Mesh, i int) int {
+	deg := 1
+	for _, a := range s.Dims[i].MeshAxes {
+		deg *= m.Shape[a]
+	}
+	return deg
+}
+
+// Parse builds a spec from the paper's string notation, e.g. "S01R",
+// "RS0R", "RRR". Each tensor dimension is either 'R' or 'S' followed by one
+// digit per mesh axis.
+func Parse(str string) (Spec, error) {
+	var dims []DimSharding
+	i := 0
+	for i < len(str) {
+		switch str[i] {
+		case 'R':
+			dims = append(dims, DimSharding{})
+			i++
+		case 'S':
+			i++
+			start := i
+			for i < len(str) && str[i] >= '0' && str[i] <= '9' {
+				i++
+			}
+			if i == start {
+				return Spec{}, fmt.Errorf("sharding: 'S' without mesh axes in %q", str)
+			}
+			axes := make([]int, 0, i-start)
+			for _, c := range str[start:i] {
+				axes = append(axes, int(c-'0'))
+			}
+			dims = append(dims, DimSharding{MeshAxes: axes})
+		default:
+			return Spec{}, fmt.Errorf("sharding: unexpected character %q in spec %q", str[i], str)
+		}
+	}
+	if len(dims) == 0 {
+		return Spec{}, fmt.Errorf("sharding: empty spec")
+	}
+	return Spec{Dims: dims}, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(str string) Spec {
+	s, err := Parse(str)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// String renders the spec in the paper's notation.
+func (s Spec) String() string {
+	var b strings.Builder
+	for _, d := range s.Dims {
+		if d.Replicated() {
+			b.WriteByte('R')
+			continue
+		}
+		b.WriteByte('S')
+		for _, a := range d.MeshAxes {
+			fmt.Fprintf(&b, "%d", a)
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two specs are identical.
+func (s Spec) Equal(o Spec) bool {
+	if len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		a, b := s.Dims[i].MeshAxes, o.Dims[i].MeshAxes
+		if len(a) != len(b) {
+			return false
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package sharding
+
+import (
+	"reflect"
+	"testing"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/tensor"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"S01R", "S0R", "S0S1", "RRR", "S0RR", "RS0R", "RS01R", "S1RR", "RRS0"} {
+		spec, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := spec.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "S", "SR0", "X", "RSx"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	spec := MustParse("S01R")
+	if spec.Rank() != 2 {
+		t.Fatalf("rank = %d", spec.Rank())
+	}
+	if !reflect.DeepEqual(spec.Dims[0].MeshAxes, []int{0, 1}) {
+		t.Errorf("dim0 axes = %v", spec.Dims[0].MeshAxes)
+	}
+	if !spec.Dims[1].Replicated() {
+		t.Error("dim1 should be replicated")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of bad spec should panic")
+		}
+	}()
+	MustParse("Q")
+}
+
+func TestSpecConstructors(t *testing.T) {
+	spec := NewSpec(S(0, 1), R())
+	if spec.String() != "S01R" {
+		t.Errorf("constructed spec = %s", spec)
+	}
+	if Replicated(3).String() != "RRR" {
+		t.Errorf("Replicated(3) = %s", Replicated(3))
+	}
+}
+
+func TestSpecEqual(t *testing.T) {
+	if !MustParse("S0R").Equal(NewSpec(S(0), R())) {
+		t.Error("equal specs reported unequal")
+	}
+	if MustParse("S0R").Equal(MustParse("S1R")) {
+		t.Error("different axes reported equal")
+	}
+	if MustParse("S0R").Equal(MustParse("S0")) {
+		t.Error("different ranks reported equal")
+	}
+	if MustParse("S01R").Equal(MustParse("S0R")) {
+		t.Error("different axis counts reported equal")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := mesh.AWSP3Cluster(2)
+	m, _ := c.Slice([]int{2, 2}, 0)
+	shape := tensor.MustShape(4, 4)
+
+	if err := MustParse("S01R").Validate(m, shape); err != nil {
+		t.Errorf("S01R should validate: %v", err)
+	}
+	if err := MustParse("S0S1").Validate(m, shape); err != nil {
+		t.Errorf("S0S1 should validate: %v", err)
+	}
+	if err := MustParse("S0R").Validate(m, tensor.MustShape(4)); err == nil {
+		t.Error("rank mismatch should fail")
+	}
+	if err := MustParse("S0S0").Validate(m, shape); err == nil {
+		t.Error("reusing a mesh axis should fail")
+	}
+	if err := MustParse("S2R").Validate(m, shape); err == nil {
+		t.Error("nonexistent mesh axis should fail")
+	}
+	if err := MustParse("S01R").Validate(m, tensor.MustShape(2, 4)); err == nil {
+		t.Error("over-sharding a short dimension should fail")
+	}
+}
+
+func TestShardDegree(t *testing.T) {
+	c := mesh.AWSP3Cluster(2)
+	m, _ := c.Slice([]int{2, 4}, 0)
+	spec := MustParse("S01R")
+	if d := spec.ShardDegree(m, 0); d != 8 {
+		t.Errorf("degree dim0 = %d, want 8", d)
+	}
+	if d := spec.ShardDegree(m, 1); d != 1 {
+		t.Errorf("degree dim1 = %d, want 1", d)
+	}
+}

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"fmt"
+)
+
+// DType identifies the element type of a tensor. Only the element width
+// matters for communication volume; buffers always store float64 values so
+// correctness checks are exact.
+type DType int
+
+const (
+	// Float32 is a 4-byte element (paper's FP32 configurations).
+	Float32 DType = iota
+	// Float16 is a 2-byte element (paper's mixed-precision configurations).
+	Float16
+	// Float64 is an 8-byte element.
+	Float64
+)
+
+// Size returns the width of one element in bytes.
+func (d DType) Size() int64 {
+	switch d {
+	case Float16:
+		return 2
+	case Float32:
+		return 4
+	case Float64:
+		return 8
+	default:
+		return 4
+	}
+}
+
+func (d DType) String() string {
+	switch d {
+	case Float16:
+		return "fp16"
+	case Float32:
+		return "fp32"
+	case Float64:
+		return "fp64"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Buffer holds the data of one Region of a global tensor on one device.
+// Data is stored row-major over the region's local shape.
+type Buffer struct {
+	// Global is the shape of the full (unsharded) tensor.
+	Global Shape
+	// Region is the sub-box of the global tensor this buffer holds.
+	Region Region
+	// Data holds Region.NumElements() values in row-major order.
+	Data []float64
+}
+
+// NewBuffer allocates a zeroed buffer covering region of a tensor with the
+// given global shape.
+func NewBuffer(global Shape, region Region) (*Buffer, error) {
+	if len(global) != len(region) {
+		return nil, fmt.Errorf("tensor: region rank %d != shape rank %d", len(region), len(global))
+	}
+	if !global.Region().Contains(region) {
+		return nil, fmt.Errorf("tensor: region %v outside global shape %v", region, global)
+	}
+	return &Buffer{
+		Global: global.Clone(),
+		Region: region.Clone(),
+		Data:   make([]float64, region.NumElements()),
+	}, nil
+}
+
+// localOffset maps a global coordinate (inside Region) to an index in Data.
+func (b *Buffer) localOffset(pt []int) int64 {
+	off := int64(0)
+	for i, iv := range b.Region {
+		off = off*int64(iv.Len()) + int64(pt[i]-iv.Lo)
+	}
+	return off
+}
+
+// At returns the value at a global coordinate. The coordinate must lie
+// inside the buffer's region.
+func (b *Buffer) At(pt ...int) (float64, error) {
+	if !b.Region.ContainsPoint(pt) {
+		return 0, fmt.Errorf("tensor: point %v outside region %v", pt, b.Region)
+	}
+	return b.Data[b.localOffset(pt)], nil
+}
+
+// Set writes the value at a global coordinate.
+func (b *Buffer) Set(v float64, pt ...int) error {
+	if !b.Region.ContainsPoint(pt) {
+		return fmt.Errorf("tensor: point %v outside region %v", pt, b.Region)
+	}
+	b.Data[b.localOffset(pt)] = v
+	return nil
+}
+
+// FillFunc sets every element to fn(globalCoordinates).
+func (b *Buffer) FillFunc(fn func(pt []int) float64) {
+	i := 0
+	b.Region.ForEachPoint(func(pt []int) {
+		b.Data[i] = fn(pt)
+		i++
+	})
+}
+
+// FillLinear fills the buffer with each element's global row-major linear
+// index. This is the canonical test pattern: after a resharding, a
+// destination buffer is correct iff every element equals its linear index.
+func (b *Buffer) FillLinear() {
+	strides := b.Global.Strides()
+	b.FillFunc(func(pt []int) float64 {
+		off := int64(0)
+		for i, p := range pt {
+			off += int64(p) * strides[i]
+		}
+		return float64(off)
+	})
+}
+
+// Bytes returns the size of the buffer in bytes for the given element type.
+func (b *Buffer) Bytes(dt DType) int64 {
+	return b.Region.NumElements() * dt.Size()
+}
+
+// CopyRegion copies the elements of region r (global coordinates) from src
+// into b. r must be contained in both buffers' regions.
+func (b *Buffer) CopyRegion(src *Buffer, r Region) error {
+	if !b.Global.Equal(src.Global) {
+		return fmt.Errorf("tensor: buffers belong to different global tensors %v vs %v", b.Global, src.Global)
+	}
+	if !src.Region.Contains(r) {
+		return fmt.Errorf("tensor: source region %v does not contain %v", src.Region, r)
+	}
+	if !b.Region.Contains(r) {
+		return fmt.Errorf("tensor: destination region %v does not contain %v", b.Region, r)
+	}
+	var err error
+	r.ForEachPoint(func(pt []int) {
+		b.Data[b.localOffset(pt)] = src.Data[src.localOffset(pt)]
+	})
+	return err
+}
+
+// VerifyLinear checks that every element equals its global row-major linear
+// index (the FillLinear pattern). It returns the first mismatching global
+// coordinate, or ok=true.
+func (b *Buffer) VerifyLinear() (ok bool, badPt []int, got, want float64) {
+	strides := b.Global.Strides()
+	ok = true
+	b.Region.ForEachPoint(func(pt []int) {
+		if !ok {
+			return
+		}
+		off := int64(0)
+		for i, p := range pt {
+			off += int64(p) * strides[i]
+		}
+		v := b.Data[b.localOffset(pt)]
+		if v != float64(off) {
+			ok = false
+			badPt = append([]int(nil), pt...)
+			got, want = v, float64(off)
+		}
+	})
+	return ok, badPt, got, want
+}

@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSizes(t *testing.T) {
+	if Float16.Size() != 2 || Float32.Size() != 4 || Float64.Size() != 8 {
+		t.Error("element widths wrong")
+	}
+	if Float16.String() != "fp16" || Float32.String() != "fp32" || Float64.String() != "fp64" {
+		t.Error("dtype names wrong")
+	}
+	if DType(99).Size() != 4 {
+		t.Error("unknown dtype should default to 4 bytes")
+	}
+}
+
+func TestNewBufferValidation(t *testing.T) {
+	g := MustShape(4, 4)
+	if _, err := NewBuffer(g, Region{{0, 2}}); err == nil {
+		t.Error("rank mismatch should fail")
+	}
+	if _, err := NewBuffer(g, Region{{0, 5}, {0, 4}}); err == nil {
+		t.Error("region outside shape should fail")
+	}
+	b, err := NewBuffer(g, Region{{1, 3}, {2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Data) != 4 {
+		t.Errorf("allocated %d elements, want 4", len(b.Data))
+	}
+}
+
+func TestBufferAtSet(t *testing.T) {
+	b, _ := NewBuffer(MustShape(4, 4), Region{{1, 3}, {2, 4}})
+	if err := b.Set(7.5, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.At(2, 3)
+	if err != nil || v != 7.5 {
+		t.Errorf("At = %v, %v", v, err)
+	}
+	if _, err := b.At(0, 0); err == nil {
+		t.Error("At outside region should fail")
+	}
+	if err := b.Set(1, 3, 3); err == nil {
+		t.Error("Set outside region should fail")
+	}
+}
+
+func TestFillLinearAndVerify(t *testing.T) {
+	b, _ := NewBuffer(MustShape(4, 4), Region{{1, 3}, {0, 4}})
+	b.FillLinear()
+	// Element (1,0) has linear index 4, (2,3) has 11.
+	if v, _ := b.At(1, 0); v != 4 {
+		t.Errorf("At(1,0) = %v, want 4", v)
+	}
+	if v, _ := b.At(2, 3); v != 11 {
+		t.Errorf("At(2,3) = %v, want 11", v)
+	}
+	if ok, _, _, _ := b.VerifyLinear(); !ok {
+		t.Error("freshly FillLinear'd buffer should verify")
+	}
+	b.Set(99, 2, 2)
+	ok, pt, got, want := b.VerifyLinear()
+	if ok {
+		t.Error("corrupted buffer should not verify")
+	}
+	if len(pt) != 2 || pt[0] != 2 || pt[1] != 2 || got != 99 || want != 10 {
+		t.Errorf("mismatch report = %v got=%v want=%v", pt, got, want)
+	}
+}
+
+func TestBufferBytes(t *testing.T) {
+	b, _ := NewBuffer(MustShape(8, 8), Region{{0, 4}, {0, 8}})
+	if b.Bytes(Float32) != 32*4 {
+		t.Errorf("Bytes = %d", b.Bytes(Float32))
+	}
+	if b.Bytes(Float16) != 32*2 {
+		t.Errorf("Bytes fp16 = %d", b.Bytes(Float16))
+	}
+}
+
+func TestCopyRegion(t *testing.T) {
+	g := MustShape(4, 4)
+	src, _ := NewBuffer(g, Region{{0, 4}, {0, 2}})
+	src.FillLinear()
+	dst, _ := NewBuffer(g, Region{{1, 3}, {0, 4}})
+	if err := dst.CopyRegion(src, Region{{1, 3}, {0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.At(1, 1); v != 5 {
+		t.Errorf("copied value = %v, want 5", v)
+	}
+	if v, _ := dst.At(2, 0); v != 8 {
+		t.Errorf("copied value = %v, want 8", v)
+	}
+	// Untouched area remains zero.
+	if v, _ := dst.At(1, 3); v != 0 {
+		t.Errorf("untouched value = %v, want 0", v)
+	}
+}
+
+func TestCopyRegionErrors(t *testing.T) {
+	g := MustShape(4, 4)
+	src, _ := NewBuffer(g, Region{{0, 2}, {0, 4}})
+	dst, _ := NewBuffer(g, Region{{2, 4}, {0, 4}})
+	if err := dst.CopyRegion(src, Region{{0, 1}, {0, 4}}); err == nil {
+		t.Error("copying a region outside dst should fail")
+	}
+	if err := dst.CopyRegion(src, Region{{2, 3}, {0, 4}}); err == nil {
+		t.Error("copying a region outside src should fail")
+	}
+	other, _ := NewBuffer(MustShape(5, 5), Region{{0, 2}, {0, 4}})
+	if err := dst.CopyRegion(other, Region{{2, 3}, {0, 4}}); err == nil {
+		t.Error("copying across different global tensors should fail")
+	}
+}
+
+// Property: copying the intersection of two random buffers transfers the
+// FillLinear pattern exactly.
+func TestCopyRegionPropagatesPattern(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := MustShape(16, 16)
+		a := randRegion(r, 2)
+		b := randRegion(r, 2)
+		src, _ := NewBuffer(g, a)
+		src.FillLinear()
+		dst, _ := NewBuffer(g, b)
+		iv, ok := a.Intersect(b)
+		if !ok {
+			return true
+		}
+		if err := dst.CopyRegion(src, iv); err != nil {
+			return false
+		}
+		good := true
+		iv.ForEachPoint(func(pt []int) {
+			v, _ := dst.At(pt...)
+			want := float64(pt[0]*16 + pt[1])
+			if v != want {
+				good = false
+			}
+		})
+		return good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

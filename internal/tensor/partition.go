@@ -1,0 +1,111 @@
+package tensor
+
+import "fmt"
+
+// PartitionBoundaries returns the k+1 cut points that divide a dimension of
+// the given length into k near-even contiguous parts. Part j covers
+// [boundaries[j], boundaries[j+1]). Cuts are at floor(j*length/k), so when k
+// divides length all parts are equal, and otherwise they differ by at most
+// one element (the "tiling/padding" behaviour the paper's broadcast strategy
+// handles natively, §5.1.1).
+func PartitionBoundaries(length, k int) ([]int, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("tensor: non-positive length %d", length)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("tensor: non-positive partition count %d", k)
+	}
+	if k > length {
+		return nil, fmt.Errorf("tensor: cannot split length %d into %d non-empty parts", length, k)
+	}
+	b := make([]int, k+1)
+	for j := 0; j <= k; j++ {
+		b[j] = j * length / k
+	}
+	return b, nil
+}
+
+// PartitionInterval returns the j-th of k near-even parts of [0, length).
+func PartitionInterval(length, k, j int) (Interval, error) {
+	if j < 0 || j >= k {
+		return Interval{}, fmt.Errorf("tensor: partition index %d out of range [0,%d)", j, k)
+	}
+	b, err := PartitionBoundaries(length, k)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{b[j], b[j+1]}, nil
+}
+
+// MergeCuts returns the sorted union of multiple cut-point lists. This is
+// step one of the paper's Appendix B.2 decomposition: per-dimension cut
+// points from the sender and receiver specs are merged, and the resulting
+// intervals cross-multiplied into slices.
+func MergeCuts(lists ...[]int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, l := range lists {
+		for _, c := range l {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	// Insertion sort: cut lists are short (tens of entries).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// IntervalsFromCuts converts sorted cut points {p0 < p1 < ... < pn} into the
+// interval list {[p0,p1), [p1,p2), ...}.
+func IntervalsFromCuts(cuts []int) []Interval {
+	if len(cuts) < 2 {
+		return nil
+	}
+	out := make([]Interval, 0, len(cuts)-1)
+	for i := 0; i+1 < len(cuts); i++ {
+		out = append(out, Interval{cuts[i], cuts[i+1]})
+	}
+	return out
+}
+
+// CrossProduct enumerates the cross product of per-dimension interval lists
+// as regions, in row-major order.
+func CrossProduct(dims [][]Interval) []Region {
+	if len(dims) == 0 {
+		return nil
+	}
+	total := 1
+	for _, d := range dims {
+		total *= len(d)
+		if len(d) == 0 {
+			return nil
+		}
+	}
+	out := make([]Region, 0, total)
+	idx := make([]int, len(dims))
+	for {
+		r := make(Region, len(dims))
+		for i, j := range idx {
+			r[i] = dims[i][j]
+		}
+		out = append(out, r)
+		d := len(dims) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < len(dims[d]) {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}

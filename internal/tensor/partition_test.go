@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionBoundariesEven(t *testing.T) {
+	b, err := PartitionBoundaries(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, []int{0, 2, 4, 6, 8}) {
+		t.Errorf("boundaries = %v", b)
+	}
+}
+
+func TestPartitionBoundariesUneven(t *testing.T) {
+	b, err := PartitionBoundaries(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 || b[3] != 10 {
+		t.Errorf("boundaries must span [0,len]: %v", b)
+	}
+	// Parts are 3,3,4 (floor-based), each within one of the others.
+	sizes := []int{b[1] - b[0], b[2] - b[1], b[3] - b[2]}
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Errorf("uneven part size %d out of range: %v", s, b)
+		}
+	}
+}
+
+func TestPartitionBoundariesErrors(t *testing.T) {
+	if _, err := PartitionBoundaries(0, 2); err == nil {
+		t.Error("zero length should fail")
+	}
+	if _, err := PartitionBoundaries(4, 0); err == nil {
+		t.Error("zero parts should fail")
+	}
+	if _, err := PartitionBoundaries(2, 4); err == nil {
+		t.Error("more parts than elements should fail")
+	}
+}
+
+func TestPartitionInterval(t *testing.T) {
+	iv, err := PartitionInterval(8, 2, 1)
+	if err != nil || iv != (Interval{4, 8}) {
+		t.Errorf("PartitionInterval = %v, %v", iv, err)
+	}
+	if _, err := PartitionInterval(8, 2, 2); err == nil {
+		t.Error("out-of-range part index should fail")
+	}
+	if _, err := PartitionInterval(8, 2, -1); err == nil {
+		t.Error("negative part index should fail")
+	}
+}
+
+// Property: partitions are contiguous, non-empty, and cover [0, length).
+func TestPartitionBoundariesProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		length := 1 + r.Intn(1000)
+		k := 1 + r.Intn(length)
+		b, err := PartitionBoundaries(length, k)
+		if err != nil {
+			return false
+		}
+		if b[0] != 0 || b[k] != length {
+			return false
+		}
+		for j := 0; j < k; j++ {
+			if b[j+1] <= b[j] {
+				return false // every part non-empty
+			}
+			if b[j+1]-b[j] > (length+k-1)/k {
+				return false // near-even
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeCuts(t *testing.T) {
+	got := MergeCuts([]int{0, 4, 8}, []int{0, 2, 4, 6, 8}, []int{8, 0})
+	if !reflect.DeepEqual(got, []int{0, 2, 4, 6, 8}) {
+		t.Errorf("MergeCuts = %v", got)
+	}
+	if MergeCuts() != nil {
+		t.Error("MergeCuts() should be nil")
+	}
+}
+
+func TestIntervalsFromCuts(t *testing.T) {
+	got := IntervalsFromCuts([]int{0, 2, 5})
+	want := []Interval{{0, 2}, {2, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("IntervalsFromCuts = %v", got)
+	}
+	if IntervalsFromCuts([]int{3}) != nil {
+		t.Error("single cut should produce no intervals")
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	dims := [][]Interval{
+		{{0, 2}, {2, 4}},
+		{{0, 3}},
+	}
+	got := CrossProduct(dims)
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if !got[0].Equal(Region{{0, 2}, {0, 3}}) || !got[1].Equal(Region{{2, 4}, {0, 3}}) {
+		t.Errorf("CrossProduct = %v", got)
+	}
+	if CrossProduct(nil) != nil {
+		t.Error("empty input should give nil")
+	}
+	if CrossProduct([][]Interval{{}, {{0, 1}}}) != nil {
+		t.Error("dimension with no intervals should give nil")
+	}
+}
+
+// Property (Appendix B.2): the slices produced by merging sender and
+// receiver cuts tile the tensor exactly — they are pairwise disjoint and
+// their sizes sum to the tensor size.
+func TestSlicesTileTensor(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		shape := MustShape(2+r.Intn(30), 2+r.Intn(30))
+		dims := make([][]Interval, 2)
+		for d := 0; d < 2; d++ {
+			k1 := 1 + r.Intn(4)
+			k2 := 1 + r.Intn(4)
+			if k1 > shape[d] {
+				k1 = shape[d]
+			}
+			if k2 > shape[d] {
+				k2 = shape[d]
+			}
+			c1, _ := PartitionBoundaries(shape[d], k1)
+			c2, _ := PartitionBoundaries(shape[d], k2)
+			dims[d] = IntervalsFromCuts(MergeCuts(c1, c2))
+		}
+		slices := CrossProduct(dims)
+		total := int64(0)
+		for i, s := range slices {
+			total += s.NumElements()
+			for j := i + 1; j < len(slices); j++ {
+				if s.Overlaps(slices[j]) {
+					return false
+				}
+			}
+		}
+		return total == shape.NumElements()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

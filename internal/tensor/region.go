@@ -1,0 +1,203 @@
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Interval is a half-open integer range [Lo, Hi) along one tensor dimension.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the interval.
+func (iv Interval) Len() int { return iv.Hi - iv.Lo }
+
+// Empty reports whether the interval contains no indices.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Contains reports whether o is fully inside iv.
+func (iv Interval) Contains(o Interval) bool {
+	if o.Empty() {
+		return true
+	}
+	return iv.Lo <= o.Lo && o.Hi <= iv.Hi
+}
+
+// Intersect returns the overlap of two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return Interval{lo, hi}
+}
+
+// Overlaps reports whether the two intervals share at least one index.
+func (iv Interval) Overlaps(o Interval) bool {
+	return !iv.Intersect(o).Empty()
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d:%d)", iv.Lo, iv.Hi) }
+
+// Region is an axis-aligned box: one Interval per tensor dimension.
+// Regions are the unit of reasoning in resharding: each device holds a
+// Region of the global tensor, and each unit communication task moves one
+// Region.
+type Region []Interval
+
+// Rank returns the number of dimensions of the region.
+func (r Region) Rank() int { return len(r) }
+
+// NumElements returns the number of tensor elements inside the region.
+func (r Region) NumElements() int64 {
+	n := int64(1)
+	for _, iv := range r {
+		n *= int64(iv.Len())
+	}
+	return n
+}
+
+// Empty reports whether any dimension of the region is empty.
+func (r Region) Empty() bool {
+	for _, iv := range r {
+		if iv.Empty() {
+			return true
+		}
+	}
+	return len(r) == 0
+}
+
+// Contains reports whether o fits entirely inside r.
+func (r Region) Contains(o Region) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Contains(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPoint reports whether the given coordinates lie inside the region.
+func (r Region) ContainsPoint(pt []int) bool {
+	if len(pt) != len(r) {
+		return false
+	}
+	for i, iv := range r {
+		if pt[i] < iv.Lo || pt[i] >= iv.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the overlap box of two regions. The second return is
+// false when the regions have different ranks or do not overlap.
+func (r Region) Intersect(o Region) (Region, bool) {
+	if len(r) != len(o) {
+		return nil, false
+	}
+	out := make(Region, len(r))
+	for i := range r {
+		out[i] = r[i].Intersect(o[i])
+		if out[i].Empty() {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// Overlaps reports whether two regions share at least one element.
+func (r Region) Overlaps(o Region) bool {
+	_, ok := r.Intersect(o)
+	return ok
+}
+
+// Equal reports whether two regions are identical boxes.
+func (r Region) Equal(o Region) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if r[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Shape returns the extent of the region along each dimension.
+func (r Region) Shape() Shape {
+	s := make(Shape, len(r))
+	for i, iv := range r {
+		s[i] = iv.Len()
+	}
+	return s
+}
+
+// Clone returns a copy of the region.
+func (r Region) Clone() Region {
+	c := make(Region, len(r))
+	copy(c, r)
+	return c
+}
+
+func (r Region) String() string {
+	parts := make([]string, len(r))
+	for i, iv := range r {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, "x")
+}
+
+// ForEachPoint invokes fn for every coordinate inside the region, in
+// row-major order. fn receives a reused coordinate slice; callers must copy
+// it if they retain it.
+func (r Region) ForEachPoint(fn func(pt []int)) {
+	if r.Empty() {
+		return
+	}
+	pt := make([]int, len(r))
+	for i, iv := range r {
+		pt[i] = iv.Lo
+	}
+	for {
+		fn(pt)
+		// Row-major increment: bump the last dimension first.
+		d := len(r) - 1
+		for d >= 0 {
+			pt[d]++
+			if pt[d] < r[d].Hi {
+				break
+			}
+			pt[d] = r[d].Lo
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Box builds a Region from flat (lo, hi) pairs: Box(0,2, 1,4) is the 2-D
+// region [0:2)x[1:4). It panics on an odd number of arguments; it is meant
+// for literals in tests and examples.
+func Box(bounds ...int) Region {
+	if len(bounds)%2 != 0 {
+		panic("tensor: Box requires (lo, hi) pairs")
+	}
+	r := make(Region, len(bounds)/2)
+	for i := range r {
+		r[i] = Interval{Lo: bounds[2*i], Hi: bounds[2*i+1]}
+	}
+	return r
+}

@@ -1,0 +1,197 @@
+package tensor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{2, 5}
+	if iv.Len() != 3 {
+		t.Errorf("Len = %d", iv.Len())
+	}
+	if iv.Empty() {
+		t.Error("non-empty interval reported empty")
+	}
+	if !(Interval{3, 3}).Empty() {
+		t.Error("zero-length interval should be empty")
+	}
+	if !(Interval{5, 2}).Empty() {
+		t.Error("inverted interval should be empty")
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{2, 8}
+	cases := []struct {
+		o    Interval
+		want bool
+	}{
+		{Interval{2, 8}, true},
+		{Interval{3, 5}, true},
+		{Interval{1, 5}, false},
+		{Interval{5, 9}, false},
+		{Interval{4, 4}, true}, // empty is contained everywhere
+	}
+	for _, c := range cases {
+		if got := iv.Contains(c.o); got != c.want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", iv, c.o, got, c.want)
+		}
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want Interval
+	}{
+		{Interval{0, 4}, Interval{2, 6}, Interval{2, 4}},
+		{Interval{0, 4}, Interval{4, 8}, Interval{4, 4}},
+		{Interval{0, 4}, Interval{6, 8}, Interval{6, 6}},
+		{Interval{0, 8}, Interval{2, 4}, Interval{2, 4}},
+	}
+	for _, c := range cases {
+		got := c.a.Intersect(c.b)
+		if got.Len() != c.want.Len() || (!got.Empty() && got != c.want) {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	if (Interval{0, 4}).Overlaps(Interval{4, 8}) {
+		t.Error("touching intervals must not overlap")
+	}
+	if !(Interval{0, 5}).Overlaps(Interval{4, 8}) {
+		t.Error("intersecting intervals must overlap")
+	}
+}
+
+func TestRegionNumElements(t *testing.T) {
+	r := Region{{0, 2}, {1, 4}}
+	if r.NumElements() != 6 {
+		t.Errorf("NumElements = %d, want 6", r.NumElements())
+	}
+}
+
+func TestRegionEmpty(t *testing.T) {
+	if (Region{{0, 2}, {3, 3}}).Empty() == false {
+		t.Error("region with empty dim should be empty")
+	}
+	if (Region{{0, 2}, {0, 1}}).Empty() {
+		t.Error("non-empty region reported empty")
+	}
+	if !(Region{}).Empty() {
+		t.Error("rank-0 region treated as non-empty")
+	}
+}
+
+func TestRegionContainsAndIntersect(t *testing.T) {
+	outer := Region{{0, 8}, {0, 8}}
+	inner := Region{{2, 4}, {3, 7}}
+	if !outer.Contains(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.Contains(outer) {
+		t.Error("inner must not contain outer")
+	}
+	got, ok := outer.Intersect(inner)
+	if !ok || !got.Equal(inner) {
+		t.Errorf("Intersect = %v, %v", got, ok)
+	}
+	if _, ok := (Region{{0, 2}}).Intersect(Region{{2, 4}}); ok {
+		t.Error("disjoint regions must not intersect")
+	}
+	if _, ok := (Region{{0, 2}}).Intersect(Region{{0, 2}, {0, 2}}); ok {
+		t.Error("rank mismatch must not intersect")
+	}
+}
+
+func TestRegionContainsPoint(t *testing.T) {
+	r := Region{{2, 4}, {0, 3}}
+	if !r.ContainsPoint([]int{2, 2}) {
+		t.Error("point inside reported outside")
+	}
+	if r.ContainsPoint([]int{4, 2}) {
+		t.Error("Hi bound is exclusive")
+	}
+	if r.ContainsPoint([]int{2}) {
+		t.Error("rank mismatch must be outside")
+	}
+}
+
+func TestRegionForEachPointOrder(t *testing.T) {
+	r := Region{{0, 2}, {1, 3}}
+	var got [][]int
+	r.ForEachPoint(func(pt []int) {
+		got = append(got, append([]int(nil), pt...))
+	})
+	want := [][]int{{0, 1}, {0, 2}, {1, 1}, {1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEachPoint order = %v, want %v", got, want)
+	}
+}
+
+func TestRegionForEachPointEmpty(t *testing.T) {
+	n := 0
+	(Region{{0, 2}, {3, 3}}).ForEachPoint(func([]int) { n++ })
+	if n != 0 {
+		t.Errorf("empty region visited %d points", n)
+	}
+}
+
+// randRegion generates a non-empty region inside [0,16)^rank.
+func randRegion(r *rand.Rand, rank int) Region {
+	reg := make(Region, rank)
+	for i := range reg {
+		lo := r.Intn(15)
+		hi := lo + 1 + r.Intn(16-lo-1)
+		reg[i] = Interval{lo, hi}
+	}
+	return reg
+}
+
+// Property: intersection is symmetric and contained in both operands.
+func TestRegionIntersectProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRegion(r, 3), randRegion(r, 3)
+		ab, okAB := a.Intersect(b)
+		ba, okBA := b.Intersect(a)
+		if okAB != okBA {
+			return false
+		}
+		if !okAB {
+			return !a.Overlaps(b)
+		}
+		return ab.Equal(ba) && a.Contains(ab) && b.Contains(ab)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NumElements of intersection = number of points in both regions.
+func TestRegionIntersectCountsPoints(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRegion(r, 2), randRegion(r, 2)
+		count := int64(0)
+		a.ForEachPoint(func(pt []int) {
+			if b.ContainsPoint(pt) {
+				count++
+			}
+		})
+		iv, ok := a.Intersect(b)
+		if !ok {
+			return count == 0
+		}
+		return iv.NumElements() == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Package tensor provides the data-plane substrate for cross-mesh
+// resharding: N-dimensional shapes, integer intervals and regions
+// (axis-aligned boxes), and dense buffers with region-level copy.
+//
+// The resharding planner reasons about tensors purely through Region
+// algebra; the executor moves real bytes between Buffers so that tests can
+// verify that every destination device ends up with exactly the data its
+// sharding spec requires.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape is the extent of each dimension of an N-dimensional tensor.
+type Shape []int
+
+// NewShape validates and returns a Shape. All extents must be positive.
+func NewShape(dims ...int) (Shape, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("tensor: shape must have at least one dimension")
+	}
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("tensor: dimension %d has non-positive extent %d", i, d)
+		}
+	}
+	s := make(Shape, len(dims))
+	copy(s, dims)
+	return s, nil
+}
+
+// MustShape is NewShape that panics on error; for tests and literals.
+func MustShape(dims ...int) Shape {
+	s, err := NewShape(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// NumElements returns the total number of elements.
+func (s Shape) NumElements() int64 {
+	n := int64(1)
+	for _, d := range s {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Strides returns row-major strides for the shape.
+func (s Shape) Strides() []int64 {
+	st := make([]int64, len(s))
+	acc := int64(1)
+	for i := len(s) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= int64(s[i])
+	}
+	return st
+}
+
+// Region returns the full region covering the whole shape.
+func (s Shape) Region() Region {
+	r := make(Region, len(s))
+	for i, d := range s {
+		r[i] = Interval{0, d}
+	}
+	return r
+}
+
+// Equal reports whether two shapes are identical.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape {
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}

@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"testing"
+)
+
+func TestNewShapeValid(t *testing.T) {
+	s, err := NewShape(4, 4)
+	if err != nil {
+		t.Fatalf("NewShape: %v", err)
+	}
+	if s.Rank() != 2 {
+		t.Errorf("Rank = %d, want 2", s.Rank())
+	}
+	if s.NumElements() != 16 {
+		t.Errorf("NumElements = %d, want 16", s.NumElements())
+	}
+}
+
+func TestNewShapeRejectsEmpty(t *testing.T) {
+	if _, err := NewShape(); err == nil {
+		t.Error("NewShape() should fail for zero dimensions")
+	}
+}
+
+func TestNewShapeRejectsNonPositive(t *testing.T) {
+	for _, dims := range [][]int{{0}, {-1}, {4, 0}, {4, -2, 3}} {
+		if _, err := NewShape(dims...); err == nil {
+			t.Errorf("NewShape(%v) should fail", dims)
+		}
+	}
+}
+
+func TestMustShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustShape(0) should panic")
+		}
+	}()
+	MustShape(0)
+}
+
+func TestShapeStrides(t *testing.T) {
+	s := MustShape(2, 3, 4)
+	st := s.Strides()
+	want := []int64{12, 4, 1}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Errorf("Strides()[%d] = %d, want %d", i, st[i], want[i])
+		}
+	}
+}
+
+func TestShapeRegion(t *testing.T) {
+	s := MustShape(3, 5)
+	r := s.Region()
+	if !r.Equal(Region{{0, 3}, {0, 5}}) {
+		t.Errorf("Region = %v", r)
+	}
+	if r.NumElements() != s.NumElements() {
+		t.Errorf("full region has %d elements, shape has %d", r.NumElements(), s.NumElements())
+	}
+}
+
+func TestShapeEqualAndClone(t *testing.T) {
+	a := MustShape(2, 3)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone should equal original")
+	}
+	b[0] = 9
+	if a.Equal(b) {
+		t.Error("mutating clone must not affect original")
+	}
+	if a.Equal(MustShape(2, 3, 1)) {
+		t.Error("different ranks must not be equal")
+	}
+	if a.Equal(MustShape(2, 4)) {
+		t.Error("different extents must not be equal")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := MustShape(4, 4).String(); got != "(4,4)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestShapeNumElementsLarge(t *testing.T) {
+	// 1024*1024*512 must not overflow (the paper's Fig. 6 tensor).
+	s := MustShape(1024, 1024, 512)
+	if s.NumElements() != 1<<29 {
+		t.Errorf("NumElements = %d, want %d", s.NumElements(), 1<<29)
+	}
+}

@@ -1,0 +1,90 @@
+// Package trace renders netsim event traces as ASCII Gantt timelines, for
+// inspecting pipeline schedules (Fig. 4) and resharding executions.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"alpacomm/internal/netsim"
+)
+
+// Gantt renders one row per resource, time scaled to `width` characters.
+// Each event paints its label's first rune over its time span on every
+// resource it occupies. Resources are sorted by name unless an explicit
+// order is given.
+func Gantt(events []netsim.Event, resourceOrder []string, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var makespan float64
+	rows := map[string][]netsim.Event{}
+	for _, e := range events {
+		if e.Finish > makespan {
+			makespan = e.Finish
+		}
+		for _, r := range e.Resources {
+			rows[r] = append(rows[r], e)
+		}
+	}
+	if makespan == 0 || len(rows) == 0 {
+		return "(empty timeline)\n"
+	}
+	names := resourceOrder
+	if names == nil {
+		for r := range rows {
+			names = append(names, r)
+		}
+		sort.Strings(names)
+	}
+	nameWidth := 0
+	for _, n := range names {
+		if len(n) > nameWidth {
+			nameWidth = len(n)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s |%s| t=%.4g\n", nameWidth, "", strings.Repeat("-", width), makespan)
+	for _, name := range names {
+		line := []rune(strings.Repeat(" ", width))
+		for _, e := range rows[name] {
+			lo := int(e.Start / makespan * float64(width))
+			hi := int(e.Finish / makespan * float64(width))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			mark := eventMark(e.Label)
+			for i := lo; i < hi; i++ {
+				line[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%*s |%s|\n", nameWidth, name, string(line))
+	}
+	return b.String()
+}
+
+// eventMark picks the display rune for an event: the first letter of the
+// task name after the location prefix ("s0/F3" -> 'F', "c0:fwd/2" -> 'c').
+func eventMark(label string) rune {
+	if i := strings.IndexByte(label, '/'); i >= 0 && i+1 < len(label) {
+		return rune(label[i+1])
+	}
+	if label != "" {
+		return rune(label[0])
+	}
+	return '#'
+}
+
+// StageOrder returns the resource names "stage0".."stageN-1", the row
+// order for pipeline timelines.
+func StageOrder(stages int) []string {
+	out := make([]string, stages)
+	for s := range out {
+		out[s] = fmt.Sprintf("stage%d", s)
+	}
+	return out
+}

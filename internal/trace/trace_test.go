@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"alpacomm/internal/netsim"
+)
+
+func TestGanttBasic(t *testing.T) {
+	s := netsim.NewSim()
+	r1 := s.Resource("stage0")
+	r2 := s.Resource("stage1")
+	a := s.MustAddOp("s0/F0", 2, 0, []*netsim.Resource{r1})
+	s.MustAddOp("s1/F0", 2, 1, []*netsim.Resource{r2}, a)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(s.Events(), StageOrder(2), 40)
+	if !strings.Contains(out, "stage0") || !strings.Contains(out, "stage1") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines", len(lines))
+	}
+	// Stage 0's F fills the first half, stage 1's the second.
+	row0 := lines[1]
+	row1 := lines[2]
+	if !strings.Contains(row0, "F") || !strings.Contains(row1, "F") {
+		t.Errorf("rows should contain task marks:\n%s", out)
+	}
+	if strings.Index(row1, "F") <= strings.Index(row0, "F") {
+		t.Errorf("stage1 should start after stage0:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if got := Gantt(nil, nil, 40); !strings.Contains(got, "empty") {
+		t.Errorf("empty trace rendering = %q", got)
+	}
+}
+
+func TestGanttAutoOrder(t *testing.T) {
+	s := netsim.NewSim()
+	s.MustAddOp("x/A0", 1, 0, []*netsim.Resource{s.Resource("b")})
+	s.MustAddOp("y/B0", 1, 1, []*netsim.Resource{s.Resource("a")})
+	s.Run()
+	out := Gantt(s.Events(), nil, 20)
+	// Auto order sorts resource names: "a" row before "b".
+	ai := strings.Index(out, "a |")
+	bi := strings.Index(out, "b |")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Errorf("rows not sorted:\n%s", out)
+	}
+}
+
+func TestGanttTinyWidthClamped(t *testing.T) {
+	s := netsim.NewSim()
+	s.MustAddOp("z/C0", 1, 0, []*netsim.Resource{s.Resource("r")})
+	s.Run()
+	out := Gantt(s.Events(), nil, 1)
+	if len(out) == 0 {
+		t.Error("clamped width should still render")
+	}
+}
+
+func TestEventMark(t *testing.T) {
+	if eventMark("s0/F3") != 'F' {
+		t.Errorf("mark = %c", eventMark("s0/F3"))
+	}
+	if eventMark("plain") != 'p' {
+		t.Errorf("mark = %c", eventMark("plain"))
+	}
+	if eventMark("") != '#' {
+		t.Errorf("mark = %c", eventMark(""))
+	}
+}
+
+func TestStageOrder(t *testing.T) {
+	got := StageOrder(3)
+	if len(got) != 3 || got[0] != "stage0" || got[2] != "stage2" {
+		t.Errorf("StageOrder = %v", got)
+	}
+}
