@@ -22,8 +22,16 @@
 //     communication time coming from a resharding plan (§5.2).
 //
 // Since no GPU cluster is required, the "hardware" is a discrete-event
-// model of the paper's testbed (NVLink intra-host, one 10 Gbps NIC per
-// host, full duplex); see DESIGN.md for the substitution argument.
+// model behind the pluggable Topology interface: the paper's homogeneous
+// testbed (NVLink intra-host, one 10 Gbps NIC per host, full duplex) is one
+// implementation, and HeteroCluster models per-host device counts, NIC
+// tiers and oversubscribed fabrics (DGX-A100/InfiniBand-class presets
+// included). Every layer — transfer timing, resharding planning, the
+// pipeline harness — works against the interface, so new fabrics plug in
+// without touching the planner. On top of a topology, AutotuneReshard
+// searches the strategy x scheduler grid concurrently (deterministic under
+// a fixed seed) and ReshardCache memoizes plans across the structurally
+// identical stage boundaries of a pipeline.
 package alpacomm
 
 import (
@@ -40,9 +48,18 @@ import (
 
 // Cluster hardware model.
 type (
+	// Topology is the pluggable hardware abstraction every layer plans
+	// against: hosts with devices, intra-host links, NIC tiers and an
+	// inter-host fabric. Cluster and HeteroCluster implement it.
+	Topology = mesh.Topology
 	// Cluster is a homogeneous accelerator cluster (hosts x devices).
 	Cluster = mesh.Cluster
-	// Mesh is an n-dimensional logical device array sliced from a cluster.
+	// HeteroCluster is a heterogeneous cluster: per-host device counts,
+	// interconnects and NIC tiers plus fabric oversubscription.
+	HeteroCluster = mesh.HeteroCluster
+	// HostSpec describes one host of a heterogeneous cluster.
+	HostSpec = mesh.HostSpec
+	// Mesh is an n-dimensional logical device array sliced from a topology.
 	Mesh = mesh.Mesh
 )
 
@@ -52,6 +69,24 @@ var NewCluster = mesh.NewCluster
 // AWSP3Cluster builds the paper's testbed: hosts x 4 V100, NVLink
 // intra-host, 10 Gbps Ethernet between hosts.
 var AWSP3Cluster = mesh.AWSP3Cluster
+
+// NewHeteroCluster builds a heterogeneous cluster from per-host specs, a
+// cross-host latency and a fabric oversubscription factor (>= 1).
+var NewHeteroCluster = mesh.NewHeteroCluster
+
+// DGXA100Cluster builds an InfiniBand/NVSwitch-class cluster of DGX-A100
+// nodes (8 GPUs behind NVSwitch, 8 x 200 Gbps NICs per host).
+var DGXA100Cluster = mesh.DGXA100Cluster
+
+// MixedP3DGXCluster mixes p3-style Ethernet hosts with DGX-A100-style
+// InfiniBand hosts on one fabric with the given oversubscription.
+var MixedP3DGXCluster = mesh.MixedP3DGXCluster
+
+// Host presets for building custom heterogeneous clusters.
+var (
+	P3HostSpec      = mesh.P3HostSpec
+	DGXA100HostSpec = mesh.DGXA100HostSpec
+)
 
 // Tensors and sharding specs.
 type (
@@ -123,6 +158,35 @@ const (
 // PlanReshard schedules a resharding task: load balancing and ordering of
 // its unit tasks per the chosen scheduler.
 var PlanReshard = resharding.NewPlan
+
+// Concurrent plan autotuning and cross-boundary plan caching.
+type (
+	// AutotuneOptions configures the strategy x scheduler grid search.
+	AutotuneOptions = resharding.AutotuneOptions
+	// AutotuneCandidate is one grid point.
+	AutotuneCandidate = resharding.AutotuneCandidate
+	// AutotuneResult reports the winner and every trial.
+	AutotuneResult = resharding.AutotuneResult
+	// AutotuneTrial is one candidate's outcome.
+	AutotuneTrial = resharding.AutotuneTrial
+	// ReshardCache memoizes plans across structurally identical
+	// reshardings (e.g. the congruent stage boundaries of a pipeline).
+	ReshardCache = resharding.PlanCache
+	// ReshardCacheStats reports cache hit/miss counters.
+	ReshardCacheStats = resharding.CacheStats
+)
+
+// AutotuneReshard searches the strategy x scheduler grid concurrently for
+// the fastest plan of one resharding task; deterministic under a fixed
+// seed regardless of worker count.
+var AutotuneReshard = resharding.Autotune
+
+// DefaultAutotuneGrid returns the full strategy x scheduler candidate grid.
+var DefaultAutotuneGrid = resharding.DefaultAutotuneGrid
+
+// NewReshardCache creates an empty plan cache to share across boundaries,
+// jobs and autotuning runs.
+var NewReshardCache = resharding.NewPlanCache
 
 // Pipeline schedules (§4).
 type (

@@ -185,6 +185,86 @@ func BenchmarkReshardPlan(b *testing.B) {
 	}
 }
 
+// boundaryTask builds the resharding at stage boundary s of a 9-stage
+// pipeline on a 9-host p3 cluster: one (2,2) mesh per host, the boundary
+// tensor resharded S01R -> S0R between consecutive hosts. All 8 boundaries
+// are structurally congruent — the cross-boundary cache's target shape.
+func boundaryTask(b *testing.B, cluster *alpacomm.Cluster, s int) *alpacomm.ReshardTask {
+	b.Helper()
+	src, err := cluster.Slice([]int{2, 2}, 4*s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := cluster.Slice([]int{2, 2}, 4*(s+1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	shape, _ := alpacomm.NewShape(512, 1024)
+	srcSpec, _ := alpacomm.ParseSpec("S01R")
+	dstSpec, _ := alpacomm.ParseSpec("S0R")
+	task, err := alpacomm.NewReshardTask(shape, alpacomm.Float32, src, srcSpec, dst, dstSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return task
+}
+
+var boundaryOpts = alpacomm.ReshardOptions{
+	Strategy:  alpacomm.StrategyBroadcast,
+	Scheduler: alpacomm.SchedulerEnsemble,
+	Seed:      1,
+}
+
+// Benchmark8BoundarySequential is the seed's hot path: every stage boundary
+// of an 8-boundary pipeline is planned and simulated from scratch with the
+// sequential SchedEnsemble search.
+func Benchmark8BoundarySequential(b *testing.B) {
+	cluster := alpacomm.AWSP3Cluster(9)
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 8; s++ {
+			plan, err := alpacomm.PlanReshard(boundaryTask(b, cluster, s), boundaryOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.Simulate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Benchmark8BoundaryCached is the same workload through the plan cache: the
+// first boundary plans, the remaining seven hit the translated entry.
+func Benchmark8BoundaryCached(b *testing.B) {
+	cluster := alpacomm.AWSP3Cluster(9)
+	for i := 0; i < b.N; i++ {
+		cache := alpacomm.NewReshardCache()
+		for s := 0; s < 8; s++ {
+			if _, err := cache.Simulate(boundaryTask(b, cluster, s), boundaryOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Benchmark8BoundaryAutotuneCached sweeps the full strategy x scheduler
+// grid concurrently for every boundary, with the cache collapsing the 8
+// congruent boundaries into one sweep.
+func Benchmark8BoundaryAutotuneCached(b *testing.B) {
+	cluster := alpacomm.AWSP3Cluster(9)
+	for i := 0; i < b.N; i++ {
+		cache := alpacomm.NewReshardCache()
+		for s := 0; s < 8; s++ {
+			if _, err := alpacomm.AutotuneReshard(boundaryTask(b, cluster, s), alpacomm.AutotuneOptions{
+				Base:  boundaryOpts,
+				Cache: cache,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkNetsim measures the discrete-event engine on a broadcast-heavy
 // op graph.
 func BenchmarkNetsim(b *testing.B) {

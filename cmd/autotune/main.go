@@ -1,0 +1,147 @@
+// Command autotune searches the full strategy x scheduler grid for the
+// fastest plan of one cross-mesh resharding, concurrently and
+// deterministically, on a chosen hardware topology (the paper's AWS p3
+// testbed, a DGX-A100/InfiniBand cluster, or a mixed fabric).
+//
+// Example (a stage boundary between the two tiers of a mixed cluster):
+//
+//	autotune -topo mixed -shape 1024,1024 -src-spec S01R -dst-spec S0R \
+//	         -src-mesh 2x4@0 -dst-mesh 2x4@8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	alpacomm "alpacomm"
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/sharding"
+	"alpacomm/internal/tensor"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "autotune: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseShape(s string) (tensor.Shape, error) {
+	parts := strings.Split(s, ",")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		dims = append(dims, v)
+	}
+	return tensor.NewShape(dims...)
+}
+
+func parseMesh(t mesh.Topology, s string) (*mesh.Mesh, error) {
+	at := strings.Split(s, "@")
+	if len(at) != 2 {
+		return nil, fmt.Errorf("mesh %q must look like 2x4@0", s)
+	}
+	first, err := strconv.Atoi(at[1])
+	if err != nil {
+		return nil, err
+	}
+	var shape []int
+	for _, p := range strings.Split(at[0], "x") {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		shape = append(shape, v)
+	}
+	return t.Slice(shape, first)
+}
+
+func buildTopology(kind string, hosts int, oversub float64) mesh.Topology {
+	switch kind {
+	case "p3":
+		return alpacomm.AWSP3Cluster(hosts)
+	case "dgx":
+		return alpacomm.DGXA100Cluster(hosts)
+	case "mixed":
+		// Half p3, half DGX (at least one of each).
+		p3 := hosts / 2
+		if p3 < 1 {
+			p3 = 1
+		}
+		return alpacomm.MixedP3DGXCluster(p3, hosts-p3, oversub)
+	default:
+		fail("unknown topology %q (want p3, dgx or mixed)", kind)
+		return nil
+	}
+}
+
+func main() {
+	topoKind := flag.String("topo", "mixed", "hardware topology: p3, dgx, mixed")
+	hosts := flag.Int("hosts", 3, "host count (mixed: half p3, half DGX)")
+	oversub := flag.Float64("oversub", 1.5, "fabric oversubscription (mixed topology)")
+	shapeStr := flag.String("shape", "1024,1024", "global tensor shape")
+	srcSpec := flag.String("src-spec", "S01R", "source sharding spec")
+	dstSpec := flag.String("dst-spec", "S0R", "destination sharding spec")
+	srcMesh := flag.String("src-mesh", "2x4@0", "source mesh as ROWSxCOLS@FIRSTDEV")
+	dstMesh := flag.String("dst-mesh", "2x4@8", "destination mesh")
+	workers := flag.Int("workers", 0, "autotune worker pool size (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "base RNG seed (result is deterministic per seed)")
+	flag.Parse()
+
+	topo := buildTopology(*topoKind, *hosts, *oversub)
+	fmt.Printf("topology: %v\n", topo)
+
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		fail("bad shape: %v", err)
+	}
+	src, err := parseMesh(topo, *srcMesh)
+	if err != nil {
+		fail("bad src mesh: %v", err)
+	}
+	dst, err := parseMesh(topo, *dstMesh)
+	if err != nil {
+		fail("bad dst mesh: %v", err)
+	}
+	sspec, err := sharding.Parse(*srcSpec)
+	if err != nil {
+		fail("bad src spec: %v", err)
+	}
+	dspec, err := sharding.Parse(*dstSpec)
+	if err != nil {
+		fail("bad dst spec: %v", err)
+	}
+	task, err := sharding.NewTask(shape, tensor.Float32, src, sspec, dst, dspec)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("task: %v\n\n", task)
+
+	res, err := alpacomm.AutotuneReshard(task, alpacomm.AutotuneOptions{
+		Base:    alpacomm.ReshardOptions{Seed: *seed},
+		Workers: *workers,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("%-44s %14s %14s\n", "candidate", "time (s)", "eff-bw (Gbps)")
+	for i, tr := range res.Trials {
+		marker := "  "
+		if i == res.BestIndex {
+			marker = "* "
+		}
+		if tr.Err != "" {
+			fmt.Printf("%s%-44s %14s %14s  (%s)\n", marker, tr.Candidate, "-", "-", tr.Err)
+			continue
+		}
+		fmt.Printf("%s%-44s %14.6f %14.2f\n", marker, tr.Candidate, tr.Makespan, tr.EffectiveGbps)
+	}
+	best := res.Trials[res.BestIndex]
+	fmt.Printf("\nwinner: %v — %.6fs, %.2f Gbps effective\n",
+		best.Candidate, res.BestSim.Makespan, res.BestSim.EffectiveGbps)
+}

@@ -19,7 +19,7 @@ type (
 )
 
 // trainingRunner adapts TrainingJob to the harness's runner signature.
-func trainingRunner(cluster *mesh.Cluster, device model.DeviceSpec, w *model.Workload,
+func trainingRunner(cluster mesh.Topology, device model.DeviceSpec, w *model.Workload,
 	pc model.ParallelConfig, sched pipeline.Kind, overlap bool, opts resharding.Options) (float64, float64, error) {
 	job := TrainingJob{
 		Cluster:  cluster,

@@ -1,0 +1,3 @@
+module alpacomm
+
+go 1.24

@@ -71,7 +71,7 @@ func DefaultChunks(bytes int64) int {
 	return k
 }
 
-func validateDevices(c *mesh.Cluster, devices []int) error {
+func validateDevices(c mesh.Topology, devices []int) error {
 	seen := map[int]bool{}
 	for _, d := range devices {
 		if !c.ValidDevice(d) {
@@ -105,7 +105,7 @@ func BroadcastChain(net *netsim.ClusterNet, label string, chain []int, bytes int
 	if len(chain) < 2 {
 		return nil, fmt.Errorf("collective: broadcast chain needs >= 2 devices, got %d", len(chain))
 	}
-	if err := validateDevices(net.Cluster, chain); err != nil {
+	if err := validateDevices(net.Topo, chain); err != nil {
 		return nil, err
 	}
 	if chunks < 1 {
@@ -167,7 +167,7 @@ func RingAllGather(net *netsim.ClusterNet, label string, devices []int, totalByt
 	if n < 2 {
 		return nil, fmt.Errorf("collective: ring all-gather needs >= 2 devices, got %d", n)
 	}
-	if err := validateDevices(net.Cluster, devices); err != nil {
+	if err := validateDevices(net.Topo, devices); err != nil {
 		return nil, err
 	}
 	chunks := chunkSizes(totalBytes, n)
@@ -207,7 +207,7 @@ func RingAllReduce(net *netsim.ClusterNet, label string, devices []int, totalByt
 	if n < 2 {
 		return nil, fmt.Errorf("collective: ring all-reduce needs >= 2 devices, got %d", n)
 	}
-	if err := validateDevices(net.Cluster, devices); err != nil {
+	if err := validateDevices(net.Topo, devices); err != nil {
 		return nil, err
 	}
 	chunks := chunkSizes(totalBytes, n)
@@ -247,7 +247,7 @@ func AllToAll(net *netsim.ClusterNet, label string, devices []int, bytesPerPair 
 	if n < 2 {
 		return nil, fmt.Errorf("collective: all-to-all needs >= 2 devices, got %d", n)
 	}
-	if err := validateDevices(net.Cluster, devices); err != nil {
+	if err := validateDevices(net.Topo, devices); err != nil {
 		return nil, err
 	}
 	res := &Result{DoneAt: map[int]netsim.OpID{}}

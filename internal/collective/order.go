@@ -11,7 +11,7 @@ import (
 // first (data rides NVLink), then each remaining host's receivers
 // consecutively in ascending host order — so every receiving host's NIC
 // receives exactly one copy of the message.
-func BroadcastOrder(c *mesh.Cluster, sender int, receivers []int) []int {
+func BroadcastOrder(c mesh.Topology, sender int, receivers []int) []int {
 	byHost := map[int][]int{}
 	for _, d := range receivers {
 		h := c.HostOf(d)
@@ -47,7 +47,7 @@ func BroadcastOrder(c *mesh.Cluster, sender int, receivers []int) []int {
 // RingOrder arranges devices into a ring that crosses host boundaries as
 // few times as possible: devices grouped by host, hosts ascending. This is
 // the standard NCCL ring layout for hierarchical clusters.
-func RingOrder(c *mesh.Cluster, devices []int) []int {
+func RingOrder(c mesh.Topology, devices []int) []int {
 	byHost := map[int][]int{}
 	for _, d := range devices {
 		h := c.HostOf(d)

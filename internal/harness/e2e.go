@@ -80,7 +80,7 @@ func e2eMethods() []e2eMethod {
 // TrainingRunner runs one assembled training job; injected by the root
 // package to avoid an import cycle (the facade imports harness's row
 // types... the facade owns TrainingJob, so the harness receives a runner).
-type TrainingRunner func(cluster *mesh.Cluster, device model.DeviceSpec, w *model.Workload,
+type TrainingRunner func(cluster mesh.Topology, device model.DeviceSpec, w *model.Workload,
 	pc model.ParallelConfig, sched pipeline.Kind, overlap bool, opts resharding.Options) (iterTime, tflops float64, err error)
 
 // Fig7 reproduces Fig. 7's eighteen bars (6 cases x 5 methods) through the

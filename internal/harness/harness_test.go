@@ -160,7 +160,7 @@ func TestFig8Shape(t *testing.T) {
 // stubRunner returns throughput keyed by method so Fig7/Fig9 plumbing can
 // be tested without the full simulation.
 func stubRunner(tflops map[string]float64) TrainingRunner {
-	return func(cluster *mesh.Cluster, device model.DeviceSpec, w *model.Workload,
+	return func(cluster mesh.Topology, device model.DeviceSpec, w *model.Workload,
 		pc model.ParallelConfig, sched pipeline.Kind, overlap bool, opts resharding.Options) (float64, float64, error) {
 		key := opts.Strategy.String()
 		if overlap {

@@ -135,8 +135,8 @@ type SimResult struct {
 // needer receives its slice from a holder on its own host when one exists
 // (NVLink), otherwise from the least-loaded remote holder's host.
 func (t *Task) Simulate() (*SimResult, error) {
-	net := netsim.NewClusterNet(t.Mesh.Cluster)
-	c := t.Mesh.Cluster
+	net := netsim.NewClusterNet(t.Mesh.Topo)
+	c := t.Mesh.Topo
 	load := map[int]int64{} // per-sender committed bytes
 	seq := 0
 	for _, mv := range t.Moves {

@@ -120,6 +120,10 @@ func (c *Cluster) DevicesOnHost(host int) []int {
 }
 
 func (c *Cluster) String() string {
+	if c.NICs() > 1 {
+		return fmt.Sprintf("cluster(%d hosts x %d devices, intra %.0fGB/s, %d NICs x %.1fGbps)",
+			c.NumHosts, c.DevicesPerHost, c.IntraHostBandwidth/1e9, c.NICs(), c.HostBandwidth*8/1e9)
+	}
 	return fmt.Sprintf("cluster(%d hosts x %d devices, intra %.0fGB/s, NIC %.1fGbps)",
 		c.NumHosts, c.DevicesPerHost, c.IntraHostBandwidth/1e9, c.HostBandwidth*8/1e9)
 }

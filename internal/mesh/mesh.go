@@ -6,12 +6,13 @@ import (
 	"strings"
 )
 
-// Mesh is an n-dimensional logical array of devices sliced from a cluster
+// Mesh is an n-dimensional logical array of devices sliced from a topology
 // (GSPMD's definition, §2.2). Devices is the row-major flattening of the
 // logical array; the same physical devices can be viewed under different
 // shapes.
 type Mesh struct {
-	Cluster *Cluster
+	// Topo is the topology the devices live on.
+	Topo Topology
 	// Shape is the logical extent of each mesh dimension.
 	Shape []int
 	// Devices holds the physical device index at each logical position, in
@@ -20,9 +21,9 @@ type Mesh struct {
 }
 
 // NewMesh validates and builds a mesh over explicit device indices.
-func NewMesh(c *Cluster, shape []int, devices []int) (*Mesh, error) {
+func NewMesh(c Topology, shape []int, devices []int) (*Mesh, error) {
 	if c == nil {
-		return nil, fmt.Errorf("mesh: nil cluster")
+		return nil, fmt.Errorf("mesh: nil topology")
 	}
 	if len(shape) == 0 {
 		return nil, fmt.Errorf("mesh: mesh must have at least one dimension")
@@ -40,7 +41,7 @@ func NewMesh(c *Cluster, shape []int, devices []int) (*Mesh, error) {
 	seen := make(map[int]bool, n)
 	for _, d := range devices {
 		if !c.ValidDevice(d) {
-			return nil, fmt.Errorf("mesh: device %d outside cluster with %d devices", d, c.NumDevices())
+			return nil, fmt.Errorf("mesh: device %d outside topology with %d devices", d, c.NumDevices())
 		}
 		if seen[d] {
 			return nil, fmt.Errorf("mesh: duplicate device %d", d)
@@ -48,16 +49,17 @@ func NewMesh(c *Cluster, shape []int, devices []int) (*Mesh, error) {
 		seen[d] = true
 	}
 	return &Mesh{
-		Cluster: c,
+		Topo:    c,
 		Shape:   append([]int(nil), shape...),
 		Devices: append([]int(nil), devices...),
 	}, nil
 }
 
-// Slice builds a mesh from a contiguous run of cluster devices starting at
+// sliceTopology builds a mesh from a contiguous run of devices starting at
 // firstDevice, laid out row-major over shape. This is how pipeline stages
-// carve meshes out of the cluster (§2.1).
-func (c *Cluster) Slice(shape []int, firstDevice int) (*Mesh, error) {
+// carve meshes out of a topology (§2.1); every Topology implementation's
+// Slice method delegates here.
+func sliceTopology(t Topology, shape []int, firstDevice int) (*Mesh, error) {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
@@ -69,7 +71,13 @@ func (c *Cluster) Slice(shape []int, firstDevice int) (*Mesh, error) {
 	for i := range devices {
 		devices[i] = firstDevice + i
 	}
-	return NewMesh(c, shape, devices)
+	return NewMesh(t, shape, devices)
+}
+
+// Slice builds a mesh from a contiguous run of cluster devices starting at
+// firstDevice, laid out row-major over shape.
+func (c *Cluster) Slice(shape []int, firstDevice int) (*Mesh, error) {
+	return sliceTopology(c, shape, firstDevice)
 }
 
 // Rank returns the number of logical mesh dimensions.
@@ -118,7 +126,7 @@ func (m *Mesh) Hosts() []int {
 	seen := map[int]bool{}
 	var hosts []int
 	for _, d := range m.Devices {
-		h := m.Cluster.HostOf(d)
+		h := m.Topo.HostOf(d)
 		if !seen[h] {
 			seen[h] = true
 			hosts = append(hosts, h)
@@ -133,7 +141,7 @@ func (m *Mesh) Hosts() []int {
 func (m *Mesh) DevicesByHost() map[int][]int {
 	out := map[int][]int{}
 	for _, d := range m.Devices {
-		h := m.Cluster.HostOf(d)
+		h := m.Topo.HostOf(d)
 		out[h] = append(out[h], d)
 	}
 	for h := range out {
@@ -170,7 +178,7 @@ func Disjoint(a, b *Mesh) bool {
 // Reshape returns a new logical view of the same devices under a different
 // shape (e.g. a (2,2) mesh viewed as (1,4)).
 func (m *Mesh) Reshape(shape []int) (*Mesh, error) {
-	return NewMesh(m.Cluster, shape, m.Devices)
+	return NewMesh(m.Topo, shape, m.Devices)
 }
 
 func (m *Mesh) String() string {

@@ -1,0 +1,341 @@
+package mesh
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Topology is the pluggable hardware model every layer above plans against:
+// a set of hosts, each carrying accelerator devices behind a fast intra-host
+// interconnect, joined by a (possibly oversubscribed) inter-host fabric.
+//
+// The homogeneous Cluster (the paper's single-tier testbed) and the
+// per-host-parameterised HeteroCluster both implement it; the simulator,
+// the resharding planner and the pipeline harness only ever see this
+// interface, so new fabrics plug in without touching those layers.
+//
+// Device indices are global and dense: host h owns a contiguous run of
+// indices, hosts in ascending order — the invariant the collective orders
+// and the host-level scheduler rely on.
+type Topology interface {
+	// HostCount is the number of hosts.
+	HostCount() int
+	// NumDevices is the total accelerator count.
+	NumDevices() int
+	// HostOf returns the host index owning a device.
+	HostOf(device int) int
+	// DevicesOnHost returns the device indices of one host, ascending.
+	DevicesOnHost(host int) []int
+	// ValidDevice reports whether the device index exists.
+	ValidDevice(device int) bool
+	// SameHost reports whether two devices share a host.
+	SameHost(a, b int) bool
+	// IntraBandwidth is host h's device-to-device bandwidth, bytes/s per
+	// direction (NVLink/NVSwitch-class).
+	IntraBandwidth(host int) float64
+	// IntraLatency is host h's fixed per-transfer latency, seconds.
+	IntraLatency(host int) float64
+	// NICBandwidth is one NIC's bandwidth on host h, bytes/s per direction.
+	NICBandwidth(host int) float64
+	// NICCount is the number of independent NICs on host h (>= 1).
+	NICCount(host int) int
+	// InterBandwidth is the effective point-to-point bandwidth of a
+	// cross-host transfer src -> dst, bytes/s, after fabric oversubscription.
+	InterBandwidth(srcHost, dstHost int) float64
+	// InterLatency is the fixed cross-host transfer latency, seconds.
+	InterLatency(srcHost, dstHost int) float64
+	// Slice carves a row-major mesh out of a contiguous device run.
+	Slice(shape []int, firstDevice int) (*Mesh, error)
+	// Fingerprint is a stable identity string: two topologies with equal
+	// fingerprints time every transfer identically. SameTopology falls
+	// back to it when implementations cannot be compared directly.
+	Fingerprint() string
+	fmt.Stringer
+}
+
+// SameTopology reports whether two meshes' topologies describe the same
+// hardware: pointer/value identity when the implementations are comparable,
+// fingerprint equality otherwise. Interface equality alone would panic for
+// implementations backed by uncomparable types (e.g. a struct holding a
+// per-host slice by value).
+func SameTopology(a, b Topology) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if reflect.TypeOf(a).Comparable() && reflect.TypeOf(b).Comparable() {
+		return a == b
+	}
+	return a.Fingerprint() == b.Fingerprint()
+}
+
+// Topology interface implementation for the homogeneous Cluster.
+
+// HostCount returns the number of hosts.
+func (c *Cluster) HostCount() int { return c.NumHosts }
+
+// IntraBandwidth returns the uniform intra-host bandwidth.
+func (c *Cluster) IntraBandwidth(host int) float64 { return c.IntraHostBandwidth }
+
+// IntraLatency returns the uniform intra-host latency.
+func (c *Cluster) IntraLatency(host int) float64 { return c.IntraHostLatency }
+
+// NICBandwidth returns the uniform per-NIC bandwidth.
+func (c *Cluster) NICBandwidth(host int) float64 { return c.HostBandwidth }
+
+// NICCount returns the uniform NIC count per host.
+func (c *Cluster) NICCount(host int) int { return c.NICs() }
+
+// InterBandwidth returns the uniform cross-host bandwidth (the fabric is
+// fully connected and non-oversubscribed, §3).
+func (c *Cluster) InterBandwidth(srcHost, dstHost int) float64 { return c.HostBandwidth }
+
+// InterLatency returns the uniform cross-host latency.
+func (c *Cluster) InterLatency(srcHost, dstHost int) float64 { return c.InterHostLatency }
+
+// Fingerprint identifies the homogeneous topology by its parameters.
+func (c *Cluster) Fingerprint() string {
+	return fmt.Sprintf("homog(h=%d,d=%d,ib=%g,il=%g,nb=%g,nl=%g,nics=%d)",
+		c.NumHosts, c.DevicesPerHost, c.IntraHostBandwidth, c.IntraHostLatency,
+		c.HostBandwidth, c.InterHostLatency, c.NICs())
+}
+
+// HostSpec describes one host of a heterogeneous cluster.
+type HostSpec struct {
+	// Devices is the accelerator count of this host.
+	Devices int
+	// IntraBandwidth is the device-to-device bandwidth within the host,
+	// bytes/s per direction.
+	IntraBandwidth float64
+	// IntraLatency is the fixed intra-host per-transfer latency, seconds.
+	IntraLatency float64
+	// NICBandwidth is the bandwidth of one NIC, bytes/s per direction.
+	NICBandwidth float64
+	// NICs is the number of independent NICs (0 means 1).
+	NICs int
+}
+
+// EffectiveNICs returns the NIC count, at least one.
+func (s HostSpec) EffectiveNICs() int {
+	if s.NICs < 1 {
+		return 1
+	}
+	return s.NICs
+}
+
+func (s HostSpec) fingerprint() string {
+	return fmt.Sprintf("d%d,ib%g,il%g,nb%g,nn%d",
+		s.Devices, s.IntraBandwidth, s.IntraLatency, s.NICBandwidth, s.EffectiveNICs())
+}
+
+// HeteroCluster is a heterogeneous accelerator cluster: per-host device
+// counts, interconnects and NIC tiers, plus a switch fabric whose
+// oversubscription divides effective cross-host bandwidth. It generalises
+// the paper's homogeneous testbed to the multi-NIC / mixed-fabric setting
+// §3.1 leaves as future work.
+type HeteroCluster struct {
+	// Hosts holds one spec per host, in device-index order.
+	Hosts []HostSpec
+	// InterHostLatency is the fixed cross-host transfer latency, seconds.
+	InterHostLatency float64
+	// Oversubscription >= 1 divides effective cross-host bandwidth: a 2:1
+	// oversubscribed leaf-spine fabric halves point-to-point throughput.
+	Oversubscription float64
+	// firstDev[h] is the global index of host h's first device;
+	// firstDev[len(Hosts)] is the total device count.
+	firstDev []int
+}
+
+// NewHeteroCluster validates per-host specs and builds the cluster.
+func NewHeteroCluster(hosts []HostSpec, interLatency, oversubscription float64) (*HeteroCluster, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("mesh: heterogeneous cluster needs at least one host")
+	}
+	if interLatency < 0 {
+		return nil, fmt.Errorf("mesh: negative inter-host latency %g", interLatency)
+	}
+	if oversubscription == 0 {
+		oversubscription = 1
+	}
+	if oversubscription < 1 {
+		return nil, fmt.Errorf("mesh: oversubscription %g < 1", oversubscription)
+	}
+	hc := &HeteroCluster{
+		Hosts:            append([]HostSpec(nil), hosts...),
+		InterHostLatency: interLatency,
+		Oversubscription: oversubscription,
+		firstDev:         make([]int, len(hosts)+1),
+	}
+	for h, s := range hosts {
+		switch {
+		case s.Devices <= 0:
+			return nil, fmt.Errorf("mesh: host %d has non-positive device count %d", h, s.Devices)
+		case s.IntraBandwidth <= 0 || s.NICBandwidth <= 0:
+			return nil, fmt.Errorf("mesh: host %d bandwidths must be positive (intra=%g nic=%g)", h, s.IntraBandwidth, s.NICBandwidth)
+		case s.IntraLatency < 0:
+			return nil, fmt.Errorf("mesh: host %d has negative latency", h)
+		}
+		hc.firstDev[h+1] = hc.firstDev[h] + s.Devices
+	}
+	return hc, nil
+}
+
+// MustHeteroCluster is NewHeteroCluster that panics on error; for presets
+// whose parameters are valid by construction.
+func MustHeteroCluster(hosts []HostSpec, interLatency, oversubscription float64) *HeteroCluster {
+	hc, err := NewHeteroCluster(hosts, interLatency, oversubscription)
+	if err != nil {
+		panic(err)
+	}
+	return hc
+}
+
+// HostCount returns the number of hosts.
+func (hc *HeteroCluster) HostCount() int { return len(hc.Hosts) }
+
+// NumDevices returns the total device count.
+func (hc *HeteroCluster) NumDevices() int { return hc.firstDev[len(hc.Hosts)] }
+
+// HostOf returns the host owning a device (binary search over the per-host
+// device runs).
+func (hc *HeteroCluster) HostOf(device int) int {
+	return sort.Search(len(hc.Hosts), func(h int) bool { return hc.firstDev[h+1] > device })
+}
+
+// DevicesOnHost returns the device indices of one host.
+func (hc *HeteroCluster) DevicesOnHost(host int) []int {
+	out := make([]int, hc.Hosts[host].Devices)
+	for i := range out {
+		out[i] = hc.firstDev[host] + i
+	}
+	return out
+}
+
+// ValidDevice reports whether the device index exists.
+func (hc *HeteroCluster) ValidDevice(device int) bool {
+	return device >= 0 && device < hc.NumDevices()
+}
+
+// SameHost reports whether two devices share a host.
+func (hc *HeteroCluster) SameHost(a, b int) bool { return hc.HostOf(a) == hc.HostOf(b) }
+
+// IntraBandwidth returns host h's intra-host bandwidth.
+func (hc *HeteroCluster) IntraBandwidth(host int) float64 { return hc.Hosts[host].IntraBandwidth }
+
+// IntraLatency returns host h's intra-host latency.
+func (hc *HeteroCluster) IntraLatency(host int) float64 { return hc.Hosts[host].IntraLatency }
+
+// NICBandwidth returns host h's per-NIC bandwidth.
+func (hc *HeteroCluster) NICBandwidth(host int) float64 { return hc.Hosts[host].NICBandwidth }
+
+// NICCount returns host h's NIC count.
+func (hc *HeteroCluster) NICCount(host int) int { return hc.Hosts[host].EffectiveNICs() }
+
+// InterBandwidth is the slower endpoint NIC divided by the fabric
+// oversubscription factor.
+func (hc *HeteroCluster) InterBandwidth(srcHost, dstHost int) float64 {
+	bw := hc.Hosts[srcHost].NICBandwidth
+	if d := hc.Hosts[dstHost].NICBandwidth; d < bw {
+		bw = d
+	}
+	return bw / hc.Oversubscription
+}
+
+// InterLatency returns the uniform cross-host latency.
+func (hc *HeteroCluster) InterLatency(srcHost, dstHost int) float64 { return hc.InterHostLatency }
+
+// Slice carves a row-major mesh out of a contiguous device run.
+func (hc *HeteroCluster) Slice(shape []int, firstDevice int) (*Mesh, error) {
+	return sliceTopology(hc, shape, firstDevice)
+}
+
+// Fingerprint identifies the topology by every per-host spec plus the
+// fabric parameters.
+func (hc *HeteroCluster) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hetero(il=%g,ov=%g", hc.InterHostLatency, hc.Oversubscription)
+	for _, s := range hc.Hosts {
+		b.WriteByte(';')
+		b.WriteString(s.fingerprint())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (hc *HeteroCluster) String() string {
+	return fmt.Sprintf("hetero-cluster(%d hosts, %d devices, oversub %.1f:1)",
+		hc.HostCount(), hc.NumDevices(), hc.Oversubscription)
+}
+
+// DGX A100 / NVSwitch-class constants: 8 A100s behind NVSwitch with eight
+// HDR-200 InfiniBand compute NICs per node.
+const (
+	// DGXA100IntraBandwidth is the per-GPU NVSwitch bandwidth (bytes/s).
+	DGXA100IntraBandwidth = 600e9
+	// DGXA100IntraLatency is the NVSwitch per-transfer launch overhead.
+	DGXA100IntraLatency = 3e-6
+	// DGXA100NICBandwidth is one HDR-200 NIC, 200 Gbps in bytes/s.
+	DGXA100NICBandwidth = 200e9 / 8
+	// DGXA100InterLatency is the InfiniBand cross-host latency.
+	DGXA100InterLatency = 5e-6
+)
+
+// DGXA100HostSpec returns one DGX-A100-class host: 8 GPUs, NVSwitch
+// intra-host, 8 x 200 Gbps InfiniBand NICs.
+func DGXA100HostSpec() HostSpec {
+	return HostSpec{
+		Devices:        8,
+		IntraBandwidth: DGXA100IntraBandwidth,
+		IntraLatency:   DGXA100IntraLatency,
+		NICBandwidth:   DGXA100NICBandwidth,
+		NICs:           8,
+	}
+}
+
+// DGXA100Cluster builds an InfiniBand/NVSwitch-class cluster of DGX-A100
+// nodes with a non-oversubscribed fabric.
+func DGXA100Cluster(hosts int) *HeteroCluster {
+	specs := make([]HostSpec, hosts)
+	for i := range specs {
+		specs[i] = DGXA100HostSpec()
+	}
+	return MustHeteroCluster(specs, DGXA100InterLatency, 1)
+}
+
+// P3HostSpec returns one AWS p3.8xlarge-class host (4 V100, NVLink, one
+// 10 Gbps NIC) as a HostSpec, for mixing with faster tiers.
+func P3HostSpec() HostSpec {
+	return HostSpec{
+		Devices:        4,
+		IntraBandwidth: P3IntraHostBandwidth,
+		IntraLatency:   P3IntraHostLatency,
+		NICBandwidth:   P3HostBandwidth,
+		NICs:           1,
+	}
+}
+
+// MixedP3DGXCluster builds the heterogeneous scenario of the examples: p3
+// Ethernet hosts alongside DGX-A100 InfiniBand hosts on one fabric with the
+// given oversubscription. Cross-tier transfers bottleneck on the p3 NIC.
+func MixedP3DGXCluster(p3Hosts, dgxHosts int, oversubscription float64) *HeteroCluster {
+	specs := make([]HostSpec, 0, p3Hosts+dgxHosts)
+	for i := 0; i < p3Hosts; i++ {
+		specs = append(specs, P3HostSpec())
+	}
+	for i := 0; i < dgxHosts; i++ {
+		specs = append(specs, DGXA100HostSpec())
+	}
+	return MustHeteroCluster(specs, P3InterHostLatency, oversubscription)
+}
+
+// HostFingerprint renders the identity of one host as seen by the
+// simulator: device count, intra-host link, NIC tier. Two hosts with equal
+// fingerprints are interchangeable in any transfer schedule — the
+// plan cache uses this to recognise stage boundaries that differ only by
+// which physical hosts they sit on.
+func HostFingerprint(t Topology, host int) string {
+	return fmt.Sprintf("d%d,ib%g,il%g,nb%g,nn%d",
+		len(t.DevicesOnHost(host)), t.IntraBandwidth(host), t.IntraLatency(host),
+		t.NICBandwidth(host), t.NICCount(host))
+}

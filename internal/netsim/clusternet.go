@@ -6,34 +6,37 @@ import (
 	"alpacomm/internal/mesh"
 )
 
-// ClusterNet binds a Sim to a cluster topology and issues point-to-point
+// ClusterNet binds a Sim to a hardware topology and issues point-to-point
 // transfers with the right resources and durations:
 //
 //   - intra-host transfers occupy the source device's send side and the
-//     destination device's receive side at NVLink bandwidth;
+//     destination device's receive side at the host's intra-host bandwidth;
 //   - cross-host transfers occupy the source host's NIC send side and the
-//     destination host's NIC receive side at NIC bandwidth (one NIC per
-//     host, full duplex — §3's cluster properties).
+//     destination host's NIC receive side at the effective inter-host
+//     bandwidth (full duplex — §3's cluster properties, generalised to
+//     per-host NIC tiers and oversubscribed fabrics).
 type ClusterNet struct {
-	Sim     *Sim
-	Cluster *mesh.Cluster
-	// nic selects which of the host's NICs cross-host transfers ride
-	// (always 0 for single-NIC clusters). Set with OnNIC.
+	Sim *Sim
+	// Topo is the topology transfers are timed and resourced against.
+	Topo mesh.Topology
+	// nic selects which of a host's NICs cross-host transfers ride, taken
+	// modulo each host's NIC count (always 0 for single-NIC hosts). Set
+	// with OnNIC.
 	nic int
 }
 
 // OnNIC returns a view of the net whose cross-host transfers use the k-th
-// NIC of each host (k taken modulo the cluster's NIC count). The paper's
+// NIC of each host (k taken modulo each host's NIC count). The paper's
 // multi-NIC extension splits a unit task into one sub-task per NIC.
 func (n *ClusterNet) OnNIC(k int) *ClusterNet {
 	cp := *n
-	cp.nic = ((k % n.Cluster.NICs()) + n.Cluster.NICs()) % n.Cluster.NICs()
+	cp.nic = k
 	return &cp
 }
 
-// NewClusterNet creates a fresh simulator over the cluster.
-func NewClusterNet(c *mesh.Cluster) *ClusterNet {
-	return &ClusterNet{Sim: NewSim(), Cluster: c}
+// NewClusterNet creates a fresh simulator over the topology.
+func NewClusterNet(t mesh.Topology) *ClusterNet {
+	return &ClusterNet{Sim: NewSim(), Topo: t}
 }
 
 // DeviceSend returns the send-side resource of a device's intra-host link.
@@ -46,18 +49,24 @@ func (n *ClusterNet) DeviceRecv(dev int) *Resource {
 	return n.Sim.Resource(fmt.Sprintf("dev%d:recv", dev))
 }
 
+// nicIndex resolves this net view's NIC selector on a concrete host.
+func (n *ClusterNet) nicIndex(host int) int {
+	nics := n.Topo.NICCount(host)
+	return ((n.nic % nics) + nics) % nics
+}
+
 // HostSend returns the send side of the host NIC this net view uses.
 func (n *ClusterNet) HostSend(host int) *Resource {
-	if n.Cluster.NICs() > 1 {
-		return n.Sim.Resource(fmt.Sprintf("host%d:send:nic%d", host, n.nic))
+	if n.Topo.NICCount(host) > 1 {
+		return n.Sim.Resource(fmt.Sprintf("host%d:send:nic%d", host, n.nicIndex(host)))
 	}
 	return n.Sim.Resource(fmt.Sprintf("host%d:send", host))
 }
 
 // HostRecv returns the receive side of the host NIC this net view uses.
 func (n *ClusterNet) HostRecv(host int) *Resource {
-	if n.Cluster.NICs() > 1 {
-		return n.Sim.Resource(fmt.Sprintf("host%d:recv:nic%d", host, n.nic))
+	if n.Topo.NICCount(host) > 1 {
+		return n.Sim.Resource(fmt.Sprintf("host%d:recv:nic%d", host, n.nicIndex(host)))
 	}
 	return n.Sim.Resource(fmt.Sprintf("host%d:recv", host))
 }
@@ -65,11 +74,13 @@ func (n *ClusterNet) HostRecv(host int) *Resource {
 // TransferTime returns the modelled duration of one point-to-point transfer
 // of the given size between two devices (latency + bytes/bandwidth).
 func (n *ClusterNet) TransferTime(src, dst int, bytes int64) float64 {
-	c := n.Cluster
-	if c.SameHost(src, dst) {
-		return c.IntraHostLatency + float64(bytes)/c.IntraHostBandwidth
+	t := n.Topo
+	if t.SameHost(src, dst) {
+		h := t.HostOf(src)
+		return t.IntraLatency(h) + float64(bytes)/t.IntraBandwidth(h)
 	}
-	return c.InterHostLatency + float64(bytes)/c.HostBandwidth
+	hs, hd := t.HostOf(src), t.HostOf(dst)
+	return t.InterLatency(hs, hd) + float64(bytes)/t.InterBandwidth(hs, hd)
 }
 
 // Transfer registers a point-to-point transfer op between two devices and
@@ -88,8 +99,8 @@ func (n *ClusterNet) StreamTransfer(label string, src, dst int, bytes int64, seq
 }
 
 func (n *ClusterNet) transfer(label string, src, dst int, bytes int64, seq int, withLatency bool, deps []OpID) (OpID, error) {
-	c := n.Cluster
-	if !c.ValidDevice(src) || !c.ValidDevice(dst) {
+	t := n.Topo
+	if !t.ValidDevice(src) || !t.ValidDevice(dst) {
 		return 0, fmt.Errorf("netsim: transfer %q between invalid devices %d -> %d", label, src, dst)
 	}
 	if src == dst {
@@ -101,16 +112,16 @@ func (n *ClusterNet) transfer(label string, src, dst int, bytes int64, seq int, 
 	var res []*Resource
 	dur := n.TransferTime(src, dst, bytes)
 	if !withLatency {
-		if c.SameHost(src, dst) {
-			dur -= c.IntraHostLatency
+		if t.SameHost(src, dst) {
+			dur -= t.IntraLatency(t.HostOf(src))
 		} else {
-			dur -= c.InterHostLatency
+			dur -= t.InterLatency(t.HostOf(src), t.HostOf(dst))
 		}
 	}
-	if c.SameHost(src, dst) {
+	if t.SameHost(src, dst) {
 		res = []*Resource{n.DeviceSend(src), n.DeviceRecv(dst)}
 	} else {
-		res = []*Resource{n.HostSend(c.HostOf(src)), n.HostRecv(c.HostOf(dst))}
+		res = []*Resource{n.HostSend(t.HostOf(src)), n.HostRecv(t.HostOf(dst))}
 	}
 	return n.Sim.AddOp(label, dur, seq, res, deps...)
 }

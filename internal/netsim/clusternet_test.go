@@ -172,6 +172,57 @@ func TestStreamTransferValidation(t *testing.T) {
 	}
 }
 
+// TestHeteroTransferTimes: per-host bandwidths and fabric oversubscription
+// drive transfer durations on a heterogeneous topology.
+func TestHeteroTransferTimes(t *testing.T) {
+	// Host 0: 2 devices, intra 100 B/s, NIC 10 B/s.
+	// Host 1: 2 devices, intra 400 B/s, NIC 40 B/s. Fabric 2:1 oversubscribed.
+	hc, err := mesh.NewHeteroCluster([]mesh.HostSpec{
+		{Devices: 2, IntraBandwidth: 100, NICBandwidth: 10},
+		{Devices: 2, IntraBandwidth: 400, NICBandwidth: 40},
+	}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewClusterNet(hc)
+	if got := n.TransferTime(0, 1, 100); got != 1.0 {
+		t.Errorf("slow-host intra time = %v, want 1.0", got)
+	}
+	if got := n.TransferTime(2, 3, 100); got != 0.25 {
+		t.Errorf("fast-host intra time = %v, want 0.25", got)
+	}
+	// Cross-host: min(10, 40) / 2 = 5 B/s effective.
+	if got := n.TransferTime(0, 2, 100); got != 20.0 {
+		t.Errorf("cross-host time = %v, want 20.0", got)
+	}
+	if got := n.TransferTime(2, 0, 100); got != 20.0 {
+		t.Errorf("reverse cross-host time = %v, want 20.0", got)
+	}
+}
+
+// TestHeteroPerHostNICs: NIC striping respects per-host NIC counts — the
+// same net view can ride NIC 3 on an 8-NIC host and NIC 1 on a 2-NIC host.
+func TestHeteroPerHostNICs(t *testing.T) {
+	hc, err := mesh.NewHeteroCluster([]mesh.HostSpec{
+		{Devices: 1, IntraBandwidth: 100, NICBandwidth: 10, NICs: 8},
+		{Devices: 1, IntraBandwidth: 100, NICBandwidth: 10, NICs: 2},
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewClusterNet(hc)
+	v := n.OnNIC(3)
+	if v.HostSend(0) != n.OnNIC(11).HostSend(0) {
+		t.Error("NIC selector must wrap modulo the 8-NIC host's count")
+	}
+	if v.HostRecv(1) != n.OnNIC(1).HostRecv(1) {
+		t.Error("NIC selector must wrap modulo the 2-NIC host's count")
+	}
+	if v.HostSend(0) == n.OnNIC(4).HostSend(0) {
+		t.Error("distinct NICs on one host must be distinct resources")
+	}
+}
+
 // TestMultiNICParallelism: with 2 NICs per host, two cross-host transfers
 // from one host proceed in parallel on distinct NICs.
 func TestMultiNICParallelism(t *testing.T) {

@@ -1,0 +1,164 @@
+package resharding
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/sharding"
+)
+
+// PlanCache memoizes planned-and-simulated reshardings keyed by
+// (source placement, destination placement, topology, options). The key is
+// canonical under host translation: two stage boundaries whose meshes have
+// the same shape, the same specs and the same layout relative to
+// interchangeable hosts share one entry, even when they sit on different
+// physical hosts. A production planner sees millions of structurally
+// identical boundaries — one per stage pair per pipeline — and this cache
+// collapses them to one planning pass each.
+//
+// Timing fields of the cached SimResult (Makespan, EffectiveGbps, NumOps)
+// are exact for every task that maps to the key: the network model is
+// translation-invariant across interchangeable hosts. The cached Plan and
+// the trace fields (Events, Utilization) belong to the first task planned
+// under the key, so their device and host identifiers may be translated
+// relative to a later caller's meshes; use NewPlan directly when a plan
+// must be executed on specific devices.
+//
+// A PlanCache is safe for concurrent use; concurrent requests for the same
+// key plan once and share the entry.
+type PlanCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	plan *Plan
+	sim  *SimResult
+	err  error
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{entries: map[string]*cacheEntry{}}
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	// Hits is the number of lookups served from an existing entry.
+	Hits int
+	// Misses is the number of lookups that had to plan and simulate.
+	Misses int
+	// Entries is the number of distinct keys planned.
+	Entries int
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// Simulate returns the simulated execution of the task under the options,
+// planning it only if no structurally identical resharding has been planned
+// before.
+func (c *PlanCache) Simulate(task *sharding.Task, opts Options) (*SimResult, error) {
+	_, sim, err := c.PlanAndSimulate(task, opts)
+	return sim, err
+}
+
+// PlanAndSimulate returns the cached plan and simulation for the task,
+// computing and storing them on first use. See the type comment for what
+// the cached plan means on a translated hit.
+func (c *PlanCache) PlanAndSimulate(task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
+	opts = opts.withDefaults()
+	key := CacheKey(task, opts)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.plan, e.err = NewPlan(task, opts)
+		if e.err != nil {
+			return
+		}
+		e.sim, e.err = e.plan.Simulate()
+	})
+	return e.plan, e.sim, e.err
+}
+
+// CacheKey renders the canonical identity of a resharding problem: global
+// shape and dtype, both mesh layouts with devices rebased to the lowest
+// involved host, both specs, the per-host hardware fingerprints and
+// pairwise fabric properties of the involved hosts, and every option that
+// influences planning or simulation.
+func CacheKey(task *sharding.Task, opts Options) string {
+	topo := task.Src.Mesh.Topo
+	hosts := involvedHosts(topo, task)
+	base := hosts[0]
+	// Memoize each host's first device index: DevicesOnHost allocates, and
+	// the key is computed on every lookup — the cache-hit fast path.
+	firstDev := make(map[int]int, len(hosts))
+	for _, h := range hosts {
+		firstDev[h] = topo.DevicesOnHost(h)[0]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%v/%v;", task.Global, task.DType)
+	writeMesh(&b, "s", topo, task.Src, base, firstDev)
+	writeMesh(&b, "d", topo, task.Dst, base, firstDev)
+	for _, h := range hosts {
+		fmt.Fprintf(&b, "h%d[%s];", h-base, mesh.HostFingerprint(topo, h))
+	}
+	for _, a := range hosts {
+		for _, r := range hosts {
+			if a == r {
+				continue
+			}
+			fmt.Fprintf(&b, "x%d-%d:%g/%g;", a-base, r-base, topo.InterBandwidth(a, r), topo.InterLatency(a, r))
+		}
+	}
+	fmt.Fprintf(&b, "o=%d/%d/%d/%d/%d/%d/%d", opts.Strategy, opts.Scheduler,
+		opts.Chunks, int64(opts.DFSBudget), opts.DFSNodes, opts.Trials, opts.Seed)
+	return b.String()
+}
+
+// writeMesh renders one placement: mesh shape, spec, and each device as
+// (host - base, offset within host).
+func writeMesh(b *strings.Builder, tag string, topo mesh.Topology, p *sharding.Placement, base int, firstDev map[int]int) {
+	fmt.Fprintf(b, "%s=%v/%s@", tag, p.Mesh.Shape, p.Spec)
+	for _, d := range p.Mesh.Devices {
+		h := topo.HostOf(d)
+		fmt.Fprintf(b, "%d.%d,", h-base, d-firstDev[h])
+	}
+	b.WriteByte(';')
+}
+
+// involvedHosts returns the sorted union of hosts the two meshes span.
+func involvedHosts(topo mesh.Topology, task *sharding.Task) []int {
+	seen := map[int]bool{}
+	var hosts []int
+	for _, m := range []*mesh.Mesh{task.Src.Mesh, task.Dst.Mesh} {
+		for _, d := range m.Devices {
+			h := topo.HostOf(d)
+			if !seen[h] {
+				seen[h] = true
+				hosts = append(hosts, h)
+			}
+		}
+	}
+	sort.Ints(hosts)
+	return hosts
+}

@@ -105,6 +105,11 @@ type Options struct {
 	Chunks int
 	// DFSBudget bounds the DFS search (default 50ms).
 	DFSBudget time.Duration
+	// DFSNodes, when positive, replaces the wall-clock DFSBudget with a
+	// deterministic node budget: the DFS explores at most DFSNodes search
+	// states. Required for bit-reproducible ensemble plans (the autotuner
+	// sets it so results do not depend on machine speed or concurrency).
+	DFSNodes int
 	// Trials is the randomized-greedy trial count (default 32).
 	Trials int
 	// Seed makes the randomized scheduler deterministic.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"alpacomm/internal/mesh"
 	"alpacomm/internal/schedule"
 	"alpacomm/internal/sharding"
 )
@@ -27,28 +28,31 @@ type Plan struct {
 // NewPlan schedules a resharding task under the given options.
 func NewPlan(task *sharding.Task, opts Options) (*Plan, error) {
 	opts = opts.withDefaults()
-	if task.Src.Mesh.Cluster != task.Dst.Mesh.Cluster {
-		return nil, fmt.Errorf("resharding: source and destination meshes must share a cluster")
+	if !mesh.SameTopology(task.Src.Mesh.Topo, task.Dst.Mesh.Topo) {
+		return nil, fmt.Errorf("resharding: source and destination meshes must share a topology")
 	}
-	cluster := task.Src.Mesh.Cluster
+	cluster := task.Src.Mesh.Topo
 
 	// Build the host-level Eq. 1-3 instance. Task durations estimate the
 	// strategy's cross-host cost: one copy per receiver host for SendRecv,
-	// one copy total for the gather/broadcast strategies.
+	// one copy total for the gather/broadcast strategies. On heterogeneous
+	// topologies the copy is costed at the slowest NIC among the hosts the
+	// task can touch, the bandwidth it bottlenecks on.
 	hostTasks := make([]schedule.Task, len(task.Units))
 	for i, u := range task.Units {
 		bytes := float64(u.Bytes(task.DType))
+		senderHosts := task.SenderHosts(u)
 		recvHosts := task.ReceiverHosts(u)
-		dur := bytes / cluster.HostBandwidth
+		dur := bytes / minNICBandwidth(cluster, senderHosts, recvHosts)
 		if opts.Strategy == SendRecv {
 			dur *= float64(len(u.Receivers))
 		}
 		if opts.Strategy == Signal {
-			dur = cluster.InterHostLatency
+			dur = maxInterLatency(cluster, senderHosts, recvHosts)
 		}
 		hostTasks[i] = schedule.Task{
 			ID:            u.Index,
-			SenderHosts:   task.SenderHosts(u),
+			SenderHosts:   senderHosts,
 			ReceiverHosts: recvHosts,
 			Duration:      dur,
 		}
@@ -64,7 +68,11 @@ func NewPlan(task *sharding.Task, opts Options) (*Plan, error) {
 		hostPlan = schedule.LoadBalanceOnly(hostTasks)
 	case SchedEnsemble:
 		rng := rand.New(rand.NewSource(opts.Seed))
-		hostPlan = schedule.Ensemble(hostTasks, opts.DFSBudget, opts.Trials, rng)
+		if opts.DFSNodes > 0 {
+			hostPlan = schedule.EnsembleNodes(hostTasks, opts.DFSNodes, opts.Trials, rng)
+		} else {
+			hostPlan = schedule.Ensemble(hostTasks, opts.DFSBudget, opts.Trials, rng)
+		}
 	default:
 		return nil, fmt.Errorf("resharding: unknown scheduler %v", opts.Scheduler)
 	}
@@ -100,6 +108,35 @@ func NewPlan(task *sharding.Task, opts Options) (*Plan, error) {
 		p.SenderOf[idx] = dev
 	}
 	return p, nil
+}
+
+// minNICBandwidth returns the slowest per-NIC bandwidth among the hosts a
+// unit task can touch — the rate its cross-host copy bottlenecks on. On
+// homogeneous clusters this is simply the uniform NIC bandwidth.
+func minNICBandwidth(t mesh.Topology, senderHosts, recvHosts []int) float64 {
+	min := 0.0
+	for _, hosts := range [][]int{senderHosts, recvHosts} {
+		for _, h := range hosts {
+			if bw := t.NICBandwidth(h); min == 0 || bw < min {
+				min = bw
+			}
+		}
+	}
+	return min
+}
+
+// maxInterLatency returns the worst cross-host latency among (sender,
+// receiver) host pairs; the Signal strategy's unit cost.
+func maxInterLatency(t mesh.Topology, senderHosts, recvHosts []int) float64 {
+	max := 0.0
+	for _, s := range senderHosts {
+		for _, r := range recvHosts {
+			if l := t.InterLatency(s, r); l > max {
+				max = l
+			}
+		}
+	}
+	return max
 }
 
 // greedyLoad is the baselines' load balancing (§5.1.2): iterate unit tasks

@@ -26,7 +26,7 @@ type SimResult struct {
 // serialized in plan order per Eq. 3; everything else proceeds in parallel
 // at chunk granularity.
 func (p *Plan) Simulate() (*SimResult, error) {
-	cluster := p.Task.Src.Mesh.Cluster
+	cluster := p.Task.Src.Mesh.Topo
 	net := netsim.NewClusterNet(cluster)
 	// lastUse[key] holds the completion ops of the previous unit task that
 	// occupied the host-side resource identified by key.

@@ -49,7 +49,7 @@ func buildSendRecv(net *netsim.ClusterNet, label string, sender int, receivers [
 // all-gather locally (Fig. 3b). Receivers on the sender's own host get
 // direct NVLink copies.
 func buildLocalAllGather(net *netsim.ClusterNet, label string, sender int, receivers []int, bytes int64, seq int, deps []netsim.OpID) ([]netsim.OpID, error) {
-	c := net.Cluster
+	c := net.Topo
 	var done []netsim.OpID
 	for _, group := range groupByHost(c, receivers) {
 		if c.HostOf(group[0]) == c.HostOf(sender) || len(group) == 1 {
@@ -87,7 +87,7 @@ func buildGlobalAllGather(net *netsim.ClusterNet, label string, sender int, rece
 	if len(receivers) == 1 {
 		return buildSendRecv(net, label, sender, receivers, bytes, seq, deps)
 	}
-	ring := collective.RingOrder(net.Cluster, receivers)
+	ring := collective.RingOrder(net.Topo, receivers)
 	parts := splitBytes(bytes, len(ring))
 	startDeps := map[int][]netsim.OpID{}
 	var scatterOps []netsim.OpID
@@ -116,12 +116,12 @@ func buildGlobalAllGather(net *netsim.ClusterNet, label string, sender int, rece
 // sub-task per NIC (the §3.1 future-work extension): each part travels its
 // own chain over a distinct NIC, multiplying cross-host bandwidth.
 func buildBroadcast(net *netsim.ClusterNet, opts Options, label string, sender int, receivers []int, bytes int64, seq int, deps []netsim.OpID) ([]netsim.OpID, error) {
-	chain := collective.BroadcastOrder(net.Cluster, sender, receivers)
+	chain := collective.BroadcastOrder(net.Topo, sender, receivers)
 	chunks := opts.Chunks
 	if chunks <= 0 {
 		chunks = collective.DefaultChunks(bytes)
 	}
-	nics := net.Cluster.NICs()
+	nics := chainNICs(net.Topo, chain)
 	if nics == 1 || bytes < int64(nics) {
 		res, err := collective.BroadcastChain(net, label+"/bc", chain, bytes, chunks, seq, deps...)
 		if err != nil {
@@ -151,7 +151,7 @@ func buildBroadcast(net *netsim.ClusterNet, opts Options, label string, sender i
 // the receivers; uneven partitions fall back to naive send/recv (§5.1.1:
 // "Alpa cannot handle uneven partition").
 func buildAlpa(net *netsim.ClusterNet, label string, sender int, receivers []int, elements, bytes int64, seq int, deps []netsim.OpID) ([]netsim.OpID, error) {
-	c := net.Cluster
+	c := net.Topo
 	groups := groupByHost(c, receivers)
 	multiHost := len(groups) > 1
 	if !multiHost {
@@ -166,9 +166,31 @@ func buildAlpa(net *netsim.ClusterNet, label string, sender int, receivers []int
 	return buildGlobalAllGather(net, label, sender, receivers, bytes, seq, deps, true)
 }
 
+// chainNICs returns the number of NICs a broadcast chain can stripe over:
+// the smallest NIC count among the hosts on the chain, so every part of a
+// split unit task has a dedicated NIC on every hop.
+func chainNICs(t mesh.Topology, chain []int) int {
+	nics := 0
+	seen := map[int]bool{}
+	for _, d := range chain {
+		h := t.HostOf(d)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		if n := t.NICCount(h); nics == 0 || n < nics {
+			nics = n
+		}
+	}
+	if nics < 1 {
+		nics = 1
+	}
+	return nics
+}
+
 // groupByHost splits devices into per-host groups, hosts ascending,
 // devices ascending within a host.
-func groupByHost(c *mesh.Cluster, devices []int) [][]int {
+func groupByHost(c mesh.Topology, devices []int) [][]int {
 	byHost := map[int][]int{}
 	for _, d := range devices {
 		byHost[c.HostOf(d)] = append(byHost[c.HostOf(d)], d)

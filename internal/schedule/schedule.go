@@ -207,6 +207,23 @@ func LoadBalanceOnly(tasks []Task) Plan {
 // time budget and returns the best plan seen; with a generous budget and
 // few tasks (the paper reports < 20) the result is optimal.
 func DFSPruning(tasks []Task, budget time.Duration) Plan {
+	return dfsPruning(tasks, budget, 0)
+}
+
+// DFSPruningNodes is DFSPruning with a deterministic budget: the search
+// visits at most maxNodes states instead of racing a wall clock, so the
+// returned plan is a pure function of its inputs — identical across runs,
+// machines and concurrent callers. The autotuner uses this variant.
+func DFSPruningNodes(tasks []Task, maxNodes int) Plan {
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	return dfsPruning(tasks, 0, maxNodes)
+}
+
+// dfsPruning runs the search under a wall-clock budget (maxNodes == 0) or a
+// node budget (maxNodes > 0; the clock is then ignored).
+func dfsPruning(tasks []Task, budget time.Duration, maxNodes int) Plan {
 	if len(tasks) == 0 {
 		return Plan{Sender: map[int]int{}}
 	}
@@ -235,7 +252,12 @@ func DFSPruning(tasks []Task, budget time.Duration) Plan {
 			return
 		}
 		checkCount++
-		if checkCount%1024 == 0 && time.Now().After(deadline) {
+		if maxNodes > 0 {
+			if checkCount > maxNodes {
+				expired = true
+				return
+			}
+		} else if checkCount%1024 == 0 && time.Now().After(deadline) {
 			expired = true
 			return
 		}
@@ -405,11 +427,21 @@ func GreedyRandomized(tasks []Task, trials int, rng *rand.Rand) Plan {
 // problems) DFSPruning, and returns the plan with the smallest makespan.
 // This is AlpaComm's production configuration.
 func Ensemble(tasks []Task, dfsBudget time.Duration, trials int, rng *rand.Rand) Plan {
+	return ensemble(tasks, func(t []Task) Plan { return DFSPruning(t, dfsBudget) }, trials, rng)
+}
+
+// EnsembleNodes is Ensemble with the deterministic node-budgeted DFS, for
+// callers that need bit-reproducible plans (the concurrent autotuner).
+func EnsembleNodes(tasks []Task, dfsNodes, trials int, rng *rand.Rand) Plan {
+	return ensemble(tasks, func(t []Task) Plan { return DFSPruningNodes(t, dfsNodes) }, trials, rng)
+}
+
+func ensemble(tasks []Task, dfs func([]Task) Plan, trials int, rng *rand.Rand) Plan {
 	candidates := []Plan{Naive(tasks), LoadBalanceOnly(tasks), GreedyRandomized(tasks, trials, rng)}
 	// DFS explodes combinatorially; the paper reports it fails beyond ~20
 	// unit tasks, so only attempt it below that scale.
 	if len(tasks) <= 20 {
-		candidates = append(candidates, DFSPruning(tasks, dfsBudget))
+		candidates = append(candidates, dfs(tasks))
 	}
 	best := candidates[0]
 	bestSpan := math.Inf(1)

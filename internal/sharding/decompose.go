@@ -102,15 +102,15 @@ func (t *Task) TotalBytes() int64 {
 // SenderHosts returns the candidate sender hosts of a unit task (the
 // paper's n_i: scheduling happens at host granularity, §3.2).
 func (t *Task) SenderHosts(u UnitTask) []int {
-	return hostsOf(t.Src.Mesh.Cluster, u.Senders)
+	return hostsOf(t.Src.Mesh.Topo, u.Senders)
 }
 
 // ReceiverHosts returns the receiver hosts of a unit task (m_i).
 func (t *Task) ReceiverHosts(u UnitTask) []int {
-	return hostsOf(t.Dst.Mesh.Cluster, u.Receivers)
+	return hostsOf(t.Dst.Mesh.Topo, u.Receivers)
 }
 
-func hostsOf(c *mesh.Cluster, devices []int) []int {
+func hostsOf(c mesh.Topology, devices []int) []int {
 	seen := map[int]bool{}
 	var out []int
 	for _, d := range devices {
@@ -120,8 +120,8 @@ func hostsOf(c *mesh.Cluster, devices []int) []int {
 			out = append(out, h)
 		}
 	}
-	// Devices are sorted, and host = device / perHost is monotone, so the
-	// host list is already sorted.
+	// Devices are sorted, and hosts own contiguous ascending device runs,
+	// so the host list is already sorted.
 	return out
 }
 

@@ -14,8 +14,10 @@ import (
 // communication configuration for the cross-mesh resharding at every stage
 // boundary, and a pipeline schedule.
 type TrainingJob struct {
-	// Cluster to run on; must hold Parallel.TotalDevices() devices.
-	Cluster *Cluster
+	// Cluster is the hardware topology to run on; must hold
+	// Parallel.TotalDevices() devices. Any Topology implementation works:
+	// the homogeneous p3-style Cluster or a heterogeneous HeteroCluster.
+	Cluster Topology
 	// Device is the accelerator throughput model.
 	Device DeviceSpec
 	// Workload is the partitioned model.
@@ -30,6 +32,18 @@ type TrainingJob struct {
 	SplitBackward bool
 	// Reshard configures the boundary communication (§3).
 	Reshard ReshardOptions
+	// Cache memoizes boundary resharding plans. Structurally identical
+	// stage boundaries (the common case: every GPT boundary reshards the
+	// same tensor between congruent meshes) plan once and share the timing.
+	// Nil means Run uses a private per-run cache; share one cache across
+	// jobs to also reuse plans between runs on congruent topologies.
+	Cache *ReshardCache
+	// Autotune searches the full strategy x scheduler grid per distinct
+	// boundary (deterministically, in parallel) instead of using Reshard's
+	// fixed Strategy/Scheduler.
+	Autotune bool
+	// AutotuneWorkers bounds the autotuner's concurrency (0 = GOMAXPROCS).
+	AutotuneWorkers int
 }
 
 // TrainingReport is the outcome of one simulated training iteration.
@@ -77,8 +91,9 @@ func (j *TrainingJob) StageMeshes() ([]*Mesh, error) {
 
 // boundaryCommTime plans and simulates the resharding of every tensor
 // crossing boundary s (stage s -> s+1) and returns the summed makespan per
-// micro-batch.
-func (j *TrainingJob) boundaryCommTime(meshes []*Mesh, s int) (float64, error) {
+// micro-batch. Plans come from the cache, so boundaries that reshard the
+// same tensor between congruent meshes are planned once.
+func (j *TrainingJob) boundaryCommTime(cache *ReshardCache, meshes []*Mesh, s int) (float64, error) {
 	var total float64
 	for _, bt := range j.Workload.Boundaries {
 		if bt.Boundary != s {
@@ -96,11 +111,19 @@ func (j *TrainingJob) boundaryCommTime(meshes []*Mesh, s int) (float64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("alpacomm: boundary %d tensor %q: %v", s, bt.Name, err)
 		}
-		plan, err := resharding.NewPlan(task, j.Reshard)
-		if err != nil {
-			return 0, err
+		if j.Autotune {
+			res, err := resharding.Autotune(task, resharding.AutotuneOptions{
+				Base:    j.Reshard,
+				Workers: j.AutotuneWorkers,
+				Cache:   cache,
+			})
+			if err != nil {
+				return 0, err
+			}
+			total += res.BestSim.Makespan
+			continue
 		}
-		res, err := plan.Simulate()
+		res, err := cache.Simulate(task, j.Reshard)
 		if err != nil {
 			return 0, err
 		}
@@ -138,9 +161,13 @@ func (j *TrainingJob) Run() (*TrainingReport, error) {
 
 	// Per-boundary communication from simulated resharding plans. The
 	// backward gradient has the same shape; reuse the forward time.
+	cache := j.Cache
+	if cache == nil {
+		cache = resharding.NewPlanCache()
+	}
 	comm := make([]float64, pc.PP-1)
 	for s := 0; s < pc.PP-1; s++ {
-		c, err := j.boundaryCommTime(meshes, s)
+		c, err := j.boundaryCommTime(cache, meshes, s)
 		if err != nil {
 			return nil, err
 		}
