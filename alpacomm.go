@@ -42,6 +42,7 @@ import (
 	"alpacomm/internal/pipeline"
 	"alpacomm/internal/resharding"
 	"alpacomm/internal/schedule"
+	"alpacomm/internal/service"
 	"alpacomm/internal/sharding"
 	"alpacomm/internal/tensor"
 )
@@ -87,6 +88,23 @@ var (
 	P3HostSpec      = mesh.P3HostSpec
 	DGXA100HostSpec = mesh.DGXA100HostSpec
 )
+
+// Named topology presets.
+type (
+	// TopologyRegistry maps preset names ("p3", "dgx-a100", "mixed") to
+	// topology builders, for command lines and the plan-serving API.
+	TopologyRegistry = mesh.Registry
+	// TopologyParams parameterize a named preset (host count, fabric
+	// oversubscription).
+	TopologyParams = mesh.TopologyParams
+)
+
+// NewTopologyRegistry returns an empty registry.
+var NewTopologyRegistry = mesh.NewRegistry
+
+// DefaultTopologyRegistry returns the built-in presets: "p3",
+// "dgx-a100" (alias "dgx") and "mixed".
+var DefaultTopologyRegistry = mesh.DefaultRegistry
 
 // Tensors and sharding specs.
 type (
@@ -187,6 +205,47 @@ var DefaultAutotuneGrid = resharding.DefaultAutotuneGrid
 // NewReshardCache creates an empty plan cache to share across boundaries,
 // jobs and autotuning runs.
 var NewReshardCache = resharding.NewPlanCache
+
+// NewLRUReshardCache creates a plan cache bounded to the given entry count
+// with least-recently-used eviction (capacity <= 0 means unbounded), so
+// memory stays flat under millions of distinct reshardings.
+var NewLRUReshardCache = resharding.NewLRUPlanCache
+
+// Plan-serving subsystem: the resharding planner as a concurrent HTTP
+// service with request coalescing, a bounded LRU cache and admission
+// control (internal/service; cmd/planserver and cmd/loadgen are the
+// daemon and its load generator).
+type (
+	// PlanServer is the plan-serving HTTP handler.
+	PlanServer = service.Server
+	// PlanServerConfig configures a PlanServer.
+	PlanServerConfig = service.Config
+	// PlanClient talks to a plan server.
+	PlanClient = service.Client
+	// PlanServiceRequest asks a server for one resharding plan.
+	PlanServiceRequest = service.PlanRequest
+	// PlanServiceResponse is one planned-and-simulated resharding.
+	PlanServiceResponse = service.PlanResponse
+	// AutotuneServiceRequest asks a server for a grid search.
+	AutotuneServiceRequest = service.AutotuneRequest
+	// AutotuneServiceResponse is a grid search outcome.
+	AutotuneServiceResponse = service.AutotuneResponse
+	// ServiceTopologyRef names a topology preset in a service request.
+	ServiceTopologyRef = service.TopologyRef
+	// ServiceEndpoint is one side of a served resharding.
+	ServiceEndpoint = service.Endpoint
+	// ServiceStats is the /v1/stats payload.
+	ServiceStats = service.StatsResponse
+)
+
+// DefaultPlanCacheCapacity is the served plan cache's default LRU bound.
+const DefaultPlanCacheCapacity = service.DefaultCacheCapacity
+
+// NewPlanServer builds the plan-serving HTTP handler.
+var NewPlanServer = service.New
+
+// NewPlanClient builds a client for a plan server base URL.
+var NewPlanClient = service.NewClient
 
 // Pipeline schedules (§4).
 type (

@@ -40,47 +40,17 @@ func parseShape(s string) (tensor.Shape, error) {
 	return tensor.NewShape(dims...)
 }
 
-func parseMesh(t mesh.Topology, s string) (*mesh.Mesh, error) {
-	at := strings.Split(s, "@")
-	if len(at) != 2 {
-		return nil, fmt.Errorf("mesh %q must look like 2x4@0", s)
-	}
-	first, err := strconv.Atoi(at[1])
-	if err != nil {
-		return nil, err
-	}
-	var shape []int
-	for _, p := range strings.Split(at[0], "x") {
-		v, err := strconv.Atoi(p)
-		if err != nil {
-			return nil, err
-		}
-		shape = append(shape, v)
-	}
-	return t.Slice(shape, first)
-}
-
 func buildTopology(kind string, hosts int, oversub float64) mesh.Topology {
-	switch kind {
-	case "p3":
-		return alpacomm.AWSP3Cluster(hosts)
-	case "dgx":
-		return alpacomm.DGXA100Cluster(hosts)
-	case "mixed":
-		// Half p3, half DGX (at least one of each).
-		p3 := hosts / 2
-		if p3 < 1 {
-			p3 = 1
-		}
-		return alpacomm.MixedP3DGXCluster(p3, hosts-p3, oversub)
-	default:
-		fail("unknown topology %q (want p3, dgx or mixed)", kind)
-		return nil
+	topo, err := alpacomm.DefaultTopologyRegistry().Build(kind,
+		alpacomm.TopologyParams{Hosts: hosts, Oversubscription: oversub})
+	if err != nil {
+		fail("%v", err)
 	}
+	return topo
 }
 
 func main() {
-	topoKind := flag.String("topo", "mixed", "hardware topology: p3, dgx, mixed")
+	topoKind := flag.String("topo", "mixed", "hardware topology preset: p3, dgx-a100, mixed")
 	hosts := flag.Int("hosts", 3, "host count (mixed: half p3, half DGX)")
 	oversub := flag.Float64("oversub", 1.5, "fabric oversubscription (mixed topology)")
 	shapeStr := flag.String("shape", "1024,1024", "global tensor shape")
@@ -99,11 +69,11 @@ func main() {
 	if err != nil {
 		fail("bad shape: %v", err)
 	}
-	src, err := parseMesh(topo, *srcMesh)
+	src, err := mesh.ParseSlice(topo, *srcMesh)
 	if err != nil {
 		fail("bad src mesh: %v", err)
 	}
-	dst, err := parseMesh(topo, *dstMesh)
+	dst, err := mesh.ParseSlice(topo, *dstMesh)
 	if err != nil {
 		fail("bad dst mesh: %v", err)
 	}

@@ -21,6 +21,8 @@ import (
 
 func main() {
 	batchScale := flag.Int("batch-scale", 1, "divide global batch sizes by this factor")
+	topology := flag.String("topology", "p3", "hardware topology preset: p3, dgx-a100, mixed")
+	oversub := flag.Float64("oversub", 1, "fabric oversubscription (mixed topology)")
 	tsvOut := flag.String("tsv", "", "also record rows to this TSV file (artifact format)")
 	table1 := flag.Bool("table1", false, "print Table 1 (GPT layer memory) and exit")
 	timeline := flag.Bool("timeline", false, "print Fig. 4-style 1F1B vs eager-1F1B timelines and exit")
@@ -35,12 +37,13 @@ func main() {
 		return
 	}
 
-	rows, err := alpacomm.Fig7Rows(*batchScale)
+	rows, err := alpacomm.Fig7RowsOn(*batchScale, *topology, *oversub)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "e2e: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(alpacomm.RenderE2ERows("Fig 7: end-to-end training throughput (Table 3 cases)", rows))
+	title := fmt.Sprintf("Fig 7: end-to-end training throughput (Table 3 cases, topology %s)", *topology)
+	fmt.Print(alpacomm.RenderE2ERows(title, rows))
 	if *tsvOut != "" {
 		if err := harness.WriteE2ETSV(*tsvOut, rows); err != nil {
 			fmt.Fprintf(os.Stderr, "e2e: %v\n", err)

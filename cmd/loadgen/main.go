@@ -1,0 +1,472 @@
+// Command loadgen is a closed-loop, multi-client load generator for the
+// plan server (cmd/planserver): each client issues plan/autotune requests
+// back-to-back from a deterministic request mix over shapes, sharding
+// specs and hardware topologies, and the run reports throughput, latency
+// percentiles (p50/p95/p99), coalescing and backpressure counts.
+//
+// Modes:
+//
+//	loadgen -addr http://host:8100 -clients 64 -requests 100
+//	loadgen -smoke -json BENCH_service.json
+//
+// -smoke starts an in-process server on a loopback port, runs a fixed
+// closed-loop load, verifies that served plans are byte-identical to the
+// direct resharding path and that the LRU cache respected its capacity,
+// and writes the benchmark JSON — the CI perf gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	alpacomm "alpacomm"
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/service"
+	"alpacomm/internal/sharding"
+	"alpacomm/internal/tensor"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// template is one request shape of the deterministic mix.
+type template struct {
+	name     string
+	autotune bool
+	topology service.TopologyRef
+	shape    []int
+	dtype    string
+	src, dst service.Endpoint
+}
+
+// requestMix returns the fixed slate the generator draws from: a spread of
+// topologies (p3 / dgx-a100 / mixed), tensor shapes and spec pairs. With
+// few templates and many clients, duplicate keys are common — exactly the
+// coalescing- and cache-heavy traffic a production planner sees.
+func requestMix() []template {
+	return []template{
+		{name: "p3-small", topology: service.TopologyRef{Name: "p3", Hosts: 2},
+			shape: []int{256, 256},
+			src:   service.Endpoint{Mesh: "2x2@0", Spec: "S01R"}, dst: service.Endpoint{Mesh: "2x2@4", Spec: "S0R"}},
+		{name: "p3-large", topology: service.TopologyRef{Name: "p3", Hosts: 2},
+			shape: []int{1024, 1024},
+			src:   service.Endpoint{Mesh: "2x2@0", Spec: "S01R"}, dst: service.Endpoint{Mesh: "2x2@4", Spec: "RS0"}},
+		{name: "p3-wide", topology: service.TopologyRef{Name: "p3", Hosts: 4},
+			shape: []int{1024, 512},
+			src:   service.Endpoint{Mesh: "2x4@0", Spec: "S01R"}, dst: service.Endpoint{Mesh: "2x4@8", Spec: "S0R"}},
+		{name: "dgx-mid", topology: service.TopologyRef{Name: "dgx-a100", Hosts: 2},
+			shape: []int{512, 512}, dtype: "fp16",
+			src: service.Endpoint{Mesh: "2x4@0", Spec: "S01R"}, dst: service.Endpoint{Mesh: "2x4@8", Spec: "S0R"}},
+		{name: "dgx-large", topology: service.TopologyRef{Name: "dgx-a100", Hosts: 2},
+			shape: []int{2048, 1024},
+			src:   service.Endpoint{Mesh: "2x4@0", Spec: "S01R"}, dst: service.Endpoint{Mesh: "2x4@8", Spec: "RS1"}},
+		{name: "mixed-tier", topology: service.TopologyRef{Name: "mixed", Hosts: 3, Oversubscription: 1.5},
+			shape: []int{256, 512},
+			src:   service.Endpoint{Mesh: "2x2@0", Spec: "S01R"}, dst: service.Endpoint{Mesh: "2x2@4", Spec: "S0R"}},
+		{name: "p3-autotune", autotune: true, topology: service.TopologyRef{Name: "p3", Hosts: 2},
+			shape: []int{512, 512},
+			src:   service.Endpoint{Mesh: "2x2@0", Spec: "S01R"}, dst: service.Endpoint{Mesh: "2x2@4", Spec: "S0R"}},
+		{name: "mixed-autotune", autotune: true, topology: service.TopologyRef{Name: "mixed", Hosts: 3, Oversubscription: 1.5},
+			shape: []int{256, 256},
+			src:   service.Endpoint{Mesh: "2x2@0", Spec: "S01R"}, dst: service.Endpoint{Mesh: "2x2@4", Spec: "RS0"}},
+	}
+}
+
+// clientStats is one worker's tally, merged after the run.
+type clientStats struct {
+	ok, rejected, errs int
+	coalesced          int
+	latencies          []float64 // seconds, successful requests only
+	firstErr           string
+}
+
+// report is the benchmark JSON (BENCH_service.json in CI).
+type report struct {
+	Clients         int     `json:"clients"`
+	Requests        int     `json:"requests"`
+	OK              int     `json:"ok"`
+	Rejected        int     `json:"rejected"`
+	Errors          int     `json:"errors"`
+	Coalesced       int     `json:"coalesced"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// ThroughputRPS counts served (200) responses only; rejected and
+	// errored requests are excluded so overload cannot inflate the figure.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// OfferedRPS is the closed-loop offered load including rejections.
+	OfferedRPS       float64 `json:"offered_rps"`
+	LatencyP50Millis float64 `json:"latency_p50_ms"`
+	LatencyP95Millis float64 `json:"latency_p95_ms"`
+	LatencyP99Millis float64 `json:"latency_p99_ms"`
+	LatencyMaxMillis float64 `json:"latency_max_ms"`
+	CacheHits        int     `json:"cache_hits"`
+	CacheMisses      int     `json:"cache_misses"`
+	CacheEntries     int     `json:"cache_entries"`
+	CacheEvictions   int     `json:"cache_evictions"`
+	CacheCapacity    int     `json:"cache_capacity"`
+	ServerCoalesced  int64   `json:"server_coalesced"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8100", "plan server base URL")
+	clients := flag.Int("clients", 64, "concurrent closed-loop clients")
+	requests := flag.Int("requests", 100, "requests per client (count mode)")
+	duration := flag.Duration("duration", 0, "run for a fixed duration instead of a fixed count")
+	seed := flag.Int64("seed", 1, "request-mix seed (the mix is deterministic per seed)")
+	autotuneFrac := flag.Float64("autotune-fraction", 0.05, "fraction of requests sent to /v1/autotune")
+	spread := flag.Int("spread", 1, "distinct Options.Seed values per template (>1 multiplies distinct cache keys, exercising LRU eviction)")
+	jsonPath := flag.String("json", "", "write the benchmark report JSON to this file")
+	verify := flag.Bool("verify", false, "verify served plans byte-identical to the direct resharding path")
+	smoke := flag.Bool("smoke", false, "self-contained CI smoke: in-process server, fixed load, verification")
+	smokeCapacity := flag.Int("smoke-cache-capacity", 64, "in-process server LRU capacity in -smoke mode")
+	flag.Parse()
+	if *spread < 1 {
+		*spread = 1
+	}
+
+	base := *addr
+	var srv *alpacomm.PlanServer
+	if *smoke {
+		srv = alpacomm.NewPlanServer(alpacomm.PlanServerConfig{
+			Cache:     alpacomm.NewLRUReshardCache(*smokeCapacity),
+			PlanQueue: 256,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail("listen: %v", err)
+		}
+		defer ln.Close()
+		go func() { _ = (&http.Server{Handler: srv}).Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		*verify = true
+		if *jsonPath == "" {
+			*jsonPath = "BENCH_service.json"
+		}
+		fmt.Printf("loadgen: smoke server on %s (cache capacity %d)\n", base, *smokeCapacity)
+	}
+
+	mix := requestMix()
+	client := alpacomm.NewPlanClient(base, nil)
+	ctx := context.Background()
+
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+
+	fmt.Printf("loadgen: %d clients, mix of %d templates (spread %d), target %s\n",
+		*clients, len(mix), *spread, base)
+	start := time.Now()
+	stats := make([]clientStats, *clients)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			runClient(ctx, client, mix, &stats[c], clientConfig{
+				rng:          rand.New(rand.NewSource(*seed ^ int64(c+1)*-0x61c8864680b583eb)),
+				requests:     *requests,
+				deadline:     deadline,
+				autotuneFrac: *autotuneFrac,
+				spread:       *spread,
+			})
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	// Merge.
+	var all clientStats
+	for _, s := range stats {
+		all.ok += s.ok
+		all.rejected += s.rejected
+		all.errs += s.errs
+		all.coalesced += s.coalesced
+		all.latencies = append(all.latencies, s.latencies...)
+		if all.firstErr == "" {
+			all.firstErr = s.firstErr
+		}
+	}
+	sort.Float64s(all.latencies)
+	total := all.ok + all.rejected + all.errs
+
+	sstats, err := client.Stats(ctx)
+	if err != nil {
+		fail("stats: %v", err)
+	}
+
+	rep := report{
+		Clients:          *clients,
+		Requests:         total,
+		OK:               all.ok,
+		Rejected:         all.rejected,
+		Errors:           all.errs,
+		Coalesced:        all.coalesced,
+		DurationSeconds:  elapsed,
+		ThroughputRPS:    float64(all.ok) / elapsed,
+		OfferedRPS:       float64(total) / elapsed,
+		LatencyP50Millis: percentileMillis(all.latencies, 50),
+		LatencyP95Millis: percentileMillis(all.latencies, 95),
+		LatencyP99Millis: percentileMillis(all.latencies, 99),
+		LatencyMaxMillis: percentileMillis(all.latencies, 100),
+		CacheHits:        sstats.Cache.Hits,
+		CacheMisses:      sstats.Cache.Misses,
+		CacheEntries:     sstats.Cache.Entries,
+		CacheEvictions:   sstats.Cache.Evictions,
+		CacheCapacity:    sstats.Cache.Capacity,
+		ServerCoalesced:  sstats.Plan.Coalesced + sstats.Autotune.Coalesced,
+	}
+	printReport(rep)
+	if all.firstErr != "" {
+		fmt.Printf("first error: %s\n", all.firstErr)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail("marshal report: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fail("write report: %v", err)
+		}
+		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+
+	failed := false
+	if *verify {
+		if n := verifyPlans(ctx, client, mix); n > 0 {
+			fmt.Printf("VERIFY FAILED: %d template(s) diverged from the direct resharding path\n", n)
+			failed = true
+		} else {
+			fmt.Println("verify: served plans byte-identical to the direct resharding path")
+		}
+	}
+	if rep.CacheCapacity > 0 && rep.CacheEntries > rep.CacheCapacity {
+		fmt.Printf("LRU VIOLATION: %d entries > capacity %d\n", rep.CacheEntries, rep.CacheCapacity)
+		failed = true
+	}
+	if ac := sstats.AutotuneCache; ac.Capacity > 0 && ac.Entries > ac.Capacity {
+		fmt.Printf("LRU VIOLATION (autotune cache): %d entries > capacity %d\n", ac.Entries, ac.Capacity)
+		failed = true
+	}
+	if *smoke {
+		if all.errs > 0 {
+			fmt.Printf("SMOKE FAILED: %d request errors\n", all.errs)
+			failed = true
+		}
+		if rep.CacheHits+int(rep.ServerCoalesced) == 0 {
+			fmt.Println("SMOKE FAILED: duplicate requests neither coalesced nor hit the cache")
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+type clientConfig struct {
+	rng          *rand.Rand
+	requests     int
+	deadline     time.Time
+	autotuneFrac float64
+	spread       int
+}
+
+// runClient is one closed-loop worker: next request starts when the
+// previous response lands.
+func runClient(ctx context.Context, client *alpacomm.PlanClient, mix []template, out *clientStats, cfg clientConfig) {
+	planTemplates := make([]template, 0, len(mix))
+	autoTemplates := make([]template, 0, len(mix))
+	for _, t := range mix {
+		if t.autotune {
+			autoTemplates = append(autoTemplates, t)
+		} else {
+			planTemplates = append(planTemplates, t)
+		}
+	}
+	for i := 0; cfg.deadline.IsZero() && i < cfg.requests || !cfg.deadline.IsZero() && time.Now().Before(cfg.deadline); i++ {
+		var t template
+		autotune := len(autoTemplates) > 0 && cfg.rng.Float64() < cfg.autotuneFrac
+		if autotune {
+			t = autoTemplates[cfg.rng.Intn(len(autoTemplates))]
+		} else {
+			t = planTemplates[cfg.rng.Intn(len(planTemplates))]
+		}
+		opts := service.PlanOptions{Seed: 1 + int64(cfg.rng.Intn(cfg.spread))}
+		begin := time.Now()
+		var err error
+		var coalesced bool
+		if autotune {
+			var resp *alpacomm.AutotuneServiceResponse
+			resp, err = client.Autotune(ctx, &alpacomm.AutotuneServiceRequest{
+				Topology: t.topology, Shape: t.shape, DType: t.dtype,
+				Src: t.src, Dst: t.dst, Options: opts,
+			})
+			if err == nil {
+				coalesced = resp.Coalesced
+			}
+		} else {
+			var resp *alpacomm.PlanServiceResponse
+			resp, err = client.Plan(ctx, &alpacomm.PlanServiceRequest{
+				Topology: t.topology, Shape: t.shape, DType: t.dtype,
+				Src: t.src, Dst: t.dst, Options: opts,
+			})
+			if err == nil {
+				coalesced = resp.Coalesced
+			}
+		}
+		switch e := err.(type) {
+		case nil:
+			out.ok++
+			out.latencies = append(out.latencies, time.Since(begin).Seconds())
+			if coalesced {
+				out.coalesced++
+			}
+		case *service.OverloadedError:
+			out.rejected++
+			// Honor the backoff hint, capped so a closed loop keeps
+			// exercising the admission path.
+			backoff := e.RetryAfter
+			if backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond
+			}
+			time.Sleep(backoff)
+		default:
+			out.errs++
+			if out.firstErr == "" {
+				out.firstErr = err.Error()
+			}
+		}
+	}
+}
+
+// verifyPlans replays each plan template once and compares the served plan
+// against resharding.NewPlan computed locally with the service's
+// normalized options: senders, launch order, makespan, ops — byte for
+// byte. Returns the number of diverging templates.
+func verifyPlans(ctx context.Context, client *alpacomm.PlanClient, mix []template) int {
+	reg := alpacomm.DefaultTopologyRegistry()
+	bad := 0
+	for _, t := range mix {
+		if t.autotune {
+			continue
+		}
+		resp, err := client.Plan(ctx, &alpacomm.PlanServiceRequest{
+			Topology: t.topology, Shape: t.shape, DType: t.dtype,
+			Src: t.src, Dst: t.dst, Options: service.PlanOptions{Seed: 1},
+		})
+		if err != nil {
+			fmt.Printf("verify %s: request: %v\n", t.name, err)
+			bad++
+			continue
+		}
+		plan, sim, err := directPlan(reg, t)
+		if err != nil {
+			fmt.Printf("verify %s: direct path: %v\n", t.name, err)
+			bad++
+			continue
+		}
+		senders := make([]int, len(plan.Task.Units))
+		for i := range senders {
+			senders[i] = plan.SenderOf[i]
+		}
+		switch {
+		case !reflect.DeepEqual(resp.Senders, senders):
+			fmt.Printf("verify %s: senders differ: served %v, direct %v\n", t.name, resp.Senders, senders)
+			bad++
+		case !reflect.DeepEqual(resp.Order, plan.Order):
+			fmt.Printf("verify %s: order differs: served %v, direct %v\n", t.name, resp.Order, plan.Order)
+			bad++
+		case resp.MakespanSeconds != sim.Makespan || resp.NumOps != sim.NumOps:
+			fmt.Printf("verify %s: timing differs: served (%.9g, %d ops), direct (%.9g, %d ops)\n",
+				t.name, resp.MakespanSeconds, resp.NumOps, sim.Makespan, sim.NumOps)
+			bad++
+		}
+	}
+	return bad
+}
+
+// directPlan computes the template's plan without the service: same
+// registry topology, same deterministic options.
+func directPlan(reg *alpacomm.TopologyRegistry, t template) (*alpacomm.ReshardPlan, *alpacomm.ReshardResult, error) {
+	topo, err := reg.Build(t.topology.Name, alpacomm.TopologyParams{
+		Hosts: t.topology.Hosts, Oversubscription: t.topology.Oversubscription,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	shape, err := tensor.NewShape(t.shape...)
+	if err != nil {
+		return nil, nil, err
+	}
+	dt, err := service.ParseDType(t.dtype)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, err := mesh.ParseSlice(topo, t.src.Mesh)
+	if err != nil {
+		return nil, nil, err
+	}
+	dst, err := mesh.ParseSlice(topo, t.dst.Mesh)
+	if err != nil {
+		return nil, nil, err
+	}
+	task, err := sharding.NewTask(shape, dt, src, sharding.MustParse(t.src.Spec), dst, sharding.MustParse(t.dst.Spec))
+	if err != nil {
+		return nil, nil, err
+	}
+	// Plan with the exact options the server derives from the wire
+	// request, so the comparison is byte-for-byte.
+	opts, err := service.NormalizedOptions(service.PlanOptions{Seed: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := resharding.NewPlan(task, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim, err := plan.Simulate()
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, sim, nil
+}
+
+// percentileMillis returns the p-th percentile (nearest-rank) in
+// milliseconds of an ascending latency slice in seconds.
+func percentileMillis(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx] * 1e3
+}
+
+func printReport(r report) {
+	fmt.Printf("\n%d requests in %.2fs — %.0f served req/s, %.0f offered (%d clients)\n",
+		r.Requests, r.DurationSeconds, r.ThroughputRPS, r.OfferedRPS, r.Clients)
+	fmt.Printf("  ok %d, rejected(429) %d, errors %d, coalesced %d\n",
+		r.OK, r.Rejected, r.Errors, r.Coalesced)
+	fmt.Printf("  latency p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
+		r.LatencyP50Millis, r.LatencyP95Millis, r.LatencyP99Millis, r.LatencyMaxMillis)
+	fmt.Printf("  server cache: %d hits, %d misses, %d entries (capacity %d), %d evictions\n",
+		r.CacheHits, r.CacheMisses, r.CacheEntries, r.CacheCapacity, r.CacheEvictions)
+}

@@ -1,0 +1,67 @@
+// Command planserver runs the plan-serving daemon: an HTTP+JSON API that
+// plans, simulates and autotunes cross-mesh reshardings against named
+// hardware topologies, with request coalescing, a bounded LRU plan cache
+// and per-endpoint admission control (see internal/service).
+//
+// Example:
+//
+//	planserver -addr :8100 -cache-capacity 4096 &
+//	curl -s localhost:8100/v1/plan -d '{
+//	  "topology": {"name": "p3", "hosts": 2},
+//	  "shape": [1024, 1024],
+//	  "src": {"mesh": "2x2@0", "spec": "S01R"},
+//	  "dst": {"mesh": "2x2@4", "spec": "S0R"},
+//	  "options": {"seed": 1}
+//	}'
+//	curl -s localhost:8100/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	alpacomm "alpacomm"
+)
+
+func main() {
+	addr := flag.String("addr", ":8100", "listen address")
+	capacity := flag.Int("cache-capacity", alpacomm.DefaultPlanCacheCapacity,
+		"plan cache LRU capacity (0 = unbounded)")
+	planWorkers := flag.Int("plan-workers", 0, "/v1/plan worker pool size (0 = GOMAXPROCS)")
+	planQueue := flag.Int("plan-queue", 0, "/v1/plan wait-queue depth (0 = 4x workers)")
+	autotuneWorkers := flag.Int("autotune-workers", 0, "/v1/autotune worker pool size (0 = GOMAXPROCS/2)")
+	autotuneQueue := flag.Int("autotune-queue", 0, "/v1/autotune wait-queue depth (0 = 2x workers)")
+	retryAfter := flag.Duration("retry-after", time.Second, "backoff hint on 429 responses")
+	flag.Parse()
+
+	reg := alpacomm.DefaultTopologyRegistry()
+	srv := alpacomm.NewPlanServer(alpacomm.PlanServerConfig{
+		Registry:        reg,
+		Cache:           alpacomm.NewLRUReshardCache(*capacity),
+		PlanWorkers:     *planWorkers,
+		PlanQueue:       *planQueue,
+		AutotuneWorkers: *autotuneWorkers,
+		AutotuneQueue:   *autotuneQueue,
+		RetryAfter:      *retryAfter,
+	})
+
+	fmt.Printf("planserver: listening on %s\n", *addr)
+	fmt.Printf("planserver: topologies: %s\n", strings.Join(reg.Names(), ", "))
+	fmt.Printf("planserver: cache capacity %d, retry-after %v\n", *capacity, *retryAfter)
+	// Connection handling must be as bounded as the admission layers
+	// behind it: without read/idle timeouts, slow or idle connections pin
+	// goroutines before a request ever reaches the intake gate.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -43,35 +43,16 @@ func parseShape(s string) (tensor.Shape, error) {
 	return tensor.NewShape(dims...)
 }
 
-// parseMesh parses "2x2@4" (shape 2x2 starting at device 4).
-func parseMesh(c *mesh.Cluster, s string) (*mesh.Mesh, error) {
-	at := strings.Split(s, "@")
-	if len(at) != 2 {
-		return nil, fmt.Errorf("mesh %q must look like 2x2@0", s)
-	}
-	first, err := strconv.Atoi(at[1])
-	if err != nil {
-		return nil, err
-	}
-	var shape []int
-	for _, p := range strings.Split(at[0], "x") {
-		v, err := strconv.Atoi(p)
-		if err != nil {
-			return nil, err
-		}
-		shape = append(shape, v)
-	}
-	return c.Slice(shape, first)
-}
-
 func main() {
 	shapeStr := flag.String("shape", "4,4", "global tensor shape, e.g. 4,4")
 	srcSpec := flag.String("src-spec", "S01R", "source sharding spec")
 	dstSpec := flag.String("dst-spec", "S0R", "destination sharding spec")
 	srcMesh := flag.String("src-mesh", "2x2@0", "source mesh as ROWSxCOLS@FIRSTDEV")
 	dstMesh := flag.String("dst-mesh", "2x2@4", "destination mesh")
-	hosts := flag.Int("hosts", 2, "cluster hosts (4 GPUs each)")
-	strategy := flag.String("strategy", "broadcast", "send-recv, local-allgather, global-allgather, broadcast, alpa")
+	topology := flag.String("topology", "p3", "hardware topology preset: p3, dgx-a100, mixed")
+	hosts := flag.Int("hosts", 2, "host count (0 = preset default; mixed: half p3, half DGX)")
+	oversub := flag.Float64("oversub", 1, "fabric oversubscription (mixed topology)")
+	strategy := flag.String("strategy", "broadcast", "send-recv, local-allgather, global-allgather, broadcast, alpa, signal")
 	scheduler := flag.String("scheduler", "ensemble", "naive, greedy-load, loadbalance, ensemble")
 	showTimeline := flag.Bool("timeline", true, "print the network timeline")
 	flag.Parse()
@@ -80,12 +61,17 @@ func main() {
 	if err != nil {
 		fail("bad shape: %v", err)
 	}
-	cluster := alpacomm.AWSP3Cluster(*hosts)
-	src, err := parseMesh(cluster, *srcMesh)
+	cluster, err := alpacomm.DefaultTopologyRegistry().Build(*topology,
+		alpacomm.TopologyParams{Hosts: *hosts, Oversubscription: *oversub})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("topology: %v\n", cluster)
+	src, err := mesh.ParseSlice(cluster, *srcMesh)
 	if err != nil {
 		fail("bad src mesh: %v", err)
 	}
-	dst, err := parseMesh(cluster, *dstMesh)
+	dst, err := mesh.ParseSlice(cluster, *dstMesh)
 	if err != nil {
 		fail("bad dst mesh: %v", err)
 	}
@@ -110,31 +96,11 @@ func main() {
 	}
 
 	opts := resharding.Options{Seed: 1}
-	switch *strategy {
-	case "send-recv":
-		opts.Strategy = resharding.SendRecv
-	case "local-allgather":
-		opts.Strategy = resharding.LocalAllGather
-	case "global-allgather":
-		opts.Strategy = resharding.GlobalAllGather
-	case "broadcast":
-		opts.Strategy = resharding.Broadcast
-	case "alpa":
-		opts.Strategy = resharding.Alpa
-	default:
-		fail("unknown strategy %q", *strategy)
+	if opts.Strategy, err = resharding.ParseStrategy(*strategy); err != nil {
+		fail("%v", err)
 	}
-	switch *scheduler {
-	case "naive":
-		opts.Scheduler = resharding.SchedNaive
-	case "greedy-load":
-		opts.Scheduler = resharding.SchedGreedyLoad
-	case "loadbalance":
-		opts.Scheduler = resharding.SchedLoadBalanceOnly
-	case "ensemble":
-		opts.Scheduler = resharding.SchedEnsemble
-	default:
-		fail("unknown scheduler %q", *scheduler)
+	if opts.Scheduler, err = resharding.ParseScheduler(*scheduler); err != nil {
+		fail("%v", err)
 	}
 
 	plan, err := resharding.NewPlan(task, opts)

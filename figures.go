@@ -51,6 +51,17 @@ func Fig6Rows(scale int) ([]MicroRow, error) { return harness.Fig6(scale) }
 // batchScale >= 1 divides the global batch for fast runs.
 func Fig7Rows(batchScale int) ([]E2ERow, error) { return harness.Fig7(trainingRunner, batchScale) }
 
+// Fig7RowsOn runs the Table 3 sweep on a named topology preset ("p3",
+// "dgx-a100", "mixed") instead of the paper's homogeneous testbed; each
+// case keeps its host count, with the fabric oversubscription applied to
+// presets that take one.
+func Fig7RowsOn(batchScale int, topology string, oversub float64) ([]E2ERow, error) {
+	reg := mesh.DefaultRegistry()
+	return harness.Fig7On(trainingRunner, batchScale, func(hosts int) (mesh.Topology, error) {
+		return reg.Build(topology, mesh.TopologyParams{Hosts: hosts, Oversubscription: oversub})
+	})
+}
+
 // Fig8Rows regenerates Fig. 8 (load-balance ablation).
 func Fig8Rows(scale int) ([]MicroRow, error) { return harness.Fig8(scale) }
 

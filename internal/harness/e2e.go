@@ -84,9 +84,18 @@ type TrainingRunner func(cluster mesh.Topology, device model.DeviceSpec, w *mode
 	pc model.ParallelConfig, sched pipeline.Kind, overlap bool, opts resharding.Options) (iterTime, tflops float64, err error)
 
 // Fig7 reproduces Fig. 7's eighteen bars (6 cases x 5 methods) through the
-// injected training runner. batchScale >= 1 divides the global batch for
-// fast runs.
+// injected training runner on the paper's p3 testbed. batchScale >= 1
+// divides the global batch for fast runs.
 func Fig7(run TrainingRunner, batchScale int) ([]E2ERow, error) {
+	return Fig7On(run, batchScale, func(hosts int) (mesh.Topology, error) {
+		return mesh.AWSP3Cluster(hosts), nil
+	})
+}
+
+// Fig7On is Fig7 with the hardware swapped: topo builds the cluster for
+// each case's host count, so the Table 3 sweep can run on DGX-A100 or
+// mixed fabrics instead of the paper's homogeneous testbed.
+func Fig7On(run TrainingRunner, batchScale int, topo func(hosts int) (mesh.Topology, error)) ([]E2ERow, error) {
 	if batchScale < 1 {
 		batchScale = 1
 	}
@@ -100,7 +109,10 @@ func Fig7(run TrainingRunner, batchScale int) ([]E2ERow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %v", tc.model, tc.name, err)
 		}
-		cluster := mesh.AWSP3Cluster(tc.hosts)
+		cluster, err := topo(tc.hosts)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: topology: %v", tc.model, tc.name, err)
+		}
 		for _, m := range e2eMethods() {
 			iter, tflops, err := run(cluster, tc.device, w, tc.pc, m.Schedule, m.Overlap, m.Reshard)
 			if err != nil {

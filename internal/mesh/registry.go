@@ -1,0 +1,173 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MaxRegistryHosts bounds the host count a registry build accepts: preset
+// topologies allocate per-host state, and the registry fronts
+// client-supplied parameters (command lines, the plan-serving API), so an
+// absurd count must fail before it allocates.
+const MaxRegistryHosts = 4096
+
+// TopologyParams parameterize a named topology preset. The zero value asks
+// the preset for its defaults.
+type TopologyParams struct {
+	// Hosts is the host count; 0 means the preset's default.
+	Hosts int
+	// Oversubscription is the fabric oversubscription factor for presets
+	// with a shared switch fabric; 0 means non-oversubscribed (1:1).
+	Oversubscription float64
+}
+
+// TopologyBuilder constructs a topology from parameters.
+type TopologyBuilder func(p TopologyParams) (Topology, error)
+
+// Registry maps preset names to topology builders, so callers — command
+// lines, config files, and the plan-serving API — can name hardware
+// ("p3", "dgx-a100", "mixed") instead of constructing it. A Registry is
+// safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	builders map[string]TopologyBuilder
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{builders: map[string]TopologyBuilder{}}
+}
+
+// Register adds a named builder. Names are case-insensitive. Registering
+// an empty name, a nil builder, or a duplicate name is an error.
+func (r *Registry) Register(name string, b TopologyBuilder) error {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return fmt.Errorf("mesh: registry: empty topology name")
+	}
+	if b == nil {
+		return fmt.Errorf("mesh: registry: nil builder for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.builders[name]; ok {
+		return fmt.Errorf("mesh: registry: topology %q already registered", name)
+	}
+	r.builders[name] = b
+	return nil
+}
+
+// Build constructs the named topology. Unknown names report the available
+// presets.
+func (r *Registry) Build(name string, p TopologyParams) (Topology, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	r.mu.RLock()
+	b, ok := r.builders[key]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mesh: unknown topology %q (have %s)", name, strings.Join(r.Names(), ", "))
+	}
+	if p.Hosts < 0 {
+		return nil, fmt.Errorf("mesh: negative host count %d", p.Hosts)
+	}
+	if p.Hosts > MaxRegistryHosts {
+		return nil, fmt.Errorf("mesh: host count %d exceeds the registry bound %d", p.Hosts, MaxRegistryHosts)
+	}
+	if p.Oversubscription < 0 {
+		return nil, fmt.Errorf("mesh: negative oversubscription %g", p.Oversubscription)
+	}
+	return b(p)
+}
+
+// Names returns the registered preset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.builders))
+	for n := range r.builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset names of DefaultRegistry.
+const (
+	// TopologyP3 is the paper's homogeneous AWS p3 testbed.
+	TopologyP3 = "p3"
+	// TopologyDGXA100 is a homogeneous DGX-A100/InfiniBand cluster.
+	TopologyDGXA100 = "dgx-a100"
+	// TopologyMixed mixes p3 and DGX-A100 hosts on one fabric.
+	TopologyMixed = "mixed"
+)
+
+// DefaultRegistry returns a fresh registry holding the built-in presets:
+//
+//   - "p3": the paper's testbed, hosts x 4 V100 (default 2 hosts); "dgx"
+//     and "dgx-a100" ignore Oversubscription (their fabrics are 1:1).
+//   - "dgx-a100" (alias "dgx"): DGX-A100 nodes, 8 GPUs + 8 HDR-200 NICs
+//     per host (default 2 hosts).
+//   - "mixed": half p3 / half DGX-A100 hosts (at least one of each,
+//     default 3 hosts) with the given fabric oversubscription.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	mustRegister := func(name string, b TopologyBuilder) {
+		if err := r.Register(name, b); err != nil {
+			panic(err)
+		}
+	}
+	mustRegister(TopologyP3, func(p TopologyParams) (Topology, error) {
+		return AWSP3Cluster(hostsOrDefault(p.Hosts, 2)), nil
+	})
+	dgx := func(p TopologyParams) (Topology, error) {
+		return DGXA100Cluster(hostsOrDefault(p.Hosts, 2)), nil
+	}
+	mustRegister(TopologyDGXA100, dgx)
+	mustRegister("dgx", dgx)
+	mustRegister(TopologyMixed, func(p TopologyParams) (Topology, error) {
+		hosts := hostsOrDefault(p.Hosts, 3)
+		if hosts < 2 {
+			return nil, fmt.Errorf("mesh: mixed topology needs at least 2 hosts, got %d", hosts)
+		}
+		oversub := p.Oversubscription
+		if oversub == 0 {
+			oversub = 1
+		}
+		p3 := hosts / 2
+		return MixedP3DGXCluster(p3, hosts-p3, oversub), nil
+	})
+	return r
+}
+
+func hostsOrDefault(hosts, def int) int {
+	if hosts == 0 {
+		return def
+	}
+	return hosts
+}
+
+// ParseSlice parses the mesh notation shared by the CLIs and the
+// plan-serving API — an n-dimensional shape and a first device, e.g.
+// "2x4@0" or "2x2x2@8" — and carves the mesh out of the topology.
+func ParseSlice(t Topology, s string) (*Mesh, error) {
+	at := strings.Split(s, "@")
+	if len(at) != 2 {
+		return nil, fmt.Errorf("mesh: %q must look like 2x4@0", s)
+	}
+	first, err := strconv.Atoi(at[1])
+	if err != nil {
+		return nil, fmt.Errorf("mesh: bad first device in %q: %v", s, err)
+	}
+	var shape []int
+	for _, p := range strings.Split(at[0], "x") {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: bad shape in %q: %v", s, err)
+		}
+		shape = append(shape, v)
+	}
+	return t.Slice(shape, first)
+}

@@ -1,10 +1,12 @@
 package resharding
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"alpacomm/internal/mesh"
 	"alpacomm/internal/sharding"
@@ -27,26 +29,62 @@ import (
 // relative to a later caller's meshes; use NewPlan directly when a plan
 // must be executed on specific devices.
 //
+// A cache created by NewLRUPlanCache is bounded: once it holds Capacity
+// entries, each new key evicts the least-recently-used entry, so memory
+// stays flat no matter how many distinct reshardings pass through it. A
+// cache created by NewPlanCache never evicts.
+//
+// Entries whose planning or simulation failed are not retained: the error
+// is returned to every lookup that coalesced onto the failing computation,
+// then the key is forgotten, so a transient failure is never replayed to
+// later callers.
+//
 // A PlanCache is safe for concurrent use; concurrent requests for the same
-// key plan once and share the entry.
+// key plan once and share the entry — including requests that race with
+// the entry's eviction, which complete against the shared computation
+// while new arrivals plan afresh.
 type PlanCache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	hits    int
-	misses  int
+	mu        sync.Mutex
+	entries   map[string]*cacheEntry
+	lru       *list.List // most recent at front; nil when unbounded
+	capacity  int        // 0 = unbounded
+	hits      int
+	misses    int
+	evictions int
 }
 
 type cacheEntry struct {
+	key string
+	// elem is the entry's LRU list node; nil when the cache is unbounded
+	// or the entry has been evicted.
+	elem *list.Element
 	once sync.Once
+	// done is set when once has completed; a true load makes reading
+	// plan/sim/err safe without joining the once.
+	done atomic.Bool
 	plan *Plan
 	sim  *SimResult
 	err  error
 }
 
-// NewPlanCache returns an empty cache.
+// NewPlanCache returns an empty unbounded cache.
 func NewPlanCache() *PlanCache {
 	return &PlanCache{entries: map[string]*cacheEntry{}}
 }
+
+// NewLRUPlanCache returns an empty cache bounded to capacity entries with
+// least-recently-used eviction. capacity <= 0 means unbounded.
+func NewLRUPlanCache(capacity int) *PlanCache {
+	c := NewPlanCache()
+	if capacity > 0 {
+		c.capacity = capacity
+		c.lru = list.New()
+	}
+	return c
+}
+
+// Capacity returns the eviction bound, 0 when unbounded.
+func (c *PlanCache) Capacity() int { return c.capacity }
 
 // CacheStats reports cache effectiveness.
 type CacheStats struct {
@@ -54,15 +92,22 @@ type CacheStats struct {
 	Hits int
 	// Misses is the number of lookups that had to plan and simulate.
 	Misses int
-	// Entries is the number of distinct keys planned.
+	// Entries is the number of keys currently resident.
 	Entries int
+	// Evictions is the number of entries dropped to respect Capacity.
+	Evictions int
+	// Capacity is the eviction bound, 0 when unbounded.
+	Capacity int
 }
 
-// Stats returns a snapshot of the hit/miss counters.
+// Stats returns a snapshot of the counters.
 func (c *PlanCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Entries: len(c.entries),
+		Evictions: c.evictions, Capacity: c.capacity,
+	}
 }
 
 // Simulate returns the simulated execution of the task under the options,
@@ -78,25 +123,96 @@ func (c *PlanCache) Simulate(task *sharding.Task, opts Options) (*SimResult, err
 // the cached plan means on a translated hit.
 func (c *PlanCache) PlanAndSimulate(task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
 	opts = opts.withDefaults()
-	key := CacheKey(task, opts)
+	return c.PlanAndSimulateKeyed(CacheKey(task, opts), task, opts)
+}
+
+// PlanAndSimulateKeyed is PlanAndSimulate for callers that already hold
+// the problem's canonical key — e.g. a server that computed it once for
+// request coalescing. opts must be defaulted (Options.WithDefaults) and
+// key must equal CacheKey(task, opts); rendering the key is the cache-hit
+// fast path's dominant cost, so this avoids paying it twice.
+func (c *PlanCache) PlanAndSimulateKeyed(key string, task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if ok {
 		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
 	} else {
-		e = &cacheEntry{}
+		e = &cacheEntry{key: key}
 		c.entries[key] = e
 		c.misses++
+		if c.lru != nil {
+			e.elem = c.lru.PushFront(e)
+			for c.lru.Len() > c.capacity {
+				victim := c.lru.Remove(c.lru.Back()).(*cacheEntry)
+				victim.elem = nil
+				delete(c.entries, victim.key)
+				c.evictions++
+			}
+		}
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		// A panic in planning must not poison the entry as a successful
+		// nil result: sync.Once still marks the fn done during unwind, so
+		// record an error for every other caller of this key (the
+		// errored-entry path then forgets it) while the panic propagates
+		// to the caller that hit it.
+		finished := false
+		defer func() {
+			if !finished {
+				e.plan, e.sim = nil, nil
+				e.err = fmt.Errorf("resharding: planning panicked")
+			}
+			e.done.Store(true)
+		}()
 		e.plan, e.err = NewPlan(task, opts)
-		if e.err != nil {
-			return
+		if e.err == nil {
+			e.sim, e.err = e.plan.Simulate()
 		}
-		e.sim, e.err = e.plan.Simulate()
+		finished = true
 	})
+	if e.err != nil {
+		c.forget(e)
+	}
 	return e.plan, e.sim, e.err
+}
+
+// LookupKeyed returns the completed entry for a canonical key without
+// planning anything and without ever blocking on an in-flight
+// computation: entries still being planned (or whose planning failed)
+// report a miss without counting one. Servers use this to serve hot
+// cached lookups ahead of admission control, so a hit never queues behind
+// slow cold planning work.
+func (c *PlanCache) LookupKeyed(key string) (*Plan, *SimResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.done.Load() || e.err != nil {
+		return nil, nil, false
+	}
+	c.hits++
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	return e.plan, e.sim, true
+}
+
+// forget drops an errored entry so the failure is not replayed forever;
+// only the exact entry is removed, never a fresh one racing in under the
+// same key.
+func (c *PlanCache) forget(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[e.key]; ok && cur == e {
+		delete(c.entries, e.key)
+		if e.elem != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
+	}
 }
 
 // CacheKey renders the canonical identity of a resharding problem: global

@@ -62,6 +62,27 @@ func (s Strategy) String() string {
 	}
 }
 
+// ParseStrategy parses a strategy name as used on command lines and in the
+// plan-serving API. The empty string is the default strategy (Broadcast).
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "send-recv", "send/recv":
+		return SendRecv, nil
+	case "local-allgather":
+		return LocalAllGather, nil
+	case "global-allgather":
+		return GlobalAllGather, nil
+	case "broadcast", "":
+		return Broadcast, nil
+	case "alpa":
+		return Alpa, nil
+	case "signal":
+		return Signal, nil
+	default:
+		return 0, fmt.Errorf("resharding: unknown strategy %q (want send-recv, local-allgather, global-allgather, broadcast, alpa or signal)", s)
+	}
+}
+
 // Scheduler selects the §3.2 load-balancing/ordering algorithm.
 type Scheduler int
 
@@ -94,6 +115,24 @@ func (s Scheduler) String() string {
 	}
 }
 
+// ParseScheduler parses a scheduler name as used on command lines and in
+// the plan-serving API. The empty string is the default scheduler
+// (SchedEnsemble).
+func ParseScheduler(s string) (Scheduler, error) {
+	switch s {
+	case "naive":
+		return SchedNaive, nil
+	case "greedy-load":
+		return SchedGreedyLoad, nil
+	case "loadbalance", "loadbalance-only":
+		return SchedLoadBalanceOnly, nil
+	case "ensemble", "":
+		return SchedEnsemble, nil
+	default:
+		return 0, fmt.Errorf("resharding: unknown scheduler %q (want naive, greedy-load, loadbalance, loadbalance-only or ensemble)", s)
+	}
+}
+
 // Options configures planning.
 type Options struct {
 	// Strategy for unit tasks. Default Broadcast.
@@ -116,7 +155,11 @@ type Options struct {
 	Seed int64
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns the options with unset fields replaced by the
+// package defaults (DFSBudget 50ms, Trials 32). PlanCache keys are
+// computed over defaulted options, so callers that need the canonical
+// CacheKey of a request should default it the same way.
+func (o Options) WithDefaults() Options {
 	if o.DFSBudget == 0 {
 		o.DFSBudget = 50 * time.Millisecond
 	}
@@ -125,3 +168,5 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+func (o Options) withDefaults() Options { return o.WithDefaults() }

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// OverloadedError is returned when the server rejected a request with 429;
+// RetryAfter carries the server's backoff hint.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("service: server overloaded, retry after %v", e.RetryAfter)
+}
+
+// APIError is a non-429 error response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: %d: %s", e.StatusCode, e.Message)
+}
+
+// Client talks to a plan server. Safe for concurrent use; a zero
+// http.Client limit would throttle closed-loop load generators, so the
+// default transport keeps enough idle connections for large client counts.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for a base URL like "http://127.0.0.1:8100".
+// httpClient nil means a dedicated client whose transport tolerates
+// hundreds of concurrent connections to one host.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		// DefaultTransport may have been replaced by the embedding
+		// program with an arbitrary RoundTripper; fall back to a fresh
+		// transport rather than panicking on the assertion.
+		tr, ok := http.DefaultTransport.(*http.Transport)
+		if ok {
+			tr = tr.Clone()
+		} else {
+			tr = &http.Transport{}
+		}
+		tr.MaxIdleConns = 512
+		tr.MaxIdleConnsPerHost = 512
+		httpClient = &http.Client{Transport: tr}
+	}
+	return &Client{base: baseURL, hc: httpClient}
+}
+
+// Plan requests one resharding plan.
+func (c *Client) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	var resp PlanResponse
+	if err := c.post(ctx, "/v1/plan", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Autotune requests a strategy x scheduler grid search.
+func (c *Client) Autotune(ctx context.Context, req *AutotuneRequest) (*AutotuneResponse, error) {
+	var resp AutotuneResponse
+	if err := c.post(ctx, "/v1/autotune", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's cache and admission counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp StatsResponse
+	if err := c.roundTrip(req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, payload, out interface{}) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.roundTrip(req, out)
+}
+
+func (c *Client) roundTrip(req *http.Request, out interface{}) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		retry := time.Second
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
+			retry = time.Duration(v) * time.Second
+		}
+		return &OverloadedError{RetryAfter: retry}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,269 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/sharding"
+	"alpacomm/internal/tensor"
+)
+
+// TopologyRef names a hardware topology by registry preset plus parameters.
+type TopologyRef struct {
+	// Name is a registry preset: "p3", "dgx-a100" (alias "dgx"), "mixed".
+	Name string `json:"name"`
+	// Hosts is the host count; 0 means the preset's default.
+	Hosts int `json:"hosts,omitempty"`
+	// Oversubscription is the fabric oversubscription for presets with a
+	// shared switch fabric; 0 means 1:1.
+	Oversubscription float64 `json:"oversubscription,omitempty"`
+}
+
+// Endpoint is one side of a resharding: a mesh slice plus a sharding spec.
+type Endpoint struct {
+	// Mesh is the device mesh as ROWSxCOLS@FIRSTDEV (n-dimensional:
+	// "2x4@0", "2x2x2@8").
+	Mesh string `json:"mesh"`
+	// Spec is the sharding spec in the paper's notation ("S01R", "RS0").
+	Spec string `json:"spec"`
+}
+
+// PlanOptions mirror resharding.Options over the wire. Empty strategy and
+// scheduler mean the service defaults (broadcast + ensemble). The service
+// always plans with a deterministic DFS node budget: a zero DFSNodes is
+// replaced by resharding.DefaultAutotuneDFSNodes so identical requests get
+// identical plans regardless of server machine speed or load.
+type PlanOptions struct {
+	Strategy  string `json:"strategy,omitempty"`
+	Scheduler string `json:"scheduler,omitempty"`
+	Chunks    int    `json:"chunks,omitempty"`
+	DFSNodes  int    `json:"dfs_nodes,omitempty"`
+	Trials    int    `json:"trials,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+}
+
+// PlanRequest asks for one cross-mesh resharding plan.
+type PlanRequest struct {
+	Topology TopologyRef `json:"topology"`
+	// Shape is the global tensor shape.
+	Shape []int `json:"shape"`
+	// DType is "fp16"/"fp32"/"fp64" (aliases float16/32/64); empty = fp32.
+	DType   string      `json:"dtype,omitempty"`
+	Src     Endpoint    `json:"src"`
+	Dst     Endpoint    `json:"dst"`
+	Options PlanOptions `json:"options"`
+}
+
+// PlanResponse reports one planned-and-simulated resharding. Senders are
+// always expressed in the requesting task's device space: when the plan
+// was first computed for a congruent boundary on different hosts (a
+// translated cache hit, see resharding.PlanCache), the server remaps the
+// cached senders through the meshes' logical-position correspondence
+// before responding.
+type PlanResponse struct {
+	Strategy  string `json:"strategy"`
+	Scheduler string `json:"scheduler"`
+	// NumUnits is the unit-task count of the decomposition.
+	NumUnits int `json:"num_units"`
+	// Senders[i] is the chosen sender device of unit task i.
+	Senders []int `json:"senders"`
+	// Order lists unit-task indices in launch order.
+	Order           []int   `json:"order"`
+	MakespanSeconds float64 `json:"makespan_seconds"`
+	EffectiveGbps   float64 `json:"effective_gbps"`
+	NumOps          int     `json:"num_ops"`
+	// Key is the canonical cache key of the problem, for client-side
+	// dedup accounting.
+	Key string `json:"key"`
+	// Coalesced reports that this response was shared from another
+	// client's identical in-flight request rather than computed (or looked
+	// up) for this one.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// AutotuneRequest asks for a strategy x scheduler grid search over one
+// resharding. Options.Strategy/Scheduler seed the base options; the grid
+// overrides them per candidate.
+type AutotuneRequest struct {
+	Topology TopologyRef `json:"topology"`
+	Shape    []int       `json:"shape"`
+	DType    string      `json:"dtype,omitempty"`
+	Src      Endpoint    `json:"src"`
+	Dst      Endpoint    `json:"dst"`
+	Options  PlanOptions `json:"options"`
+	// Workers bounds the per-request autotune concurrency; 0 = GOMAXPROCS.
+	// The winner is identical for every worker count.
+	Workers int `json:"workers,omitempty"`
+}
+
+// AutotuneTrial is one candidate's outcome over the wire.
+type AutotuneTrial struct {
+	Candidate       string  `json:"candidate"`
+	MakespanSeconds float64 `json:"makespan_seconds,omitempty"`
+	EffectiveGbps   float64 `json:"effective_gbps,omitempty"`
+	Err             string  `json:"err,omitempty"`
+}
+
+// AutotuneResponse reports the grid search outcome.
+type AutotuneResponse struct {
+	Winner          string          `json:"winner"`
+	BestIndex       int             `json:"best_index"`
+	MakespanSeconds float64         `json:"makespan_seconds"`
+	EffectiveGbps   float64         `json:"effective_gbps"`
+	Trials          []AutotuneTrial `json:"trials"`
+	Coalesced       bool            `json:"coalesced,omitempty"`
+}
+
+// CacheStats mirrors resharding.CacheStats over the wire.
+type CacheStats struct {
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Entries   int `json:"entries"`
+	Evictions int `json:"evictions"`
+	Capacity  int `json:"capacity"`
+}
+
+// EndpointStats are one endpoint's admission and outcome counters.
+type EndpointStats struct {
+	// Requests is the number of requests admitted to parsing (including
+	// ones later rejected or failed).
+	Requests int64 `json:"requests"`
+	// OK is the number of 200 responses.
+	OK int64 `json:"ok"`
+	// Errors is the number of 4xx/5xx responses other than 429.
+	Errors int64 `json:"errors"`
+	// Rejected is the number of 429 responses (admission queue full).
+	Rejected int64 `json:"rejected"`
+	// Coalesced is the number of responses shared from another client's
+	// identical in-flight request.
+	Coalesced int64 `json:"coalesced"`
+	// InFlight is the number of requests the endpoint is currently
+	// processing: waiting in the admission queue, holding a worker slot,
+	// or coalesced onto another request's in-flight computation.
+	InFlight int64 `json:"in_flight"`
+}
+
+// StatsResponse is the /v1/stats payload. Cache is the /v1/plan cache;
+// AutotuneCache is the separate cache holding grid-search candidate plans.
+type StatsResponse struct {
+	Cache         CacheStats    `json:"cache"`
+	AutotuneCache CacheStats    `json:"autotune_cache"`
+	Plan          EndpointStats `json:"plan"`
+	Autotune      EndpointStats `json:"autotune"`
+	Topologies    []string      `json:"topologies"`
+}
+
+// buildTask resolves the request's topology against the registry and
+// decomposes the resharding. The returned options have the service's
+// deterministic defaults applied.
+func buildTask(reg *mesh.Registry, topoCache *topologyCache, ref TopologyRef,
+	shape []int, dtype string, src, dst Endpoint, po PlanOptions) (*sharding.Task, resharding.Options, error) {
+
+	var zero resharding.Options
+	topo, err := topoCache.get(reg, ref)
+	if err != nil {
+		return nil, zero, err
+	}
+	gshape, err := tensor.NewShape(shape...)
+	if err != nil {
+		return nil, zero, fmt.Errorf("bad shape: %v", err)
+	}
+	dt, err := ParseDType(dtype)
+	if err != nil {
+		return nil, zero, err
+	}
+	srcMesh, err := mesh.ParseSlice(topo, src.Mesh)
+	if err != nil {
+		return nil, zero, fmt.Errorf("bad src mesh: %v", err)
+	}
+	dstMesh, err := mesh.ParseSlice(topo, dst.Mesh)
+	if err != nil {
+		return nil, zero, fmt.Errorf("bad dst mesh: %v", err)
+	}
+	srcSpec, err := sharding.Parse(src.Spec)
+	if err != nil {
+		return nil, zero, fmt.Errorf("bad src spec: %v", err)
+	}
+	dstSpec, err := sharding.Parse(dst.Spec)
+	if err != nil {
+		return nil, zero, fmt.Errorf("bad dst spec: %v", err)
+	}
+	task, err := sharding.NewTask(gshape, dt, srcMesh, srcSpec, dstMesh, dstSpec)
+	if err != nil {
+		return nil, zero, err
+	}
+	opts, err := planOptions(po)
+	if err != nil {
+		return nil, zero, err
+	}
+	return task, opts, nil
+}
+
+// Upper bounds on client-supplied planning effort: like
+// mesh.MaxRegistryHosts, every wire parameter that scales server work must
+// be bounded, or one request could pin a worker slot indefinitely.
+const (
+	// MaxChunks bounds the broadcast pipelining depth.
+	MaxChunks = 4096
+	// MaxTrials bounds the randomized-greedy trial count.
+	MaxTrials = 10000
+	// MaxDFSNodes bounds the deterministic DFS budget (default 50k).
+	MaxDFSNodes = 10_000_000
+)
+
+// NormalizedOptions converts wire options into the exact planning options
+// the server uses: parsed strategy/scheduler, effort bounds enforced, the
+// deterministic DFS node budget forced, and package defaults applied.
+// Verifiers comparing served plans against the direct resharding path must
+// plan with these options, not hand-built ones.
+func NormalizedOptions(po PlanOptions) (resharding.Options, error) {
+	opts, err := planOptions(po)
+	if err != nil {
+		return opts, err
+	}
+	return opts.WithDefaults(), nil
+}
+
+// planOptions converts wire options, forcing the deterministic node budget.
+func planOptions(po PlanOptions) (resharding.Options, error) {
+	var opts resharding.Options
+	var err error
+	if opts.Strategy, err = resharding.ParseStrategy(po.Strategy); err != nil {
+		return opts, err
+	}
+	if opts.Scheduler, err = resharding.ParseScheduler(po.Scheduler); err != nil {
+		return opts, err
+	}
+	if po.Chunks < 0 || po.DFSNodes < 0 || po.Trials < 0 {
+		return opts, fmt.Errorf("negative plan option")
+	}
+	if po.Chunks > MaxChunks || po.Trials > MaxTrials || po.DFSNodes > MaxDFSNodes {
+		return opts, fmt.Errorf("plan option beyond server bound (chunks <= %d, trials <= %d, dfs_nodes <= %d)",
+			MaxChunks, MaxTrials, MaxDFSNodes)
+	}
+	opts.Chunks = po.Chunks
+	opts.Trials = po.Trials
+	opts.Seed = po.Seed
+	opts.DFSNodes = po.DFSNodes
+	if opts.DFSNodes == 0 {
+		opts.DFSNodes = resharding.DefaultAutotuneDFSNodes
+	}
+	return opts, nil
+}
+
+// ParseDType accepts the tensor String() names ("fp16"/"fp32"/"fp64") and
+// the spelled-out aliases (float16/32/64); empty means fp32.
+func ParseDType(s string) (tensor.DType, error) {
+	switch strings.ToLower(s) {
+	case "fp16", "float16":
+		return tensor.Float16, nil
+	case "", "fp32", "float32":
+		return tensor.Float32, nil
+	case "fp64", "float64":
+		return tensor.Float64, nil
+	default:
+		return 0, fmt.Errorf("unknown dtype %q (want fp16, fp32 or fp64)", s)
+	}
+}

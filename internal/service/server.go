@@ -1,0 +1,541 @@
+// Package service is the plan-serving subsystem: an HTTP+JSON API that
+// turns the resharding planner into a multi-tenant service.
+//
+// The paper invokes the planner once per training job; a production
+// deployment serves resharding plans to many concurrent jobs, most of
+// which ask structurally identical questions. The server therefore layers
+// three mechanisms in front of the planner:
+//
+//   - Request coalescing: duplicate in-flight requests (same canonical
+//     resharding.CacheKey) share one computation — N clients asking for
+//     the same boundary at once cost one planning pass and zero extra
+//     worker slots.
+//
+//   - A bounded LRU plan cache (resharding.NewLRUPlanCache): completed
+//     plans are retained up to a fixed capacity with least-recently-used
+//     eviction, so memory stays flat under millions of distinct requests
+//     while the hot working set stays resident.
+//
+//   - Admission control with backpressure: each endpoint runs its
+//     requests on a bounded worker pool with a bounded wait queue.
+//     Overflow is rejected immediately with 429 and a Retry-After header.
+//     Plan and autotune have separate pools, so a burst of grid searches
+//     (one autotune = 20 planning passes) cannot starve cheap cached
+//     lookups. Request parsing itself (topology construction, task
+//     decomposition, key rendering) runs under its own bounded intake
+//     gate, and every client-supplied effort parameter is capped, so no
+//     stage of a request runs with unbounded concurrency or unbounded
+//     cost.
+//
+// Endpoints:
+//
+//	POST /v1/plan     — plan and simulate one resharding (PlanRequest).
+//	POST /v1/autotune — strategy x scheduler grid search (AutotuneRequest).
+//	GET  /v1/stats    — cache, coalescing and admission counters.
+//
+// Topologies are named, not transmitted: requests reference presets of a
+// mesh.Registry ("p3", "dgx-a100", "mixed") plus host count and fabric
+// oversubscription. Planning is deterministic — the service forces a
+// node-budgeted DFS — so identical requests return identical plans
+// regardless of server load, machine speed, or which replica answered.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/sharding"
+)
+
+// DefaultCacheCapacity bounds the plan cache when Config.Cache is nil.
+const DefaultCacheCapacity = 4096
+
+// Config configures a Server. The zero value is usable: default registry,
+// a bounded LRU cache of DefaultCacheCapacity entries, GOMAXPROCS plan
+// workers, and half as many autotune workers.
+type Config struct {
+	// Registry resolves topology names; nil means mesh.DefaultRegistry().
+	Registry *mesh.Registry
+	// Cache serves and stores plans; nil means a new LRU cache of
+	// DefaultCacheCapacity entries. Pass resharding.NewPlanCache() for an
+	// unbounded cache, or share one cache between servers.
+	Cache *resharding.PlanCache
+	// AutotuneCache memoizes the per-candidate plans of /v1/autotune grid
+	// searches. It is separate from Cache so an autotune burst (~20
+	// entries per request, keyed with derived seeds that /v1/plan lookups
+	// never match) cannot evict the hot plan working set. Nil means a new
+	// cache with Cache's capacity.
+	AutotuneCache *resharding.PlanCache
+	// PlanWorkers bounds concurrent /v1/plan computations; 0 = GOMAXPROCS.
+	PlanWorkers int
+	// PlanQueue is the /v1/plan wait-queue depth beyond the workers;
+	// 0 = 4x PlanWorkers. Overflow is rejected with 429.
+	PlanQueue int
+	// AutotuneWorkers bounds concurrent /v1/autotune grid searches;
+	// 0 = max(1, GOMAXPROCS/2). Each search fans its candidates out over
+	// its own internal pool, so one slot already uses multiple cores.
+	AutotuneWorkers int
+	// AutotuneQueue is the /v1/autotune wait-queue depth; 0 = 2x workers.
+	AutotuneQueue int
+	// RetryAfter is the backoff hint attached to 429 responses;
+	// 0 = 1 second.
+	RetryAfter time.Duration
+}
+
+// Server implements the plan-serving HTTP API. Create with New; it is an
+// http.Handler ready to mount on any mux or listener.
+type Server struct {
+	reg           *mesh.Registry
+	cache         *resharding.PlanCache
+	autotuneCache *resharding.PlanCache
+	topos         topologyCache
+	flight        flightGroup
+	// intake bounds the pre-admission work every request pays before it
+	// can be coalesced or queued: topology construction, task
+	// decomposition and cache-key rendering. Without it that work would
+	// run with one goroutine per connection, outside any backpressure.
+	intake     *admission
+	plan       *admission
+	autotune   *admission
+	planC      endpointCounters
+	autotuneC  endpointCounters
+	retryAfter time.Duration
+	mux        *http.ServeMux
+}
+
+// New builds a Server from the config (see Config for defaults).
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = mesh.DefaultRegistry()
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = resharding.NewLRUPlanCache(DefaultCacheCapacity)
+	}
+	if cfg.AutotuneCache == nil {
+		cfg.AutotuneCache = resharding.NewLRUPlanCache(cfg.Cache.Capacity())
+	}
+	if cfg.PlanWorkers <= 0 {
+		cfg.PlanWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.PlanQueue <= 0 {
+		cfg.PlanQueue = 4 * cfg.PlanWorkers
+	}
+	if cfg.AutotuneWorkers <= 0 {
+		cfg.AutotuneWorkers = runtime.GOMAXPROCS(0) / 2
+		if cfg.AutotuneWorkers < 1 {
+			cfg.AutotuneWorkers = 1
+		}
+	}
+	if cfg.AutotuneQueue <= 0 {
+		cfg.AutotuneQueue = 2 * cfg.AutotuneWorkers
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	intakeWorkers := 4 * runtime.GOMAXPROCS(0)
+	s := &Server{
+		reg:           cfg.Registry,
+		cache:         cfg.Cache,
+		autotuneCache: cfg.AutotuneCache,
+		intake:        newAdmission(intakeWorkers, 4*intakeWorkers),
+		plan:          newAdmission(cfg.PlanWorkers, cfg.PlanQueue),
+		autotune:      newAdmission(cfg.AutotuneWorkers, cfg.AutotuneQueue),
+		retryAfter:    cfg.RetryAfter,
+		mux:           http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/autotune", s.handleAutotune)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP dispatches to the API endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Cache exposes the server's plan cache (e.g. to pre-warm it or to share
+// it with an in-process planner).
+func (s *Server) Cache() *resharding.PlanCache { return s.cache }
+
+// AutotuneCache exposes the separate cache backing /v1/autotune grid
+// searches.
+func (s *Server) AutotuneCache() *resharding.PlanCache { return s.autotuneCache }
+
+// errOverloaded marks an admission rejection; mapped to 429.
+var errOverloaded = errors.New("service: worker pool and queue full")
+
+// admission is one endpoint's worker pool: a caller first takes a queue
+// token (failing fast when the queue is full — the backpressure signal)
+// and then waits for one of the worker slots.
+type admission struct {
+	slots chan struct{}
+	queue chan struct{}
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	return &admission{
+		slots: make(chan struct{}, workers),
+		queue: make(chan struct{}, workers+queueDepth),
+	}
+}
+
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return errOverloaded
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-a.queue
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+	<-a.queue
+}
+
+// endpointCounters aggregate one endpoint's outcomes.
+type endpointCounters struct {
+	requests  atomic.Int64
+	ok        atomic.Int64
+	errors    atomic.Int64
+	rejected  atomic.Int64
+	coalesced atomic.Int64
+	inFlight  atomic.Int64
+}
+
+func (c *endpointCounters) snapshot() EndpointStats {
+	return EndpointStats{
+		Requests:  c.requests.Load(),
+		OK:        c.ok.Load(),
+		Errors:    c.errors.Load(),
+		Rejected:  c.rejected.Load(),
+		Coalesced: c.coalesced.Load(),
+		InFlight:  c.inFlight.Load(),
+	}
+}
+
+// maxCachedTopologies bounds the topology memo: the parameters are
+// client-controlled, so a parameter sweep must not grow server memory
+// without bound. Beyond the cap, topologies are built per request.
+const maxCachedTopologies = 256
+
+// topologyCache memoizes built topologies by (name, hosts, oversub):
+// topologies are immutable once built, so requests can share them.
+type topologyCache struct {
+	mu sync.RWMutex
+	m  map[string]mesh.Topology
+}
+
+func (tc *topologyCache) get(reg *mesh.Registry, ref TopologyRef) (mesh.Topology, error) {
+	// Normalize the name the same way Registry.Build does, so case and
+	// whitespace variants of one preset share a memo slot instead of
+	// letting clients fill the bounded memo with junk aliases.
+	key := fmt.Sprintf("%s|%d|%g", strings.ToLower(strings.TrimSpace(ref.Name)), ref.Hosts, ref.Oversubscription)
+	tc.mu.RLock()
+	t, ok := tc.m[key]
+	tc.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	t, err := reg.Build(ref.Name, mesh.TopologyParams{Hosts: ref.Hosts, Oversubscription: ref.Oversubscription})
+	if err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	if tc.m == nil {
+		tc.m = map[string]mesh.Topology{}
+	}
+	// Keep the first build if another request raced us in, so every
+	// request for one key sees the same instance.
+	if prev, ok := tc.m[key]; ok {
+		t = prev
+	} else if len(tc.m) < maxCachedTopologies {
+		tc.m[key] = t
+	}
+	tc.mu.Unlock()
+	return t, nil
+}
+
+// maxBodyBytes bounds request bodies; plan requests are tiny.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.planC.requests.Add(1)
+	var req PlanRequest
+	if !s.decode(w, r, &req, &s.planC) {
+		return
+	}
+	task, opts, cacheKey, ok := s.parseTask(w, r, &s.planC,
+		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+	if !ok {
+		return
+	}
+
+	s.planC.inFlight.Add(1)
+	defer s.planC.inFlight.Add(-1)
+	// Hot path: a completed cache entry is served before any admission —
+	// hits must stay cheap even when the plan pool is saturated with slow
+	// cold requests.
+	if plan, sim, ok := s.cache.LookupKeyed(cacheKey); ok {
+		s.ok(w, &s.planC, s.planResponse(plan, sim, task, opts, cacheKey, false))
+		return
+	}
+	type planned struct {
+		plan *resharding.Plan
+		sim  *resharding.SimResult
+	}
+	v, err, shared := s.flight.do(r.Context(), "plan|"+cacheKey, func() (interface{}, error) {
+		if err := s.plan.acquire(r.Context()); err != nil {
+			return nil, err
+		}
+		defer s.plan.release()
+		plan, sim, err := s.cache.PlanAndSimulateKeyed(cacheKey, task, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &planned{plan: plan, sim: sim}, nil
+	})
+	if err != nil {
+		s.failCompute(w, &s.planC, err)
+		return
+	}
+	p := v.(*planned)
+	if shared {
+		s.planC.coalesced.Add(1)
+	}
+	s.ok(w, &s.planC, s.planResponse(p.plan, p.sim, task, opts, cacheKey, shared))
+}
+
+// planResponse renders a plan for one request. It is built per request,
+// not inside the flight: on a translated cache hit (or a coalesced flight
+// joined with congruent but differently-placed meshes) the shared plan's
+// devices belong to the first task planned under the key and must be
+// remapped into this request's meshes.
+func (s *Server) planResponse(plan *resharding.Plan, sim *resharding.SimResult,
+	task *sharding.Task, opts resharding.Options, cacheKey string, shared bool) PlanResponse {
+	return PlanResponse{
+		Strategy:        opts.Strategy.String(),
+		Scheduler:       opts.Scheduler.String(),
+		NumUnits:        len(task.Units),
+		Senders:         remapSenders(plan, task),
+		Order:           plan.Order,
+		MakespanSeconds: sim.Makespan,
+		EffectiveGbps:   sim.EffectiveGbps,
+		NumOps:          sim.NumOps,
+		Key:             cacheKey,
+		Coalesced:       shared,
+	}
+}
+
+// remapSenders translates a (possibly cached) plan's sender devices into
+// the requesting task's source mesh. Tasks sharing a cache key have
+// congruent meshes — same shape, same host-relative layout — so the
+// sender for unit i is the device at the same logical mesh position. When
+// the plan was computed for this very task, the mapping is the identity.
+func remapSenders(plan *resharding.Plan, task *sharding.Task) []int {
+	senders := make([]int, len(task.Units))
+	if plan.Task == task {
+		for i := range senders {
+			senders[i] = plan.SenderOf[i]
+		}
+		return senders
+	}
+	pos := make(map[int]int, len(plan.Task.Src.Mesh.Devices))
+	for idx, d := range plan.Task.Src.Mesh.Devices {
+		pos[d] = idx
+	}
+	for i := range senders {
+		senders[i] = task.Src.Mesh.Devices[pos[plan.SenderOf[i]]]
+	}
+	return senders
+}
+
+func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
+	s.autotuneC.requests.Add(1)
+	var req AutotuneRequest
+	if !s.decode(w, r, &req, &s.autotuneC) {
+		return
+	}
+	if req.Workers < 0 {
+		s.fail(w, &s.autotuneC, http.StatusBadRequest, fmt.Errorf("negative workers"))
+		return
+	}
+	task, opts, cacheKey, ok := s.parseTask(w, r, &s.autotuneC,
+		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+	if !ok {
+		return
+	}
+	// Workers is excluded from the coalescing key: the search result is
+	// deterministic and identical for every worker count.
+	flightKey := "autotune|" + cacheKey
+
+	s.autotuneC.inFlight.Add(1)
+	defer s.autotuneC.inFlight.Add(-1)
+	v, err, shared := s.flight.do(r.Context(), flightKey, func() (interface{}, error) {
+		if err := s.autotune.acquire(r.Context()); err != nil {
+			return nil, err
+		}
+		defer s.autotune.release()
+		res, err := resharding.Autotune(task, resharding.AutotuneOptions{
+			Base:    opts,
+			Workers: req.Workers,
+			Cache:   s.autotuneCache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp := &AutotuneResponse{
+			Winner:          res.Trials[res.BestIndex].Candidate.String(),
+			BestIndex:       res.BestIndex,
+			MakespanSeconds: res.BestSim.Makespan,
+			EffectiveGbps:   res.BestSim.EffectiveGbps,
+			Trials:          make([]AutotuneTrial, len(res.Trials)),
+		}
+		for i, tr := range res.Trials {
+			resp.Trials[i] = AutotuneTrial{
+				Candidate:       tr.Candidate.String(),
+				MakespanSeconds: tr.Makespan,
+				EffectiveGbps:   tr.EffectiveGbps,
+				Err:             tr.Err,
+			}
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.failCompute(w, &s.autotuneC, err)
+		return
+	}
+	resp := *v.(*AutotuneResponse)
+	resp.Coalesced = shared
+	if shared {
+		s.autotuneC.coalesced.Add(1)
+	}
+	s.ok(w, &s.autotuneC, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Cache:         wireCacheStats(s.cache.Stats()),
+		AutotuneCache: wireCacheStats(s.autotuneCache.Stats()),
+		Plan:          s.planC.snapshot(),
+		Autotune:      s.autotuneC.snapshot(),
+		Topologies:    s.reg.Names(),
+	})
+}
+
+// parseTask runs the bounded pre-admission stage: under an intake token it
+// builds the topology, decomposes the task and renders the canonical cache
+// key. On failure (including intake overflow → 429) it writes the error
+// response and returns ok=false. The intake token is released before the
+// caller coalesces or queues, so parsing capacity is never held across a
+// computation.
+func (s *Server) parseTask(w http.ResponseWriter, r *http.Request, c *endpointCounters,
+	ref TopologyRef, shape []int, dtype string, src, dst Endpoint, po PlanOptions) (task *sharding.Task, opts resharding.Options, key string, ok bool) {
+
+	if err := s.intake.acquire(r.Context()); err != nil {
+		s.failCompute(w, c, err)
+		return nil, opts, "", false
+	}
+	defer s.intake.release()
+	task, opts, err := buildTask(s.reg, &s.topos, ref, shape, dtype, src, dst, po)
+	if err != nil {
+		s.fail(w, c, http.StatusBadRequest, err)
+		return nil, opts, "", false
+	}
+	opts = opts.WithDefaults()
+	return task, opts, resharding.CacheKey(task, opts), true
+}
+
+// decode reads a POST JSON body into dst; on failure it writes the error
+// response and returns false.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst interface{}, c *endpointCounters) bool {
+	if r.Method != http.MethodPost {
+		s.fail(w, c, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.fail(w, c, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// failCompute maps a computation error to its HTTP status: admission
+// overflow becomes 429 + Retry-After (for every coalesced waiter of the
+// rejected flight), and so does a context cancellation — when a flight
+// leader disconnects while queued, its live coalesced waiters hold valid
+// requests that were never attempted, so they get a retryable status, not
+// an error class. Everything else is 422 (the request parsed but cannot
+// be planned).
+func (s *Server) failCompute(w http.ResponseWriter, c *endpointCounters, err error) {
+	if errors.Is(err, errOverloaded) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		c.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.retryAfter)))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	s.fail(w, c, http.StatusUnprocessableEntity, err)
+}
+
+func (s *Server) fail(w http.ResponseWriter, c *endpointCounters, status int, err error) {
+	c.errors.Add(1)
+	writeError(w, status, err)
+}
+
+func (s *Server) ok(w http.ResponseWriter, c *endpointCounters, payload interface{}) {
+	c.ok.Add(1)
+	writeJSON(w, http.StatusOK, payload)
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func wireCacheStats(cs resharding.CacheStats) CacheStats {
+	return CacheStats{
+		Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries,
+		Evictions: cs.Evictions, Capacity: cs.Capacity,
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(payload)
+}
