@@ -302,6 +302,14 @@ type (
 	Sim = netsim.Sim
 	// ClusterNet issues topology-aware transfers on a Sim.
 	ClusterNet = netsim.ClusterNet
+	// NetResourceID is a typed handle to one serial resource of a Sim.
+	NetResourceID = netsim.ResourceID
+	// NetLabel is a lazily rendered op label.
+	NetLabel = netsim.Label
+	// NetEvent is one scheduled op of a completed run.
+	NetEvent = netsim.Event
+	// ReshardPlanBuilder is a reusable (poolable) plan-simulation context.
+	ReshardPlanBuilder = resharding.PlanBuilder
 	// HostTask is one Eq. 1-3 host-level task.
 	HostTask = schedule.Task
 	// HostPlan is an Eq. 1-3 solution.
@@ -313,6 +321,16 @@ var NewSim = netsim.NewSim
 
 // NewClusterNet creates a simulator bound to a cluster topology.
 var NewClusterNet = netsim.NewClusterNet
+
+// PlainLabel wraps a fixed string as a lazily rendered op label — the thin
+// string shim over the tuple-based Label API.
+var PlainLabel = netsim.Plain
+
+// AcquireReshardPlanBuilder takes a reusable simulation context from the
+// shared pool; Release it when done. Plan.Simulate pools automatically —
+// hold a builder explicitly only when simulating many plans on one
+// goroutine.
+var AcquireReshardPlanBuilder = resharding.AcquirePlanBuilder
 
 // Intra-mesh layout conversion (§2.1 background): resharding a tensor
 // between two specs on the same mesh, served by collective communication.

@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	alpacomm "alpacomm"
+	"alpacomm/internal/harness"
 )
 
 // microMetric reports per-method mean effective bandwidth for rows
@@ -169,6 +170,7 @@ func BenchmarkReshardPlan(b *testing.B) {
 	shape, _ := alpacomm.NewShape(1024, 1024, 64)
 	srcSpec, _ := alpacomm.ParseSpec("RS01R")
 	dstSpec, _ := alpacomm.ParseSpec("S01RR")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		task, err := alpacomm.NewReshardTask(shape, alpacomm.Float32, src, srcSpec, dst, dstSpec)
@@ -265,22 +267,15 @@ func Benchmark8BoundaryAutotuneCached(b *testing.B) {
 	}
 }
 
-// BenchmarkNetsim measures the discrete-event engine on a broadcast-heavy
-// op graph.
+// BenchmarkNetsim measures the discrete-event engine on a contention-heavy
+// op graph (the workload shared with the netsim_replay artifact row),
+// rebuilding the net cold every iteration.
 func BenchmarkNetsim(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cluster := alpacomm.AWSP3Cluster(4)
-		net := alpacomm.NewClusterNet(cluster)
-		// 1000 cross-host transfers contending for the 8 NIC directions.
-		for j := 0; j < 1000; j++ {
-			src := j % 15
-			dst := (j + 1) % 16
-			if cluster.HostOf(src) == cluster.HostOf(dst) {
-				dst = (dst + 4) % 16
-			}
-			if _, err := net.Transfer("t", src, dst, 1<<20, j); err != nil {
-				b.Fatal(err)
-			}
+		net := alpacomm.NewClusterNet(alpacomm.AWSP3Cluster(4))
+		if err := harness.NetsimReplayTransfers(net); err != nil {
+			b.Fatal(err)
 		}
 		if _, err := net.Run(); err != nil {
 			b.Fatal(err)

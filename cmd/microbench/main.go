@@ -1,12 +1,17 @@
 // Command microbench regenerates the paper's communication
 // microbenchmarks: Fig. 5a/5b (single sender to multi-GPU receivers) and
-// Fig. 6 (the nine Table 2 multi-device resharding cases).
+// Fig. 6 (the nine Table 2 multi-device resharding cases). It also
+// measures the netsim core's hot paths (plan build, autotune grid cell,
+// served cache miss, arena replay) and records ns/op + allocs/op to a
+// JSON artifact.
 //
 // Usage:
 //
-//	microbench [-fig 5a|5b|6|all] [-scale N]
+//	microbench [-fig 5a|5b|6|all] [-scale N] [-netsim BENCH_netsim.json]
 //
 // scale divides the message size (1 for the paper's full 1-2 GB tensors).
+// With -netsim the figure benchmarks are skipped unless -fig is given
+// explicitly.
 package main
 
 import (
@@ -19,10 +24,31 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to run: 5a, 5b, 6, or all")
+	fig := flag.String("fig", "", "which figure to run: 5a, 5b, 6, or all (default all, or none with -netsim)")
 	scale := flag.Int("scale", 1, "divide message sizes by this factor for faster runs")
 	jsonOut := flag.String("json", "", "also record all rows to this JSON file (artifact format)")
+	netsimOut := flag.String("netsim", "", "measure netsim core hot paths (ns/op + allocs/op) and write them to this JSON file")
 	flag.Parse()
+
+	if *netsimOut != "" {
+		rows, err := harness.NetsimBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: netsim bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.RenderNetsimBenchRows(rows))
+		fmt.Println()
+		if err := harness.WriteNetsimBenchJSON(*netsimOut, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *fig == "" {
+			return
+		}
+	}
+	if *fig == "" {
+		*fig = "all"
+	}
 
 	var all []alpacomm.MicroRow
 	run := func(name string, f func(int) ([]alpacomm.MicroRow, error)) {

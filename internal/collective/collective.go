@@ -4,7 +4,9 @@
 //
 // Each builder registers transfer ops with a ClusterNet and returns, per
 // participating device, the op that completes that device's part — so
-// primitives compose into larger schedules through dependencies.
+// primitives compose into larger schedules through dependencies. Builders
+// name ops with lazy netsim.Label tuples over one shared prefix, so no
+// per-op string is formatted unless a trace is rendered.
 package collective
 
 import (
@@ -87,7 +89,7 @@ func validateDevices(c mesh.Topology, devices []int) error {
 
 // P2P registers one point-to-point send and returns its result.
 func P2P(net *netsim.ClusterNet, label string, src, dst int, bytes int64, seq int, deps ...netsim.OpID) (*Result, error) {
-	id, err := net.Transfer(label, src, dst, bytes, seq, deps...)
+	id, err := net.Transfer(netsim.Plain(label), src, dst, bytes, seq, deps...)
 	if err != nil {
 		return nil, err
 	}
@@ -118,14 +120,15 @@ func BroadcastChain(net *netsim.ClusterNet, label string, chain []int, bytes int
 	hops := len(chain) - 1
 	res := &Result{DoneAt: map[int]netsim.OpID{}}
 	// prev[j] is the op of the previous chunk on hop j (pipeline ordering);
-	// recv[j] is the op delivering the current chunk to chain[j+1].
+	// upstream is the op delivering the current chunk to chain[j].
 	prev := make([]netsim.OpID, hops)
 	havePrev := false
+	var depBuf []netsim.OpID // reused per op; AddOp copies into its arena
 	for i := 0; i < chunks; i++ {
 		var upstream netsim.OpID
 		haveUp := false
 		for j := 0; j < hops; j++ {
-			var d []netsim.OpID
+			d := depBuf[:0]
 			if haveUp {
 				d = append(d, upstream) // chunk i arrived at chain[j]
 			} else {
@@ -134,13 +137,15 @@ func BroadcastChain(net *netsim.ClusterNet, label string, chain []int, bytes int
 			if havePrev {
 				d = append(d, prev[j]) // chunk i-1 left this hop
 			}
+			depBuf = d
 			// The first chunk pays the route's latency; later chunks are
 			// streamed on the established route.
 			xfer := net.Transfer
 			if i > 0 {
 				xfer = net.StreamTransfer
 			}
-			id, err := xfer(fmt.Sprintf("%s/c%d/h%d", label, i, j), chain[j], chain[j+1], sizes[i], seq, d...)
+			lbl := netsim.Label{Prefix: label, Kind: netsim.LabelChunkHop, A: int32(i), B: int32(j)}
+			id, err := xfer(lbl, chain[j], chain[j+1], sizes[i], seq, d...)
 			if err != nil {
 				return nil, err
 			}
@@ -170,33 +175,7 @@ func RingAllGather(net *netsim.ClusterNet, label string, devices []int, totalByt
 	if err := validateDevices(net.Topo, devices); err != nil {
 		return nil, err
 	}
-	chunks := chunkSizes(totalBytes, n)
-	res := &Result{DoneAt: map[int]netsim.OpID{}}
-	// ops[r][i]: in round r, devices[i] sends chunk (i-r mod n) to i+1.
-	ops := make([][]netsim.OpID, n-1)
-	for r := 0; r < n-1; r++ {
-		ops[r] = make([]netsim.OpID, n)
-		for i := 0; i < n; i++ {
-			src, dst := devices[i], devices[(i+1)%n]
-			chunk := ((i-r)%n + n) % n
-			var d []netsim.OpID
-			if r == 0 {
-				d = append(d, startDeps[src]...)
-			} else {
-				d = append(d, ops[r-1][(i-1+n)%n]) // received this chunk last round
-			}
-			id, err := net.Transfer(fmt.Sprintf("%s/r%d/d%d", label, r, i), src, dst, chunks[chunk], seq, d...)
-			if err != nil {
-				return nil, err
-			}
-			res.Ops = append(res.Ops, id)
-			ops[r][i] = id
-		}
-	}
-	for i := 0; i < n; i++ {
-		res.DoneAt[devices[i]] = ops[n-2][(i-1+n)%n]
-	}
-	return res, nil
+	return ringRounds(net, label, devices, totalBytes, seq, startDeps, n-1)
 }
 
 // RingAllReduce registers a ring all-reduce (reduce-scatter followed by
@@ -210,22 +189,32 @@ func RingAllReduce(net *netsim.ClusterNet, label string, devices []int, totalByt
 	if err := validateDevices(net.Topo, devices); err != nil {
 		return nil, err
 	}
+	return ringRounds(net, label, devices, totalBytes, seq, startDeps, 2*(n-1))
+}
+
+// ringRounds registers `rounds` rounds of neighbour sends over the ring:
+// in round r, devices[i] sends chunk (i-r mod n) to its successor, gated on
+// having received that chunk in the previous round.
+func ringRounds(net *netsim.ClusterNet, label string, devices []int, totalBytes int64, seq int, startDeps map[int][]netsim.OpID, rounds int) (*Result, error) {
+	n := len(devices)
 	chunks := chunkSizes(totalBytes, n)
 	res := &Result{DoneAt: map[int]netsim.OpID{}}
-	rounds := 2 * (n - 1)
 	ops := make([][]netsim.OpID, rounds)
+	var depBuf []netsim.OpID
 	for r := 0; r < rounds; r++ {
 		ops[r] = make([]netsim.OpID, n)
 		for i := 0; i < n; i++ {
 			src, dst := devices[i], devices[(i+1)%n]
 			chunk := ((i-r)%n + n) % n
-			var d []netsim.OpID
+			d := depBuf[:0]
 			if r == 0 {
 				d = append(d, startDeps[src]...)
 			} else {
-				d = append(d, ops[r-1][(i-1+n)%n])
+				d = append(d, ops[r-1][(i-1+n)%n]) // received this chunk last round
 			}
-			id, err := net.Transfer(fmt.Sprintf("%s/r%d/d%d", label, r, i), src, dst, chunks[chunk], seq, d...)
+			depBuf = d
+			lbl := netsim.Label{Prefix: label, Kind: netsim.LabelRound, A: int32(r), B: int32(i)}
+			id, err := net.Transfer(lbl, src, dst, chunks[chunk], seq, d...)
 			if err != nil {
 				return nil, err
 			}
@@ -258,7 +247,8 @@ func AllToAll(net *netsim.ClusterNet, label string, devices []int, bytesPerPair 
 	for o := 1; o < n; o++ {
 		for i := 0; i < n; i++ {
 			dst := devices[(i+o)%n]
-			id, err := net.Transfer(fmt.Sprintf("%s/%d->%d", label, devices[i], dst), devices[i], dst, bytesPerPair, seq+o, startDeps[devices[i]]...)
+			lbl := netsim.Label{Prefix: label, Kind: netsim.LabelPair, A: int32(devices[i]), B: int32(dst)}
+			id, err := net.Transfer(lbl, devices[i], dst, bytesPerPair, seq+o, startDeps[devices[i]]...)
 			if err != nil {
 				return nil, err
 			}
@@ -267,7 +257,8 @@ func AllToAll(net *netsim.ClusterNet, label string, devices []int, bytesPerPair 
 		}
 	}
 	for _, dev := range devices {
-		join, err := net.Sim.AddOp(fmt.Sprintf("%s/join%d", label, dev), 0, seq, nil, incoming[dev]...)
+		lbl := netsim.Label{Prefix: label, Kind: netsim.LabelJoin, A: int32(dev)}
+		join, err := net.Sim.AddOp(lbl, 0, seq, nil, incoming[dev]...)
 		if err != nil {
 			return nil, err
 		}

@@ -68,7 +68,7 @@ func TestLocalAllGatherLatency(t *testing.T) {
 			part := chunkSizes(fig3Bytes, cfg.b)
 			startDeps := map[int][]netsim.OpID{}
 			for i, dst := range devs {
-				id, err := net.Transfer("scatter", 0, dst, part[i], seq)
+				id, err := net.Transfer(netsim.Plain("scatter"), 0, dst, part[i], seq)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -102,7 +102,7 @@ func TestGlobalAllGatherLatency(t *testing.T) {
 		part := chunkSizes(fig3Bytes, n)
 		startDeps := map[int][]netsim.OpID{}
 		for i, dst := range recvs {
-			id, err := net.Transfer("scatter", 0, dst, part[i], i)
+			id, err := net.Transfer(netsim.Plain("scatter"), 0, dst, part[i], i)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -161,7 +161,7 @@ func TestBroadcastBeatsAlternatives(t *testing.T) {
 	}
 	tSR := run(func(net *netsim.ClusterNet, c *mesh.Cluster) {
 		for i, dst := range fig3Receivers(c) {
-			net.MustTransfer("sr", 0, dst, fig3Bytes, i)
+			net.MustTransfer(netsim.Plain("sr"), 0, dst, fig3Bytes, i)
 		}
 	})
 	tBC := run(func(net *netsim.ClusterNet, c *mesh.Cluster) {

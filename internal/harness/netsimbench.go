@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/netsim"
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/sharding"
+	"alpacomm/internal/tensor"
+)
+
+// NetsimBenchRow is one measured hot path of the allocation-free netsim
+// core, in the artifact's JSON format (BENCH_netsim.json in CI).
+type NetsimBenchRow struct {
+	// Name identifies the workload ("plan_build", "autotune_cell",
+	// "served_cache_miss", "netsim_replay").
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation (testing.Benchmark's
+	// ReportAllocs accounting).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// Iterations is the measured iteration count.
+	Iterations int `json:"iterations"`
+}
+
+// netsimBenchTask builds the Fig. 6-sized planning problem the netsim
+// benchmarks share: (2,4) -> (2,4) meshes on a 4-host p3 cluster,
+// RS01R -> S01RR over a (1024,1024,64) fp32 tensor.
+func netsimBenchTask() (*sharding.Task, error) {
+	cluster := mesh.AWSP3Cluster(4)
+	src, err := cluster.Slice([]int{2, 4}, 0)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := cluster.Slice([]int{2, 4}, 8)
+	if err != nil {
+		return nil, err
+	}
+	return sharding.NewTask(tensor.MustShape(1024, 1024, 64), tensor.Float32,
+		src, sharding.MustParse("RS01R"), dst, sharding.MustParse("S01RR"))
+}
+
+// netsimBenchOpts is the deterministic planning configuration (node-budgeted
+// DFS, fixed seed) every netsim benchmark row uses.
+var netsimBenchOpts = resharding.Options{
+	Strategy:  resharding.Broadcast,
+	Scheduler: resharding.SchedEnsemble,
+	Seed:      1,
+	DFSNodes:  resharding.DefaultAutotuneDFSNodes,
+	Chunks:    64,
+}
+
+// NetsimBench measures the netsim/planner hot paths with
+// testing.Benchmark and reports ns/op + allocs/op per workload:
+//
+//   - plan_build: task decomposition + ensemble scheduling (no simulation);
+//   - autotune_cell: one strategy x scheduler grid cell — plan + chunk-level
+//     simulation, the unit of work an Autotune sweep fans out;
+//   - served_cache_miss: the plan service's cold path — canonical cache key,
+//     plan, simulate through a bounded LRU PlanCache;
+//   - netsim_replay: the raw discrete-event engine replaying a 1000-transfer
+//     schedule on one reused arena (ClusterNet.Reset between runs).
+func NetsimBench() ([]NetsimBenchRow, error) {
+	task, err := netsimBenchTask()
+	if err != nil {
+		return nil, err
+	}
+	var rows []NetsimBenchRow
+	record := func(name string, r testing.BenchmarkResult) {
+		rows = append(rows, NetsimBenchRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	var benchErr error
+	fail := func(b *testing.B, err error) {
+		benchErr = err
+		b.FailNow()
+	}
+
+	record("plan_build", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t, err := netsimBenchTask()
+			if err != nil {
+				fail(b, err)
+			}
+			if _, err := resharding.NewPlan(t, netsimBenchOpts); err != nil {
+				fail(b, err)
+			}
+		}
+	}))
+	if benchErr != nil {
+		return nil, benchErr
+	}
+
+	record("autotune_cell", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			plan, err := resharding.NewPlan(task, netsimBenchOpts)
+			if err != nil {
+				fail(b, err)
+			}
+			// Autotune trials compare timings only (the winner alone gets a
+			// full trace), so a grid cell simulates trace-free.
+			if _, err := plan.SimulateNoTrace(); err != nil {
+				fail(b, err)
+			}
+		}
+	}))
+	if benchErr != nil {
+		return nil, benchErr
+	}
+
+	record("served_cache_miss", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh bounded cache per iteration keeps every lookup on the
+			// miss path, as a cold key is on the serving daemon.
+			cache := resharding.NewLRUPlanCache(4)
+			if _, _, err := cache.PlanAndSimulate(task, netsimBenchOpts); err != nil {
+				fail(b, err)
+			}
+		}
+	}))
+	if benchErr != nil {
+		return nil, benchErr
+	}
+
+	record("netsim_replay", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		net := netsim.NewClusterNet(mesh.AWSP3Cluster(4))
+		for i := 0; i < b.N; i++ {
+			net.Reset()
+			if err := NetsimReplayTransfers(net); err != nil {
+				fail(b, err)
+			}
+			if _, err := net.Run(); err != nil {
+				fail(b, err)
+			}
+		}
+	}))
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	return rows, nil
+}
+
+// NetsimReplayTransfers issues the engine-contention workload shared by
+// the repository's BenchmarkNetsim and the netsim_replay artifact row:
+// 1000 cross-host transfers contending for the 8 NIC directions of a
+// 4-host p3 cluster (the net must be over a 16-device topology).
+func NetsimReplayTransfers(net *netsim.ClusterNet) error {
+	topo := net.Topo
+	for j := 0; j < 1000; j++ {
+		src := j % 15
+		dst := (j + 1) % 16
+		if topo.HostOf(src) == topo.HostOf(dst) {
+			dst = (dst + 4) % 16
+		}
+		if _, err := net.Transfer(netsim.Plain("t"), src, dst, 1<<20, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteNetsimBenchJSON writes netsim benchmark rows as a JSON array, the
+// artifact format uploaded next to BENCH_service.json.
+func WriteNetsimBenchJSON(path string, rows []NetsimBenchRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RenderNetsimBenchRows formats netsim benchmark rows as a fixed-width
+// table.
+func RenderNetsimBenchRows(rows []NetsimBenchRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "netsim core hot paths\n")
+	fmt.Fprintf(&b, "%-20s %14s %12s %12s %8s\n", "workload", "ns/op", "allocs/op", "B/op", "iters")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %14.0f %12d %12d %8d\n", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Iterations)
+	}
+	return b.String()
+}

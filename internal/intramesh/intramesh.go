@@ -160,7 +160,8 @@ func (t *Task) Simulate() (*SimResult, error) {
 				}
 			}
 			load[sender] += bytes
-			if _, err := net.Transfer(fmt.Sprintf("m%d->%d", mv.Index, needer), sender, needer, bytes, seq); err != nil {
+			lbl := netsim.Label{Prefix: "m", Kind: netsim.LabelMove, A: int32(mv.Index), B: int32(needer)}
+			if _, err := net.Transfer(lbl, sender, needer, bytes, seq); err != nil {
 				return nil, err
 			}
 			seq++

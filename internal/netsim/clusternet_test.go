@@ -40,13 +40,13 @@ func TestTransferLatency(t *testing.T) {
 
 func TestTransferValidation(t *testing.T) {
 	n := NewClusterNet(testCluster(1))
-	if _, err := n.Transfer("bad", 0, 9, 1, 0); err == nil {
+	if _, err := n.Transfer(Plain("bad"), 0, 9, 1, 0); err == nil {
 		t.Error("invalid destination should fail")
 	}
-	if _, err := n.Transfer("bad", 0, 0, 1, 0); err == nil {
+	if _, err := n.Transfer(Plain("bad"), 0, 0, 1, 0); err == nil {
 		t.Error("self transfer should fail")
 	}
-	if _, err := n.Transfer("bad", 0, 1, -5, 0); err == nil {
+	if _, err := n.Transfer(Plain("bad"), 0, 1, -5, 0); err == nil {
 		t.Error("negative size should fail")
 	}
 }
@@ -56,8 +56,8 @@ func TestTransferValidation(t *testing.T) {
 // serialize.
 func TestNICSerialization(t *testing.T) {
 	n := NewClusterNet(testCluster(2))
-	n.MustTransfer("a", 0, 2, 100, 0) // host0 -> host1, 10s
-	n.MustTransfer("b", 1, 3, 100, 1) // also host0 -> host1
+	n.MustTransfer(Plain("a"), 0, 2, 100, 0) // host0 -> host1, 10s
+	n.MustTransfer(Plain("b"), 1, 3, 100, 1) // also host0 -> host1
 	mk, err := n.Run()
 	if err != nil || mk != 20 {
 		t.Errorf("makespan = %v, %v; want 20 (serialized NIC)", mk, err)
@@ -68,8 +68,8 @@ func TestNICSerialization(t *testing.T) {
 // at full bandwidth simultaneously.
 func TestFullDuplex(t *testing.T) {
 	n := NewClusterNet(testCluster(2))
-	n.MustTransfer("out", 0, 2, 100, 0) // host0 sends
-	n.MustTransfer("in", 2, 0, 100, 1)  // host0 receives
+	n.MustTransfer(Plain("out"), 0, 2, 100, 0) // host0 sends
+	n.MustTransfer(Plain("in"), 2, 0, 100, 1)  // host0 receives
 	mk, _ := n.Run()
 	if mk != 10 {
 		t.Errorf("makespan = %v, want 10 (full duplex)", mk)
@@ -80,8 +80,8 @@ func TestFullDuplex(t *testing.T) {
 // between disjoint host pairs do not interfere.
 func TestDisjointHostPairs(t *testing.T) {
 	n := NewClusterNet(testCluster(4))
-	n.MustTransfer("a", 0, 2, 100, 0) // host0 -> host1
-	n.MustTransfer("b", 4, 6, 100, 1) // host2 -> host3
+	n.MustTransfer(Plain("a"), 0, 2, 100, 0) // host0 -> host1
+	n.MustTransfer(Plain("b"), 4, 6, 100, 1) // host2 -> host3
 	mk, _ := n.Run()
 	if mk != 10 {
 		t.Errorf("makespan = %v, want 10 (independent pairs)", mk)
@@ -93,8 +93,8 @@ func TestDisjointHostPairs(t *testing.T) {
 func TestIntraNodeParallelism(t *testing.T) {
 	c, _ := mesh.NewCluster(1, 4, 100, 10, 0, 0)
 	n := NewClusterNet(c)
-	n.MustTransfer("a", 0, 1, 100, 0)
-	n.MustTransfer("b", 2, 3, 100, 1)
+	n.MustTransfer(Plain("a"), 0, 1, 100, 0)
+	n.MustTransfer(Plain("b"), 2, 3, 100, 1)
 	mk, _ := n.Run()
 	if mk != 1 {
 		t.Errorf("makespan = %v, want 1", mk)
@@ -105,8 +105,8 @@ func TestIntraNodeParallelism(t *testing.T) {
 // its host's NIC.
 func TestIntraCrossIndependence(t *testing.T) {
 	n := NewClusterNet(testCluster(2))
-	n.MustTransfer("nvlink", 0, 1, 100, 0) // 1s intra
-	n.MustTransfer("nic", 1, 2, 100, 1)    // 10s cross; device 1 recv is busy 1s but NIC path is separate
+	n.MustTransfer(Plain("nvlink"), 0, 1, 100, 0) // 1s intra
+	n.MustTransfer(Plain("nic"), 1, 2, 100, 1)    // 10s cross; device 1 recv is busy 1s but NIC path is separate
 	mk, _ := n.Run()
 	if math.Abs(mk-10) > 1e-9 {
 		t.Errorf("makespan = %v, want 10", mk)
@@ -115,11 +115,37 @@ func TestIntraCrossIndependence(t *testing.T) {
 
 func TestTransferWithDeps(t *testing.T) {
 	n := NewClusterNet(testCluster(2))
-	a := n.MustTransfer("first", 0, 2, 100, 0)
-	n.MustTransfer("second", 2, 0, 100, 1, a) // depends on first
+	a := n.MustTransfer(Plain("first"), 0, 2, 100, 0)
+	n.MustTransfer(Plain("second"), 2, 0, 100, 1, a) // depends on first
 	mk, _ := n.Run()
 	if mk != 20 {
 		t.Errorf("makespan = %v, want 20 (chained)", mk)
+	}
+}
+
+// TestTransferAfterRunFails pins the post-Run guard on the transfer path:
+// like AddOp, a late transfer returns an error — even when it would need
+// resources not yet interned — instead of minting state into a completed
+// schedule.
+func TestTransferAfterRunFails(t *testing.T) {
+	n := NewClusterNet(testCluster(4))
+	n.MustTransfer(Plain("a"), 0, 2, 100, 0)
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Devices 4->6 cross hosts never touched before Run, so their NIC
+	// resources are not interned yet.
+	if _, err := n.Transfer(Plain("late"), 4, 6, 100, 1); err == nil {
+		t.Error("transfer after Run should fail")
+	}
+	if _, err := n.StreamTransfer(Plain("late"), 4, 6, 100, 1); err == nil {
+		t.Error("stream transfer after Run should fail")
+	}
+	// Reset lifts the guard and the replay works.
+	n.Reset()
+	n.MustTransfer(Plain("b"), 4, 6, 100, 0)
+	if mk, err := n.Run(); err != nil || mk != 10 {
+		t.Errorf("post-reset run = %v, %v; want 10", mk, err)
 	}
 }
 
@@ -129,18 +155,18 @@ func TestMustTransferPanics(t *testing.T) {
 			t.Error("MustTransfer should panic on invalid transfer")
 		}
 	}()
-	NewClusterNet(testCluster(1)).MustTransfer("bad", 0, 0, 1, 0)
+	NewClusterNet(testCluster(1)).MustTransfer(Plain("bad"), 0, 0, 1, 0)
 }
 
 // TestStreamTransferSkipsLatency: streamed chunks pay bandwidth only.
 func TestStreamTransferSkipsLatency(t *testing.T) {
 	c, _ := mesh.NewCluster(2, 2, 100, 10, 0.5, 2.0)
 	n := NewClusterNet(c)
-	a, err := n.Transfer("first", 0, 2, 100, 0)
+	a, err := n.Transfer(Plain("first"), 0, 2, 100, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := n.StreamTransfer("stream", 0, 2, 100, 1, a)
+	b, err := n.StreamTransfer(Plain("stream"), 0, 2, 100, 1, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,8 +182,8 @@ func TestStreamTransferSkipsLatency(t *testing.T) {
 	}
 	// Intra-host stream skips the intra latency.
 	n2 := NewClusterNet(c)
-	x, _ := n2.Transfer("i1", 0, 1, 100, 0)
-	y, _ := n2.StreamTransfer("i2", 0, 1, 100, 1, x)
+	x, _ := n2.Transfer(Plain("i1"), 0, 1, 100, 0)
+	y, _ := n2.StreamTransfer(Plain("i2"), 0, 1, 100, 1, x)
 	n2.Run()
 	if got := n2.Sim.OpFinish(y) - n2.Sim.OpFinish(x); got != 1.0 {
 		t.Errorf("intra stream duration = %v, want 1.0", got)
@@ -167,7 +193,7 @@ func TestStreamTransferSkipsLatency(t *testing.T) {
 // TestStreamTransferValidation: stream transfers validate like normal ones.
 func TestStreamTransferValidation(t *testing.T) {
 	n := NewClusterNet(testCluster(1))
-	if _, err := n.StreamTransfer("bad", 0, 0, 1, 0); err == nil {
+	if _, err := n.StreamTransfer(Plain("bad"), 0, 0, 1, 0); err == nil {
 		t.Error("self stream transfer should fail")
 	}
 }
@@ -228,10 +254,10 @@ func TestHeteroPerHostNICs(t *testing.T) {
 func TestMultiNICParallelism(t *testing.T) {
 	c := testCluster(2).WithNICs(2)
 	n := NewClusterNet(c)
-	if _, err := n.OnNIC(0).Transfer("a", 0, 2, 100, 0); err != nil {
+	if _, err := n.OnNIC(0).Transfer(Plain("a"), 0, 2, 100, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.OnNIC(1).Transfer("b", 1, 3, 100, 1); err != nil {
+	if _, err := n.OnNIC(1).Transfer(Plain("b"), 1, 3, 100, 1); err != nil {
 		t.Fatal(err)
 	}
 	mk, err := n.Run()
@@ -240,8 +266,8 @@ func TestMultiNICParallelism(t *testing.T) {
 	}
 	// Same NIC still serializes.
 	n2 := NewClusterNet(c)
-	n2.OnNIC(1).Transfer("a", 0, 2, 100, 0)
-	n2.OnNIC(1).Transfer("b", 1, 3, 100, 1)
+	n2.OnNIC(1).Transfer(Plain("a"), 0, 2, 100, 0)
+	n2.OnNIC(1).Transfer(Plain("b"), 1, 3, 100, 1)
 	mk2, _ := n2.Run()
 	if mk2 != 20 {
 		t.Errorf("same-NIC makespan = %v, want 20", mk2)

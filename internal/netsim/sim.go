@@ -12,20 +12,34 @@
 // is what makes the paper's §3.2 schedule-ordering algorithms observable in
 // simulated time. The simulator is O(N log N) in the number of ops and
 // fully deterministic.
+//
+// The core is allocation-free on the hot path: resources are addressed by
+// typed integer ResourceID handles into a flat slice, ops live in a flat
+// arena (no per-op pointers), per-op resource and dependency lists share
+// two append-only arenas, and labels are (kind, prefix, a, b) tuples
+// rendered only when Events or an error message needs them. Reset rewinds
+// the arenas without freeing, so one Sim can replay many schedules —
+// autotune grid cells, serving-cache misses — with near-zero steady-state
+// allocation.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
+	"strconv"
 )
 
 // OpID identifies an op inside one Sim.
 type OpID int
 
-// Resource is a serially occupied entity: a NIC direction, a device link
-// direction, or a compute unit.
+// ResourceID is a typed handle to a serially occupied entity: a NIC
+// direction, a device link direction, or a compute unit. IDs are dense
+// indices into the Sim's resource table, valid until the next Reset.
+type ResourceID int32
+
+// Resource is the state of one serially occupied entity.
 type Resource struct {
-	// Name is the unique identifier of the resource within its Sim.
+	// Name is the identifier of the resource within its Sim.
 	Name string
 	// BusyUntil is the simulated time at which the resource next becomes
 	// free; valid during and after Run.
@@ -34,80 +48,232 @@ type Resource struct {
 	BusyTime float64
 }
 
-type op struct {
-	id        OpID
-	label     string
-	duration  float64
-	seq       int
-	resources []*Resource
-	deps      []OpID
+// LabelKind selects how a Label renders. The kinds cover every op-naming
+// pattern of the builders above the engine, so no builder formats a string
+// per op.
+type LabelKind uint8
 
-	ndeps      int
-	dependents []OpID
-	readyTime  float64
-	start      float64
-	finish     float64
-	done       bool
+const (
+	// LabelPlain renders Prefix verbatim.
+	LabelPlain LabelKind = iota
+	// LabelSendRecv renders "<prefix>/sr-><A>".
+	LabelSendRecv
+	// LabelScatter renders "<prefix>/scatter-><A>".
+	LabelScatter
+	// LabelChunkHop renders "<prefix>/c<A>/h<B>" (pipelined broadcast).
+	LabelChunkHop
+	// LabelRound renders "<prefix>/r<A>/d<B>" (ring collectives).
+	LabelRound
+	// LabelPair renders "<prefix>/<A>-><B>" (all-to-all).
+	LabelPair
+	// LabelJoin renders "<prefix>/join<A>".
+	LabelJoin
+	// LabelMove renders "<prefix><A>-><B>" (intra-mesh moves).
+	LabelMove
+	// LabelStageTask renders "s<A>/<prefix><B>" (pipeline compute tasks).
+	LabelStageTask
+	// LabelComm renders "c<A>:<prefix>/<B>" (pipeline boundary transfers).
+	LabelComm
+)
+
+// Label names an op lazily: a shared prefix plus up to two integers,
+// rendered by String only when a trace, an Events call or an error message
+// needs the text. Storing the tuple instead of a formatted string removes
+// the dominant per-op allocation of schedule building.
+type Label struct {
+	// Prefix is the shared textual part (e.g. the unit-task name).
+	Prefix string
+	// Kind selects the rendering pattern.
+	Kind LabelKind
+	// A and B are the pattern's integer slots.
+	A, B int32
+}
+
+// Plain wraps a fixed string as a Label.
+func Plain(s string) Label { return Label{Prefix: s} }
+
+// String renders the label text.
+func (l Label) String() string {
+	switch l.Kind {
+	case LabelPlain:
+		return l.Prefix
+	case LabelSendRecv:
+		return l.Prefix + "/sr->" + itoa(l.A)
+	case LabelScatter:
+		return l.Prefix + "/scatter->" + itoa(l.A)
+	case LabelChunkHop:
+		return l.Prefix + "/c" + itoa(l.A) + "/h" + itoa(l.B)
+	case LabelRound:
+		return l.Prefix + "/r" + itoa(l.A) + "/d" + itoa(l.B)
+	case LabelPair:
+		return l.Prefix + "/" + itoa(l.A) + "->" + itoa(l.B)
+	case LabelJoin:
+		return l.Prefix + "/join" + itoa(l.A)
+	case LabelMove:
+		return l.Prefix + itoa(l.A) + "->" + itoa(l.B)
+	case LabelStageTask:
+		return "s" + itoa(l.A) + "/" + l.Prefix + itoa(l.B)
+	case LabelComm:
+		return "c" + itoa(l.A) + ":" + l.Prefix + "/" + itoa(l.B)
+	default:
+		return l.Prefix
+	}
+}
+
+func itoa(v int32) string { return strconv.Itoa(int(v)) }
+
+// op is one scheduled task. Resource and dependency lists are (offset,
+// count) windows into the Sim's shared arenas, so an op carries no pointers
+// and the op table is a single flat allocation.
+type op struct {
+	label    Label
+	duration float64
+	seq      int
+
+	resOff, resN int32
+	depOff, depN int32
+
+	ndeps     int32
+	readyTime float64
+	start     float64
+	finish    float64
 }
 
 // Sim accumulates ops and resources, then computes the schedule.
 type Sim struct {
-	resources map[string]*Resource
-	resOrder  []*Resource
-	ops       []*op
+	resources []Resource
+	byName    map[string]ResourceID
+	ops       []op
+	resArena  []ResourceID
+	depArena  []OpID
 	ran       bool
 	makespan  float64
+
+	// Run scratch, reused across Reset: CSR dependents and the ready heap.
+	depHead []int32
+	depList []int32
+	heap    []int32
 }
 
 // NewSim returns an empty simulator.
 func NewSim() *Sim {
-	return &Sim{resources: map[string]*Resource{}}
+	return &Sim{}
+}
+
+// Reset rewinds the simulator to empty while keeping every internal arena's
+// capacity, so the next schedule builds without reallocating. All OpIDs and
+// ResourceIDs from before the Reset are invalidated.
+func (s *Sim) Reset() {
+	s.resources = s.resources[:0]
+	if s.byName != nil {
+		clear(s.byName)
+	}
+	s.ops = s.ops[:0]
+	s.resArena = s.resArena[:0]
+	s.depArena = s.depArena[:0]
+	s.ran = false
+	s.makespan = 0
+}
+
+// NewResource registers a resource under the given name and returns its
+// handle. Names are not deduplicated — callers that intern resources keep
+// their own tables (see ClusterNet). Like AddOp, registration fails after
+// Run: a resource minted into a completed schedule could never be occupied
+// and would silently pollute utilization reports.
+func (s *Sim) NewResource(name string) (ResourceID, error) {
+	if s.ran {
+		return 0, fmt.Errorf("netsim: cannot create resource %q after Run", name)
+	}
+	id := ResourceID(len(s.resources))
+	s.resources = append(s.resources, Resource{Name: name})
+	return id, nil
 }
 
 // Resource returns the resource with the given name, creating it on first
-// use.
-func (s *Sim) Resource(name string) *Resource {
-	if r, ok := s.resources[name]; ok {
-		return r
+// use. It shares AddOp's error path after Run.
+func (s *Sim) Resource(name string) (ResourceID, error) {
+	if id, ok := s.byName[name]; ok {
+		return id, nil
 	}
-	r := &Resource{Name: name}
-	s.resources[name] = r
-	s.resOrder = append(s.resOrder, r)
-	return r
+	id, err := s.NewResource(name)
+	if err != nil {
+		return 0, err
+	}
+	if s.byName == nil {
+		s.byName = map[string]ResourceID{}
+	}
+	s.byName[name] = id
+	return id, nil
 }
 
-// AddOp registers an op. seq controls per-resource FIFO order among ops that
-// become ready simultaneously; pass the op's position in the intended
-// schedule (or 0 to order by insertion). Duration must be non-negative, and
-// deps must refer to already-added ops.
-func (s *Sim) AddOp(label string, duration float64, seq int, resources []*Resource, deps ...OpID) (OpID, error) {
+// MustResource is Resource that panics on error; for builders that
+// register resources before running by construction.
+func (s *Sim) MustResource(name string) ResourceID {
+	id, err := s.Resource(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NumResources returns the number of registered resources.
+func (s *Sim) NumResources() int { return len(s.resources) }
+
+// ResourceName returns the name a resource was registered under.
+func (s *Sim) ResourceName(id ResourceID) string { return s.resources[id].Name }
+
+// ResourceState returns a snapshot of a resource's occupancy counters.
+func (s *Sim) ResourceState(id ResourceID) Resource { return s.resources[id] }
+
+// AddOp registers an op under a lazily rendered label. seq controls
+// per-resource FIFO order among ops that become ready simultaneously; pass
+// the op's position in the intended schedule (or 0 to order by insertion).
+// Duration must be non-negative, deps must refer to already-added ops, and
+// resources must be valid handles. The resource and dep slices are copied
+// into the Sim's arenas, so callers may reuse their buffers.
+func (s *Sim) AddOp(label Label, duration float64, seq int, resources []ResourceID, deps ...OpID) (OpID, error) {
 	if s.ran {
 		return 0, fmt.Errorf("netsim: cannot add ops after Run")
 	}
 	if duration < 0 {
-		return 0, fmt.Errorf("netsim: op %q has negative duration %g", label, duration)
+		return 0, fmt.Errorf("netsim: op %q has negative duration %g", label.String(), duration)
 	}
 	id := OpID(len(s.ops))
 	for _, d := range deps {
 		if d < 0 || int(d) >= len(s.ops) {
-			return 0, fmt.Errorf("netsim: op %q depends on unknown op %d", label, d)
+			return 0, fmt.Errorf("netsim: op %q depends on unknown op %d", label.String(), d)
 		}
 	}
-	o := &op{
-		id:        id,
-		label:     label,
-		duration:  duration,
-		seq:       seq,
-		resources: resources,
-		deps:      append([]OpID(nil), deps...),
+	for _, r := range resources {
+		if r < 0 || int(r) >= len(s.resources) {
+			return 0, fmt.Errorf("netsim: op %q occupies unknown resource %d", label.String(), r)
+		}
 	}
-	s.ops = append(s.ops, o)
+	resOff := int32(len(s.resArena))
+	s.resArena = append(s.resArena, resources...)
+	depOff := int32(len(s.depArena))
+	s.depArena = append(s.depArena, deps...)
+	s.ops = append(s.ops, op{
+		label:    label,
+		duration: duration,
+		seq:      seq,
+		resOff:   resOff,
+		resN:     int32(len(resources)),
+		depOff:   depOff,
+		depN:     int32(len(deps)),
+	})
 	return id, nil
+}
+
+// AddOpS is AddOp with a plain string label — the thin shim for callers
+// outside the hot builders.
+func (s *Sim) AddOpS(label string, duration float64, seq int, resources []ResourceID, deps ...OpID) (OpID, error) {
+	return s.AddOp(Plain(label), duration, seq, resources, deps...)
 }
 
 // MustAddOp is AddOp that panics on error; for builders whose inputs are
 // structurally valid by construction.
-func (s *Sim) MustAddOp(label string, duration float64, seq int, resources []*Resource, deps ...OpID) OpID {
+func (s *Sim) MustAddOp(label Label, duration float64, seq int, resources []ResourceID, deps ...OpID) OpID {
 	id, err := s.AddOp(label, duration, seq, resources, deps...)
 	if err != nil {
 		panic(err)
@@ -115,77 +281,149 @@ func (s *Sim) MustAddOp(label string, duration float64, seq int, resources []*Re
 	return id
 }
 
-// readyHeap orders ready ops by (readyTime, seq, id).
-type readyHeap []*op
+// resIDs returns an op's resource handles.
+func (s *Sim) resIDs(o *op) []ResourceID { return s.resArena[o.resOff : o.resOff+o.resN] }
 
-func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
-	if h[i].readyTime != h[j].readyTime {
-		return h[i].readyTime < h[j].readyTime
+// depIDs returns an op's dependency list.
+func (s *Sim) depIDs(o *op) []OpID { return s.depArena[o.depOff : o.depOff+o.depN] }
+
+// heapLess orders ready ops by (readyTime, seq, id).
+func (s *Sim) heapLess(a, b int32) bool {
+	oa, ob := &s.ops[a], &s.ops[b]
+	if oa.readyTime != ob.readyTime {
+		return oa.readyTime < ob.readyTime
 	}
-	if h[i].seq != h[j].seq {
-		return h[i].seq < h[j].seq
+	if oa.seq != ob.seq {
+		return oa.seq < ob.seq
 	}
-	return h[i].id < h[j].id
+	return a < b
 }
-func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(*op)) }
-func (h *readyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (s *Sim) heapPush(x int32) {
+	s.heap = append(s.heap, x)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *Sim) heapPop() int32 {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.heapLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && s.heapLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }
 
 // Run executes the schedule and returns the makespan (finish time of the
 // last op). It fails if the dependency graph has a cycle. Run may be called
-// once; results are then available through OpStart/OpFinish/Events.
+// once per Reset; results are then available through OpStart/OpFinish/
+// Events.
 func (s *Sim) Run() (float64, error) {
 	if s.ran {
 		return s.makespan, nil
 	}
-	// Build dependent lists and dependency counts.
-	for _, o := range s.ops {
-		o.ndeps = len(o.deps)
-		for _, d := range o.deps {
-			s.ops[d].dependents = append(s.ops[d].dependents, o.id)
+	n := len(s.ops)
+	// Build the dependents lists in CSR form over reusable scratch: one
+	// counting pass, a prefix sum, one fill pass.
+	if cap(s.depHead) < n+1 {
+		s.depHead = make([]int32, n+1)
+	}
+	head := s.depHead[:n+1]
+	for i := range head {
+		head[i] = 0
+	}
+	for i := range s.ops {
+		o := &s.ops[i]
+		o.ndeps = o.depN
+		o.readyTime = 0
+		for _, d := range s.depIDs(o) {
+			head[d+1]++
 		}
 	}
-	h := &readyHeap{}
-	for _, o := range s.ops {
-		if o.ndeps == 0 {
-			heap.Push(h, o)
+	for i := 0; i < n; i++ {
+		head[i+1] += head[i]
+	}
+	total := int(head[n])
+	if cap(s.depList) < total {
+		s.depList = make([]int32, total)
+	}
+	depList := s.depList[:total]
+	// Fill pass: head[d] is used as a cursor, then restored by the shift at
+	// the end (head[d] ends up holding the start of d's window again because
+	// each window was advanced exactly by its length).
+	for i := n - 1; i >= 0; i-- {
+		o := &s.ops[i]
+		deps := s.depIDs(o)
+		for j := len(deps) - 1; j >= 0; j-- {
+			d := deps[j]
+			head[d+1]--
+			depList[head[d+1]] = int32(i)
+		}
+	}
+	// After the reverse fill, head[d+1] is the start of d's window; shift
+	// expectations accordingly: dependents of op d are
+	// depList[head[d+1]:end] where end is the next op's start.
+	s.heap = s.heap[:0]
+	for i := range s.ops {
+		if s.ops[i].ndeps == 0 {
+			s.heapPush(int32(i))
 		}
 	}
 	scheduled := 0
-	for h.Len() > 0 {
-		o := heap.Pop(h).(*op)
+	for len(s.heap) > 0 {
+		oi := s.heapPop()
+		o := &s.ops[oi]
 		start := o.readyTime
-		for _, r := range o.resources {
-			if r.BusyUntil > start {
-				start = r.BusyUntil
+		for _, r := range s.resIDs(o) {
+			if s.resources[r].BusyUntil > start {
+				start = s.resources[r].BusyUntil
 			}
 		}
 		o.start = start
 		o.finish = start + o.duration
-		o.done = true
-		for _, r := range o.resources {
-			r.BusyUntil = o.finish
-			r.BusyTime += o.duration
+		for _, r := range s.resIDs(o) {
+			s.resources[r].BusyUntil = o.finish
+			s.resources[r].BusyTime += o.duration
 		}
 		if o.finish > s.makespan {
 			s.makespan = o.finish
 		}
 		scheduled++
-		for _, did := range o.dependents {
-			d := s.ops[did]
+		lo, hi := head[oi+1], int32(total)
+		if int(oi)+1 < n {
+			hi = head[oi+2]
+		}
+		for _, di := range depList[lo:hi] {
+			d := &s.ops[di]
 			if o.finish > d.readyTime {
 				d.readyTime = o.finish
 			}
 			d.ndeps--
 			if d.ndeps == 0 {
-				heap.Push(h, d)
+				s.heapPush(di)
 			}
 		}
 	}
@@ -208,6 +446,9 @@ func (s *Sim) OpStart(id OpID) float64 { return s.ops[id].start }
 // OpFinish returns the scheduled finish time of an op after Run.
 func (s *Sim) OpFinish(id OpID) float64 { return s.ops[id].finish }
 
+// OpLabel renders the label of an op.
+func (s *Sim) OpLabel(id OpID) string { return s.ops[id].label.String() }
+
 // Event is one scheduled op, for traces and timeline rendering.
 type Event struct {
 	Label     string
@@ -216,21 +457,24 @@ type Event struct {
 	Resources []string
 }
 
-// Events returns all scheduled ops sorted by (start, finish, label).
+// Events returns all scheduled ops sorted by (start, finish, label). This
+// is where labels and resource names are rendered — schedules that are
+// only timed never pay for the text.
 func (s *Sim) Events() []Event {
 	out := make([]Event, 0, len(s.ops))
-	for _, o := range s.ops {
-		names := make([]string, len(o.resources))
-		for i, r := range o.resources {
-			names[i] = r.Name
+	for i := range s.ops {
+		o := &s.ops[i]
+		ids := s.resIDs(o)
+		names := make([]string, len(ids))
+		for j, r := range ids {
+			names[j] = s.resources[r].Name
 		}
-		out = append(out, Event{Label: o.label, Start: o.start, Finish: o.finish, Resources: names})
+		out = append(out, Event{Label: o.label.String(), Start: o.start, Finish: o.finish, Resources: names})
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && eventLess(out[j], out[j-1]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// SliceStable keeps insertion order among events that tie on the full
+	// (start, finish, label) key, matching the stable insertion sort this
+	// replaced.
+	sort.SliceStable(out, func(i, j int) bool { return eventLess(out[i], out[j]) })
 	return out
 }
 
@@ -247,8 +491,9 @@ func eventLess(a, b Event) bool {
 // Utilization returns BusyTime/makespan per resource name. Resources that
 // were never used report 0.
 func (s *Sim) Utilization() map[string]float64 {
-	out := make(map[string]float64, len(s.resOrder))
-	for _, r := range s.resOrder {
+	out := make(map[string]float64, len(s.resources))
+	for i := range s.resources {
+		r := &s.resources[i]
 		if s.makespan > 0 {
 			out[r.Name] = r.BusyTime / s.makespan
 		} else {

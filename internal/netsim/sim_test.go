@@ -7,10 +7,15 @@ import (
 	"testing/quick"
 )
 
+// addOp is test shorthand for plain-labelled ops.
+func addOp(s *Sim, label string, dur float64, seq int, res []ResourceID, deps ...OpID) OpID {
+	return s.MustAddOp(Plain(label), dur, seq, res, deps...)
+}
+
 func TestSingleOp(t *testing.T) {
 	s := NewSim()
-	r := s.Resource("r")
-	s.MustAddOp("a", 5, 0, []*Resource{r})
+	r := s.MustResource("r")
+	addOp(s, "a", 5, 0, []ResourceID{r})
 	mk, err := s.Run()
 	if err != nil || mk != 5 {
 		t.Fatalf("makespan = %v, %v", mk, err)
@@ -22,9 +27,9 @@ func TestSingleOp(t *testing.T) {
 
 func TestSerialResource(t *testing.T) {
 	s := NewSim()
-	r := s.Resource("nic")
-	s.MustAddOp("a", 3, 0, []*Resource{r})
-	s.MustAddOp("b", 4, 1, []*Resource{r})
+	r := s.MustResource("nic")
+	addOp(s, "a", 3, 0, []ResourceID{r})
+	addOp(s, "b", 4, 1, []ResourceID{r})
 	mk, _ := s.Run()
 	if mk != 7 {
 		t.Errorf("two ops on one resource: makespan = %v, want 7", mk)
@@ -33,8 +38,8 @@ func TestSerialResource(t *testing.T) {
 
 func TestParallelResources(t *testing.T) {
 	s := NewSim()
-	s.MustAddOp("a", 3, 0, []*Resource{s.Resource("r1")})
-	s.MustAddOp("b", 4, 1, []*Resource{s.Resource("r2")})
+	addOp(s, "a", 3, 0, []ResourceID{s.MustResource("r1")})
+	addOp(s, "b", 4, 1, []ResourceID{s.MustResource("r2")})
 	mk, _ := s.Run()
 	if mk != 4 {
 		t.Errorf("independent ops: makespan = %v, want 4", mk)
@@ -43,9 +48,9 @@ func TestParallelResources(t *testing.T) {
 
 func TestDependencyChain(t *testing.T) {
 	s := NewSim()
-	a := s.MustAddOp("a", 2, 0, nil)
-	b := s.MustAddOp("b", 3, 0, nil, a)
-	s.MustAddOp("c", 1, 0, nil, b)
+	a := addOp(s, "a", 2, 0, nil)
+	b := addOp(s, "b", 3, 0, nil, a)
+	addOp(s, "c", 1, 0, nil, b)
 	mk, _ := s.Run()
 	if mk != 6 {
 		t.Errorf("chain makespan = %v, want 6", mk)
@@ -56,9 +61,9 @@ func TestSeqControlsTieBreak(t *testing.T) {
 	// Two ops ready at t=0 on the same resource: the one with smaller seq
 	// must run first.
 	s := NewSim()
-	r := s.Resource("r")
-	slow := s.MustAddOp("slow", 10, 2, []*Resource{r})
-	fast := s.MustAddOp("fast", 1, 1, []*Resource{r})
+	r := s.MustResource("r")
+	slow := addOp(s, "slow", 10, 2, []ResourceID{r})
+	fast := addOp(s, "fast", 1, 1, []ResourceID{r})
 	s.Run()
 	if s.OpStart(fast) != 0 {
 		t.Errorf("fast (seq 1) should start first, started at %v", s.OpStart(fast))
@@ -72,10 +77,10 @@ func TestReadyTimeBeatsSeq(t *testing.T) {
 	// An op that becomes ready earlier grabs the resource even with a
 	// larger seq (FIFO by readiness, then seq).
 	s := NewSim()
-	r := s.Resource("r")
-	gate := s.MustAddOp("gate", 5, 0, nil)
-	early := s.MustAddOp("early", 2, 9, []*Resource{r})
-	late := s.MustAddOp("late", 2, 1, []*Resource{r}, gate)
+	r := s.MustResource("r")
+	gate := addOp(s, "gate", 5, 0, nil)
+	early := addOp(s, "early", 2, 9, []ResourceID{r})
+	late := addOp(s, "late", 2, 1, []ResourceID{r}, gate)
 	s.Run()
 	if s.OpStart(early) != 0 {
 		t.Errorf("early started at %v, want 0", s.OpStart(early))
@@ -88,10 +93,10 @@ func TestReadyTimeBeatsSeq(t *testing.T) {
 func TestMultiResourceOp(t *testing.T) {
 	// An op occupying two resources blocks both.
 	s := NewSim()
-	r1, r2 := s.Resource("r1"), s.Resource("r2")
-	s.MustAddOp("both", 5, 0, []*Resource{r1, r2})
-	s.MustAddOp("on1", 1, 1, []*Resource{r1})
-	s.MustAddOp("on2", 1, 1, []*Resource{r2})
+	r1, r2 := s.MustResource("r1"), s.MustResource("r2")
+	addOp(s, "both", 5, 0, []ResourceID{r1, r2})
+	addOp(s, "on1", 1, 1, []ResourceID{r1})
+	addOp(s, "on2", 1, 1, []ResourceID{r2})
 	mk, _ := s.Run()
 	if mk != 6 {
 		t.Errorf("makespan = %v, want 6", mk)
@@ -100,24 +105,55 @@ func TestMultiResourceOp(t *testing.T) {
 
 func TestAddOpValidation(t *testing.T) {
 	s := NewSim()
-	if _, err := s.AddOp("bad", -1, 0, nil); err == nil {
+	if _, err := s.AddOpS("bad", -1, 0, nil); err == nil {
 		t.Error("negative duration should fail")
 	}
-	if _, err := s.AddOp("bad", 1, 0, nil, OpID(5)); err == nil {
+	if _, err := s.AddOpS("bad", 1, 0, nil, OpID(5)); err == nil {
 		t.Error("unknown dependency should fail")
 	}
-	s.MustAddOp("ok", 1, 0, nil)
+	if _, err := s.AddOpS("bad", 1, 0, []ResourceID{7}); err == nil {
+		t.Error("unknown resource handle should fail")
+	}
+	addOp(s, "ok", 1, 0, nil)
 	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.AddOp("late", 1, 0, nil); err == nil {
+	if _, err := s.AddOpS("late", 1, 0, nil); err == nil {
 		t.Error("adding after Run should fail")
+	}
+}
+
+// TestResourceAfterRunFails pins the post-Run guard: Resource and
+// NewResource share AddOp's error path instead of silently minting dead
+// resources into a completed schedule.
+func TestResourceAfterRunFails(t *testing.T) {
+	s := NewSim()
+	addOp(s, "a", 1, 0, nil)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resource("late"); err == nil {
+		t.Error("Resource after Run should fail")
+	}
+	if _, err := s.NewResource("late"); err == nil {
+		t.Error("NewResource after Run should fail")
+	}
+	if got := s.NumResources(); got != 0 {
+		t.Errorf("failed registrations must not leak resources, have %d", got)
+	}
+	if u := s.Utilization(); len(u) != 0 {
+		t.Errorf("utilization reports dead resources: %v", u)
+	}
+	// After Reset the guard lifts.
+	s.Reset()
+	if _, err := s.Resource("fresh"); err != nil {
+		t.Errorf("Resource after Reset failed: %v", err)
 	}
 }
 
 func TestRunTwiceIsIdempotent(t *testing.T) {
 	s := NewSim()
-	s.MustAddOp("a", 2, 0, nil)
+	addOp(s, "a", 2, 0, nil)
 	m1, _ := s.Run()
 	m2, err := s.Run()
 	if err != nil || m1 != m2 {
@@ -126,26 +162,20 @@ func TestRunTwiceIsIdempotent(t *testing.T) {
 }
 
 func TestCycleDetection(t *testing.T) {
-	// Build a cycle by hand: a <- b requires forward references, which
-	// AddOp forbids; so simulate one by making an op depend on itself via
-	// the internal path: two ops each depending on the other is impossible
-	// through the API, so the only reachable "cycle" is a self-dependency
-	// at the last index.
+	// Forward references are unrepresentable through AddOp, so the only
+	// reachable "cycle" is a self-dependency at the last index; verify the
+	// validation rejects it.
 	s := NewSim()
-	a := s.MustAddOp("a", 1, 0, nil)
-	_ = a
-	// Self-dependency: op 1 depends on op 1 — AddOp checks d < len(ops),
-	// and at call time len(ops) == 1, so OpID(1) is rejected. The API makes
-	// cycles unrepresentable; verify the validation.
-	if _, err := s.AddOp("self", 1, 0, nil, OpID(1)); err == nil {
+	addOp(s, "a", 1, 0, nil)
+	if _, err := s.AddOpS("self", 1, 0, nil, OpID(1)); err == nil {
 		t.Error("self-dependency should be rejected")
 	}
 }
 
 func TestZeroDurationOps(t *testing.T) {
 	s := NewSim()
-	a := s.MustAddOp("a", 0, 0, nil)
-	b := s.MustAddOp("b", 0, 0, nil, a)
+	a := addOp(s, "a", 0, 0, nil)
+	b := addOp(s, "b", 0, 0, nil, a)
 	mk, _ := s.Run()
 	if mk != 0 {
 		t.Errorf("makespan = %v", mk)
@@ -157,9 +187,9 @@ func TestZeroDurationOps(t *testing.T) {
 
 func TestEventsSorted(t *testing.T) {
 	s := NewSim()
-	r := s.Resource("r")
-	s.MustAddOp("second", 1, 2, []*Resource{r})
-	s.MustAddOp("first", 1, 1, []*Resource{r})
+	r := s.MustResource("r")
+	addOp(s, "second", 1, 2, []ResourceID{r})
+	addOp(s, "first", 1, 1, []ResourceID{r})
 	s.Run()
 	ev := s.Events()
 	if len(ev) != 2 || ev[0].Label != "first" || ev[1].Label != "second" {
@@ -172,9 +202,9 @@ func TestEventsSorted(t *testing.T) {
 
 func TestUtilization(t *testing.T) {
 	s := NewSim()
-	r1, r2 := s.Resource("busy"), s.Resource("half")
-	s.MustAddOp("a", 4, 0, []*Resource{r1})
-	s.MustAddOp("b", 2, 0, []*Resource{r2})
+	r1, r2 := s.MustResource("busy"), s.MustResource("half")
+	addOp(s, "a", 4, 0, []ResourceID{r1})
+	addOp(s, "b", 2, 0, []ResourceID{r2})
 	s.Run()
 	u := s.Utilization()
 	if u["busy"] != 1.0 || u["half"] != 0.5 {
@@ -184,8 +214,92 @@ func TestUtilization(t *testing.T) {
 
 func TestResourceIdentity(t *testing.T) {
 	s := NewSim()
-	if s.Resource("x") != s.Resource("x") {
-		t.Error("Resource must return the same object for the same name")
+	a := s.MustResource("x")
+	b := s.MustResource("x")
+	if a != b {
+		t.Error("Resource must return the same handle for the same name")
+	}
+	if s.ResourceName(a) != "x" {
+		t.Errorf("name = %q", s.ResourceName(a))
+	}
+}
+
+// TestLabelRendering pins every Label pattern against its legacy
+// fmt.Sprintf format.
+func TestLabelRendering(t *testing.T) {
+	cases := []struct {
+		l    Label
+		want string
+	}{
+		{Plain("u3/bc"), "u3/bc"},
+		{Label{Prefix: "u2", Kind: LabelSendRecv, A: 7}, "u2/sr->7"},
+		{Label{Prefix: "u2", Kind: LabelScatter, A: 11}, "u2/scatter->11"},
+		{Label{Prefix: "u0/bc", Kind: LabelChunkHop, A: 3, B: 2}, "u0/bc/c3/h2"},
+		{Label{Prefix: "x/lag", Kind: LabelRound, A: 1, B: 4}, "x/lag/r1/d4"},
+		{Label{Prefix: "a2a", Kind: LabelPair, A: 5, B: 9}, "a2a/5->9"},
+		{Label{Prefix: "a2a", Kind: LabelJoin, A: 6}, "a2a/join6"},
+		{Label{Prefix: "m", Kind: LabelMove, A: 4, B: 8}, "m4->8"},
+		{Label{Prefix: "Bd", Kind: LabelStageTask, A: 2, B: 13}, "s2/Bd13"},
+		{Label{Prefix: "fwd", Kind: LabelComm, A: 1, B: 7}, "c1:fwd/7"},
+	}
+	for _, c := range cases {
+		if got := c.l.String(); got != c.want {
+			t.Errorf("label %+v renders %q, want %q", c.l, got, c.want)
+		}
+	}
+}
+
+// TestResetReplaysIdentically: after Reset, rebuilding the same schedule
+// on the same Sim produces identical makespan and events, and the arena
+// reuse does not leak state from the previous run.
+func TestResetReplaysIdentically(t *testing.T) {
+	build := func(s *Sim) {
+		r1, r2 := s.MustResource("r1"), s.MustResource("r2")
+		a := addOp(s, "a", 3, 0, []ResourceID{r1})
+		b := addOp(s, "b", 2, 1, []ResourceID{r1, r2}, a)
+		addOp(s, "c", 4, 2, []ResourceID{r2}, b)
+	}
+	s := NewSim()
+	build(s)
+	mk1, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev1 := s.Events()
+	for i := 0; i < 3; i++ {
+		s.Reset()
+		if s.NumOps() != 0 || s.NumResources() != 0 {
+			t.Fatalf("Reset left %d ops, %d resources", s.NumOps(), s.NumResources())
+		}
+		build(s)
+		mk2, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mk2 != mk1 {
+			t.Fatalf("replay %d makespan = %v, want %v", i, mk2, mk1)
+		}
+		ev2 := s.Events()
+		if len(ev2) != len(ev1) {
+			t.Fatalf("replay %d: %d events, want %d", i, len(ev2), len(ev1))
+		}
+		for j := range ev1 {
+			if ev1[j].Label != ev2[j].Label || ev1[j].Start != ev2[j].Start || ev1[j].Finish != ev2[j].Finish {
+				t.Fatalf("replay %d event %d = %+v, want %+v", i, j, ev2[j], ev1[j])
+			}
+		}
+	}
+}
+
+// TestResetAfterPartialBuild: resetting an un-run schedule discards it.
+func TestResetAfterPartialBuild(t *testing.T) {
+	s := NewSim()
+	addOp(s, "orphan", 5, 0, []ResourceID{s.MustResource("r")})
+	s.Reset()
+	addOp(s, "a", 1, 0, []ResourceID{s.MustResource("r")})
+	mk, err := s.Run()
+	if err != nil || mk != 1 {
+		t.Fatalf("makespan after reset = %v, %v; want 1", mk, err)
 	}
 }
 
@@ -196,9 +310,9 @@ func TestSimInvariants(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		s := NewSim()
 		nres := 1 + r.Intn(4)
-		res := make([]*Resource, nres)
+		res := make([]ResourceID, nres)
 		for i := range res {
-			res[i] = s.Resource(string(rune('a' + i)))
+			res[i] = s.MustResource(string(rune('a' + i)))
 		}
 		n := 1 + r.Intn(40)
 		durations := make([]float64, n)
@@ -212,8 +326,8 @@ func TestSimInvariants(t *testing.T) {
 				}
 			}
 			deps[i] = d
-			rs := []*Resource{res[r.Intn(nres)]}
-			s.MustAddOp("op", durations[i], i, rs, d...)
+			rs := []ResourceID{res[r.Intn(nres)]}
+			addOp(s, "op", durations[i], i, rs, d...)
 		}
 		mk, err := s.Run()
 		if err != nil {
@@ -227,8 +341,7 @@ func TestSimInvariants(t *testing.T) {
 				}
 			}
 		}
-		// Makespan lower bounds.
-		var totalPerRes = map[*Resource]float64{}
+		// Makespan lower bound: the critical path.
 		longest := make([]float64, n)
 		var critical float64
 		for i := 0; i < n; i++ {
@@ -245,11 +358,6 @@ func TestSimInvariants(t *testing.T) {
 		if mk < critical-1e-9 {
 			return false
 		}
-		for _, v := range totalPerRes {
-			if mk < v-1e-9 {
-				return false
-			}
-		}
 		return !math.IsNaN(mk)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -263,21 +371,21 @@ func TestResourceExclusivity(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		s := NewSim()
-		res := []*Resource{s.Resource("r1"), s.Resource("r2")}
+		res := []ResourceID{s.MustResource("r1"), s.MustResource("r2")}
 		n := 2 + r.Intn(30)
 		type window struct{ start, finish float64 }
-		byRes := map[string][]window{}
+		byRes := map[ResourceID][]window{}
 		ids := make([]OpID, 0, n)
-		resOf := make([]string, 0, n)
+		resOf := make([]ResourceID, 0, n)
 		for i := 0; i < n; i++ {
 			rs := res[r.Intn(2)]
 			var d []OpID
 			if i > 0 && r.Float64() < 0.3 {
 				d = append(d, ids[r.Intn(len(ids))])
 			}
-			id := s.MustAddOp("op", 1+float64(r.Intn(5)), i, []*Resource{rs}, d...)
+			id := addOp(s, "op", 1+float64(r.Intn(5)), i, []ResourceID{rs}, d...)
 			ids = append(ids, id)
-			resOf = append(resOf, rs.Name)
+			resOf = append(resOf, rs)
 		}
 		if _, err := s.Run(); err != nil {
 			return false

@@ -95,12 +95,12 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 
 	sim := netsim.NewSim()
-	stageRes := make([]*netsim.Resource, cfg.Stages)
+	stageRes := make([]netsim.ResourceID, cfg.Stages)
 	for s := range stageRes {
-		stageRes[s] = sim.Resource(fmt.Sprintf("stage%d", s))
+		stageRes[s] = sim.MustResource(fmt.Sprintf("stage%d", s))
 	}
-	chanRes := func(s int, dir string) *netsim.Resource {
-		return sim.Resource(fmt.Sprintf("ch%d:%s", s, dir))
+	chanRes := func(s int, dir string) netsim.ResourceID {
+		return sim.MustResource(fmt.Sprintf("ch%d:%s", s, dir))
 	}
 
 	type key struct {
@@ -179,7 +179,8 @@ func Simulate(cfg Config) (*Result, error) {
 					deps = append(deps, prevOnStage[s])
 				}
 				dur := taskDuration(&cfg, t, s)
-				id, err := sim.AddOp(fmt.Sprintf("s%d/%s%d", s, t.Kind, t.MicroBatch), dur, seq, []*netsim.Resource{stageRes[s]}, deps...)
+				lbl := netsim.Label{Prefix: t.Kind.String(), Kind: netsim.LabelStageTask, A: int32(s), B: int32(t.MicroBatch)}
+				id, err := sim.AddOp(lbl, dur, seq, stageRes[s:s+1], deps...)
 				if err != nil {
 					return nil, err
 				}
@@ -238,15 +239,16 @@ func Simulate(cfg Config) (*Result, error) {
 // addComm registers one cross-mesh communication op. With overlap it rides
 // a dedicated channel; without, it is chained into the sending stage's
 // static order (blocking the stage inline, Fig. 4a).
-func addComm(sim *netsim.Sim, cfg *Config, chanRes func(int, string) *netsim.Resource, stageRes []*netsim.Resource, dir string, boundary, mb int, dur float64, producer netsim.OpID, prevOnStage *netsim.OpID, seq *int) (netsim.OpID, error) {
-	label := fmt.Sprintf("c%d:%s/%d", boundary, dir, mb)
+func addComm(sim *netsim.Sim, cfg *Config, chanRes func(int, string) netsim.ResourceID, stageRes []netsim.ResourceID, dir string, boundary, mb int, dur float64, producer netsim.OpID, prevOnStage *netsim.OpID, seq *int) (netsim.OpID, error) {
+	label := netsim.Label{Prefix: dir, Kind: netsim.LabelComm, A: int32(boundary), B: int32(mb)}
+	ch := [1]netsim.ResourceID{chanRes(boundary, dir)}
 	if cfg.Overlap {
-		id, err := sim.AddOp(label, dur, *seq, []*netsim.Resource{chanRes(boundary, dir)}, producer)
+		id, err := sim.AddOp(label, dur, *seq, ch[:], producer)
 		(*seq)++
 		return id, err
 	}
 	// Inline: occupy the channel and chain into the sender stage's order.
-	id, err := sim.AddOp(label, dur, *seq, []*netsim.Resource{chanRes(boundary, dir)}, producer, *prevOnStage)
+	id, err := sim.AddOp(label, dur, *seq, ch[:], producer, *prevOnStage)
 	if err != nil {
 		return 0, err
 	}

@@ -138,7 +138,9 @@ func Autotune(task *sharding.Task, opts AutotuneOptions) (*AutotuneResult, error
 				} else {
 					out.plan, out.err = NewPlan(task, o)
 					if out.err == nil {
-						out.sim, out.err = out.plan.Simulate()
+						// Trials only compare timings; the winner is
+						// re-simulated with a full trace below.
+						out.sim, out.err = out.plan.SimulateNoTrace()
 					}
 				}
 				outcomes[i] = out
@@ -167,6 +169,16 @@ func Autotune(task *sharding.Task, opts AutotuneOptions) (*AutotuneResult, error
 	}
 	if res.BestIndex < 0 {
 		return nil, fmt.Errorf("resharding: autotune: every candidate failed (first: %s)", res.Trials[0].Err)
+	}
+	if res.BestSim.Events == nil && res.BestSim.Utilization == nil {
+		// Trials ran trace-free; give the winner its full Events timeline
+		// and utilization report. The simulator is deterministic, so the
+		// timings are the ones the trial measured.
+		sim, err := res.Best.Simulate()
+		if err != nil {
+			return nil, fmt.Errorf("resharding: autotune: re-simulating winner: %v", err)
+		}
+		res.BestSim = sim
 	}
 	return res, nil
 }

@@ -1,0 +1,151 @@
+package resharding
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/sharding"
+	"alpacomm/internal/tensor"
+)
+
+// builderTask builds a multi-host resharding with several unit tasks, the
+// shape the pooled builder replays.
+func builderTask(t *testing.T, c mesh.Topology, srcFirst, dstFirst int) *sharding.Task {
+	t.Helper()
+	src, err := c.Slice([]int{2, 4}, srcFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := c.Slice([]int{2, 4}, dstFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := sharding.NewTask(tensor.MustShape(64, 64, 8), tensor.Float32,
+		src, sharding.MustParse("RS01R"), dst, sharding.MustParse("S01RR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func assertSameSim(t *testing.T, name string, got, want *SimResult) {
+	t.Helper()
+	if got.Makespan != want.Makespan || got.NumOps != want.NumOps || got.EffectiveGbps != want.EffectiveGbps {
+		t.Fatalf("%s: makespan/ops/gbps = %v/%d/%v, want %v/%d/%v",
+			name, got.Makespan, got.NumOps, got.EffectiveGbps, want.Makespan, want.NumOps, want.EffectiveGbps)
+	}
+	if !reflect.DeepEqual(got.Events, want.Events) {
+		t.Fatalf("%s: event timeline differs from baseline", name)
+	}
+	if !reflect.DeepEqual(got.Utilization, want.Utilization) {
+		t.Fatalf("%s: utilization differs from baseline", name)
+	}
+}
+
+// TestSimulateConcurrentPooledReuse hammers Plan.Simulate from many
+// goroutines so pooled builders are reset and replayed continuously; every
+// result must be byte-identical to the baseline. Run under -race this is
+// the safety proof for the arena-reuse design.
+func TestSimulateConcurrentPooledReuse(t *testing.T) {
+	task := builderTask(t, microCluster(4), 0, 8)
+	opts := Options{Strategy: Broadcast, Scheduler: SchedEnsemble, Seed: 1, DFSNodes: 5000, Chunks: 4}
+	plan, err := NewPlan(task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := plan.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, iters = 8, 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sim, err := plan.Simulate()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sim.Makespan != baseline.Makespan || sim.NumOps != baseline.NumOps ||
+					!reflect.DeepEqual(sim.Events, baseline.Events) {
+					errs <- errMismatch
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = errString("pooled simulate diverged from baseline")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// TestPlanBuilderRebindsAcrossTopologies holds one builder and alternates
+// plans from different topologies and strategies through it: the builder
+// must rebuild its net on a topology change and rewind it on a match,
+// always reproducing the fresh-simulation result.
+func TestPlanBuilderRebindsAcrossTopologies(t *testing.T) {
+	b := NewPlanBuilder()
+	topos := []mesh.Topology{
+		microCluster(4),
+		mesh.DGXA100Cluster(2),
+		mesh.MixedP3DGXCluster(2, 2, 2),
+	}
+	strategies := []Strategy{SendRecv, Broadcast, Alpa}
+	for round := 0; round < 3; round++ {
+		for ti, topo := range topos {
+			task := builderTask(t, topo, 0, 8)
+			opts := Options{Strategy: strategies[(round+ti)%len(strategies)], Scheduler: SchedGreedyLoad, Chunks: 4}
+			plan, err := NewPlan(task, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := plan.SimulateWith(NewPlanBuilder())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := plan.SimulateWith(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameSim(t, plan.String(), got, want)
+		}
+	}
+}
+
+// TestAutotuneReusesArenas runs a full grid autotune (which draws pooled
+// builders from every worker) and checks the winner is identical to the
+// sequential single-worker result — the determinism contract the pool must
+// not break.
+func TestAutotuneReusesArenas(t *testing.T) {
+	task := builderTask(t, microCluster(4), 0, 8)
+	base := Options{Seed: 7, Chunks: 4}
+	seq, err := Autotune(task, AutotuneOptions{Base: base, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Autotune(task, AutotuneOptions{Base: base, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.BestIndex != par.BestIndex {
+		t.Fatalf("winner differs: %d vs %d", seq.BestIndex, par.BestIndex)
+	}
+	if !reflect.DeepEqual(seq.Trials, par.Trials) {
+		t.Fatal("trial table differs between worker counts")
+	}
+	assertSameSim(t, "autotune best", par.BestSim, seq.BestSim)
+}

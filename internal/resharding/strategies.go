@@ -36,7 +36,8 @@ func buildUnitOps(net *netsim.ClusterNet, opts Options, label string, sender int
 func buildSendRecv(net *netsim.ClusterNet, label string, sender int, receivers []int, bytes int64, seq int, deps []netsim.OpID) ([]netsim.OpID, error) {
 	var done []netsim.OpID
 	for _, dst := range receivers {
-		id, err := net.Transfer(fmt.Sprintf("%s/sr->%d", label, dst), sender, dst, bytes, seq, deps...)
+		lbl := netsim.Label{Prefix: label, Kind: netsim.LabelSendRecv, A: int32(dst)}
+		id, err := net.Transfer(lbl, sender, dst, bytes, seq, deps...)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +64,8 @@ func buildLocalAllGather(net *netsim.ClusterNet, label string, sender int, recei
 		parts := splitBytes(bytes, len(group))
 		startDeps := map[int][]netsim.OpID{}
 		for i, dst := range group {
-			id, err := net.Transfer(fmt.Sprintf("%s/scatter->%d", label, dst), sender, dst, parts[i], seq, deps...)
+			lbl := netsim.Label{Prefix: label, Kind: netsim.LabelScatter, A: int32(dst)}
+			id, err := net.Transfer(lbl, sender, dst, parts[i], seq, deps...)
 			if err != nil {
 				return nil, err
 			}
@@ -92,7 +94,8 @@ func buildGlobalAllGather(net *netsim.ClusterNet, label string, sender int, rece
 	startDeps := map[int][]netsim.OpID{}
 	var scatterOps []netsim.OpID
 	for i, dst := range ring {
-		id, err := net.Transfer(fmt.Sprintf("%s/scatter->%d", label, dst), sender, dst, parts[i], seq, deps...)
+		lbl := netsim.Label{Prefix: label, Kind: netsim.LabelScatter, A: int32(dst)}
+		id, err := net.Transfer(lbl, sender, dst, parts[i], seq, deps...)
 		if err != nil {
 			return nil, err
 		}

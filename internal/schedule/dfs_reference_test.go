@@ -1,0 +1,173 @@
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// referenceDFSNodes is the pre-refactor dfsPruning (per-node map-based
+// symmetry dedup, rendered-string keys) under a node budget. The optimized
+// implementation must visit the same nodes in the same order, so with any
+// equal budget it must return the identical plan — this differential test
+// is what pins the stamp-array symmetry breaking to the original
+// semantics.
+func referenceDFSNodes(tasks []Task, maxNodes int) Plan {
+	if len(tasks) == 0 {
+		return Plan{Sender: map[int]int{}}
+	}
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	best := LoadBalanceOnly(tasks)
+	bestSpan, err := Makespan(tasks, best)
+	if err != nil {
+		panic(err)
+	}
+	n := len(tasks)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	sender := map[int]int{}
+	sendFree := map[int]float64{}
+	recvFree := map[int]float64{}
+	var expired bool
+	checkCount := 0
+	var dfs func(depth int, span float64)
+	dfs = func(depth int, span float64) {
+		if expired {
+			return
+		}
+		checkCount++
+		if checkCount > maxNodes {
+			expired = true
+			return
+		}
+		if span >= bestSpan {
+			return
+		}
+		if depth == n {
+			bestSpan = span
+			cp := Plan{Sender: map[int]int{}, Order: append([]int(nil), order...)}
+			for k, v := range sender {
+				cp.Sender[k] = v
+			}
+			best = cp
+			return
+		}
+		type key struct {
+			s, r string
+			d    float64
+		}
+		tried := map[key]bool{}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			t := tasks[i]
+			k := key{fmt.Sprint(t.SenderHosts), fmt.Sprint(t.ReceiverHosts), t.Duration}
+			if tried[k] {
+				continue
+			}
+			tried[k] = true
+			for _, s := range t.SenderHosts {
+				start := sendFree[s]
+				for _, r := range t.ReceiverHosts {
+					if recvFree[r] > start {
+						start = recvFree[r]
+					}
+				}
+				finish := start + t.Duration
+				newSpan := span
+				if finish > newSpan {
+					newSpan = finish
+				}
+				if newSpan >= bestSpan {
+					continue
+				}
+				used[i] = true
+				order = append(order, t.ID)
+				sender[t.ID] = s
+				oldSend := sendFree[s]
+				oldRecv := make([]float64, len(t.ReceiverHosts))
+				sendFree[s] = finish
+				for j, r := range t.ReceiverHosts {
+					oldRecv[j] = recvFree[r]
+					recvFree[r] = finish
+				}
+				dfs(depth+1, newSpan)
+				sendFree[s] = oldSend
+				for j, r := range t.ReceiverHosts {
+					recvFree[r] = oldRecv[j]
+				}
+				delete(sender, t.ID)
+				order = order[:len(order)-1]
+				used[i] = false
+				if expired {
+					return
+				}
+			}
+		}
+	}
+	dfs(0, 0)
+	return best
+}
+
+// randomDFSInstance generates a small instance with deliberately many
+// symmetric (identical) tasks, the shape that exposes symmetry-breaking
+// regressions.
+func randomDFSInstance(rng *rand.Rand) []Task {
+	hosts := 2 + rng.Intn(3)
+	shapes := 1 + rng.Intn(3) // distinct task shapes; duplicates are symmetric
+	type shape struct {
+		senders, receivers []int
+		dur                float64
+	}
+	mk := func() shape {
+		ns := 1 + rng.Intn(2)
+		nr := 1 + rng.Intn(2)
+		var s, r []int
+		for i := 0; i < ns; i++ {
+			s = append(s, rng.Intn(hosts))
+		}
+		for i := 0; i < nr; i++ {
+			r = append(r, hosts+rng.Intn(hosts))
+		}
+		return shape{s, r, float64(1 + rng.Intn(4))}
+	}
+	protos := make([]shape, shapes)
+	for i := range protos {
+		protos[i] = mk()
+	}
+	n := 3 + rng.Intn(6)
+	tasks := make([]Task, n)
+	for i := range tasks {
+		p := protos[rng.Intn(shapes)]
+		tasks[i] = Task{
+			ID:            i,
+			SenderHosts:   append([]int(nil), p.senders...),
+			ReceiverHosts: append([]int(nil), p.receivers...),
+			Duration:      p.dur,
+		}
+	}
+	return tasks
+}
+
+// TestDFSMatchesReferenceUnderBudget checks that the optimized DFS and the
+// pre-refactor reference return identical plans for identical node
+// budgets — including tight budgets, where any difference in traversal or
+// symmetry pruning changes where the search expires.
+func TestDFSMatchesReferenceUnderBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		tasks := randomDFSInstance(rng)
+		for _, budget := range []int{1, 7, 50, 400, 20000} {
+			got := DFSPruningNodes(tasks, budget)
+			want := referenceDFSNodes(tasks, budget)
+			if !reflect.DeepEqual(got.Order, want.Order) || !reflect.DeepEqual(got.Sender, want.Sender) {
+				t.Fatalf("trial %d budget %d: plan diverged from reference\n got: %+v\nwant: %+v\ntasks: %+v",
+					trial, budget, got, want, tasks)
+			}
+		}
+	}
+}

@@ -221,8 +221,51 @@ func DFSPruningNodes(tasks []Task, maxNodes int) Plan {
 	return dfsPruning(tasks, 0, maxNodes)
 }
 
+// symmetryClasses assigns each task the index of the first task with
+// identical (SenderHosts, ReceiverHosts, Duration). The DFS prunes with
+// these classes: exploring two interchangeable tasks at one node explores
+// the same subtree twice.
+func symmetryClasses(tasks []Task) (classOf []int, classes int) {
+	classOf = make([]int, len(tasks))
+	for i := range tasks {
+		classOf[i] = -1
+		for j := 0; j < i; j++ {
+			if sameTaskShape(&tasks[i], &tasks[j]) {
+				classOf[i] = classOf[j]
+				break
+			}
+		}
+		if classOf[i] < 0 {
+			classOf[i] = classes
+			classes++
+		}
+	}
+	return classOf, classes
+}
+
+func sameTaskShape(a, b *Task) bool {
+	if a.Duration != b.Duration || len(a.SenderHosts) != len(b.SenderHosts) || len(a.ReceiverHosts) != len(b.ReceiverHosts) {
+		return false
+	}
+	for i := range a.SenderHosts {
+		if a.SenderHosts[i] != b.SenderHosts[i] {
+			return false
+		}
+	}
+	for i := range a.ReceiverHosts {
+		if a.ReceiverHosts[i] != b.ReceiverHosts[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // dfsPruning runs the search under a wall-clock budget (maxNodes == 0) or a
-// node budget (maxNodes > 0; the clock is then ignored).
+// node budget (maxNodes > 0; the clock is then ignored). All scratch state
+// is allocated once up front: the per-node symmetry set is a stamp array
+// over precomputed task classes and the rollback stack is one flat
+// per-depth buffer, so the search allocates only when it improves on the
+// incumbent plan.
 func dfsPruning(tasks []Task, budget time.Duration, maxNodes int) Plan {
 	if len(tasks) == 0 {
 		return Plan{Sender: map[int]int{}}
@@ -239,9 +282,25 @@ func dfsPruning(tasks []Task, budget time.Duration, maxNodes int) Plan {
 	n := len(tasks)
 	used := make([]bool, n)
 	order := make([]int, 0, n)
-	sender := map[int]int{}
+	sender := make([]int, n) // sender[i] is task i's committed sender host
 	sendFree := map[int]float64{}
 	recvFree := map[int]float64{}
+	classOf, classes := symmetryClasses(tasks)
+	// triedStamp[depth*classes+class] marks classes already tried at the
+	// node currently active at that depth. Rows are per-depth so a node's
+	// marks survive its descendants' recursion (deeper nodes write to
+	// deeper rows), and stamping with the node's unique visit number makes
+	// re-entering a depth reset its row for free.
+	triedStamp := make([]int, n*classes)
+	maxRecv := 0
+	for i := range tasks {
+		if len(tasks[i].ReceiverHosts) > maxRecv {
+			maxRecv = len(tasks[i].ReceiverHosts)
+		}
+	}
+	// recvSave[depth*maxRecv:] holds the pre-commit receiver frees of the
+	// branch taken at that depth.
+	recvSave := make([]float64, n*maxRecv)
 
 	var expired bool
 	checkCount := 0
@@ -266,30 +325,26 @@ func dfsPruning(tasks []Task, budget time.Duration, maxNodes int) Plan {
 		}
 		if depth == n {
 			bestSpan = span
-			cp := Plan{Sender: map[int]int{}, Order: append([]int(nil), order...)}
-			for k, v := range sender {
-				cp.Sender[k] = v
+			cp := Plan{Sender: make(map[int]int, n), Order: append([]int(nil), order...)}
+			for i := 0; i < n; i++ {
+				cp.Sender[tasks[i].ID] = sender[i]
 			}
 			best = cp
 			return
 		}
 		// Symmetry breaking: among unscheduled tasks with identical
 		// (senders, receivers, duration), try only the first.
-		type key struct {
-			s, r string
-			d    float64
-		}
-		tried := map[key]bool{}
+		stamp := checkCount
+		tried := triedStamp[depth*classes : (depth+1)*classes]
 		for i := 0; i < n; i++ {
 			if used[i] {
 				continue
 			}
-			t := tasks[i]
-			k := key{fmt.Sprint(t.SenderHosts), fmt.Sprint(t.ReceiverHosts), t.Duration}
-			if tried[k] {
+			t := &tasks[i]
+			if tried[classOf[i]] == stamp {
 				continue
 			}
-			tried[k] = true
+			tried[classOf[i]] = stamp
 			for _, s := range t.SenderHosts {
 				start := sendFree[s]
 				for _, r := range t.ReceiverHosts {
@@ -308,9 +363,9 @@ func dfsPruning(tasks []Task, budget time.Duration, maxNodes int) Plan {
 				// Commit.
 				used[i] = true
 				order = append(order, t.ID)
-				sender[t.ID] = s
+				sender[i] = s
 				oldSend := sendFree[s]
-				oldRecv := make([]float64, len(t.ReceiverHosts))
+				oldRecv := recvSave[depth*maxRecv : depth*maxRecv+len(t.ReceiverHosts)]
 				sendFree[s] = finish
 				for j, r := range t.ReceiverHosts {
 					oldRecv[j] = recvFree[r]
@@ -322,7 +377,6 @@ func dfsPruning(tasks []Task, budget time.Duration, maxNodes int) Plan {
 				for j, r := range t.ReceiverHosts {
 					recvFree[r] = oldRecv[j]
 				}
-				delete(sender, t.ID)
 				order = order[:len(order)-1]
 				used[i] = false
 				if expired {
@@ -339,6 +393,8 @@ func dfsPruning(tasks []Task, budget time.Duration, maxNodes int) Plan {
 // maximal set of mutually non-conflicting tasks (found as the best of
 // `trials` random orderings), launch the set, and recurse on the rest.
 // Senders within a batch are chosen to avoid conflicts and balance load.
+// Scratch buffers are reused across trials and rounds, so one call
+// allocates a fixed handful of objects regardless of trial count.
 func GreedyRandomized(tasks []Task, trials int, rng *rand.Rand) Plan {
 	if trials < 1 {
 		trials = 1
@@ -349,22 +405,30 @@ func GreedyRandomized(tasks []Task, trials int, rng *rand.Rand) Plan {
 	}
 	load := map[int]float64{}
 	p := Plan{Sender: map[int]int{}}
+	type pick struct {
+		taskIdx int
+		sender  int
+	}
+	// Reused across trials and rounds; every per-trial structure is reset
+	// by clearing, not reallocating.
+	perm := make([]int, 0, len(tasks))
+	var batch, bestBatch []pick
+	usedSend := map[int]bool{}
+	usedRecv := map[int]bool{}
+	inBatch := make([]bool, len(tasks))
+	rest := make([]int, 0, len(tasks))
 	for len(remaining) > 0 {
-		type pick struct {
-			taskIdx int
-			sender  int
-		}
-		var bestBatch []pick
+		bestBatch = bestBatch[:0]
 		bestHosts := -1
 		for trial := 0; trial < trials; trial++ {
-			perm := append([]int(nil), remaining...)
+			perm = append(perm[:0], remaining...)
 			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-			usedSend := map[int]bool{}
-			usedRecv := map[int]bool{}
-			var batch []pick
+			clear(usedSend)
+			clear(usedRecv)
+			batch = batch[:0]
 			hosts := 0
 			for _, ti := range perm {
-				t := tasks[ti]
+				t := &tasks[ti]
 				conflict := false
 				for _, r := range t.ReceiverHosts {
 					if usedRecv[r] {
@@ -397,28 +461,27 @@ func GreedyRandomized(tasks []Task, trials int, rng *rand.Rand) Plan {
 			}
 			if hosts > bestHosts {
 				bestHosts = hosts
-				bestBatch = batch
+				bestBatch = append(bestBatch[:0], batch...)
 			}
 		}
 		// Launch the batch, longest tasks first so stragglers start early.
 		sort.SliceStable(bestBatch, func(a, b int) bool {
 			return tasks[bestBatch[a].taskIdx].Duration > tasks[bestBatch[b].taskIdx].Duration
 		})
-		inBatch := map[int]bool{}
 		for _, b := range bestBatch {
-			t := tasks[b.taskIdx]
+			t := &tasks[b.taskIdx]
 			p.Sender[t.ID] = b.sender
 			p.Order = append(p.Order, t.ID)
 			load[b.sender] += t.Duration
 			inBatch[b.taskIdx] = true
 		}
-		var rest []int
+		rest = rest[:0]
 		for _, ti := range remaining {
 			if !inBatch[ti] {
 				rest = append(rest, ti)
 			}
 		}
-		remaining = rest
+		remaining, rest = rest, remaining
 	}
 	return p
 }

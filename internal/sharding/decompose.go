@@ -111,17 +111,16 @@ func (t *Task) ReceiverHosts(u UnitTask) []int {
 }
 
 func hostsOf(c mesh.Topology, devices []int) []int {
-	seen := map[int]bool{}
+	// Devices are sorted and hosts own contiguous ascending device runs, so
+	// the host sequence is non-decreasing: deduplicating consecutive values
+	// yields the sorted distinct host list without a set.
 	var out []int
 	for _, d := range devices {
 		h := c.HostOf(d)
-		if !seen[h] {
-			seen[h] = true
+		if len(out) == 0 || out[len(out)-1] != h {
 			out = append(out, h)
 		}
 	}
-	// Devices are sorted, and hosts own contiguous ascending device runs,
-	// so the host list is already sorted.
 	return out
 }
 

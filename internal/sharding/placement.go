@@ -15,6 +15,11 @@ type Placement struct {
 	Global tensor.Shape
 	// cuts[i] holds the shard boundaries of tensor dimension i.
 	cuts [][]int
+	// regions caches the per-device regions, computed once: decomposition
+	// queries HoldersOf for every slice of the merged tiling, and
+	// recomputing every device's region per query dominated planning
+	// allocations.
+	regions []DeviceRegion
 }
 
 // NewPlacement validates the triple and precomputes shard boundaries.
@@ -31,7 +36,16 @@ func NewPlacement(m *mesh.Mesh, spec Spec, global tensor.Shape) (*Placement, err
 		}
 		cuts[i] = b
 	}
-	return &Placement{Mesh: m, Spec: spec, Global: global.Clone(), cuts: cuts}, nil
+	p := &Placement{Mesh: m, Spec: spec, Global: global.Clone(), cuts: cuts}
+	p.regions = make([]DeviceRegion, p.Mesh.NumDevices())
+	for flat, d := range p.Mesh.Devices {
+		r, err := p.RegionAt(p.Mesh.CoordOf(flat)...)
+		if err != nil {
+			return nil, err // unreachable: coordinates come from the mesh itself
+		}
+		p.regions[flat] = DeviceRegion{Device: d, Region: r}
+	}
+	return p, nil
 }
 
 // Cuts returns the shard boundaries along tensor dimension i.
@@ -79,17 +93,10 @@ func (p *Placement) RegionOfDevice(device int) (tensor.Region, error) {
 }
 
 // DeviceRegions returns, for every device of the mesh (in mesh row-major
-// order), the pair (physical device index, region held).
+// order), the pair (physical device index, region held). The returned
+// slice is the placement's cached copy; callers must not modify it.
 func (p *Placement) DeviceRegions() []DeviceRegion {
-	out := make([]DeviceRegion, p.Mesh.NumDevices())
-	for flat, d := range p.Mesh.Devices {
-		r, err := p.RegionAt(p.Mesh.CoordOf(flat)...)
-		if err != nil {
-			panic(err) // unreachable: coordinates come from the mesh itself
-		}
-		out[flat] = DeviceRegion{Device: d, Region: r}
-	}
-	return out
+	return p.regions
 }
 
 // DeviceRegion pairs a physical device with the global-tensor region it

@@ -9,10 +9,10 @@ import (
 
 func TestGanttBasic(t *testing.T) {
 	s := netsim.NewSim()
-	r1 := s.Resource("stage0")
-	r2 := s.Resource("stage1")
-	a := s.MustAddOp("s0/F0", 2, 0, []*netsim.Resource{r1})
-	s.MustAddOp("s1/F0", 2, 1, []*netsim.Resource{r2}, a)
+	r1 := s.MustResource("stage0")
+	r2 := s.MustResource("stage1")
+	a := s.MustAddOp(netsim.Plain("s0/F0"), 2, 0, []netsim.ResourceID{r1})
+	s.MustAddOp(netsim.Plain("s1/F0"), 2, 1, []netsim.ResourceID{r2}, a)
 	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -43,8 +43,8 @@ func TestGanttEmpty(t *testing.T) {
 
 func TestGanttAutoOrder(t *testing.T) {
 	s := netsim.NewSim()
-	s.MustAddOp("x/A0", 1, 0, []*netsim.Resource{s.Resource("b")})
-	s.MustAddOp("y/B0", 1, 1, []*netsim.Resource{s.Resource("a")})
+	s.MustAddOp(netsim.Plain("x/A0"), 1, 0, []netsim.ResourceID{s.MustResource("b")})
+	s.MustAddOp(netsim.Plain("y/B0"), 1, 1, []netsim.ResourceID{s.MustResource("a")})
 	s.Run()
 	out := Gantt(s.Events(), nil, 20)
 	// Auto order sorts resource names: "a" row before "b".
@@ -57,7 +57,7 @@ func TestGanttAutoOrder(t *testing.T) {
 
 func TestGanttTinyWidthClamped(t *testing.T) {
 	s := netsim.NewSim()
-	s.MustAddOp("z/C0", 1, 0, []*netsim.Resource{s.Resource("r")})
+	s.MustAddOp(netsim.Plain("z/C0"), 1, 0, []netsim.ResourceID{s.MustResource("r")})
 	s.Run()
 	out := Gantt(s.Events(), nil, 1)
 	if len(out) == 0 {
