@@ -28,10 +28,14 @@
 // tiers and oversubscribed fabrics (DGX-A100/InfiniBand-class presets
 // included). Every layer — transfer timing, resharding planning, the
 // pipeline harness — works against the interface, so new fabrics plug in
-// without touching the planner. On top of a topology, AutotuneReshard
-// searches the strategy x scheduler grid concurrently (deterministic under
-// a fixed seed) and ReshardCache memoizes plans across the structurally
-// identical stage boundaries of a pipeline.
+// without touching the planner.
+//
+// The recommended entry point for planning is the Planner session: one
+// object owning the topology, caches and defaults, whose Plan / Simulate /
+// Autotune / PlanBoundaries methods all take a context.Context and honor
+// it end to end (grid searches abort between DFS node-budget slices,
+// coalesced cache waits are cancellable). The free functions PlanReshard,
+// AutotuneReshard and the hand-wired ReshardCache remain as wrappers.
 package alpacomm
 
 import (
@@ -174,8 +178,14 @@ const (
 )
 
 // PlanReshard schedules a resharding task: load balancing and ordering of
-// its unit tasks per the chosen scheduler.
+// its unit tasks per the chosen scheduler. Prefer a Planner session (which
+// also caches and threads cancellation); for a one-off cancellable plan
+// use PlanReshardContext.
 var PlanReshard = resharding.NewPlan
+
+// PlanReshardContext is PlanReshard with cooperative cancellation polled
+// between the ensemble DFS's node-budget slices.
+var PlanReshardContext = resharding.NewPlanContext
 
 // Concurrent plan autotuning and cross-boundary plan caching.
 type (
@@ -197,7 +207,15 @@ type (
 // AutotuneReshard searches the strategy x scheduler grid concurrently for
 // the fastest plan of one resharding task; deterministic under a fixed
 // seed regardless of worker count.
+//
+// Deprecated: use Planner.Autotune (or AutotuneReshardContext) so a
+// deadline or disconnect can abort the search.
 var AutotuneReshard = resharding.Autotune
+
+// AutotuneReshardContext is AutotuneReshard with cooperative cancellation:
+// the context is checked between candidates and polled inside each
+// candidate's DFS between node-budget slices.
+var AutotuneReshardContext = resharding.AutotuneContext
 
 // DefaultAutotuneGrid returns the full strategy x scheduler candidate grid.
 var DefaultAutotuneGrid = resharding.DefaultAutotuneGrid
@@ -230,6 +248,15 @@ type (
 	AutotuneServiceRequest = service.AutotuneRequest
 	// AutotuneServiceResponse is a grid search outcome.
 	AutotuneServiceResponse = service.AutotuneResponse
+	// BatchPlanServiceRequest asks /v2/plan:batch for every stage boundary
+	// of a pipeline job in one request.
+	BatchPlanServiceRequest = service.BatchPlanRequest
+	// BatchPlanServiceItem is one boundary of a batch request.
+	BatchPlanServiceItem = service.BatchPlanItem
+	// BatchPlanServiceResponse reports a batch in request order.
+	BatchPlanServiceResponse = service.BatchPlanResponse
+	// PlanServiceError is the structured /v2 error payload.
+	PlanServiceError = service.V2Error
 	// ServiceTopologyRef names a topology preset in a service request.
 	ServiceTopologyRef = service.TopologyRef
 	// ServiceEndpoint is one side of a served resharding.

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +62,15 @@ func main() {
 	dstMesh := flag.String("dst-mesh", "2x4@8", "destination mesh")
 	workers := flag.Int("workers", 0, "autotune worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "base RNG seed (result is deterministic per seed)")
+	timeout := flag.Duration("timeout", 0, "abort the grid search after this long (0 = no limit); cancellation reaches inside a running candidate's DFS")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	topo := buildTopology(*topoKind, *hosts, *oversub)
 	fmt.Printf("topology: %v\n", topo)
@@ -91,11 +101,15 @@ func main() {
 	}
 	fmt.Printf("task: %v\n\n", task)
 
-	res, err := alpacomm.AutotuneReshard(task, alpacomm.AutotuneOptions{
-		Base:    alpacomm.ReshardOptions{Seed: *seed},
-		Workers: *workers,
-	})
+	planner := alpacomm.NewPlanner(
+		alpacomm.WithTopology(topo),
+		alpacomm.WithParallelism(*workers),
+	)
+	res, err := planner.Autotune(ctx, task, alpacomm.ReshardOptions{Seed: *seed})
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fail("grid search exceeded the -timeout budget of %v", *timeout)
+		}
 		fail("%v", err)
 	}
 

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +28,7 @@ func main() {
 	tsvOut := flag.String("tsv", "", "also record rows to this TSV file (artifact format)")
 	table1 := flag.Bool("table1", false, "print Table 1 (GPT layer memory) and exit")
 	timeline := flag.Bool("timeline", false, "print Fig. 4-style 1F1B vs eager-1F1B timelines and exit")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	flag.Parse()
 
 	if *table1 {
@@ -37,8 +40,18 @@ func main() {
 		return
 	}
 
-	rows, err := alpacomm.Fig7RowsOn(*batchScale, *topology, *oversub)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rows, err := alpacomm.Fig7RowsOnContext(ctx, *batchScale, *topology, *oversub)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "e2e: sweep exceeded the -timeout budget of %v\n", *timeout)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "e2e: %v\n", err)
 		os.Exit(1)
 	}

@@ -8,11 +8,18 @@
 //
 //	loadgen -addr http://host:8100 -clients 64 -requests 100
 //	loadgen -smoke -json BENCH_service.json
+//	loadgen -smoke -batch -json BENCH_service.json
 //
 // -smoke starts an in-process server on a loopback port, runs a fixed
 // closed-loop load, verifies that served plans are byte-identical to the
 // direct resharding path and that the LRU cache respected its capacity,
 // and writes the benchmark JSON — the CI perf gate.
+//
+// -batch adds /v2/plan:batch traffic to the mix: each batch request plans
+// all stage boundaries of a pipeline job at once, and its latency
+// percentiles are recorded alongside the single-request mix. With -verify
+// (or -smoke) every batch item is also checked byte-identical to the same
+// boundary served individually by /v1/plan.
 package main
 
 import (
@@ -85,11 +92,46 @@ func requestMix() []template {
 	}
 }
 
+// batchTemplate is one /v2/plan:batch request shape: the boundaries of a
+// pipeline job on one named topology.
+type batchTemplate struct {
+	name string
+	req  alpacomm.BatchPlanServiceRequest
+}
+
+// batchMix returns the pipeline-job batches -batch traffic draws from:
+// GPT-style chains of congruent boundaries, so one batch is exactly the
+// traffic shape the endpoint exists for.
+func batchMix() []batchTemplate {
+	pipelineReq := func(topo service.TopologyRef, stride int, boundaries int, shape []int, mesh string, seed int64) alpacomm.BatchPlanServiceRequest {
+		req := alpacomm.BatchPlanServiceRequest{Topology: topo}
+		for s := 0; s < boundaries; s++ {
+			req.Items = append(req.Items, service.BatchPlanItem{
+				Shape: shape,
+				Src:   service.Endpoint{Mesh: fmt.Sprintf("%s@%d", mesh, stride*s), Spec: "S01R"},
+				Dst:   service.Endpoint{Mesh: fmt.Sprintf("%s@%d", mesh, stride*(s+1)), Spec: "S0R"},
+				Options: service.PlanOptions{
+					Seed: seed,
+				},
+			})
+		}
+		return req
+	}
+	return []batchTemplate{
+		{name: "p3-gpt-pipeline", req: pipelineReq(service.TopologyRef{Name: "p3", Hosts: 4}, 4, 3, []int{512, 512}, "2x2", 1)},
+		{name: "dgx-pipeline", req: pipelineReq(service.TopologyRef{Name: "dgx-a100", Hosts: 3}, 8, 2, []int{1024, 512}, "2x4", 1)},
+	}
+}
+
 // clientStats is one worker's tally, merged after the run.
 type clientStats struct {
 	ok, rejected, errs int
 	coalesced          int
 	latencies          []float64 // seconds, successful requests only
+	batchAttempts      int
+	batchOK            int
+	batchItems         int
+	batchLatencies     []float64 // seconds, successful batch requests only
 	firstErr           string
 }
 
@@ -111,12 +153,23 @@ type report struct {
 	LatencyP95Millis float64 `json:"latency_p95_ms"`
 	LatencyP99Millis float64 `json:"latency_p99_ms"`
 	LatencyMaxMillis float64 `json:"latency_max_ms"`
-	CacheHits        int     `json:"cache_hits"`
-	CacheMisses      int     `json:"cache_misses"`
-	CacheEntries     int     `json:"cache_entries"`
-	CacheEvictions   int     `json:"cache_evictions"`
-	CacheCapacity    int     `json:"cache_capacity"`
-	ServerCoalesced  int64   `json:"server_coalesced"`
+	// Batch fields cover the /v2/plan:batch slice of the mix (-batch);
+	// zero when batch traffic is disabled. One batch request plans a whole
+	// pipeline job, so its latency is reported separately from the
+	// single-plan percentiles above.
+	BatchRequests         int     `json:"batch_requests,omitempty"`
+	BatchOK               int     `json:"batch_ok,omitempty"`
+	BatchItems            int     `json:"batch_items,omitempty"`
+	BatchLatencyP50Millis float64 `json:"batch_latency_p50_ms,omitempty"`
+	BatchLatencyP95Millis float64 `json:"batch_latency_p95_ms,omitempty"`
+	BatchLatencyP99Millis float64 `json:"batch_latency_p99_ms,omitempty"`
+	BatchLatencyMaxMillis float64 `json:"batch_latency_max_ms,omitempty"`
+	CacheHits             int     `json:"cache_hits"`
+	CacheMisses           int     `json:"cache_misses"`
+	CacheEntries          int     `json:"cache_entries"`
+	CacheEvictions        int     `json:"cache_evictions"`
+	CacheCapacity         int     `json:"cache_capacity"`
+	ServerCoalesced       int64   `json:"server_coalesced"`
 }
 
 func main() {
@@ -126,6 +179,8 @@ func main() {
 	duration := flag.Duration("duration", 0, "run for a fixed duration instead of a fixed count")
 	seed := flag.Int64("seed", 1, "request-mix seed (the mix is deterministic per seed)")
 	autotuneFrac := flag.Float64("autotune-fraction", 0.05, "fraction of requests sent to /v1/autotune")
+	batch := flag.Bool("batch", false, "add /v2/plan:batch pipeline-job requests to the mix and report their latency percentiles")
+	batchFrac := flag.Float64("batch-fraction", 0.15, "fraction of requests sent to /v2/plan:batch when -batch is set")
 	spread := flag.Int("spread", 1, "distinct Options.Seed values per template (>1 multiplies distinct cache keys, exercising LRU eviction)")
 	jsonPath := flag.String("json", "", "write the benchmark report JSON to this file")
 	verify := flag.Bool("verify", false, "verify served plans byte-identical to the direct resharding path")
@@ -158,6 +213,10 @@ func main() {
 	}
 
 	mix := requestMix()
+	batches := []batchTemplate(nil)
+	if *batch {
+		batches = batchMix()
+	}
 	client := alpacomm.NewPlanClient(base, nil)
 	ctx := context.Background()
 
@@ -180,6 +239,8 @@ func main() {
 				requests:     *requests,
 				deadline:     deadline,
 				autotuneFrac: *autotuneFrac,
+				batches:      batches,
+				batchFrac:    *batchFrac,
 				spread:       *spread,
 			})
 		}(c)
@@ -195,12 +256,17 @@ func main() {
 		all.errs += s.errs
 		all.coalesced += s.coalesced
 		all.latencies = append(all.latencies, s.latencies...)
+		all.batchAttempts += s.batchAttempts
+		all.batchOK += s.batchOK
+		all.batchItems += s.batchItems
+		all.batchLatencies = append(all.batchLatencies, s.batchLatencies...)
 		if all.firstErr == "" {
 			all.firstErr = s.firstErr
 		}
 	}
 	sort.Float64s(all.latencies)
-	total := all.ok + all.rejected + all.errs
+	sort.Float64s(all.batchLatencies)
+	total := all.ok + all.rejected + all.errs + all.batchOK
 
 	sstats, err := client.Stats(ctx)
 	if err != nil {
@@ -221,12 +287,20 @@ func main() {
 		LatencyP95Millis: percentileMillis(all.latencies, 95),
 		LatencyP99Millis: percentileMillis(all.latencies, 99),
 		LatencyMaxMillis: percentileMillis(all.latencies, 100),
-		CacheHits:        sstats.Cache.Hits,
-		CacheMisses:      sstats.Cache.Misses,
-		CacheEntries:     sstats.Cache.Entries,
-		CacheEvictions:   sstats.Cache.Evictions,
-		CacheCapacity:    sstats.Cache.Capacity,
-		ServerCoalesced:  sstats.Plan.Coalesced + sstats.Autotune.Coalesced,
+
+		BatchRequests:         all.batchAttempts,
+		BatchOK:               all.batchOK,
+		BatchItems:            all.batchItems,
+		BatchLatencyP50Millis: percentileMillis(all.batchLatencies, 50),
+		BatchLatencyP95Millis: percentileMillis(all.batchLatencies, 95),
+		BatchLatencyP99Millis: percentileMillis(all.batchLatencies, 99),
+		BatchLatencyMaxMillis: percentileMillis(all.batchLatencies, 100),
+		CacheHits:             sstats.Cache.Hits,
+		CacheMisses:           sstats.Cache.Misses,
+		CacheEntries:          sstats.Cache.Entries,
+		CacheEvictions:        sstats.Cache.Evictions,
+		CacheCapacity:         sstats.Cache.Capacity,
+		ServerCoalesced:       sstats.Plan.Coalesced + sstats.Autotune.Coalesced + sstats.Batch.Coalesced,
 	}
 	printReport(rep)
 	if all.firstErr != "" {
@@ -252,6 +326,18 @@ func main() {
 		} else {
 			fmt.Println("verify: served plans byte-identical to the direct resharding path")
 		}
+		if len(batches) > 0 {
+			if n := verifyBatches(ctx, client, batches); n > 0 {
+				fmt.Printf("VERIFY FAILED: %d batch item(s) diverged from /v1/plan\n", n)
+				failed = true
+			} else {
+				fmt.Println("verify: /v2/plan:batch items byte-identical to per-boundary /v1/plan")
+			}
+		}
+	}
+	if *smoke && len(batches) > 0 && all.batchOK == 0 {
+		fmt.Println("SMOKE FAILED: no /v2/plan:batch request succeeded")
+		failed = true
 	}
 	if rep.CacheCapacity > 0 && rep.CacheEntries > rep.CacheCapacity {
 		fmt.Printf("LRU VIOLATION: %d entries > capacity %d\n", rep.CacheEntries, rep.CacheCapacity)
@@ -281,6 +367,8 @@ type clientConfig struct {
 	requests     int
 	deadline     time.Time
 	autotuneFrac float64
+	batches      []batchTemplate
+	batchFrac    float64
 	spread       int
 }
 
@@ -297,6 +385,31 @@ func runClient(ctx context.Context, client *alpacomm.PlanClient, mix []template,
 		}
 	}
 	for i := 0; cfg.deadline.IsZero() && i < cfg.requests || !cfg.deadline.IsZero() && time.Now().Before(cfg.deadline); i++ {
+		if len(cfg.batches) > 0 && cfg.rng.Float64() < cfg.batchFrac {
+			bt := cfg.batches[cfg.rng.Intn(len(cfg.batches))]
+			out.batchAttempts++
+			begin := time.Now()
+			resp, err := client.PlanBatch(ctx, &bt.req)
+			switch e := err.(type) {
+			case nil:
+				out.batchOK++
+				out.batchItems += len(resp.Items)
+				out.batchLatencies = append(out.batchLatencies, time.Since(begin).Seconds())
+			case *service.OverloadedError:
+				out.rejected++
+				backoff := e.RetryAfter
+				if backoff > 50*time.Millisecond {
+					backoff = 50 * time.Millisecond
+				}
+				time.Sleep(backoff)
+			default:
+				out.errs++
+				if out.firstErr == "" {
+					out.firstErr = err.Error()
+				}
+			}
+			continue
+		}
 		var t template
 		autotune := len(autoTemplates) > 0 && cfg.rng.Float64() < cfg.autotuneFrac
 		if autotune {
@@ -398,6 +511,72 @@ func verifyPlans(ctx context.Context, client *alpacomm.PlanClient, mix []templat
 	return bad
 }
 
+// verifyBatches replays each batch template once and compares every item
+// against the same boundary served individually by /v1/plan: senders,
+// order, makespan, ops — byte for byte. It also checks the batch reported
+// at most one equivalence class per distinct cache key. Returns the number
+// of diverging items.
+func verifyBatches(ctx context.Context, client *alpacomm.PlanClient, batches []batchTemplate) int {
+	bad := 0
+	for _, bt := range batches {
+		resp, err := client.PlanBatch(ctx, &bt.req)
+		if err != nil {
+			fmt.Printf("verify %s: batch request: %v\n", bt.name, err)
+			bad++
+			continue
+		}
+		if len(resp.Items) != len(bt.req.Items) {
+			fmt.Printf("verify %s: %d items returned for %d requested\n", bt.name, len(resp.Items), len(bt.req.Items))
+			bad++
+			continue
+		}
+		keys := map[string]bool{}
+		itemErrs := 0
+		for i, item := range resp.Items {
+			if item.Error != nil {
+				fmt.Printf("verify %s item %d: %s: %s\n", bt.name, i, item.Error.Code, item.Error.Message)
+				bad++
+				itemErrs++
+				continue
+			}
+			keys[item.Plan.Key] = true
+			single, err := client.Plan(ctx, &alpacomm.PlanServiceRequest{
+				Topology: bt.req.Topology,
+				Shape:    bt.req.Items[i].Shape,
+				DType:    bt.req.Items[i].DType,
+				Src:      bt.req.Items[i].Src,
+				Dst:      bt.req.Items[i].Dst,
+				Options:  bt.req.Items[i].Options,
+			})
+			if err != nil {
+				fmt.Printf("verify %s item %d: /v1/plan: %v\n", bt.name, i, err)
+				bad++
+				continue
+			}
+			switch {
+			case !reflect.DeepEqual(item.Plan.Senders, single.Senders):
+				fmt.Printf("verify %s item %d: senders differ: batch %v, v1 %v\n", bt.name, i, item.Plan.Senders, single.Senders)
+				bad++
+			case !reflect.DeepEqual(item.Plan.Order, single.Order):
+				fmt.Printf("verify %s item %d: order differs: batch %v, v1 %v\n", bt.name, i, item.Plan.Order, single.Order)
+				bad++
+			case item.Plan.MakespanSeconds != single.MakespanSeconds || item.Plan.NumOps != single.NumOps:
+				fmt.Printf("verify %s item %d: timing differs: batch (%.9g, %d ops), v1 (%.9g, %d ops)\n",
+					bt.name, i, item.Plan.MakespanSeconds, item.Plan.NumOps, single.MakespanSeconds, single.NumOps)
+				bad++
+			}
+		}
+		// Distinct counts every parse-OK class including errored ones, so
+		// the cross-check is only meaningful when every item of this
+		// template planned.
+		if itemErrs == 0 && resp.Distinct != len(keys) {
+			fmt.Printf("verify %s: batch reports %d equivalence classes, items span %d keys\n", bt.name, resp.Distinct, len(keys))
+			bad++
+		}
+	}
+	return bad
+}
+
 // directPlan computes the template's plan without the service: same
 // registry topology, same deterministic options.
 func directPlan(reg *alpacomm.TopologyRegistry, t template) (*alpacomm.ReshardPlan, *alpacomm.ReshardResult, error) {
@@ -467,6 +646,11 @@ func printReport(r report) {
 		r.OK, r.Rejected, r.Errors, r.Coalesced)
 	fmt.Printf("  latency p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
 		r.LatencyP50Millis, r.LatencyP95Millis, r.LatencyP99Millis, r.LatencyMaxMillis)
+	if r.BatchRequests > 0 {
+		fmt.Printf("  batch: %d requests (%d ok, %d items planned)\n", r.BatchRequests, r.BatchOK, r.BatchItems)
+		fmt.Printf("  batch latency p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
+			r.BatchLatencyP50Millis, r.BatchLatencyP95Millis, r.BatchLatencyP99Millis, r.BatchLatencyMaxMillis)
+	}
 	fmt.Printf("  server cache: %d hits, %d misses, %d entries (capacity %d), %d evictions\n",
 		r.CacheHits, r.CacheMisses, r.CacheEntries, r.CacheCapacity, r.CacheEvictions)
 }

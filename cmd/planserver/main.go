@@ -14,6 +14,20 @@
 //	  "options": {"seed": 1}
 //	}'
 //	curl -s localhost:8100/v1/stats
+//
+// The /v2 API (same payloads, structured error envelope, X-Timeout-Ms
+// deadline propagation) adds /v2/plan, /v2/autotune and /v2/plan:batch —
+// the latter plans every stage boundary of a pipeline job in one request:
+//
+//	curl -s localhost:8100/v2/plan:batch -H 'X-Timeout-Ms: 2000' -d '{
+//	  "topology": {"name": "p3", "hosts": 3},
+//	  "items": [
+//	    {"shape": [1024, 1024], "src": {"mesh": "2x2@0", "spec": "S01R"},
+//	     "dst": {"mesh": "2x2@4", "spec": "S0R"}, "options": {"seed": 1}},
+//	    {"shape": [1024, 1024], "src": {"mesh": "2x2@4", "spec": "S01R"},
+//	     "dst": {"mesh": "2x2@8", "spec": "S0R"}, "options": {"seed": 1}}
+//	  ]
+//	}'
 package main
 
 import (
@@ -49,7 +63,7 @@ func main() {
 		RetryAfter:      *retryAfter,
 	})
 
-	fmt.Printf("planserver: listening on %s\n", *addr)
+	fmt.Printf("planserver: listening on %s (APIs: /v1, /v2 incl. /v2/plan:batch)\n", *addr)
 	fmt.Printf("planserver: topologies: %s\n", strings.Join(reg.Names(), ", "))
 	fmt.Printf("planserver: cache capacity %d, retry-after %v\n", *capacity, *retryAfter)
 	// Connection handling must be as bounded as the admission layers

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,7 +57,15 @@ func main() {
 	strategy := flag.String("strategy", "broadcast", "send-recv, local-allgather, global-allgather, broadcast, alpa, signal")
 	scheduler := flag.String("scheduler", "ensemble", "naive, greedy-load, loadbalance, ensemble")
 	showTimeline := flag.Bool("timeline", true, "print the network timeline")
+	timeout := flag.Duration("timeout", 0, "abort planning after this long (0 = no limit); the deadline reaches inside the DFS")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	shape, err := parseShape(*shapeStr)
 	if err != nil {
@@ -103,8 +113,15 @@ func main() {
 		fail("%v", err)
 	}
 
-	plan, err := resharding.NewPlan(task, opts)
+	planner := alpacomm.NewPlanner(
+		alpacomm.WithTopology(cluster),
+		alpacomm.WithDefaultPlanOptions(opts),
+	)
+	plan, _, err := planner.Plan(ctx, task, opts)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fail("planning exceeded the -timeout budget of %v", *timeout)
+		}
 		fail("%v", err)
 	}
 	fmt.Printf("\nPlan: %v\n  launch order %v\n  senders %v\n", plan, plan.Order, plan.SenderOf)

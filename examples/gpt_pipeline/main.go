@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,7 +12,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster := alpacomm.AWSP3Cluster(2) // 8 V100s
+	// One planning session shared by every system below: each (strategy,
+	// scheduler) boundary plans once, and a ctx deadline would abort any
+	// of the runs mid-search.
+	session := alpacomm.NewPlanner(alpacomm.WithTopology(cluster))
 	pc := alpacomm.ParallelConfig{DP: 2, OP: 2, PP: 2}
 	workload, err := alpacomm.NewGPTWorkload(alpacomm.GPT1_3B(), pc, alpacomm.Float16, 1024, 2)
 	if err != nil {
@@ -44,8 +50,9 @@ func main() {
 				Strategy:  s.strategy,
 				Scheduler: alpacomm.SchedulerEnsemble,
 			},
+			Planner: session,
 		}
-		rep, err := job.Run()
+		rep, err := job.RunContext(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

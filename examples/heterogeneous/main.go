@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,9 +52,8 @@ func main() {
 	}
 	fmt.Printf("boundary task: %v\n\n", task)
 
-	res, err := alpacomm.AutotuneReshard(task, alpacomm.AutotuneOptions{
-		Base: alpacomm.ReshardOptions{Seed: 1},
-	})
+	mixedSession := alpacomm.NewPlanner(alpacomm.WithTopology(mixed))
+	res, err := mixedSession.Autotune(context.Background(), task, alpacomm.ReshardOptions{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,9 +74,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cache := alpacomm.NewReshardCache()
+	dgx := alpacomm.DGXA100Cluster(4) // one 8-GPU NVSwitch host per stage
+	session := alpacomm.NewPlanner(alpacomm.WithTopology(dgx))
 	job := alpacomm.TrainingJob{
-		Cluster:  alpacomm.DGXA100Cluster(4), // one 8-GPU NVSwitch host per stage
+		Cluster:  dgx,
 		Device:   alpacomm.V100(),
 		Workload: w,
 		Parallel: pc,
@@ -84,9 +85,9 @@ func main() {
 		Overlap:  true,
 		Reshard:  alpacomm.ReshardOptions{Seed: 1},
 		Autotune: true,
-		Cache:    cache,
+		Planner:  session,
 	}
-	rep, err := job.Run()
+	rep, err := job.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func main() {
 	fmt.Printf("  iteration: %.4fs, %.1f TFLOPS aggregate (%.2f per GPU)\n",
 		rep.IterationTime, rep.TFLOPS, rep.PerGPUTFLOPS)
 	fmt.Printf("  per-boundary comm: %v\n", rep.FwdCommTime)
-	st := cache.Stats()
-	fmt.Printf("  plan cache: %d entries, %d misses, %d hits — %d congruent boundaries autotuned for the price of one\n",
+	st := session.AutotuneCache().Stats()
+	fmt.Printf("  autotune cache: %d entries, %d misses, %d hits — %d congruent boundaries autotuned for the price of one\n",
 		st.Entries, st.Misses, st.Hits, len(rep.FwdCommTime))
 }

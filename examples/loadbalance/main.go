@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	}
 	fmt.Printf("%v\n\n", task)
 
-	for _, sched := range []struct {
+	schedulers := []struct {
 		name string
 		kind alpacomm.SchedulerKind
 	}{
@@ -39,16 +40,14 @@ func main() {
 		{"Greedy lowest-load (baselines)", alpacomm.SchedulerGreedyLoad},
 		{"Load balance only (LPT)", alpacomm.SchedulerLoadBalanceOnly},
 		{"Ensemble: DFS + randomized greedy (ours)", alpacomm.SchedulerEnsemble},
-	} {
-		plan, err := alpacomm.PlanReshard(task, alpacomm.ReshardOptions{
+	}
+	planner := alpacomm.NewPlanner(alpacomm.WithTopology(cluster))
+	for _, sched := range schedulers {
+		plan, res, err := planner.Plan(context.Background(), task, alpacomm.ReshardOptions{
 			Strategy:  alpacomm.StrategyBroadcast,
 			Scheduler: sched.kind,
 			Seed:      1,
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := plan.Simulate()
 		if err != nil {
 			log.Fatal(err)
 		}

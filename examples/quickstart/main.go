@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,16 +47,18 @@ func main() {
 		fmt.Printf("  unit %d: slice %v, senders %v -> receivers %v\n", u.Index, u.Slice, u.Senders, u.Receivers)
 	}
 
-	// Plan with the paper's configuration: broadcast strategy + ensemble
-	// load balancing, then simulate on the cluster network model.
-	plan, err := alpacomm.PlanReshard(task, alpacomm.ReshardOptions{
-		Strategy:  alpacomm.StrategyBroadcast,
-		Scheduler: alpacomm.SchedulerEnsemble,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := plan.Simulate()
+	// Plan through a session with the paper's configuration: broadcast
+	// strategy + ensemble load balancing. The session owns the plan cache
+	// and honors ctx cancellation end to end; one call plans and simulates
+	// on the cluster network model.
+	planner := alpacomm.NewPlanner(
+		alpacomm.WithTopology(cluster),
+		alpacomm.WithDefaultPlanOptions(alpacomm.ReshardOptions{
+			Strategy:  alpacomm.StrategyBroadcast,
+			Scheduler: alpacomm.SchedulerEnsemble,
+		}),
+	)
+	plan, res, err := planner.Plan(context.Background(), task, alpacomm.ReshardOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

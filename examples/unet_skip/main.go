@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,7 +12,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster := alpacomm.AWSP3Cluster(4) // 16 V100s, stages span 2 hosts each
+	// One planning session for all three systems: congruent boundary plans
+	// computed for one schedule are reused by the next.
+	session := alpacomm.NewPlanner(alpacomm.WithTopology(cluster))
 	pc := alpacomm.ParallelConfig{DP: 2, OP: 4, PP: 2}
 	workload, err := alpacomm.NewUTransWorkload(alpacomm.UTrans1B(), pc, alpacomm.Float16, 2048, 2)
 	if err != nil {
@@ -44,8 +49,9 @@ func main() {
 				Strategy:  alpacomm.StrategyBroadcast,
 				Scheduler: alpacomm.SchedulerEnsemble,
 			},
+			Planner: session,
 		}
-		rep, err := job.Run()
+		rep, err := job.RunContext(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package alpacomm
 
 import (
+	"context"
+
 	"alpacomm/internal/harness"
 	"alpacomm/internal/mesh"
 	"alpacomm/internal/model"
@@ -18,8 +20,9 @@ type (
 	Fig9Row = harness.Fig9Row
 )
 
-// trainingRunner adapts TrainingJob to the harness's runner signature.
-func trainingRunner(cluster mesh.Topology, device model.DeviceSpec, w *model.Workload,
+// trainingRunner adapts TrainingJob to the harness's runner signature,
+// threading the sweep's context into each job's planning session.
+func trainingRunner(ctx context.Context, cluster mesh.Topology, device model.DeviceSpec, w *model.Workload,
 	pc model.ParallelConfig, sched pipeline.Kind, overlap bool, opts resharding.Options) (float64, float64, error) {
 	job := TrainingJob{
 		Cluster:  cluster,
@@ -30,7 +33,7 @@ func trainingRunner(cluster mesh.Topology, device model.DeviceSpec, w *model.Wor
 		Overlap:  overlap,
 		Reshard:  opts,
 	}
-	rep, err := job.Run()
+	rep, err := job.RunContext(ctx)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -49,15 +52,24 @@ func Fig6Rows(scale int) ([]MicroRow, error) { return harness.Fig6(scale) }
 
 // Fig7Rows regenerates Fig. 7 (Table 3 end-to-end training throughput).
 // batchScale >= 1 divides the global batch for fast runs.
-func Fig7Rows(batchScale int) ([]E2ERow, error) { return harness.Fig7(trainingRunner, batchScale) }
+func Fig7Rows(batchScale int) ([]E2ERow, error) {
+	return harness.Fig7(context.Background(), trainingRunner, batchScale)
+}
 
 // Fig7RowsOn runs the Table 3 sweep on a named topology preset ("p3",
 // "dgx-a100", "mixed") instead of the paper's homogeneous testbed; each
 // case keeps its host count, with the fabric oversubscription applied to
 // presets that take one.
 func Fig7RowsOn(batchScale int, topology string, oversub float64) ([]E2ERow, error) {
+	return Fig7RowsOnContext(context.Background(), batchScale, topology, oversub)
+}
+
+// Fig7RowsOnContext is Fig7RowsOn with cooperative cancellation threaded
+// through every case's planning session, so a deadline aborts the sweep
+// mid-search (cmd/e2e wires its -timeout flag here).
+func Fig7RowsOnContext(ctx context.Context, batchScale int, topology string, oversub float64) ([]E2ERow, error) {
 	reg := mesh.DefaultRegistry()
-	return harness.Fig7On(trainingRunner, batchScale, func(hosts int) (mesh.Topology, error) {
+	return harness.Fig7On(ctx, trainingRunner, batchScale, func(hosts int) (mesh.Topology, error) {
 		return reg.Build(topology, mesh.TopologyParams{Hosts: hosts, Oversubscription: oversub})
 	})
 }
@@ -66,7 +78,7 @@ func Fig7RowsOn(batchScale int, topology string, oversub float64) ([]E2ERow, err
 func Fig8Rows(scale int) ([]MicroRow, error) { return harness.Fig8(scale) }
 
 // Fig9Rows regenerates Fig. 9 (overlap ablation).
-func Fig9Rows() ([]Fig9Row, error) { return harness.Fig9(trainingRunner) }
+func Fig9Rows() ([]Fig9Row, error) { return harness.Fig9(context.Background(), trainingRunner) }
 
 // Table1Report renders the paper's Table 1 memory accounting.
 func Table1Report() string { return harness.Table1Report() }

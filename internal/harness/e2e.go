@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -77,17 +78,19 @@ func e2eMethods() []e2eMethod {
 	}
 }
 
-// TrainingRunner runs one assembled training job; injected by the root
-// package to avoid an import cycle (the facade imports harness's row
-// types... the facade owns TrainingJob, so the harness receives a runner).
-type TrainingRunner func(cluster mesh.Topology, device model.DeviceSpec, w *model.Workload,
+// TrainingRunner runs one assembled training job under a context; injected
+// by the root package to avoid an import cycle (the facade imports
+// harness's row types... the facade owns TrainingJob, so the harness
+// receives a runner). Runners thread the context into the job's planning
+// session, so a harness sweep is cancellable between and inside cases.
+type TrainingRunner func(ctx context.Context, cluster mesh.Topology, device model.DeviceSpec, w *model.Workload,
 	pc model.ParallelConfig, sched pipeline.Kind, overlap bool, opts resharding.Options) (iterTime, tflops float64, err error)
 
 // Fig7 reproduces Fig. 7's eighteen bars (6 cases x 5 methods) through the
 // injected training runner on the paper's p3 testbed. batchScale >= 1
 // divides the global batch for fast runs.
-func Fig7(run TrainingRunner, batchScale int) ([]E2ERow, error) {
-	return Fig7On(run, batchScale, func(hosts int) (mesh.Topology, error) {
+func Fig7(ctx context.Context, run TrainingRunner, batchScale int) ([]E2ERow, error) {
+	return Fig7On(ctx, run, batchScale, func(hosts int) (mesh.Topology, error) {
 		return mesh.AWSP3Cluster(hosts), nil
 	})
 }
@@ -95,7 +98,7 @@ func Fig7(run TrainingRunner, batchScale int) ([]E2ERow, error) {
 // Fig7On is Fig7 with the hardware swapped: topo builds the cluster for
 // each case's host count, so the Table 3 sweep can run on DGX-A100 or
 // mixed fabrics instead of the paper's homogeneous testbed.
-func Fig7On(run TrainingRunner, batchScale int, topo func(hosts int) (mesh.Topology, error)) ([]E2ERow, error) {
+func Fig7On(ctx context.Context, run TrainingRunner, batchScale int, topo func(hosts int) (mesh.Topology, error)) ([]E2ERow, error) {
 	if batchScale < 1 {
 		batchScale = 1
 	}
@@ -114,9 +117,12 @@ func Fig7On(run TrainingRunner, batchScale int, topo func(hosts int) (mesh.Topol
 			return nil, fmt.Errorf("%s/%s: topology: %v", tc.model, tc.name, err)
 		}
 		for _, m := range e2eMethods() {
-			iter, tflops, err := run(cluster, tc.device, w, tc.pc, m.Schedule, m.Overlap, m.Reshard)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			iter, tflops, err := run(ctx, cluster, tc.device, w, tc.pc, m.Schedule, m.Overlap, m.Reshard)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s/%s: %v", tc.model, tc.name, m.Name, err)
+				return nil, fmt.Errorf("%s/%s/%s: %w", tc.model, tc.name, m.Name, err)
 			}
 			out = append(out, E2ERow{Model: tc.model, Case: tc.name, Method: m.Name, TFLOPS: tflops, IterTime: iter})
 		}
@@ -134,7 +140,7 @@ type Fig9Row struct {
 // Fig9 reproduces the Fig. 9 ablation: U-Transformer (1B, fp16) with 4 and
 // 32 micro-batches under Broadcast (no overlap), Overlap (1F1B), and
 // Eager-1F1B.
-func Fig9(run TrainingRunner) ([]Fig9Row, error) {
+func Fig9(ctx context.Context, run TrainingRunner) ([]Fig9Row, error) {
 	pc := model.ParallelConfig{DP: 2, OP: 4, PP: 2}
 	cluster := mesh.AWSP3Cluster(4)
 	methods := []e2eMethod{
@@ -151,7 +157,7 @@ func Fig9(run TrainingRunner) ([]Fig9Row, error) {
 			return nil, err
 		}
 		for _, m := range methods {
-			_, tflops, err := run(cluster, model.V100Conv(), w, pc, m.Schedule, m.Overlap, m.Reshard)
+			_, tflops, err := run(ctx, cluster, model.V100Conv(), w, pc, m.Schedule, m.Overlap, m.Reshard)
 			if err != nil {
 				return nil, fmt.Errorf("fig9 %d/%s: %v", mb, m.Name, err)
 			}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -160,7 +161,7 @@ func TestFig8Shape(t *testing.T) {
 // stubRunner returns throughput keyed by method so Fig7/Fig9 plumbing can
 // be tested without the full simulation.
 func stubRunner(tflops map[string]float64) TrainingRunner {
-	return func(cluster mesh.Topology, device model.DeviceSpec, w *model.Workload,
+	return func(ctx context.Context, cluster mesh.Topology, device model.DeviceSpec, w *model.Workload,
 		pc model.ParallelConfig, sched pipeline.Kind, overlap bool, opts resharding.Options) (float64, float64, error) {
 		key := opts.Strategy.String()
 		if overlap {
@@ -177,7 +178,7 @@ func TestFig7Enumeration(t *testing.T) {
 	vals := map[string]float64{
 		"send/recv": 100, "alpa": 200, "broadcast": 210, "broadcast+overlap+eager": 280, "signal": 300,
 	}
-	rows, err := Fig7(stubRunner(vals), 8)
+	rows, err := Fig7(context.Background(), stubRunner(vals), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestFig7Enumeration(t *testing.T) {
 
 func TestFig9Enumeration(t *testing.T) {
 	vals := map[string]float64{"broadcast": 100, "broadcast+overlap": 130, "broadcast+overlap+eager": 150}
-	rows, err := Fig9(stubRunner(vals))
+	rows, err := Fig9(context.Background(), stubRunner(vals))
 	if err != nil {
 		t.Fatal(err)
 	}

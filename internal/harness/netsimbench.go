@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -108,7 +109,7 @@ func NetsimBench() ([]NetsimBenchRow, error) {
 	record("autotune_cell", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			plan, err := resharding.NewPlan(task, netsimBenchOpts)
+			plan, err := resharding.NewPlanContext(context.Background(), task, netsimBenchOpts)
 			if err != nil {
 				fail(b, err)
 			}
@@ -125,11 +126,13 @@ func NetsimBench() ([]NetsimBenchRow, error) {
 
 	record("served_cache_miss", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
+		ctx := context.Background()
 		for i := 0; i < b.N; i++ {
-			// A fresh bounded cache per iteration keeps every lookup on the
-			// miss path, as a cold key is on the serving daemon.
-			cache := resharding.NewLRUPlanCache(4)
-			if _, _, err := cache.PlanAndSimulate(task, netsimBenchOpts); err != nil {
+			// A fresh session per iteration keeps every lookup on the miss
+			// path, as a cold key is on the serving daemon — measuring the
+			// full served cold cost including the ctx-aware coalescing.
+			planner := resharding.NewPlanner(resharding.WithLRUCache(4))
+			if _, _, err := planner.Plan(ctx, task, netsimBenchOpts); err != nil {
 				fail(b, err)
 			}
 		}

@@ -1,6 +1,7 @@
 package resharding
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -98,7 +99,20 @@ func deriveSeed(base int64, i int) int64 {
 // evaluated independently, and the winner is picked by (makespan, grid
 // position) — so the result does not depend on the worker count or on
 // scheduling order.
+//
+// Deprecated: use AutotuneContext (or a Planner session) so a queued or
+// running grid search can be aborted by a deadline or disconnect.
 func Autotune(task *sharding.Task, opts AutotuneOptions) (*AutotuneResult, error) {
+	return AutotuneContext(context.Background(), task, opts)
+}
+
+// AutotuneContext is Autotune with cooperative cancellation: the context
+// is checked between candidates (a worker never starts a new grid cell
+// once it fires) and polled inside each candidate's DFS between
+// node-budget slices, so cancellation returns ctx.Err() within one slice's
+// worth of work with every worker goroutine joined. A context that never
+// fires yields a result bit-identical to Autotune's.
+func AutotuneContext(ctx context.Context, task *sharding.Task, opts AutotuneOptions) (*AutotuneResult, error) {
 	cands := opts.Candidates
 	if cands == nil {
 		cands = DefaultAutotuneGrid()
@@ -131,12 +145,17 @@ func Autotune(task *sharding.Task, opts AutotuneOptions) (*AutotuneResult, error
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if ctx.Err() != nil {
+					// Drain without starting new candidates so the feeder
+					// never blocks; the joined result reports ctx.Err().
+					continue
+				}
 				o := candidateOptions(base, cands[i], i)
 				var out outcome
 				if opts.Cache != nil {
-					out.plan, out.sim, out.err = opts.Cache.PlanAndSimulate(task, o)
+					out.plan, out.sim, out.err = opts.Cache.PlanAndSimulateKeyedContext(ctx, CacheKey(task, o), task, o)
 				} else {
-					out.plan, out.err = NewPlan(task, o)
+					out.plan, out.err = NewPlanContext(ctx, task, o)
 					if out.err == nil {
 						// Trials only compare timings; the winner is
 						// re-simulated with a full trace below.
@@ -152,6 +171,9 @@ func Autotune(task *sharding.Task, opts AutotuneOptions) (*AutotuneResult, error
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res := &AutotuneResult{BestIndex: -1, Trials: make([]AutotuneTrial, len(cands))}
 	for i, out := range outcomes {

@@ -2,6 +2,8 @@ package resharding
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -42,7 +44,9 @@ import (
 // A PlanCache is safe for concurrent use; concurrent requests for the same
 // key plan once and share the entry — including requests that race with
 // the entry's eviction, which complete against the shared computation
-// while new arrivals plan afresh.
+// while new arrivals plan afresh. Coalesced waits are cancellable: a
+// waiter whose context ends before the leader finishes returns ctx.Err()
+// immediately and leaves the entry intact for every other waiter.
 type PlanCache struct {
 	mu        sync.Mutex
 	entries   map[string]*cacheEntry
@@ -58,13 +62,17 @@ type cacheEntry struct {
 	// elem is the entry's LRU list node; nil when the cache is unbounded
 	// or the entry has been evicted.
 	elem *list.Element
-	once sync.Once
-	// done is set when once has completed; a true load makes reading
-	// plan/sim/err safe without joining the once.
-	done atomic.Bool
-	plan *Plan
-	sim  *SimResult
-	err  error
+	// done is closed by the leader (the goroutine that created the entry)
+	// once plan/sim/err are set; waiters select on it against their own
+	// context, so a disconnected waiter never blocks on a computation it
+	// no longer wants — and its departure is invisible to other waiters.
+	done chan struct{}
+	// ready is set just before done closes; a true load makes reading
+	// plan/sim/err safe without touching the channel.
+	ready atomic.Bool
+	plan  *Plan
+	sim   *SimResult
+	err   error
 }
 
 // NewPlanCache returns an empty unbounded cache.
@@ -113,25 +121,74 @@ func (c *PlanCache) Stats() CacheStats {
 // Simulate returns the simulated execution of the task under the options,
 // planning it only if no structurally identical resharding has been planned
 // before.
+//
+// Deprecated: use SimulateContext (or a Planner session) so heavy searches
+// and coalesced waits stay cancellable.
 func (c *PlanCache) Simulate(task *sharding.Task, opts Options) (*SimResult, error) {
-	_, sim, err := c.PlanAndSimulate(task, opts)
+	return c.SimulateContext(context.Background(), task, opts)
+}
+
+// SimulateContext is Simulate with cooperative cancellation; see
+// PlanAndSimulateContext.
+func (c *PlanCache) SimulateContext(ctx context.Context, task *sharding.Task, opts Options) (*SimResult, error) {
+	_, sim, err := c.PlanAndSimulateContext(ctx, task, opts)
 	return sim, err
 }
 
 // PlanAndSimulate returns the cached plan and simulation for the task,
 // computing and storing them on first use. See the type comment for what
 // the cached plan means on a translated hit.
+//
+// Deprecated: use PlanAndSimulateContext (or a Planner session) so heavy
+// searches and coalesced waits stay cancellable.
 func (c *PlanCache) PlanAndSimulate(task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
-	opts = opts.withDefaults()
-	return c.PlanAndSimulateKeyed(CacheKey(task, opts), task, opts)
+	return c.PlanAndSimulateContext(context.Background(), task, opts)
 }
 
-// PlanAndSimulateKeyed is PlanAndSimulate for callers that already hold
-// the problem's canonical key — e.g. a server that computed it once for
-// request coalescing. opts must be defaulted (Options.WithDefaults) and
-// key must equal CacheKey(task, opts); rendering the key is the cache-hit
-// fast path's dominant cost, so this avoids paying it twice.
+// PlanAndSimulateContext returns the cached plan and simulation for the
+// task, computing and storing them on first use. The first caller of a key
+// (the leader) plans under its own context — a cancelled leader records
+// ctx.Err(), which the errored-entry path then forgets like any transient
+// failure. Later callers coalesce onto the in-flight computation and wait
+// cancellably: a waiter whose context ends returns ctx.Err() at once,
+// without disturbing the entry the leader will complete for everyone else.
+func (c *PlanCache) PlanAndSimulateContext(ctx context.Context, task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
+	opts = opts.withDefaults()
+	return c.PlanAndSimulateKeyedContext(ctx, CacheKey(task, opts), task, opts)
+}
+
+// PlanAndSimulateKeyed is PlanAndSimulateKeyedContext without a context.
+//
+// Deprecated: use PlanAndSimulateKeyedContext (or a Planner session).
 func (c *PlanCache) PlanAndSimulateKeyed(key string, task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
+	return c.PlanAndSimulateKeyedContext(context.Background(), key, task, opts)
+}
+
+// PlanAndSimulateKeyedContext is PlanAndSimulateContext for callers that
+// already hold the problem's canonical key — e.g. a server that computed
+// it once for request coalescing. opts must be defaulted
+// (Options.WithDefaults) and key must equal CacheKey(task, opts);
+// rendering the key is the cache-hit fast path's dominant cost, so this
+// avoids paying it twice.
+func (c *PlanCache) PlanAndSimulateKeyedContext(ctx context.Context, key string, task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
+	for {
+		plan, sim, err := c.planAndSimulateOnce(ctx, key, task, opts)
+		// A leader that was cancelled reports its own ctx error to every
+		// waiter — but a waiter whose context is still live holds a valid
+		// request that was never attempted, and the errored entry has
+		// already been forgotten, so the waiter retries and becomes (or
+		// joins) a fresh leader instead of inheriting a cancellation that
+		// was never its own.
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && ctx.Err() == nil {
+			continue
+		}
+		return plan, sim, err
+	}
+}
+
+// planAndSimulateOnce runs one lookup-or-lead round; see
+// PlanAndSimulateKeyedContext for the retry wrapper.
+func (c *PlanCache) planAndSimulateOnce(ctx context.Context, key string, task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if ok {
@@ -140,7 +197,7 @@ func (c *PlanCache) PlanAndSimulateKeyed(key string, task *sharding.Task, opts O
 			c.lru.MoveToFront(e.elem)
 		}
 	} else {
-		e = &cacheEntry{key: key}
+		e = &cacheEntry{key: key, done: make(chan struct{})}
 		c.entries[key] = e
 		c.misses++
 		if c.lru != nil {
@@ -154,28 +211,40 @@ func (c *PlanCache) PlanAndSimulateKeyed(key string, task *sharding.Task, opts O
 		}
 	}
 	c.mu.Unlock()
-	e.once.Do(func() {
-		// A panic in planning must not poison the entry as a successful
-		// nil result: sync.Once still marks the fn done during unwind, so
-		// record an error for every other caller of this key (the
-		// errored-entry path then forgets it) while the panic propagates
-		// to the caller that hit it.
+	if !ok {
+		// Leader: compute under this caller's context. A panic in planning
+		// must not strand the entry's waiters or leave it looking like a
+		// successful nil result, so the unwind path records an error (the
+		// errored-entry path then forgets the key) and still closes done
+		// while the panic propagates to the caller that hit it.
 		finished := false
 		defer func() {
 			if !finished {
 				e.plan, e.sim = nil, nil
 				e.err = fmt.Errorf("resharding: planning panicked")
+				e.ready.Store(true)
+				close(e.done)
+				c.forget(e)
 			}
-			e.done.Store(true)
 		}()
-		e.plan, e.err = NewPlan(task, opts)
+		e.plan, e.err = NewPlanContext(ctx, task, opts)
 		if e.err == nil {
 			e.sim, e.err = e.plan.Simulate()
 		}
 		finished = true
-	})
-	if e.err != nil {
-		c.forget(e)
+		e.ready.Store(true)
+		close(e.done)
+		if e.err != nil {
+			c.forget(e)
+		}
+		return e.plan, e.sim, e.err
+	}
+	if !e.ready.Load() {
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
 	}
 	return e.plan, e.sim, e.err
 }
@@ -190,7 +259,7 @@ func (c *PlanCache) LookupKeyed(key string) (*Plan, *SimResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
-	if !ok || !e.done.Load() || e.err != nil {
+	if !ok || !e.ready.Load() || e.err != nil {
 		return nil, nil, false
 	}
 	c.hits++

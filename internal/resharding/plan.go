@@ -1,6 +1,7 @@
 package resharding
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,8 +26,22 @@ type Plan struct {
 	HostTasks []schedule.Task
 }
 
-// NewPlan schedules a resharding task under the given options.
+// NewPlan schedules a resharding task under the given options. It cannot
+// be interrupted; long searches should go through NewPlanContext (or a
+// Planner session, which threads its context everywhere).
 func NewPlan(task *sharding.Task, opts Options) (*Plan, error) {
+	return NewPlanContext(context.Background(), task, opts)
+}
+
+// NewPlanContext is NewPlan with cooperative cancellation: the context is
+// checked on entry and polled between the ensemble DFS's node-budget
+// slices, so cancelling aborts a heavy search within one slice's worth of
+// work and returns ctx.Err(). A context that never fires yields a plan
+// bit-identical to NewPlan's.
+func NewPlanContext(ctx context.Context, task *sharding.Task, opts Options) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if !mesh.SameTopology(task.Src.Mesh.Topo, task.Dst.Mesh.Topo) {
 		return nil, fmt.Errorf("resharding: source and destination meshes must share a topology")
@@ -68,13 +83,19 @@ func NewPlan(task *sharding.Task, opts Options) (*Plan, error) {
 		hostPlan = schedule.LoadBalanceOnly(hostTasks)
 	case SchedEnsemble:
 		rng := rand.New(rand.NewSource(opts.Seed))
+		stop := func() bool { return ctx.Err() != nil }
 		if opts.DFSNodes > 0 {
-			hostPlan = schedule.EnsembleNodes(hostTasks, opts.DFSNodes, opts.Trials, rng)
+			hostPlan = schedule.EnsembleNodesStop(hostTasks, opts.DFSNodes, opts.Trials, rng, stop)
 		} else {
-			hostPlan = schedule.Ensemble(hostTasks, opts.DFSBudget, opts.Trials, rng)
+			hostPlan = schedule.EnsembleStop(hostTasks, opts.DFSBudget, opts.Trials, rng, stop)
 		}
 	default:
 		return nil, fmt.Errorf("resharding: unknown scheduler %v", opts.Scheduler)
+	}
+	if err := ctx.Err(); err != nil {
+		// The DFS yielded its incumbent early; a cancelled plan must not
+		// look like a successful one.
+		return nil, err
 	}
 	if err := schedule.Validate(hostTasks, hostPlan); err != nil {
 		return nil, fmt.Errorf("resharding: scheduler produced invalid plan: %v", err)

@@ -207,7 +207,7 @@ func LoadBalanceOnly(tasks []Task) Plan {
 // time budget and returns the best plan seen; with a generous budget and
 // few tasks (the paper reports < 20) the result is optimal.
 func DFSPruning(tasks []Task, budget time.Duration) Plan {
-	return dfsPruning(tasks, budget, 0)
+	return dfsPruning(tasks, budget, 0, nil)
 }
 
 // DFSPruningNodes is DFSPruning with a deterministic budget: the search
@@ -215,10 +215,25 @@ func DFSPruning(tasks []Task, budget time.Duration) Plan {
 // returned plan is a pure function of its inputs — identical across runs,
 // machines and concurrent callers. The autotuner uses this variant.
 func DFSPruningNodes(tasks []Task, maxNodes int) Plan {
+	return DFSPruningNodesStop(tasks, maxNodes, nil)
+}
+
+// StopStride is how many DFS nodes one budget slice spans: a stop function
+// is polled once per slice, so an aborted search returns within one
+// slice's worth of work while an uncancelled search never pays more than
+// one predicate call per StopStride nodes.
+const StopStride = 2048
+
+// DFSPruningNodesStop is DFSPruningNodes with a cooperative abort: stop is
+// polled between node-budget slices (every StopStride visited states) and
+// a true return abandons the search, returning the best plan found so far.
+// When stop never fires the result is bit-identical to DFSPruningNodes —
+// polling does not perturb the exploration order.
+func DFSPruningNodesStop(tasks []Task, maxNodes int, stop func() bool) Plan {
 	if maxNodes < 1 {
 		maxNodes = 1
 	}
-	return dfsPruning(tasks, 0, maxNodes)
+	return dfsPruning(tasks, 0, maxNodes, stop)
 }
 
 // symmetryClasses assigns each task the index of the first task with
@@ -261,12 +276,12 @@ func sameTaskShape(a, b *Task) bool {
 }
 
 // dfsPruning runs the search under a wall-clock budget (maxNodes == 0) or a
-// node budget (maxNodes > 0; the clock is then ignored). All scratch state
-// is allocated once up front: the per-node symmetry set is a stamp array
-// over precomputed task classes and the rollback stack is one flat
-// per-depth buffer, so the search allocates only when it improves on the
-// incumbent plan.
-func dfsPruning(tasks []Task, budget time.Duration, maxNodes int) Plan {
+// node budget (maxNodes > 0; the clock is then ignored), polling stop (when
+// non-nil) every StopStride nodes. All scratch state is allocated once up
+// front: the per-node symmetry set is a stamp array over precomputed task
+// classes and the rollback stack is one flat per-depth buffer, so the
+// search allocates only when it improves on the incumbent plan.
+func dfsPruning(tasks []Task, budget time.Duration, maxNodes int, stop func() bool) Plan {
 	if len(tasks) == 0 {
 		return Plan{Sender: map[int]int{}}
 	}
@@ -317,6 +332,10 @@ func dfsPruning(tasks []Task, budget time.Duration, maxNodes int) Plan {
 				return
 			}
 		} else if checkCount%1024 == 0 && time.Now().After(deadline) {
+			expired = true
+			return
+		}
+		if stop != nil && checkCount%StopStride == 0 && stop() {
 			expired = true
 			return
 		}
@@ -490,13 +509,30 @@ func GreedyRandomized(tasks []Task, trials int, rng *rand.Rand) Plan {
 // problems) DFSPruning, and returns the plan with the smallest makespan.
 // This is AlpaComm's production configuration.
 func Ensemble(tasks []Task, dfsBudget time.Duration, trials int, rng *rand.Rand) Plan {
-	return ensemble(tasks, func(t []Task) Plan { return DFSPruning(t, dfsBudget) }, trials, rng)
+	return EnsembleStop(tasks, dfsBudget, trials, rng, nil)
+}
+
+// EnsembleStop is Ensemble with a cooperative abort threaded into its
+// wall-clock DFS component: stop is polled every StopStride visited states
+// alongside the deadline check, and a true return makes the DFS yield its
+// incumbent early.
+func EnsembleStop(tasks []Task, dfsBudget time.Duration, trials int, rng *rand.Rand, stop func() bool) Plan {
+	return ensemble(tasks, func(t []Task) Plan { return dfsPruning(t, dfsBudget, 0, stop) }, trials, rng)
 }
 
 // EnsembleNodes is Ensemble with the deterministic node-budgeted DFS, for
 // callers that need bit-reproducible plans (the concurrent autotuner).
 func EnsembleNodes(tasks []Task, dfsNodes, trials int, rng *rand.Rand) Plan {
-	return ensemble(tasks, func(t []Task) Plan { return DFSPruningNodes(t, dfsNodes) }, trials, rng)
+	return EnsembleNodesStop(tasks, dfsNodes, trials, rng, nil)
+}
+
+// EnsembleNodesStop is EnsembleNodes with a cooperative abort threaded into
+// its DFS component: stop is polled between node-budget slices, and a true
+// return makes the DFS yield its incumbent early (the cheap closed-form
+// components always run to completion). With stop nil — or never firing —
+// the plan is bit-identical to EnsembleNodes.
+func EnsembleNodesStop(tasks []Task, dfsNodes, trials int, rng *rand.Rand, stop func() bool) Plan {
+	return ensemble(tasks, func(t []Task) Plan { return DFSPruningNodesStop(t, dfsNodes, stop) }, trials, rng)
 }
 
 func ensemble(tasks []Task, dfs func([]Task) Plan, trials int, rng *rand.Rand) Plan {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -21,13 +22,20 @@ func (e *OverloadedError) Error() string {
 	return fmt.Sprintf("service: server overloaded, retry after %v", e.RetryAfter)
 }
 
-// APIError is a non-429 error response from the server.
+// APIError is a non-429 error response from the server. Code and
+// Retryable are filled from the structured envelope on /v2 responses and
+// empty on /v1 ones.
 type APIError struct {
 	StatusCode int
 	Message    string
+	Code       string
+	Retryable  bool
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("service: %d %s: %s", e.StatusCode, e.Code, e.Message)
+	}
 	return fmt.Sprintf("service: %d: %s", e.StatusCode, e.Message)
 }
 
@@ -78,6 +86,38 @@ func (c *Client) Autotune(ctx context.Context, req *AutotuneRequest) (*AutotuneR
 	return &resp, nil
 }
 
+// PlanV2 requests one resharding plan over /v2: same plan payload as
+// Plan, structured error envelope, and — when ctx carries a deadline —
+// the remaining budget propagated to the server via X-Timeout-Ms so the
+// server-side queue wait and search are bounded by it too.
+func (c *Client) PlanV2(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	var resp PlanResponse
+	if err := c.post(ctx, "/v2/plan", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// AutotuneV2 requests a grid search over /v2; a ctx deadline aborts the
+// queued or running search server-side.
+func (c *Client) AutotuneV2(ctx context.Context, req *AutotuneRequest) (*AutotuneResponse, error) {
+	var resp AutotuneResponse
+	if err := c.post(ctx, "/v2/autotune", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PlanBatch plans every boundary of the batch in one request; congruent
+// items cost one server-side computation total.
+func (c *Client) PlanBatch(ctx context.Context, req *BatchPlanRequest) (*BatchPlanResponse, error) {
+	var resp BatchPlanResponse
+	if err := c.post(ctx, "/v2/plan:batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stats fetches the server's cache and admission counters.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
@@ -101,6 +141,13 @@ func (c *Client) post(ctx context.Context, path string, payload, out interface{}
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if strings.HasPrefix(path, "/v2/") {
+		if deadline, ok := ctx.Deadline(); ok {
+			if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+				req.Header.Set(TimeoutHeader, strconv.FormatInt(ms, 10))
+			}
+		}
+	}
 	return c.roundTrip(req, out)
 }
 
@@ -119,12 +166,24 @@ func (c *Client) roundTrip(req *http.Request, out interface{}) error {
 		return &OverloadedError{RetryAfter: retry}
 	}
 	if resp.StatusCode != http.StatusOK {
-		var eb errorBody
-		msg := resp.Status
-		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
-			msg = eb.Error
+		// /v2 errors are a structured envelope, /v1 errors a flat string;
+		// the envelope decodes first so its code and retryability survive.
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: resp.Status}
+		var raw json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&struct {
+			Error *json.RawMessage `json:"error"`
+		}{&raw}); err == nil && len(raw) > 0 {
+			var ve V2Error
+			if err := json.Unmarshal(raw, &ve); err == nil && ve.Code != "" {
+				apiErr.Message, apiErr.Code, apiErr.Retryable = ve.Message, ve.Code, ve.Retryable
+			} else {
+				var msg string
+				if err := json.Unmarshal(raw, &msg); err == nil && msg != "" {
+					apiErr.Message = msg
+				}
+			}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return apiErr
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

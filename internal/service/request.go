@@ -145,13 +145,16 @@ type EndpointStats struct {
 	InFlight int64 `json:"in_flight"`
 }
 
-// StatsResponse is the /v1/stats payload. Cache is the /v1/plan cache;
-// AutotuneCache is the separate cache holding grid-search candidate plans.
+// StatsResponse is the /v1/stats payload. Cache is the plan cache shared
+// by /v1/plan, /v2/plan and /v2/plan:batch; AutotuneCache is the separate
+// cache holding grid-search candidate plans; Batch counts /v2/plan:batch
+// requests (one request may carry many items).
 type StatsResponse struct {
 	Cache         CacheStats    `json:"cache"`
 	AutotuneCache CacheStats    `json:"autotune_cache"`
 	Plan          EndpointStats `json:"plan"`
 	Autotune      EndpointStats `json:"autotune"`
+	Batch         EndpointStats `json:"batch"`
 	Topologies    []string      `json:"topologies"`
 }
 

@@ -29,9 +29,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/plan     — plan and simulate one resharding (PlanRequest).
-//	POST /v1/autotune — strategy x scheduler grid search (AutotuneRequest).
-//	GET  /v1/stats    — cache, coalescing and admission counters.
+//	POST /v1/plan       — plan and simulate one resharding (PlanRequest).
+//	POST /v1/autotune   — strategy x scheduler grid search (AutotuneRequest).
+//	GET  /v1/stats      — cache, coalescing and admission counters.
+//	POST /v2/plan       — /v1/plan semantics, v2 error envelope + deadline.
+//	POST /v2/autotune   — /v1/autotune semantics, v2 envelope + deadline.
+//	POST /v2/plan:batch — plan every stage boundary of a pipeline job in
+//	                      one request (BatchPlanRequest); congruent
+//	                      boundaries cost one planner computation total.
+//
+// Every handler is an adapter over one resharding.Planner session, so the
+// caches, coalescing and cancellation behavior are identical no matter
+// which API version a client speaks: /v1 keeps its original flat error
+// body, /v2 adds a structured machine-readable error envelope (see V2Error)
+// and deadline propagation via the X-Timeout-Ms header. A client that
+// disconnects — or whose propagated deadline fires — while its request is
+// queued or mid-search aborts the work instead of riding it out.
 //
 // Topologies are named, not transmitted: requests reference presets of a
 // mesh.Registry ("p3", "dgx-a100", "mixed") plus host count and fabric
@@ -96,7 +109,10 @@ type Config struct {
 // Server implements the plan-serving HTTP API. Create with New; it is an
 // http.Handler ready to mount on any mux or listener.
 type Server struct {
-	reg           *mesh.Registry
+	reg *mesh.Registry
+	// planner is the session every API version plans through: it owns the
+	// plan cache, the autotune candidate cache and the context plumbing.
+	planner       *resharding.Planner
 	cache         *resharding.PlanCache
 	autotuneCache *resharding.PlanCache
 	topos         topologyCache
@@ -110,6 +126,7 @@ type Server struct {
 	autotune   *admission
 	planC      endpointCounters
 	autotuneC  endpointCounters
+	batchC     endpointCounters
 	retryAfter time.Duration
 	mux        *http.ServeMux
 }
@@ -143,9 +160,20 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	// Floor the intake gate: parsing is cheap and the gate exists to bound
+	// memory, so a small-core machine must not reject a burst of duplicate
+	// requests that the coalescing right behind the gate would collapse to
+	// one computation anyway.
 	intakeWorkers := 4 * runtime.GOMAXPROCS(0)
+	if intakeWorkers < 16 {
+		intakeWorkers = 16
+	}
 	s := &Server{
-		reg:           cfg.Registry,
+		reg: cfg.Registry,
+		planner: resharding.NewPlanner(
+			resharding.WithCache(cfg.Cache),
+			resharding.WithAutotuneCache(cfg.AutotuneCache),
+		),
 		cache:         cfg.Cache,
 		autotuneCache: cfg.AutotuneCache,
 		intake:        newAdmission(intakeWorkers, 4*intakeWorkers),
@@ -157,6 +185,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/autotune", s.handleAutotune)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v2/plan", s.handlePlanV2)
+	s.mux.HandleFunc("/v2/autotune", s.handleAutotuneV2)
+	s.mux.HandleFunc("/v2/plan:batch", s.handlePlanBatch)
 	return s
 }
 
@@ -275,47 +306,69 @@ func (tc *topologyCache) get(reg *mesh.Registry, ref TopologyRef) (mesh.Topology
 // maxBodyBytes bounds request bodies; plan requests are tiny.
 const maxBodyBytes = 1 << 20
 
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	s.planC.requests.Add(1)
-	var req PlanRequest
-	if !s.decode(w, r, &req, &s.planC) {
-		return
-	}
-	task, opts, cacheKey, ok := s.parseTask(w, r, &s.planC,
-		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
-	if !ok {
-		return
-	}
+// newBodyDecoder wraps a request body with the size bound and strict
+// field checking every endpoint shares.
+func newBodyDecoder(w http.ResponseWriter, r *http.Request) *json.Decoder {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec
+}
 
-	s.planC.inFlight.Add(1)
-	defer s.planC.inFlight.Add(-1)
-	// Hot path: a completed cache entry is served before any admission —
-	// hits must stay cheap even when the plan pool is saturated with slow
-	// cold requests.
+// planned is one computed (plan, simulation) pair shared by every caller
+// of a canonical key.
+type planned struct {
+	plan *resharding.Plan
+	sim  *resharding.SimResult
+}
+
+// computePlan serves one canonical planning problem: a completed cache
+// entry is returned before any admission (hits must stay cheap even when
+// the plan pool is saturated with slow cold requests); otherwise the
+// computation is coalesced with identical in-flight requests and runs
+// through the plan admission pool under the caller's context — a cancelled
+// caller abandons its queue slot, and a cancelled waiter detaches without
+// disturbing the flight.
+func (s *Server) computePlan(ctx context.Context, cacheKey string, task *sharding.Task, opts resharding.Options) (*planned, bool, error) {
 	if plan, sim, ok := s.cache.LookupKeyed(cacheKey); ok {
-		s.ok(w, &s.planC, s.planResponse(plan, sim, task, opts, cacheKey, false))
-		return
+		return &planned{plan: plan, sim: sim}, false, nil
 	}
-	type planned struct {
-		plan *resharding.Plan
-		sim  *resharding.SimResult
-	}
-	v, err, shared := s.flight.do(r.Context(), "plan|"+cacheKey, func() (interface{}, error) {
-		if err := s.plan.acquire(r.Context()); err != nil {
+	v, err, shared := s.flight.do(ctx, "plan|"+cacheKey, func() (interface{}, error) {
+		if err := s.plan.acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.plan.release()
-		plan, sim, err := s.cache.PlanAndSimulateKeyed(cacheKey, task, opts)
+		plan, sim, err := s.planner.PlanKeyed(ctx, cacheKey, task, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &planned{plan: plan, sim: sim}, nil
 	})
 	if err != nil {
+		return nil, shared, err
+	}
+	return v.(*planned), shared, nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.planC.requests.Add(1)
+	var req PlanRequest
+	if !s.decode(w, r, &req, &s.planC) {
+		return
+	}
+	task, opts, cacheKey, err := s.parseTask(r.Context(),
+		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+	if err != nil {
+		s.failParse(w, &s.planC, err)
+		return
+	}
+
+	s.planC.inFlight.Add(1)
+	defer s.planC.inFlight.Add(-1)
+	p, shared, err := s.computePlan(r.Context(), cacheKey, task, opts)
+	if err != nil {
 		s.failCompute(w, &s.planC, err)
 		return
 	}
-	p := v.(*planned)
 	if shared {
 		s.planC.coalesced.Add(1)
 	}
@@ -366,37 +419,17 @@ func remapSenders(plan *resharding.Plan, task *sharding.Task) []int {
 	return senders
 }
 
-func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
-	s.autotuneC.requests.Add(1)
-	var req AutotuneRequest
-	if !s.decode(w, r, &req, &s.autotuneC) {
-		return
-	}
-	if req.Workers < 0 {
-		s.fail(w, &s.autotuneC, http.StatusBadRequest, fmt.Errorf("negative workers"))
-		return
-	}
-	task, opts, cacheKey, ok := s.parseTask(w, r, &s.autotuneC,
-		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
-	if !ok {
-		return
-	}
-	// Workers is excluded from the coalescing key: the search result is
-	// deterministic and identical for every worker count.
-	flightKey := "autotune|" + cacheKey
-
-	s.autotuneC.inFlight.Add(1)
-	defer s.autotuneC.inFlight.Add(-1)
-	v, err, shared := s.flight.do(r.Context(), flightKey, func() (interface{}, error) {
-		if err := s.autotune.acquire(r.Context()); err != nil {
+// computeAutotune serves one canonical grid search, coalesced with
+// identical in-flight searches and admitted to the autotune pool under the
+// caller's context. Workers is excluded from the coalescing key: the
+// search result is deterministic and identical for every worker count.
+func (s *Server) computeAutotune(ctx context.Context, cacheKey string, task *sharding.Task, opts resharding.Options, workers int) (*AutotuneResponse, bool, error) {
+	v, err, shared := s.flight.do(ctx, "autotune|"+cacheKey, func() (interface{}, error) {
+		if err := s.autotune.acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.autotune.release()
-		res, err := resharding.Autotune(task, resharding.AutotuneOptions{
-			Base:    opts,
-			Workers: req.Workers,
-			Cache:   s.autotuneCache,
-		})
+		res, err := s.planner.AutotuneWorkers(ctx, task, opts, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -418,10 +451,36 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		return resp, nil
 	})
 	if err != nil {
+		return nil, shared, err
+	}
+	return v.(*AutotuneResponse), shared, nil
+}
+
+func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
+	s.autotuneC.requests.Add(1)
+	var req AutotuneRequest
+	if !s.decode(w, r, &req, &s.autotuneC) {
+		return
+	}
+	if req.Workers < 0 {
+		s.fail(w, &s.autotuneC, http.StatusBadRequest, fmt.Errorf("negative workers"))
+		return
+	}
+	task, opts, cacheKey, err := s.parseTask(r.Context(),
+		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+	if err != nil {
+		s.failParse(w, &s.autotuneC, err)
+		return
+	}
+
+	s.autotuneC.inFlight.Add(1)
+	defer s.autotuneC.inFlight.Add(-1)
+	v, shared, err := s.computeAutotune(r.Context(), cacheKey, task, opts, req.Workers)
+	if err != nil {
 		s.failCompute(w, &s.autotuneC, err)
 		return
 	}
-	resp := *v.(*AutotuneResponse)
+	resp := *v
 	resp.Coalesced = shared
 	if shared {
 		s.autotuneC.coalesced.Add(1)
@@ -439,31 +498,49 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AutotuneCache: wireCacheStats(s.autotuneCache.Stats()),
 		Plan:          s.planC.snapshot(),
 		Autotune:      s.autotuneC.snapshot(),
+		Batch:         s.batchC.snapshot(),
 		Topologies:    s.reg.Names(),
 	})
 }
 
+// badRequestError marks a request that parsed as HTTP but cannot be
+// planned as asked: unknown topology, bad mesh, out-of-bound effort.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
 // parseTask runs the bounded pre-admission stage: under an intake token it
 // builds the topology, decomposes the task and renders the canonical cache
-// key. On failure (including intake overflow → 429) it writes the error
-// response and returns ok=false. The intake token is released before the
-// caller coalesces or queues, so parsing capacity is never held across a
-// computation.
-func (s *Server) parseTask(w http.ResponseWriter, r *http.Request, c *endpointCounters,
-	ref TopologyRef, shape []int, dtype string, src, dst Endpoint, po PlanOptions) (task *sharding.Task, opts resharding.Options, key string, ok bool) {
+// key. Failures are classified, not written: intake overflow and context
+// ends surface as-is (retryable), everything else as *badRequestError. The
+// intake token is released before the caller coalesces or queues, so
+// parsing capacity is never held across a computation.
+func (s *Server) parseTask(ctx context.Context,
+	ref TopologyRef, shape []int, dtype string, src, dst Endpoint, po PlanOptions) (task *sharding.Task, opts resharding.Options, key string, err error) {
 
-	if err := s.intake.acquire(r.Context()); err != nil {
-		s.failCompute(w, c, err)
-		return nil, opts, "", false
+	if err := s.intake.acquire(ctx); err != nil {
+		return nil, opts, "", err
 	}
 	defer s.intake.release()
-	task, opts, err := buildTask(s.reg, &s.topos, ref, shape, dtype, src, dst, po)
+	task, opts, err = buildTask(s.reg, &s.topos, ref, shape, dtype, src, dst, po)
 	if err != nil {
-		s.fail(w, c, http.StatusBadRequest, err)
-		return nil, opts, "", false
+		return nil, opts, "", &badRequestError{err}
 	}
 	opts = opts.WithDefaults()
-	return task, opts, resharding.CacheKey(task, opts), true
+	return task, opts, resharding.CacheKey(task, opts), nil
+}
+
+// failParse writes a parseTask failure in the v1 envelope: bad requests
+// are 400, everything else (intake overflow, context ends) goes through
+// the retryable compute path.
+func (s *Server) failParse(w http.ResponseWriter, c *endpointCounters, err error) {
+	var bad *badRequestError
+	if errors.As(err, &bad) {
+		s.fail(w, c, http.StatusBadRequest, bad.err)
+		return
+	}
+	s.failCompute(w, c, err)
 }
 
 // decode reads a POST JSON body into dst; on failure it writes the error
@@ -473,9 +550,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst interface{},
 		s.fail(w, c, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
+	if err := newBodyDecoder(w, r).Decode(dst); err != nil {
 		s.fail(w, c, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
 		return false
 	}

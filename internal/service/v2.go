@@ -1,0 +1,418 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/sharding"
+)
+
+// The /v2 API serves the same planner session as /v1 with three additions:
+//
+//   - a structured, machine-readable error envelope ({"error": {code,
+//     message, retryable, retry_after_seconds}}) instead of /v1's flat
+//     string, so clients branch on codes rather than parsing prose;
+//
+//   - deadline propagation: the X-Timeout-Ms request header bounds the
+//     server-side work (queue wait, coalesced wait, grid search) with a
+//     context deadline, so a client budget reaches every layer below;
+//
+//   - POST /v2/plan:batch — all stage boundaries of a pipeline job in one
+//     request. Items are grouped by canonical cache key server-side, so the
+//     congruent boundaries of a deep pipeline cost one planner computation
+//     total, and every item's senders are remapped into its own meshes.
+
+// TimeoutHeader is the /v2 deadline-propagation header: a positive integer
+// millisecond budget for the whole server-side computation.
+const TimeoutHeader = "X-Timeout-Ms"
+
+// MaxTimeoutMs caps the propagated deadline; like every client-supplied
+// parameter it must not scale server state unboundedly.
+const MaxTimeoutMs = 10 * 60 * 1000
+
+// MaxBatchItems bounds one /v2/plan:batch request: deeper jobs split into
+// multiple requests (the cache makes the split free).
+const MaxBatchItems = 256
+
+// V2 error codes.
+const (
+	// CodeInvalidArgument: the request cannot be planned as written (400).
+	CodeInvalidArgument = "invalid_argument"
+	// CodeUnplannable: the request parsed but planning failed (422).
+	CodeUnplannable = "unplannable"
+	// CodeOverloaded: admission queues are full; retry after backoff (429).
+	CodeOverloaded = "overloaded"
+	// CodeDeadlineExceeded: the propagated deadline fired first (504).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeCanceled: the client went away mid-computation (499).
+	CodeCanceled = "canceled"
+	// CodeMethodNotAllowed: wrong HTTP method (405).
+	CodeMethodNotAllowed = "method_not_allowed"
+)
+
+// V2Error is the structured error payload of every non-2xx /v2 response,
+// wrapped as {"error": {...}}. Retryable errors carry the same request
+// again later; RetryAfterSeconds, when set, is the server's backoff hint.
+type V2Error struct {
+	Code              string `json:"code"`
+	Message           string `json:"message"`
+	Retryable         bool   `json:"retryable,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// V2ErrorEnvelope is the /v2 error body.
+type V2ErrorEnvelope struct {
+	Error V2Error `json:"error"`
+}
+
+// BatchPlanItem is one boundary of a /v2/plan:batch request; the topology
+// is shared by the whole batch.
+type BatchPlanItem struct {
+	Shape   []int       `json:"shape"`
+	DType   string      `json:"dtype,omitempty"`
+	Src     Endpoint    `json:"src"`
+	Dst     Endpoint    `json:"dst"`
+	Options PlanOptions `json:"options"`
+}
+
+// BatchPlanRequest plans every stage boundary of a pipeline job in one
+// request. Congruent items (same canonical cache key under host
+// translation) are planned once.
+type BatchPlanRequest struct {
+	Topology TopologyRef     `json:"topology"`
+	Items    []BatchPlanItem `json:"items"`
+}
+
+// BatchPlanItemResult is one item's outcome: exactly one of Plan and Error
+// is set. Item-level errors (a malformed boundary, an unplannable spec) do
+// not fail the sibling items; batch-level failures (overload, deadline)
+// fail the whole request with a top-level envelope instead.
+type BatchPlanItemResult struct {
+	Plan  *PlanResponse `json:"plan,omitempty"`
+	Error *V2Error      `json:"error,omitempty"`
+}
+
+// BatchPlanResponse reports a batch in request order.
+type BatchPlanResponse struct {
+	Items []BatchPlanItemResult `json:"items"`
+	// Distinct is the number of congruent-boundary equivalence classes the
+	// batch collapsed to — the number of planner computations the request
+	// could cost at most (cache hits cost zero).
+	Distinct int `json:"distinct"`
+	// Coalesced counts distinct classes served from another request's
+	// in-flight computation.
+	Coalesced int `json:"coalesced"`
+}
+
+// v2Ctx derives the request context from the X-Timeout-Ms header. The
+// returned cancel must always be called.
+func v2Ctx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	h := r.Header.Get(TimeoutHeader)
+	if h == "" {
+		return r.Context(), func() {}, nil
+	}
+	ms, err := strconv.Atoi(h)
+	if err != nil || ms <= 0 {
+		return nil, nil, &badRequestError{fmt.Errorf("bad %s header %q: want a positive integer millisecond budget", TimeoutHeader, h)}
+	}
+	if ms > MaxTimeoutMs {
+		ms = MaxTimeoutMs
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// v2Error classifies an error into its envelope and HTTP status. ctx is
+// the request's own context: a context error that the request's ctx did
+// NOT produce was inherited from a coalesced flight whose leader
+// disconnected or timed out — this request holds a valid problem that was
+// never attempted, so it gets a retryable "overloaded" (as /v1 does), not
+// a deadline/cancel code that would lie about its own budget.
+func (s *Server) v2Error(ctx context.Context, err error) (int, V2Error) {
+	var bad *badRequestError
+	ctxErr := errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+	switch {
+	case errors.Is(err, errOverloaded) || (ctxErr && ctx.Err() == nil):
+		return http.StatusTooManyRequests, V2Error{
+			Code: CodeOverloaded, Message: err.Error(), Retryable: true,
+			RetryAfterSeconds: retryAfterSeconds(s.retryAfter),
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, V2Error{
+			Code: CodeDeadlineExceeded, Message: err.Error(), Retryable: true,
+		}
+	case errors.Is(err, context.Canceled):
+		// 499 (client closed request): the requester is gone.
+		return 499, V2Error{Code: CodeCanceled, Message: err.Error(), Retryable: true}
+	case errors.As(err, &bad):
+		return http.StatusBadRequest, V2Error{Code: CodeInvalidArgument, Message: bad.err.Error()}
+	default:
+		return http.StatusUnprocessableEntity, V2Error{Code: CodeUnplannable, Message: err.Error()}
+	}
+}
+
+// failV2 writes the envelope and bumps the endpoint counters the same way
+// the /v1 writers do: 429/deadline/cancel count as rejected, the rest as
+// errors.
+func (s *Server) failV2(w http.ResponseWriter, ctx context.Context, c *endpointCounters, err error) {
+	status, ve := s.v2Error(ctx, err)
+	if ve.Retryable {
+		c.rejected.Add(1)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.retryAfter)))
+		}
+	} else {
+		c.errors.Add(1)
+	}
+	writeJSON(w, status, V2ErrorEnvelope{Error: ve})
+}
+
+// decodeV2 is decode with the v2 envelope on failure.
+func (s *Server) decodeV2(w http.ResponseWriter, r *http.Request, dst interface{}, c *endpointCounters) bool {
+	if r.Method != http.MethodPost {
+		c.errors.Add(1)
+		writeJSON(w, http.StatusMethodNotAllowed, V2ErrorEnvelope{Error: V2Error{
+			Code: CodeMethodNotAllowed, Message: "use POST",
+		}})
+		return false
+	}
+	dec := newBodyDecoder(w, r)
+	if err := dec.Decode(dst); err != nil {
+		s.failV2(w, r.Context(), c, &badRequestError{fmt.Errorf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// handlePlanV2 is /v1/plan over the same planner session with the v2
+// envelope and deadline propagation; the plan payload is byte-identical to
+// /v1's for the same request.
+func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
+	s.planC.requests.Add(1)
+	var req PlanRequest
+	if !s.decodeV2(w, r, &req, &s.planC) {
+		return
+	}
+	ctx, cancel, err := v2Ctx(r)
+	if err != nil {
+		s.failV2(w, r.Context(), &s.planC, err)
+		return
+	}
+	defer cancel()
+	task, opts, cacheKey, err := s.parseTask(ctx,
+		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+	if err != nil {
+		s.failV2(w, ctx, &s.planC, err)
+		return
+	}
+
+	s.planC.inFlight.Add(1)
+	defer s.planC.inFlight.Add(-1)
+	p, shared, err := s.computePlan(ctx, cacheKey, task, opts)
+	if err != nil {
+		s.failV2(w, ctx, &s.planC, err)
+		return
+	}
+	if shared {
+		s.planC.coalesced.Add(1)
+	}
+	s.ok(w, &s.planC, s.planResponse(p.plan, p.sim, task, opts, cacheKey, shared))
+}
+
+// handleAutotuneV2 is /v1/autotune with the v2 envelope and deadline
+// propagation — so a deadline (or disconnect) aborts a queued or running
+// grid search.
+func (s *Server) handleAutotuneV2(w http.ResponseWriter, r *http.Request) {
+	s.autotuneC.requests.Add(1)
+	var req AutotuneRequest
+	if !s.decodeV2(w, r, &req, &s.autotuneC) {
+		return
+	}
+	if req.Workers < 0 {
+		s.failV2(w, r.Context(), &s.autotuneC, &badRequestError{fmt.Errorf("negative workers")})
+		return
+	}
+	ctx, cancel, err := v2Ctx(r)
+	if err != nil {
+		s.failV2(w, r.Context(), &s.autotuneC, err)
+		return
+	}
+	defer cancel()
+	task, opts, cacheKey, err := s.parseTask(ctx,
+		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+	if err != nil {
+		s.failV2(w, ctx, &s.autotuneC, err)
+		return
+	}
+
+	s.autotuneC.inFlight.Add(1)
+	defer s.autotuneC.inFlight.Add(-1)
+	v, shared, err := s.computeAutotune(ctx, cacheKey, task, opts, req.Workers)
+	if err != nil {
+		s.failV2(w, ctx, &s.autotuneC, err)
+		return
+	}
+	resp := *v
+	resp.Coalesced = shared
+	if shared {
+		s.autotuneC.coalesced.Add(1)
+	}
+	s.ok(w, &s.autotuneC, resp)
+}
+
+// batchItem is one parsed batch entry, carrying its equivalence class.
+type batchItem struct {
+	task *sharding.Task
+	opts resharding.Options
+	key  string
+	err  error // parse error; the item is excluded from planning
+}
+
+// handlePlanBatch plans all boundaries of a pipeline job in one request.
+// Items are parsed under one intake token, grouped by canonical cache key,
+// and each distinct class is planned once through the shared session —
+// exactly the computation N individual /v1/plan calls would coalesce to,
+// without the N round trips.
+func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
+	s.batchC.requests.Add(1)
+	var req BatchPlanRequest
+	if !s.decodeV2(w, r, &req, &s.batchC) {
+		return
+	}
+	if len(req.Items) == 0 {
+		s.failV2(w, r.Context(), &s.batchC, &badRequestError{fmt.Errorf("empty batch")})
+		return
+	}
+	if len(req.Items) > MaxBatchItems {
+		s.failV2(w, r.Context(), &s.batchC, &badRequestError{fmt.Errorf("batch has %d items, server bound is %d", len(req.Items), MaxBatchItems)})
+		return
+	}
+	ctx, cancel, err := v2Ctx(r)
+	if err != nil {
+		s.failV2(w, r.Context(), &s.batchC, err)
+		return
+	}
+	defer cancel()
+
+	s.batchC.inFlight.Add(1)
+	defer s.batchC.inFlight.Add(-1)
+
+	// Parse every item under one intake token: the whole batch is one
+	// admission to the pre-planning stage, not MaxBatchItems of them. The
+	// token is released by defer inside the closure so a panic in task
+	// building cannot leak an intake slot.
+	items := make([]batchItem, len(req.Items))
+	if err := func() error {
+		if err := s.intake.acquire(ctx); err != nil {
+			return err
+		}
+		defer s.intake.release()
+		for i, it := range req.Items {
+			task, opts, err := buildTask(s.reg, &s.topos, req.Topology, it.Shape, it.DType, it.Src, it.Dst, it.Options)
+			if err != nil {
+				items[i] = batchItem{err: &badRequestError{fmt.Errorf("item %d: %v", i, err)}}
+				continue
+			}
+			opts = opts.WithDefaults()
+			items[i] = batchItem{task: task, opts: opts, key: resharding.CacheKey(task, opts)}
+		}
+		return nil
+	}(); err != nil {
+		s.failV2(w, ctx, &s.batchC, err)
+		return
+	}
+
+	// Group by equivalence class in first-seen order and plan each class
+	// once, fanning distinct classes out concurrently — bounded by the
+	// plan pool width, so one batch can saturate the workers it would be
+	// admitted to anyway but cannot flood the admission queue. A
+	// batch-level failure (overload, deadline, disconnect) aborts the
+	// request: its items were never independently at fault.
+	order := make([]string, 0, len(items))
+	leaders := map[string]int{}
+	for i := range items {
+		if items[i].err != nil {
+			continue
+		}
+		if _, seen := leaders[items[i].key]; !seen {
+			leaders[items[i].key] = i
+			order = append(order, items[i].key)
+		}
+	}
+	classes := make(map[string]*planned, len(order))
+	classShared := make(map[string]bool, len(order))
+	classErrs := map[string]error{}
+	coalesced := 0
+	var fatal error
+	var mu sync.Mutex
+	gate := make(chan struct{}, cap(s.plan.slots))
+	var wg sync.WaitGroup
+	for _, key := range order {
+		wg.Add(1)
+		go func(key string, li int) {
+			defer wg.Done()
+			gate <- struct{}{}
+			defer func() { <-gate }()
+			p, shared, err := s.computePlan(ctx, key, items[li].task, items[li].opts)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				if shared {
+					coalesced++
+					classShared[key] = true
+				}
+				classes[key] = p
+			case errors.Is(err, errOverloaded) || ctx.Err() != nil:
+				// Admission overflow, or the batch's own deadline/client is
+				// gone: the whole request fails retryably.
+				if fatal == nil {
+					fatal = err
+				}
+			default:
+				// Includes a context error inherited from a foreign flight
+				// leader that went away: this class alone reports a
+				// retryable error (v2Error maps it to "overloaded" since
+				// the batch's own ctx is live) while siblings keep their
+				// plans.
+				classErrs[key] = err
+			}
+		}(key, leaders[key])
+	}
+	wg.Wait()
+	if fatal != nil {
+		s.failV2(w, ctx, &s.batchC, fatal)
+		return
+	}
+	s.batchC.coalesced.Add(int64(coalesced))
+
+	resp := BatchPlanResponse{
+		Items:     make([]BatchPlanItemResult, len(items)),
+		Distinct:  len(order),
+		Coalesced: coalesced,
+	}
+	for i := range items {
+		if items[i].err != nil {
+			_, ve := s.v2Error(ctx, items[i].err)
+			resp.Items[i] = BatchPlanItemResult{Error: &ve}
+			continue
+		}
+		if err, ok := classErrs[items[i].key]; ok {
+			_, ve := s.v2Error(ctx, err)
+			resp.Items[i] = BatchPlanItemResult{Error: &ve}
+			continue
+		}
+		p := classes[items[i].key]
+		// Render per item: congruent items on different hosts each need
+		// the shared plan's senders remapped into their own meshes.
+		pr := s.planResponse(p.plan, p.sim, items[i].task, items[i].opts, items[i].key, classShared[items[i].key])
+		resp.Items[i] = BatchPlanItemResult{Plan: &pr}
+	}
+	s.ok(w, &s.batchC, resp)
+}

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// postRaw posts a JSON body and returns status plus raw response bytes.
+func postRaw(t *testing.T, url, path string, payload interface{}) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestV1V2PlanParity pins the satellite requirement: the same request on
+// /v1/plan and /v2/plan returns a byte-identical plan payload.
+func TestV1V2PlanParity(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	req := testReq(3)
+	st1, body1 := postRaw(t, ts.URL, "/v1/plan", req)
+	st2, body2 := postRaw(t, ts.URL, "/v2/plan", req)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("status v1=%d v2=%d, body1=%s body2=%s", st1, st2, body1, body2)
+	}
+	// /v2 serves the identical payload struct; only Coalesced may differ
+	// (the second call can hit the cache warmed by the first), so compare
+	// the decoded plans field by field.
+	var r1, r2 PlanResponse
+	if err := json.Unmarshal(body1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	r1.Coalesced, r2.Coalesced = false, false
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("v1 and v2 plans differ:\nv1: %+v\nv2: %+v", r1, r2)
+	}
+}
+
+// TestV1V2AutotuneParity: the grid-search winner and trial table agree
+// across versions.
+func TestV1V2AutotuneParity(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	req := &AutotuneRequest{
+		Topology: TopologyRef{Name: "p3", Hosts: 2},
+		Shape:    []int{64, 96},
+		Src:      Endpoint{Mesh: "2x2@0", Spec: "S01R"},
+		Dst:      Endpoint{Mesh: "2x2@4", Spec: "S0R"},
+		Options:  PlanOptions{Seed: 5},
+	}
+	r1, err := client.Autotune(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := client.AutotuneV2(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Coalesced, r2.Coalesced = false, false
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("v1 and v2 autotune differ:\nv1: %+v\nv2: %+v", r1, r2)
+	}
+}
+
+// gptBoundaryBatch builds a batch shaped like a GPT pipeline job: pp
+// stages on consecutive 2x2 meshes of a p3 cluster, every boundary
+// resharding the same activation tensor — so all boundaries are congruent
+// under host translation.
+func gptBoundaryBatch(pp int) *BatchPlanRequest {
+	req := &BatchPlanRequest{
+		Topology: TopologyRef{Name: "p3", Hosts: pp},
+	}
+	for s := 0; s < pp-1; s++ {
+		req.Items = append(req.Items, BatchPlanItem{
+			Shape:   []int{64, 96},
+			Src:     Endpoint{Mesh: fmt.Sprintf("2x2@%d", 4*s), Spec: "S01R"},
+			Dst:     Endpoint{Mesh: fmt.Sprintf("2x2@%d", 4*(s+1)), Spec: "S0R"},
+			Options: PlanOptions{Seed: 3},
+		})
+	}
+	return req
+}
+
+// TestBatchMatchesSequentialV1 pins the acceptance criterion: every
+// /v2/plan:batch item is byte-identical to the same boundary planned via
+// /v1/plan, while the batch costs at most one planner computation per
+// congruent-boundary equivalence class.
+func TestBatchMatchesSequentialV1(t *testing.T) {
+	s, client := newTestServer(t, Config{})
+	const pp = 8
+	req := gptBoundaryBatch(pp)
+
+	batch, err := client.PlanBatch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Items) != pp-1 {
+		t.Fatalf("batch returned %d items, want %d", len(batch.Items), pp-1)
+	}
+	if batch.Distinct != 1 {
+		t.Errorf("the %d congruent GPT boundaries should collapse to 1 class, got %d", pp-1, batch.Distinct)
+	}
+	// One planner computation total: one cache miss, everything else hits.
+	if st := s.Cache().Stats(); st.Misses != 1 {
+		t.Errorf("batch cost %d planner computations, want 1 (stats %+v)", st.Misses, st)
+	}
+
+	for i, item := range batch.Items {
+		if item.Error != nil {
+			t.Fatalf("item %d: %+v", i, item.Error)
+		}
+		single, err := client.Plan(context.Background(), &PlanRequest{
+			Topology: req.Topology,
+			Shape:    req.Items[i].Shape,
+			DType:    req.Items[i].DType,
+			Src:      req.Items[i].Src,
+			Dst:      req.Items[i].Dst,
+			Options:  req.Items[i].Options,
+		})
+		if err != nil {
+			t.Fatalf("sequential /v1/plan %d: %v", i, err)
+		}
+		got, want := *item.Plan, *single
+		got.Coalesced, want.Coalesced = false, false
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("item %d diverges from /v1/plan:\nbatch: %+v\nv1:    %+v", i, got, want)
+		}
+	}
+
+	// Distinct senders per boundary: the shared plan must be remapped into
+	// each item's own meshes, not replayed verbatim.
+	if reflect.DeepEqual(batch.Items[0].Plan.Senders, batch.Items[1].Plan.Senders) {
+		t.Errorf("boundaries 0 and 1 report identical senders %v; translation remap is missing",
+			batch.Items[0].Plan.Senders)
+	}
+}
+
+// TestBatchPartialItemErrors: malformed items fail alone with a structured
+// code while sibling items still plan.
+func TestBatchPartialItemErrors(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	req := gptBoundaryBatch(3)
+	req.Items[1].Src.Spec = "BOGUS"
+	batch, err := client.PlanBatch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Items[0].Plan == nil || batch.Items[0].Error != nil {
+		t.Errorf("healthy item 0 should plan, got %+v", batch.Items[0].Error)
+	}
+	if batch.Items[1].Error == nil || batch.Items[1].Error.Code != CodeInvalidArgument {
+		t.Errorf("bogus item 1 should fail with %s, got %+v", CodeInvalidArgument, batch.Items[1])
+	}
+}
+
+// TestBatchBounds: empty and oversized batches are rejected with the
+// structured envelope.
+func TestBatchBounds(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	st, body := postRaw(t, ts.URL, "/v2/plan:batch", &BatchPlanRequest{Topology: TopologyRef{Name: "p3", Hosts: 2}})
+	if st != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d body %s", st, body)
+	}
+	var env V2ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != CodeInvalidArgument {
+		t.Errorf("empty batch envelope = %s (err %v)", body, err)
+	}
+
+	big := gptBoundaryBatch(3)
+	for len(big.Items) <= MaxBatchItems {
+		big.Items = append(big.Items, big.Items[0])
+	}
+	if st, body := postRaw(t, ts.URL, "/v2/plan:batch", big); st != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d body %s", st, body)
+	}
+}
+
+// TestV2ErrorEnvelope: classification of bad method, bad body and
+// unplannable requests into machine-readable codes.
+func TestV2ErrorEnvelope(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/v2/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env V2ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || env.Error.Code != CodeMethodNotAllowed {
+		t.Errorf("GET /v2/plan: status %d code %q", resp.StatusCode, env.Error.Code)
+	}
+
+	bad := testReq(1)
+	bad.Topology.Name = "no-such-fabric"
+	st, body := postRaw(t, ts.URL, "/v2/plan", bad)
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	if st != http.StatusBadRequest || env.Error.Code != CodeInvalidArgument {
+		t.Errorf("bad topology: status %d code %q", st, env.Error.Code)
+	}
+	if env.Error.Retryable {
+		t.Error("invalid_argument must not be retryable")
+	}
+}
+
+// TestV2DeadlineHeader: an absurdly small propagated budget fires before a
+// heavy search completes and maps to 504/deadline_exceeded (retryable).
+func TestV2DeadlineHeader(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	req := &AutotuneRequest{
+		Topology: TopologyRef{Name: "p3", Hosts: 4},
+		Shape:    []int{64, 96},
+		Src:      Endpoint{Mesh: "2x4@0", Spec: "S01R"},
+		Dst:      Endpoint{Mesh: "2x4@8", Spec: "RS0"},
+		// A 16-unit boundary with the maximum DFS budget: far more search
+		// than a 1ms deadline allows.
+		Options: PlanOptions{Seed: 1, DFSNodes: MaxDFSNodes},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v2/autotune", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(TimeoutHeader, "1")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env V2ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout || env.Error.Code != CodeDeadlineExceeded {
+		t.Errorf("deadline: status %d envelope %+v", resp.StatusCode, env.Error)
+	}
+	if !env.Error.Retryable {
+		t.Error("deadline_exceeded must be retryable")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("deadline response took %v; the search was not aborted", elapsed)
+	}
+
+	// Bad header values are rejected up front.
+	hreq2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v2/autotune", bytes.NewReader(body))
+	hreq2.Header.Set("Content-Type", "application/json")
+	hreq2.Header.Set(TimeoutHeader, "soon")
+	resp2, err := http.DefaultClient.Do(hreq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad %s header: status %d", TimeoutHeader, resp2.StatusCode)
+	}
+}
+
+// TestClientDeadlinePropagation: a client ctx deadline reaches the server
+// as X-Timeout-Ms and surfaces as a typed retryable APIError.
+func TestClientDeadlinePropagation(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	_, err := client.AutotuneV2(ctx, &AutotuneRequest{
+		Topology: TopologyRef{Name: "p3", Hosts: 4},
+		Shape:    []int{64, 96},
+		Src:      Endpoint{Mesh: "2x4@0", Spec: "S01R"},
+		Dst:      Endpoint{Mesh: "2x4@8", Spec: "RS0"},
+		Options:  PlanOptions{Seed: 1, DFSNodes: MaxDFSNodes},
+	})
+	if err == nil {
+		t.Fatal("a 2ms budget cannot finish a maximum-budget grid search")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.Code != CodeDeadlineExceeded || !apiErr.Retryable {
+			t.Errorf("want retryable %s, got %+v", CodeDeadlineExceeded, apiErr)
+		}
+	}
+	// err may also be the client-side context error if the local deadline
+	// fired before the response; both are acceptable abort signals.
+}

@@ -1,11 +1,11 @@
 package alpacomm
 
 import (
+	"context"
 	"fmt"
 
 	"alpacomm/internal/model"
 	"alpacomm/internal/pipeline"
-	"alpacomm/internal/resharding"
 	"alpacomm/internal/sharding"
 )
 
@@ -32,17 +32,29 @@ type TrainingJob struct {
 	SplitBackward bool
 	// Reshard configures the boundary communication (§3).
 	Reshard ReshardOptions
+	// Planner is the planning session every boundary plans through: its
+	// caches collapse congruent boundaries (and, when shared across jobs,
+	// congruent jobs) to one computation, and its context plumbing makes
+	// RunContext cancellable mid-search. Nil means the job assembles a
+	// private session from the legacy Cache/Autotune* fields below.
+	Planner *Planner
 	// Cache memoizes boundary resharding plans. Structurally identical
 	// stage boundaries (the common case: every GPT boundary reshards the
 	// same tensor between congruent meshes) plan once and share the timing.
 	// Nil means Run uses a private per-run cache; share one cache across
 	// jobs to also reuse plans between runs on congruent topologies.
+	//
+	// Deprecated: set Planner (e.g. NewPlanner(WithCache(c))) instead;
+	// ignored when Planner is non-nil.
 	Cache *ReshardCache
 	// Autotune searches the full strategy x scheduler grid per distinct
 	// boundary (deterministically, in parallel) instead of using Reshard's
 	// fixed Strategy/Scheduler.
 	Autotune bool
 	// AutotuneWorkers bounds the autotuner's concurrency (0 = GOMAXPROCS).
+	//
+	// Deprecated: set Planner (e.g. NewPlanner(WithParallelism(n)))
+	// instead; ignored when Planner is non-nil.
 	AutotuneWorkers int
 }
 
@@ -89,51 +101,66 @@ func (j *TrainingJob) StageMeshes() ([]*Mesh, error) {
 	return meshes, nil
 }
 
+// boundaryTask decomposes one workload boundary tensor into a resharding
+// task between its stage meshes.
+func (j *TrainingJob) boundaryTask(meshes []*Mesh, bt model.BoundaryTensor) (*ReshardTask, error) {
+	srcSpec, err := sharding.Parse(bt.SrcSpec)
+	if err != nil {
+		return nil, err
+	}
+	dstSpec, err := sharding.Parse(bt.DstSpec)
+	if err != nil {
+		return nil, err
+	}
+	task, err := sharding.NewTask(bt.Shape, j.Workload.DType, meshes[bt.Boundary], srcSpec, meshes[bt.Boundary+1], dstSpec)
+	if err != nil {
+		return nil, fmt.Errorf("alpacomm: boundary %d tensor %q: %v", bt.Boundary, bt.Name, err)
+	}
+	return task, nil
+}
+
 // boundaryCommTime plans and simulates the resharding of every tensor
-// crossing boundary s (stage s -> s+1) and returns the summed makespan per
-// micro-batch. Plans come from the cache, so boundaries that reshard the
-// same tensor between congruent meshes are planned once.
-func (j *TrainingJob) boundaryCommTime(cache *ReshardCache, meshes []*Mesh, s int) (float64, error) {
+// crossing boundary s (stage s -> s+1) through the session and returns the
+// summed makespan per micro-batch. Plans come from the session cache, so
+// boundaries that reshard the same tensor between congruent meshes are
+// planned once.
+func (j *TrainingJob) boundaryCommTime(ctx context.Context, p *Planner, meshes []*Mesh, s int) (float64, error) {
 	var total float64
 	for _, bt := range j.Workload.Boundaries {
 		if bt.Boundary != s {
 			continue
 		}
-		srcSpec, err := sharding.Parse(bt.SrcSpec)
+		task, err := j.boundaryTask(meshes, bt)
 		if err != nil {
 			return 0, err
-		}
-		dstSpec, err := sharding.Parse(bt.DstSpec)
-		if err != nil {
-			return 0, err
-		}
-		task, err := sharding.NewTask(bt.Shape, j.Workload.DType, meshes[s], srcSpec, meshes[s+1], dstSpec)
-		if err != nil {
-			return 0, fmt.Errorf("alpacomm: boundary %d tensor %q: %v", s, bt.Name, err)
 		}
 		if j.Autotune {
-			res, err := resharding.Autotune(task, resharding.AutotuneOptions{
-				Base:    j.Reshard,
-				Workers: j.AutotuneWorkers,
-				Cache:   cache,
-			})
+			res, err := p.Autotune(ctx, task, j.Reshard)
 			if err != nil {
 				return 0, err
 			}
 			total += res.BestSim.Makespan
 			continue
 		}
-		res, err := cache.Simulate(task, j.Reshard)
+		sim, err := p.Simulate(ctx, task, j.Reshard)
 		if err != nil {
 			return 0, err
 		}
-		total += res.Makespan
+		total += sim.Makespan
 	}
 	return total, nil
 }
 
-// Run simulates one training iteration and reports throughput.
+// Run simulates one training iteration and reports throughput. It cannot
+// be interrupted; long autotuned runs should use RunContext.
 func (j *TrainingJob) Run() (*TrainingReport, error) {
+	return j.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation threaded through every
+// boundary's planning and autotuning, so a deadline aborts a deep job's
+// grid searches mid-candidate instead of riding them out.
+func (j *TrainingJob) RunContext(ctx context.Context) (*TrainingReport, error) {
 	if j.Workload == nil {
 		return nil, fmt.Errorf("alpacomm: nil workload")
 	}
@@ -161,13 +188,10 @@ func (j *TrainingJob) Run() (*TrainingReport, error) {
 
 	// Per-boundary communication from simulated resharding plans. The
 	// backward gradient has the same shape; reuse the forward time.
-	cache := j.Cache
-	if cache == nil {
-		cache = resharding.NewPlanCache()
-	}
+	planner := j.session()
 	comm := make([]float64, pc.PP-1)
 	for s := 0; s < pc.PP-1; s++ {
-		c, err := j.boundaryCommTime(cache, meshes, s)
+		c, err := j.boundaryCommTime(ctx, planner, meshes, s)
 		if err != nil {
 			return nil, err
 		}
