@@ -93,6 +93,38 @@ var (
 	DGXA100HostSpec = mesh.DGXA100HostSpec
 )
 
+// Degraded-topology scenario engine: deterministic fault overlays on any
+// topology (down links with detour rerouting, per-link bandwidth scaling
+// and latency inflation, straggler hosts), folded into the topology
+// fingerprint so healthy and degraded plans never share a cache entry.
+type (
+	// FaultSet is a deterministic overlay of degradations; the zero value
+	// is the healthy identity.
+	FaultSet = mesh.FaultSet
+	// LinkFault degrades or downs one inter-host link.
+	LinkFault = mesh.LinkFault
+	// HostFault marks one host a straggler (NIC / intra-host scaling).
+	HostFault = mesh.HostFault
+	// FaultedTopology decorates a base Topology with a FaultSet; every
+	// layer above sees the degraded fabric through the same interface.
+	FaultedTopology = mesh.Faulted
+)
+
+// NewFaultedTopology validates a fault set against a base topology and
+// builds the degraded overlay.
+var NewFaultedTopology = mesh.NewFaulted
+
+// ParseFaultSet parses the CLIs' compact fault notation, e.g.
+// "link:0-1:down;host:3:nic=0.25,intra=0.5".
+var ParseFaultSet = mesh.ParseFaultSet
+
+// Named fault scenarios of the default topology registry.
+const (
+	FaultScenarioLinkDown  = mesh.FaultLinkDown
+	FaultScenarioBrownout  = mesh.FaultBrownout
+	FaultScenarioStraggler = mesh.FaultStraggler
+)
+
 // Named topology presets.
 type (
 	// TopologyRegistry maps preset names ("p3", "dgx-a100", "mixed") to

@@ -92,6 +92,18 @@ func requestMix() []template {
 	}
 }
 
+// faultMix returns the degradation overlays -faults churn traffic cycles
+// through. Every overlay touches hosts 0/1 or the 0-1 link, which every
+// mix template's boundary involves — so each degraded request re-keys
+// away from its healthy twin and the cache partitions visibly.
+func faultMix() []*service.FaultsRef {
+	return []*service.FaultsRef{
+		{Hosts: []service.HostFaultRef{{Host: 0, NICScale: 0.5}}},
+		{Hosts: []service.HostFaultRef{{Host: 1, NICScale: 0.25, IntraScale: 0.5}}},
+		{Links: []service.LinkFaultRef{{A: 0, B: 1, BandwidthScale: 0.5, ExtraLatencySeconds: 20e-6}}},
+	}
+}
+
 // batchTemplate is one /v2/plan:batch request shape: the boundaries of a
 // pipeline job on one named topology.
 type batchTemplate struct {
@@ -132,6 +144,8 @@ type clientStats struct {
 	batchOK            int
 	batchItems         int
 	batchLatencies     []float64 // seconds, successful batch requests only
+	faultAttempts      int
+	faultOK            int
 	firstErr           string
 }
 
@@ -164,12 +178,17 @@ type report struct {
 	BatchLatencyP95Millis float64 `json:"batch_latency_p95_ms,omitempty"`
 	BatchLatencyP99Millis float64 `json:"batch_latency_p99_ms,omitempty"`
 	BatchLatencyMaxMillis float64 `json:"batch_latency_max_ms,omitempty"`
-	CacheHits             int     `json:"cache_hits"`
-	CacheMisses           int     `json:"cache_misses"`
-	CacheEntries          int     `json:"cache_entries"`
-	CacheEvictions        int     `json:"cache_evictions"`
-	CacheCapacity         int     `json:"cache_capacity"`
-	ServerCoalesced       int64   `json:"server_coalesced"`
+	// Fault fields cover the degraded-topology churn slice of the mix
+	// (-faults): /v2/plan requests carrying a fault overlay. Zero when
+	// fault churn is disabled.
+	FaultRequests   int   `json:"fault_requests,omitempty"`
+	FaultOK         int   `json:"fault_ok,omitempty"`
+	CacheHits       int   `json:"cache_hits"`
+	CacheMisses     int   `json:"cache_misses"`
+	CacheEntries    int   `json:"cache_entries"`
+	CacheEvictions  int   `json:"cache_evictions"`
+	CacheCapacity   int   `json:"cache_capacity"`
+	ServerCoalesced int64 `json:"server_coalesced"`
 }
 
 func main() {
@@ -181,6 +200,8 @@ func main() {
 	autotuneFrac := flag.Float64("autotune-fraction", 0.05, "fraction of requests sent to /v1/autotune")
 	batch := flag.Bool("batch", false, "add /v2/plan:batch pipeline-job requests to the mix and report their latency percentiles")
 	batchFrac := flag.Float64("batch-fraction", 0.15, "fraction of requests sent to /v2/plan:batch when -batch is set")
+	faults := flag.Bool("faults", false, "add degraded-topology churn to the mix: /v2/plan requests carrying fault overlays alongside their healthy twins")
+	faultsFrac := flag.Float64("faults-fraction", 0.2, "fraction of plan requests carrying a fault overlay when -faults is set")
 	spread := flag.Int("spread", 1, "distinct Options.Seed values per template (>1 multiplies distinct cache keys, exercising LRU eviction)")
 	jsonPath := flag.String("json", "", "write the benchmark report JSON to this file")
 	verify := flag.Bool("verify", false, "verify served plans byte-identical to the direct resharding path")
@@ -217,6 +238,10 @@ func main() {
 	if *batch {
 		batches = batchMix()
 	}
+	overlays := []*service.FaultsRef(nil)
+	if *faults {
+		overlays = faultMix()
+	}
 	client := alpacomm.NewPlanClient(base, nil)
 	ctx := context.Background()
 
@@ -241,6 +266,8 @@ func main() {
 				autotuneFrac: *autotuneFrac,
 				batches:      batches,
 				batchFrac:    *batchFrac,
+				overlays:     overlays,
+				faultsFrac:   *faultsFrac,
 				spread:       *spread,
 			})
 		}(c)
@@ -260,6 +287,8 @@ func main() {
 		all.batchOK += s.batchOK
 		all.batchItems += s.batchItems
 		all.batchLatencies = append(all.batchLatencies, s.batchLatencies...)
+		all.faultAttempts += s.faultAttempts
+		all.faultOK += s.faultOK
 		if all.firstErr == "" {
 			all.firstErr = s.firstErr
 		}
@@ -295,6 +324,8 @@ func main() {
 		BatchLatencyP95Millis: percentileMillis(all.batchLatencies, 95),
 		BatchLatencyP99Millis: percentileMillis(all.batchLatencies, 99),
 		BatchLatencyMaxMillis: percentileMillis(all.batchLatencies, 100),
+		FaultRequests:         all.faultAttempts,
+		FaultOK:               all.faultOK,
 		CacheHits:             sstats.Cache.Hits,
 		CacheMisses:           sstats.Cache.Misses,
 		CacheEntries:          sstats.Cache.Entries,
@@ -334,9 +365,21 @@ func main() {
 				fmt.Println("verify: /v2/plan:batch items byte-identical to per-boundary /v1/plan")
 			}
 		}
+		if len(overlays) > 0 {
+			if n := verifyFaults(ctx, client, mix, overlays); n > 0 {
+				fmt.Printf("VERIFY FAILED: %d degraded request(s) violated the fault-overlay contract\n", n)
+				failed = true
+			} else {
+				fmt.Println("verify: degraded plans re-keyed, deterministic, and never faster than healthy")
+			}
+		}
 	}
 	if *smoke && len(batches) > 0 && all.batchOK == 0 {
 		fmt.Println("SMOKE FAILED: no /v2/plan:batch request succeeded")
+		failed = true
+	}
+	if *smoke && len(overlays) > 0 && all.faultOK == 0 {
+		fmt.Println("SMOKE FAILED: no degraded-topology request succeeded")
 		failed = true
 	}
 	if rep.CacheCapacity > 0 && rep.CacheEntries > rep.CacheCapacity {
@@ -369,6 +412,8 @@ type clientConfig struct {
 	autotuneFrac float64
 	batches      []batchTemplate
 	batchFrac    float64
+	overlays     []*service.FaultsRef
+	faultsFrac   float64
 	spread       int
 }
 
@@ -395,6 +440,43 @@ func runClient(ctx context.Context, client *alpacomm.PlanClient, mix []template,
 				out.batchOK++
 				out.batchItems += len(resp.Items)
 				out.batchLatencies = append(out.batchLatencies, time.Since(begin).Seconds())
+			case *service.OverloadedError:
+				out.rejected++
+				backoff := e.RetryAfter
+				if backoff > 50*time.Millisecond {
+					backoff = 50 * time.Millisecond
+				}
+				time.Sleep(backoff)
+			default:
+				out.errs++
+				if out.firstErr == "" {
+					out.firstErr = err.Error()
+				}
+			}
+			continue
+		}
+		if len(cfg.overlays) > 0 && cfg.rng.Float64() < cfg.faultsFrac {
+			// Degraded-topology churn: the same template the healthy mix
+			// plans, with a fault overlay — exercising replan-on-degrade
+			// and the healthy/degraded cache partition under load.
+			t := planTemplates[cfg.rng.Intn(len(planTemplates))]
+			ov := cfg.overlays[cfg.rng.Intn(len(cfg.overlays))]
+			out.faultAttempts++
+			begin := time.Now()
+			resp, err := client.PlanV2(ctx, &alpacomm.PlanServiceRequest{
+				Topology: t.topology, Shape: t.shape, DType: t.dtype,
+				Src: t.src, Dst: t.dst,
+				Options: service.PlanOptions{Seed: 1 + int64(cfg.rng.Intn(cfg.spread))},
+				Faults:  ov,
+			})
+			switch e := err.(type) {
+			case nil:
+				out.ok++
+				out.faultOK++
+				out.latencies = append(out.latencies, time.Since(begin).Seconds())
+				if resp.Coalesced {
+					out.coalesced++
+				}
 			case *service.OverloadedError:
 				out.rejected++
 				backoff := e.RetryAfter
@@ -577,6 +659,67 @@ func verifyBatches(ctx context.Context, client *alpacomm.PlanClient, batches []b
 	return bad
 }
 
+// verifyFaults replays each (plan template, overlay) pair once and checks
+// the fault-overlay contract: the degraded response carries a different
+// cache key than the healthy one, is deterministic across repeats, and —
+// since every overlay only slows hardware down — never reports a smaller
+// makespan than the healthy plan. The makespan comparison is across two
+// independently searched plans; it is stable here because the templates
+// and overlays are fixed, planning is deterministic, and every overlay
+// degrades the involved hardware by at least 2x (the plan-for-plan
+// guarantee is fuzz-tested in internal/resharding). Returns the number
+// of violations.
+func verifyFaults(ctx context.Context, client *alpacomm.PlanClient, mix []template, overlays []*service.FaultsRef) int {
+	bad := 0
+	for _, t := range mix {
+		if t.autotune {
+			continue
+		}
+		healthy, err := client.PlanV2(ctx, &alpacomm.PlanServiceRequest{
+			Topology: t.topology, Shape: t.shape, DType: t.dtype,
+			Src: t.src, Dst: t.dst, Options: service.PlanOptions{Seed: 1},
+		})
+		if err != nil {
+			fmt.Printf("verify %s: healthy request: %v\n", t.name, err)
+			bad++
+			continue
+		}
+		for oi, ov := range overlays {
+			req := &alpacomm.PlanServiceRequest{
+				Topology: t.topology, Shape: t.shape, DType: t.dtype,
+				Src: t.src, Dst: t.dst, Options: service.PlanOptions{Seed: 1},
+				Faults: ov,
+			}
+			degraded, err := client.PlanV2(ctx, req)
+			if err != nil {
+				fmt.Printf("verify %s overlay %d: %v\n", t.name, oi, err)
+				bad++
+				continue
+			}
+			again, err := client.PlanV2(ctx, req)
+			if err != nil {
+				fmt.Printf("verify %s overlay %d: repeat: %v\n", t.name, oi, err)
+				bad++
+				continue
+			}
+			switch {
+			case degraded.Key == healthy.Key:
+				fmt.Printf("verify %s overlay %d: degraded request shares the healthy cache key\n", t.name, oi)
+				bad++
+			case degraded.MakespanSeconds < healthy.MakespanSeconds:
+				fmt.Printf("verify %s overlay %d: degraded makespan %.9g beats healthy %.9g\n",
+					t.name, oi, degraded.MakespanSeconds, healthy.MakespanSeconds)
+				bad++
+			case again.Key != degraded.Key || again.MakespanSeconds != degraded.MakespanSeconds ||
+				!reflect.DeepEqual(again.Senders, degraded.Senders) || !reflect.DeepEqual(again.Order, degraded.Order):
+				fmt.Printf("verify %s overlay %d: degraded plan not deterministic across repeats\n", t.name, oi)
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
 // directPlan computes the template's plan without the service: same
 // registry topology, same deterministic options.
 func directPlan(reg *alpacomm.TopologyRegistry, t template) (*alpacomm.ReshardPlan, *alpacomm.ReshardResult, error) {
@@ -650,6 +793,9 @@ func printReport(r report) {
 		fmt.Printf("  batch: %d requests (%d ok, %d items planned)\n", r.BatchRequests, r.BatchOK, r.BatchItems)
 		fmt.Printf("  batch latency p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
 			r.BatchLatencyP50Millis, r.BatchLatencyP95Millis, r.BatchLatencyP99Millis, r.BatchLatencyMaxMillis)
+	}
+	if r.FaultRequests > 0 {
+		fmt.Printf("  degraded churn: %d requests (%d ok)\n", r.FaultRequests, r.FaultOK)
 	}
 	fmt.Printf("  server cache: %d hits, %d misses, %d entries (capacity %d), %d evictions\n",
 		r.CacheHits, r.CacheMisses, r.CacheEntries, r.CacheCapacity, r.CacheEvictions)

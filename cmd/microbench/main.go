@@ -8,13 +8,17 @@
 // Usage:
 //
 //	microbench [-fig 5a|5b|6|all] [-scale N] [-netsim BENCH_netsim.json]
+//	           [-degraded BENCH_degraded.json]
 //
 // scale divides the message size (1 for the paper's full 1-2 GB tensors).
-// With -netsim the figure benchmarks are skipped unless -fig is given
-// explicitly.
+// With -netsim and/or -degraded the figure benchmarks are skipped unless
+// -fig is given explicitly. -degraded runs the degraded-topology scenario
+// pack: the golden boundary planned healthy and under every named fault
+// scenario on p3/dgx-a100/mixed, reporting makespan deltas.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,13 +28,16 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "which figure to run: 5a, 5b, 6, or all (default all, or none with -netsim)")
+	fig := flag.String("fig", "", "which figure to run: 5a, 5b, 6, or all (default all, or none with -netsim/-degraded)")
 	scale := flag.Int("scale", 1, "divide message sizes by this factor for faster runs")
 	jsonOut := flag.String("json", "", "also record all rows to this JSON file (artifact format)")
 	netsimOut := flag.String("netsim", "", "measure netsim core hot paths (ns/op + allocs/op) and write them to this JSON file")
+	degradedOut := flag.String("degraded", "", "run the degraded-topology scenario pack and write it to this JSON file")
 	flag.Parse()
 
+	ranAux := false
 	if *netsimOut != "" {
+		ranAux = true
 		rows, err := harness.NetsimBench()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "microbench: netsim bench: %v\n", err)
@@ -42,9 +49,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
 			os.Exit(1)
 		}
-		if *fig == "" {
-			return
+	}
+	if *degradedOut != "" {
+		ranAux = true
+		rows, err := harness.DegradedScenarioPack(context.Background())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: degraded scenario pack: %v\n", err)
+			os.Exit(1)
 		}
+		fmt.Print(harness.RenderDegradedRows(rows))
+		fmt.Println()
+		if err := harness.WriteDegradedJSON(*degradedOut, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if ranAux && *fig == "" {
+		return
 	}
 	if *fig == "" {
 		*fig = "all"

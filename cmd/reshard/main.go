@@ -56,6 +56,7 @@ func main() {
 	oversub := flag.Float64("oversub", 1, "fabric oversubscription (mixed topology)")
 	strategy := flag.String("strategy", "broadcast", "send-recv, local-allgather, global-allgather, broadcast, alpa, signal")
 	scheduler := flag.String("scheduler", "ensemble", "naive, greedy-load, loadbalance, ensemble")
+	faults := flag.String("faults", "", `degrade the topology and re-plan: a named scenario (link-down, brownout, straggler) or a fault spec like "link:0-1:down;host:1:nic=0.25"`)
 	showTimeline := flag.Bool("timeline", true, "print the network timeline")
 	timeout := flag.Duration("timeout", 0, "abort planning after this long (0 = no limit); the deadline reaches inside the DFS")
 	flag.Parse()
@@ -71,7 +72,8 @@ func main() {
 	if err != nil {
 		fail("bad shape: %v", err)
 	}
-	cluster, err := alpacomm.DefaultTopologyRegistry().Build(*topology,
+	registry := alpacomm.DefaultTopologyRegistry()
+	cluster, err := registry.Build(*topology,
 		alpacomm.TopologyParams{Hosts: *hosts, Oversubscription: *oversub})
 	if err != nil {
 		fail("%v", err)
@@ -136,5 +138,47 @@ func main() {
 	if *showTimeline {
 		fmt.Println("\nNetwork timeline:")
 		fmt.Print(trace.Gantt(res.Events, nil, 100))
+	}
+
+	if *faults != "" {
+		// Replan-on-degrade: the healthy plan above is cached in the
+		// session; the same boundary re-planned under the overlay lands in
+		// its own cache partition.
+		var fs alpacomm.FaultSet
+		if isScenario := func() bool {
+			for _, n := range registry.FaultScenarioNames() {
+				if n == *faults {
+					return true
+				}
+			}
+			return false
+		}(); isScenario {
+			// A known scenario that fails to build (e.g. link-down on 2
+			// hosts) must report the topology problem, not fall through to
+			// the spec parser and mask it.
+			var err error
+			if fs, err = registry.BuildFaultScenario(*faults, cluster); err != nil {
+				fail("%v", err)
+			}
+		} else {
+			var err error
+			if fs, err = alpacomm.ParseFaultSet(*faults); err != nil {
+				fail("bad -faults %q: not a scenario name (have %s) or a fault spec: %v",
+					*faults, strings.Join(registry.FaultScenarioNames(), ", "), err)
+			}
+		}
+		degPlan, degSim, err := planner.ReplanDegraded(ctx, task, opts, fs)
+		if err != nil {
+			fail("replan under faults: %v", err)
+		}
+		fmt.Printf("\nDegraded topology (-faults %s): %d link fault(s), %d straggler host(s)\n",
+			*faults, len(fs.Links), len(fs.Hosts))
+		fmt.Printf("Degraded plan: %v\n  launch order %v\n  senders %v\n", degPlan, degPlan.Order, degPlan.SenderOf)
+		fmt.Printf("Degraded completion: %.6fs (healthy %.6fs, %+.1f%%), effective bandwidth %.2f Gbps\n",
+			degSim.Makespan, res.Makespan, 100*(degSim.Makespan-res.Makespan)/res.Makespan, degSim.EffectiveGbps)
+		if *showTimeline {
+			fmt.Println("\nDegraded network timeline:")
+			fmt.Print(trace.Gantt(degSim.Events, nil, 100))
+		}
 	}
 }

@@ -1,0 +1,270 @@
+// Degraded-topology golden fixtures: for every (preset, fault scenario)
+// pair, the healthy plan and the replan-on-degrade outcome — senders,
+// launch order, makespans and the full Event timeline — captured once and
+// asserted byte-identical across runs and machines.
+//
+// Regenerate with: go test -run TestGoldenDegraded -update .
+// (the same -update flag golden_test.go registers; both fixture files are
+// rewritten by their own test only).
+//
+// The file also pins the empty-overlay identity acceptance criterion on
+// all three presets: a FaultedTopology with a zero FaultSet produces
+// plans, makespans, Events and cache keys byte-identical to the unwrapped
+// topology — verified against the same golden bytes, not just against a
+// second live run.
+package alpacomm_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	alpacomm "alpacomm"
+	"alpacomm/internal/resharding"
+)
+
+// goldenDegradedHealthy is one preset's baseline plan on the pristine
+// topology, stored once per preset (every scenario row references it).
+type goldenDegradedHealthy struct {
+	Preset   string        `json:"preset"`
+	SenderOf map[int]int   `json:"sender_of"`
+	Order    []int         `json:"order"`
+	Makespan float64       `json:"makespan"`
+	Events   []goldenEvent `json:"events"`
+}
+
+// goldenDegradedRow is one (preset, scenario) replan-on-degrade outcome.
+type goldenDegradedRow struct {
+	Preset   string `json:"preset"`
+	Scenario string `json:"scenario"`
+	// Faults is the overlay's canonical form, pinning the scenario
+	// definition itself.
+	Faults   string        `json:"faults"`
+	SenderOf map[int]int   `json:"sender_of"`
+	Order    []int         `json:"order"`
+	Makespan float64       `json:"makespan"`
+	EffGbps  float64       `json:"eff_gbps"`
+	Events   []goldenEvent `json:"events"`
+}
+
+// goldenDegradedFile is the fixture layout.
+type goldenDegradedFile struct {
+	Healthy []goldenDegradedHealthy `json:"healthy"`
+	Rows    []goldenDegradedRow     `json:"rows"`
+}
+
+// goldenDegradedOpts is the deterministic planning configuration of the
+// scenario pack (node-budgeted DFS, fixed seed).
+var goldenDegradedOpts = alpacomm.ReshardOptions{
+	Strategy:  alpacomm.StrategyBroadcast,
+	Scheduler: alpacomm.SchedulerEnsemble,
+	Seed:      1,
+	DFSNodes:  20000,
+	Chunks:    8,
+}
+
+// goldenDegradedPresets mirrors the harness scenario pack: host counts
+// chosen so every scenario is buildable (link-down needs a detour host).
+func goldenDegradedPresets() []struct {
+	Name string
+	Topo alpacomm.Topology
+} {
+	return []struct {
+		Name string
+		Topo alpacomm.Topology
+	}{
+		{"p3", alpacomm.AWSP3Cluster(4)},
+		{"dgx-a100", alpacomm.DGXA100Cluster(3)},
+		{"mixed", alpacomm.MixedP3DGXCluster(2, 2, 2)},
+	}
+}
+
+// goldenDegradedTask builds the shared golden boundary on a topology.
+func goldenDegradedTask(t *testing.T, topo alpacomm.Topology) *alpacomm.ReshardTask {
+	t.Helper()
+	shape, err := alpacomm.NewShape(128, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := topo.Slice([]int{2, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := topo.Slice([]int{2, 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcSpec, _ := alpacomm.ParseSpec("RS01R")
+	dstSpec, _ := alpacomm.ParseSpec("S01RR")
+	task, err := alpacomm.NewReshardTask(shape, alpacomm.Float32, src, srcSpec, dst, dstSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func buildGoldenDegraded(t *testing.T) goldenDegradedFile {
+	t.Helper()
+	ctx := context.Background()
+	reg := alpacomm.DefaultTopologyRegistry()
+	var out goldenDegradedFile
+	for _, p := range goldenDegradedPresets() {
+		task := goldenDegradedTask(t, p.Topo)
+		planner := alpacomm.NewPlanner(alpacomm.WithTopology(p.Topo))
+		healthyPlan, healthySim, err := planner.Plan(ctx, task, goldenDegradedOpts)
+		if err != nil {
+			t.Fatalf("%s: healthy plan: %v", p.Name, err)
+		}
+		out.Healthy = append(out.Healthy, goldenDegradedHealthy{
+			Preset:   p.Name,
+			SenderOf: healthyPlan.SenderOf,
+			Order:    healthyPlan.Order,
+			Makespan: healthySim.Makespan,
+			Events:   toGoldenEvents(healthySim.Events),
+		})
+		for _, scenario := range reg.FaultScenarioNames() {
+			fs, err := reg.BuildFaultScenario(scenario, p.Topo)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, scenario, err)
+			}
+			degPlan, degSim, err := planner.ReplanDegraded(ctx, task, goldenDegradedOpts, fs)
+			if err != nil {
+				t.Fatalf("%s/%s: replan: %v", p.Name, scenario, err)
+			}
+			out.Rows = append(out.Rows, goldenDegradedRow{
+				Preset:   p.Name,
+				Scenario: scenario,
+				Faults:   fs.Canonical(),
+				SenderOf: degPlan.SenderOf,
+				Order:    degPlan.Order,
+				Makespan: degSim.Makespan,
+				EffGbps:  degSim.EffectiveGbps,
+				Events:   toGoldenEvents(degSim.Events),
+			})
+		}
+	}
+	return out
+}
+
+// TestGoldenDegraded asserts the scenario pack is byte-identical to the
+// committed fixtures.
+func TestGoldenDegraded(t *testing.T) {
+	got := buildGoldenDegraded(t)
+	path := filepath.Join("testdata", "golden_degraded.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("degraded golden fixtures rewritten: %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing degraded golden fixtures (run with -update): %v", err)
+	}
+	var want goldenDegradedFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Healthy) != len(want.Healthy) || len(got.Rows) != len(want.Rows) {
+		t.Fatalf("fixture count: got %d/%d want %d/%d",
+			len(got.Healthy), len(got.Rows), len(want.Healthy), len(want.Rows))
+	}
+	healthyOf := map[string]goldenDegradedHealthy{}
+	for i, w := range want.Healthy {
+		g := got.Healthy[i]
+		if g.Preset != w.Preset {
+			t.Fatalf("healthy fixture %d identity: got %s want %s", i, g.Preset, w.Preset)
+		}
+		healthyOf[w.Preset] = w
+		if g.Makespan != w.Makespan {
+			t.Errorf("%s healthy: makespan %v, want %v", g.Preset, g.Makespan, w.Makespan)
+		}
+		if !reflect.DeepEqual(g.SenderOf, w.SenderOf) || !reflect.DeepEqual(g.Order, w.Order) {
+			t.Errorf("%s: healthy plan differs from fixture", g.Preset)
+		}
+		assertEventsEqual(t, g.Preset+"/healthy", g.Events, w.Events)
+	}
+	for i, w := range want.Rows {
+		g := got.Rows[i]
+		name := g.Preset + "/" + g.Scenario
+		if g.Preset != w.Preset || g.Scenario != w.Scenario || g.Faults != w.Faults {
+			t.Fatalf("fixture %d identity: got %s faults %q, want %s/%s faults %q",
+				i, name, g.Faults, w.Preset, w.Scenario, w.Faults)
+		}
+		if g.Makespan != w.Makespan || g.EffGbps != w.EffGbps {
+			t.Errorf("%s: makespan/gbps = %v/%v, want %v/%v", name, g.Makespan, g.EffGbps, w.Makespan, w.EffGbps)
+		}
+		if !reflect.DeepEqual(g.SenderOf, w.SenderOf) || !reflect.DeepEqual(g.Order, w.Order) {
+			t.Errorf("%s: degraded plan differs from fixture", name)
+		}
+		assertEventsEqual(t, name+"/degraded", g.Events, w.Events)
+		if g.Makespan < healthyOf[g.Preset].Makespan {
+			t.Errorf("%s: degraded makespan %g beats healthy %g", name, g.Makespan, healthyOf[g.Preset].Makespan)
+		}
+	}
+}
+
+// TestGoldenEmptyFaultSetIdentity pins the acceptance criterion against
+// the committed golden bytes: on all three presets, planning through a
+// FaultedTopology with an empty FaultSet reproduces the fixture's healthy
+// plan, makespan and Events exactly, and shares the healthy cache key.
+func TestGoldenEmptyFaultSetIdentity(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_degraded.json"))
+	if err != nil {
+		t.Skipf("degraded golden fixtures not built yet (run -update): %v", err)
+	}
+	var want goldenDegradedFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	healthyOf := map[string]goldenDegradedHealthy{}
+	for _, w := range want.Healthy {
+		healthyOf[w.Preset] = w
+	}
+	ctx := context.Background()
+	for _, p := range goldenDegradedPresets() {
+		w, ok := healthyOf[p.Name]
+		if !ok {
+			t.Fatalf("no fixture rows for preset %s", p.Name)
+		}
+		wrapped, err := alpacomm.NewFaultedTopology(p.Topo, alpacomm.FaultSet{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrapped.Fingerprint() != p.Topo.Fingerprint() {
+			t.Errorf("%s: empty overlay changed the fingerprint", p.Name)
+		}
+		task := goldenDegradedTask(t, wrapped)
+		planner := alpacomm.NewPlanner(alpacomm.WithTopology(p.Topo))
+		plan, sim, err := planner.Plan(ctx, task, goldenDegradedOpts)
+		if err != nil {
+			t.Fatalf("%s: plan on empty overlay: %v", p.Name, err)
+		}
+		if sim.Makespan != w.Makespan {
+			t.Errorf("%s: empty-overlay makespan %v != golden healthy %v", p.Name, sim.Makespan, w.Makespan)
+		}
+		if !reflect.DeepEqual(plan.SenderOf, w.SenderOf) || !reflect.DeepEqual(plan.Order, w.Order) {
+			t.Errorf("%s: empty-overlay plan differs from golden healthy plan", p.Name)
+		}
+		assertEventsEqual(t, p.Name+"/empty-overlay", toGoldenEvents(sim.Events), w.Events)
+
+		// Cache-key identity: the wrapped and unwrapped boundaries are one
+		// cache entry.
+		baseTask := goldenDegradedTask(t, p.Topo)
+		opts := planner.ResolveOptions(goldenDegradedOpts)
+		if resharding.CacheKey(task, opts) != resharding.CacheKey(baseTask, opts) {
+			t.Errorf("%s: empty overlay changed the cache key", p.Name)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestDegradedScenarioPack: the pack runs every scenario on every preset,
+// enforces its own invariants (degraded never beats healthy, cache keys
+// partition exactly when the overlay is observable), and is deterministic
+// across runs.
+func TestDegradedScenarioPack(t *testing.T) {
+	rows, err := DegradedScenarioPack(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(degradedPackPresets()) * 3 // link-down, brownout, straggler
+	if len(rows) != wantRows {
+		t.Fatalf("pack produced %d rows, want %d", len(rows), wantRows)
+	}
+	sawSlowdown := false
+	for _, r := range rows {
+		if r.DegradedMakespan < r.HealthyMakespan {
+			t.Errorf("%s/%s: degraded %g beats healthy %g", r.Preset, r.Scenario, r.DegradedMakespan, r.HealthyMakespan)
+		}
+		if r.DeltaPct > 0 {
+			sawSlowdown = true
+		}
+	}
+	if !sawSlowdown {
+		t.Error("no scenario slowed any preset down — the overlay is not reaching the simulator")
+	}
+
+	again, err := DegradedScenarioPack(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("row %d differs across runs: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+
+	table := RenderDegradedRows(rows)
+	for _, want := range []string{"p3", "dgx-a100", "mixed", "brownout", "link-down", "straggler"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package mesh
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultedEmptyIsIdentity: wrapping any topology with the zero FaultSet
+// must change nothing — fingerprint, every bandwidth and latency, and
+// SameTopology equality with the base.
+func TestFaultedEmptyIsIdentity(t *testing.T) {
+	for _, base := range []Topology{
+		AWSP3Cluster(4),
+		DGXA100Cluster(2),
+		MixedP3DGXCluster(2, 2, 2),
+	} {
+		f, err := NewFaulted(base, FaultSet{})
+		if err != nil {
+			t.Fatalf("%v: %v", base, err)
+		}
+		if f.Fingerprint() != base.Fingerprint() {
+			t.Errorf("%v: empty overlay changed the fingerprint", base)
+		}
+		if !SameTopology(f, base) {
+			t.Errorf("%v: empty overlay is not SameTopology with its base", base)
+		}
+		for h := 0; h < base.HostCount(); h++ {
+			if f.IntraBandwidth(h) != base.IntraBandwidth(h) || f.NICBandwidth(h) != base.NICBandwidth(h) {
+				t.Errorf("%v host %d: empty overlay changed host bandwidths", base, h)
+			}
+			for g := 0; g < base.HostCount(); g++ {
+				if g == h {
+					continue
+				}
+				if f.InterBandwidth(h, g) != base.InterBandwidth(h, g) || f.InterLatency(h, g) != base.InterLatency(h, g) {
+					t.Errorf("%v link %d-%d: empty overlay changed the fabric", base, h, g)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultedStragglerScalesHost: a host fault scales the NIC, the
+// intra-host link and every cross-host path touching the host.
+func TestFaultedStragglerScalesHost(t *testing.T) {
+	base := AWSP3Cluster(3)
+	f, err := NewFaulted(base, FaultSet{Hosts: []HostFault{{Host: 1, NICScale: 0.25, IntraScale: 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.NICBandwidth(1), base.NICBandwidth(1)*0.25; got != want {
+		t.Errorf("NIC bandwidth = %g, want %g", got, want)
+	}
+	if got, want := f.IntraBandwidth(1), base.IntraBandwidth(1)*0.5; got != want {
+		t.Errorf("intra bandwidth = %g, want %g", got, want)
+	}
+	if got, want := f.InterBandwidth(0, 1), base.InterBandwidth(0, 1)*0.25; got != want {
+		t.Errorf("inter bandwidth touching the straggler = %g, want %g", got, want)
+	}
+	if got, want := f.InterBandwidth(0, 2), base.InterBandwidth(0, 2); got != want {
+		t.Errorf("inter bandwidth avoiding the straggler = %g, want %g", got, want)
+	}
+	// Unfaulted host untouched.
+	if f.NICBandwidth(0) != base.NICBandwidth(0) || f.IntraBandwidth(2) != base.IntraBandwidth(2) {
+		t.Error("host fault leaked onto other hosts")
+	}
+}
+
+// TestFaultedLinkScaleAndLatency: a degraded link scales its own
+// bandwidth and adds its own latency, leaving every other link alone.
+func TestFaultedLinkScaleAndLatency(t *testing.T) {
+	base := AWSP3Cluster(3)
+	f, err := NewFaulted(base, FaultSet{Links: []LinkFault{{A: 1, B: 0, BandwidthScale: 0.5, ExtraLatency: 20e-6}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pair is unordered: fault given as 1-0 applies to 0-1 too.
+	for _, pair := range [][2]int{{0, 1}, {1, 0}} {
+		if got, want := f.InterBandwidth(pair[0], pair[1]), base.InterBandwidth(pair[0], pair[1])*0.5; got != want {
+			t.Errorf("link %v bandwidth = %g, want %g", pair, got, want)
+		}
+		if got, want := f.InterLatency(pair[0], pair[1]), base.InterLatency(pair[0], pair[1])+20e-6; got != want {
+			t.Errorf("link %v latency = %g, want %g", pair, got, want)
+		}
+	}
+	if f.InterBandwidth(0, 2) != base.InterBandwidth(0, 2) || f.InterLatency(1, 2) != base.InterLatency(1, 2) {
+		t.Error("link fault leaked onto other links")
+	}
+}
+
+// TestFaultedDownLinkDetours: a down link reroutes through the best
+// surviving relay: bandwidth capped at the direct link's, latency the sum
+// of the two detour hops (floored at the direct latency).
+func TestFaultedDownLinkDetours(t *testing.T) {
+	base := AWSP3Cluster(3)
+	f, err := NewFaulted(base, FaultSet{Links: []LinkFault{{A: 0, B: 1, Down: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Homogeneous cluster: the detour via host 2 has the same bandwidth as
+	// the direct link (capped there) and double the latency.
+	if got, want := f.InterBandwidth(0, 1), base.InterBandwidth(0, 1); got != want {
+		t.Errorf("detour bandwidth = %g, want %g", got, want)
+	}
+	if got, want := f.InterLatency(0, 1), 2*base.InterLatency(0, 1); got != want {
+		t.Errorf("detour latency = %g, want %g", got, want)
+	}
+	if f.InterBandwidth(1, 0) != f.InterBandwidth(0, 1) {
+		t.Error("detour must be symmetric on a symmetric base")
+	}
+	// A straggler relay degrades the detour it carries.
+	f2, err := NewFaulted(base, FaultSet{
+		Links: []LinkFault{{A: 0, B: 1, Down: true}},
+		Hosts: []HostFault{{Host: 2, NICScale: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f2.InterBandwidth(0, 1), base.InterBandwidth(0, 1)*0.5; got != want {
+		t.Errorf("detour through straggler relay = %g, want %g", got, want)
+	}
+}
+
+// TestFaultedValidation: every malformed fault set is rejected with a
+// clear error, and a down link with no surviving detour is caught at
+// construction.
+func TestFaultedValidation(t *testing.T) {
+	base := AWSP3Cluster(3)
+	cases := []struct {
+		name string
+		fs   FaultSet
+		want string
+	}{
+		{"host out of range", FaultSet{Hosts: []HostFault{{Host: 3, NICScale: 0.5}}}, "host fault on host 3"},
+		{"negative host", FaultSet{Hosts: []HostFault{{Host: -1, NICScale: 0.5}}}, "host fault on host -1"},
+		{"nic scale above one", FaultSet{Hosts: []HostFault{{Host: 0, NICScale: 1.5}}}, "scales must be in (0,1]"},
+		{"host fault no-op", FaultSet{Hosts: []HostFault{{Host: 0}}}, "degrades nothing"},
+		{"duplicate host", FaultSet{Hosts: []HostFault{{Host: 0, NICScale: 0.5}, {Host: 0, IntraScale: 0.5}}}, "duplicate host fault"},
+		{"link out of range", FaultSet{Links: []LinkFault{{A: 0, B: 9, BandwidthScale: 0.5}}}, "outside the 3-host topology"},
+		{"self link", FaultSet{Links: []LinkFault{{A: 1, B: 1, BandwidthScale: 0.5}}}, "not an inter-host link"},
+		{"duplicate link", FaultSet{Links: []LinkFault{{A: 0, B: 1, BandwidthScale: 0.5}, {A: 1, B: 0, Down: true}}}, "duplicate fault for link 0-1"},
+		{"link scale above one", FaultSet{Links: []LinkFault{{A: 0, B: 1, BandwidthScale: 2}}}, "must be in (0,1]"},
+		{"negative extra latency", FaultSet{Links: []LinkFault{{A: 0, B: 1, ExtraLatency: -1e-6}}}, "finite and non-negative"},
+		{"link fault no-op", FaultSet{Links: []LinkFault{{A: 0, B: 1}}}, "degrades nothing"},
+		{"down link with scale", FaultSet{Links: []LinkFault{{A: 0, B: 1, Down: true, BandwidthScale: 0.5}}}, "cannot also scale"},
+	}
+	for _, c := range cases {
+		if _, err := NewFaulted(base, c.fs); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	// Two hosts, the only link down: no detour exists.
+	if _, err := NewFaulted(AWSP3Cluster(2), FaultSet{Links: []LinkFault{{A: 0, B: 1, Down: true}}}); err == nil || !strings.Contains(err.Error(), "no live detour") {
+		t.Errorf("isolating down link: error = %v, want a no-live-detour error", err)
+	}
+	// Three hosts with every link down around host 0.
+	if _, err := NewFaulted(base, FaultSet{Links: []LinkFault{
+		{A: 0, B: 1, Down: true}, {A: 0, B: 2, Down: true},
+	}}); err == nil || !strings.Contains(err.Error(), "no live detour") {
+		t.Errorf("isolated host: error = %v, want a no-live-detour error", err)
+	}
+}
+
+// TestFaultedFingerprintPartition: the fault set is folded into
+// Fingerprint — any non-empty overlay differs from the base and from
+// every other distinct overlay, and the canonical form is order-blind.
+func TestFaultedFingerprintPartition(t *testing.T) {
+	base := AWSP3Cluster(3)
+	mk := func(fs FaultSet) string { return MustFaulted(base, fs).Fingerprint() }
+	a := mk(FaultSet{Hosts: []HostFault{{Host: 0, NICScale: 0.5}}})
+	b := mk(FaultSet{Hosts: []HostFault{{Host: 0, NICScale: 0.25}}})
+	c := mk(FaultSet{Links: []LinkFault{{A: 0, B: 1, Down: true}}})
+	if a == base.Fingerprint() || a == b || a == c || b == c {
+		t.Errorf("fingerprints collide: base=%q a=%q b=%q c=%q", base.Fingerprint(), a, b, c)
+	}
+	// Declaration order and endpoint order are canonicalized away.
+	x := mk(FaultSet{
+		Links: []LinkFault{{A: 2, B: 1, BandwidthScale: 0.5}, {A: 1, B: 0, ExtraLatency: 1e-6}},
+		Hosts: []HostFault{{Host: 1, IntraScale: 0.5}, {Host: 0, NICScale: 0.5}},
+	})
+	y := mk(FaultSet{
+		Hosts: []HostFault{{Host: 0, NICScale: 0.5}, {Host: 1, IntraScale: 0.5}},
+		Links: []LinkFault{{A: 0, B: 1, ExtraLatency: 1e-6}, {A: 1, B: 2, BandwidthScale: 0.5}},
+	})
+	if x != y {
+		t.Errorf("canonicalization is order-sensitive:\n%q\n%q", x, y)
+	}
+}
+
+// TestFaultedDelegatesStructure: structural queries pass straight through
+// to the base — the overlay degrades timing, never shape.
+func TestFaultedDelegatesStructure(t *testing.T) {
+	base := MixedP3DGXCluster(2, 2, 2)
+	f := MustFaulted(base, FaultSet{Hosts: []HostFault{{Host: 3, NICScale: 0.5}}})
+	if f.NumDevices() != base.NumDevices() || f.HostCount() != base.HostCount() {
+		t.Fatal("overlay changed counts")
+	}
+	for d := 0; d < base.NumDevices(); d++ {
+		if f.HostOf(d) != base.HostOf(d) {
+			t.Fatalf("device %d moved hosts", d)
+		}
+	}
+	m, err := f.Slice([]int{2, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Topo != Topology(f) {
+		t.Error("sliced mesh must be bound to the faulted topology")
+	}
+}
+
+// TestParseFaultSet: the CLI notation round-trips into the expected fault
+// sets and rejects malformed clauses.
+func TestParseFaultSet(t *testing.T) {
+	fs, err := ParseFaultSet("link:0-1:down; link:0-2:bw=0.5,lat+=20e-6; host:3:nic=0.25,intra=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultSet{
+		Links: []LinkFault{
+			{A: 0, B: 1, Down: true},
+			{A: 0, B: 2, BandwidthScale: 0.5, ExtraLatency: 20e-6},
+		},
+		Hosts: []HostFault{{Host: 3, NICScale: 0.25, IntraScale: 0.5}},
+	}
+	if fs.Canonical() != want.Canonical() {
+		t.Errorf("parsed %q, want %q", fs.Canonical(), want.Canonical())
+	}
+	if fs, err := ParseFaultSet(""); err != nil || !fs.Empty() {
+		t.Errorf("empty spec: fs=%+v err=%v", fs, err)
+	}
+	for _, bad := range []string{
+		"link:0-1",            // missing fields
+		"link:01:down",        // bad endpoints
+		"link:0-1:warp=9",     // unknown field
+		"host:x:nic=0.5",      // bad host index
+		"host:0:turbo=2",      // unknown field
+		"spine:0-1:down",      // unknown kind
+		"link:0-1:bw=fast",    // bad float
+		"host:0:nic=0.5,,bad", // trailing garbage
+	} {
+		if _, err := ParseFaultSet(bad); err == nil {
+			t.Errorf("ParseFaultSet(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+// TestRegistryFaultScenarios: the default registry names the built-in
+// scenarios, builds them against concrete topologies, and reports
+// actionable errors for scenarios a topology cannot host.
+func TestRegistryFaultScenarios(t *testing.T) {
+	r := DefaultRegistry()
+	names := r.FaultScenarioNames()
+	for _, want := range []string{FaultBrownout, FaultLinkDown, FaultStraggler} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scenario %q missing from %v", want, names)
+		}
+	}
+	topo := AWSP3Cluster(3)
+	for _, name := range names {
+		fs, err := r.BuildFaultScenario(name, topo)
+		if err != nil {
+			t.Errorf("%s on 3-host p3: %v", name, err)
+			continue
+		}
+		if fs.Empty() {
+			t.Errorf("%s built an empty overlay", name)
+		}
+		if _, err := NewFaulted(topo, fs); err != nil {
+			t.Errorf("%s overlay rejected by NewFaulted: %v", name, err)
+		}
+	}
+	if _, err := r.BuildFaultScenario(FaultLinkDown, AWSP3Cluster(2)); err == nil {
+		t.Error("link-down on 2 hosts must fail (no detour possible)")
+	}
+	if _, err := r.BuildFaultScenario("nosuch", topo); err == nil || !strings.Contains(err.Error(), "unknown fault scenario") {
+		t.Errorf("unknown scenario error = %v", err)
+	}
+	if err := r.RegisterFaultScenario(FaultBrownout, func(Topology) (FaultSet, error) { return FaultSet{}, nil }); err == nil {
+		t.Error("duplicate scenario registration must fail")
+	}
+}
+
+// TestFaultedMonotone: no query on a valid overlay is ever faster than
+// its base — the invariant the degraded-makespan properties build on.
+func TestFaultedMonotone(t *testing.T) {
+	base := MixedP3DGXCluster(2, 2, 1.5)
+	f := MustFaulted(base, FaultSet{
+		Links: []LinkFault{
+			{A: 0, B: 1, Down: true},
+			{A: 0, B: 2, BandwidthScale: 0.5, ExtraLatency: 30e-6},
+			{A: 1, B: 3, BandwidthScale: 0.75},
+		},
+		Hosts: []HostFault{{Host: 2, NICScale: 0.5, IntraScale: 0.5}},
+	})
+	for h := 0; h < base.HostCount(); h++ {
+		if f.IntraBandwidth(h) > base.IntraBandwidth(h) || f.NICBandwidth(h) > base.NICBandwidth(h) {
+			t.Errorf("host %d: overlay sped a host up", h)
+		}
+		for g := 0; g < base.HostCount(); g++ {
+			if g == h {
+				continue
+			}
+			if f.InterBandwidth(h, g) > base.InterBandwidth(h, g) {
+				t.Errorf("link %d-%d: degraded bandwidth %g beats base %g", h, g, f.InterBandwidth(h, g), base.InterBandwidth(h, g))
+			}
+			if f.InterLatency(h, g) < base.InterLatency(h, g) {
+				t.Errorf("link %d-%d: degraded latency %g beats base %g", h, g, f.InterLatency(h, g), base.InterLatency(h, g))
+			}
+		}
+	}
+}

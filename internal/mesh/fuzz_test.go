@@ -1,0 +1,173 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzFaultedOverlay drives random topologies and random fault sets
+// through NewFaulted and checks the overlay's structural invariants:
+//
+//   - degradation is monotone: no bandwidth goes up, no latency down;
+//   - structure delegates: host/device indexing identical to the base;
+//   - identity is folded deterministically: building the overlay twice
+//     (and with the fault list shuffled) yields one fingerprint, and the
+//     empty overlay yields the base's.
+func FuzzFaultedOverlay(f *testing.F) {
+	for _, seed := range []int64{1, 2, 3, 7, 42, 99, 1234} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		hosts := 2 + rng.Intn(4)
+		specs := make([]HostSpec, hosts)
+		for h := range specs {
+			specs[h] = HostSpec{
+				Devices:        1 + rng.Intn(4),
+				IntraBandwidth: float64(1+rng.Intn(16)) * 25e9,
+				IntraLatency:   float64(rng.Intn(4)) * 1e-6,
+				NICBandwidth:   float64(1+rng.Intn(8)) * 1.25e9,
+				NICs:           1 + rng.Intn(3),
+			}
+		}
+		base := MustHeteroCluster(specs, float64(rng.Intn(5))*10e-6, 1+float64(rng.Intn(3))*0.5)
+
+		scales := []float64{0.25, 0.5, 0.75, 1}
+		var fs FaultSet
+		for a := 0; a < hosts; a++ {
+			for b := a + 1; b < hosts; b++ {
+				switch rng.Intn(4) {
+				case 0:
+					fs.Links = append(fs.Links, LinkFault{A: a, B: b, Down: true})
+				case 1:
+					fs.Links = append(fs.Links, LinkFault{
+						A: a, B: b,
+						BandwidthScale: scales[rng.Intn(3)],
+						ExtraLatency:   float64(rng.Intn(3)) * 5e-6,
+					})
+				}
+			}
+		}
+		for h := 0; h < hosts; h++ {
+			if rng.Intn(3) == 0 {
+				fs.Hosts = append(fs.Hosts, HostFault{
+					Host:       h,
+					NICScale:   scales[rng.Intn(len(scales))],
+					IntraScale: scales[rng.Intn(3)],
+				})
+			}
+		}
+
+		fl, err := NewFaulted(base, fs)
+		if err != nil {
+			// Random overlays may isolate a host (all links down) or carry
+			// a no-op host fault (both scales 1); rejection is the correct
+			// outcome, and it must be deterministic.
+			if _, err2 := NewFaulted(base, fs); err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("rejection not deterministic: %v vs %v", err, err2)
+			}
+			t.Skip("overlay rejected")
+		}
+
+		// Monotone degradation everywhere.
+		for h := 0; h < hosts; h++ {
+			if fl.IntraBandwidth(h) > base.IntraBandwidth(h) || fl.NICBandwidth(h) > base.NICBandwidth(h) {
+				t.Fatalf("host %d sped up under faults %q", h, fs.Canonical())
+			}
+			if fl.IntraLatency(h) != base.IntraLatency(h) || fl.NICCount(h) != base.NICCount(h) {
+				t.Fatalf("host %d: overlay changed invariant fields", h)
+			}
+			for g := 0; g < hosts; g++ {
+				if g == h {
+					continue
+				}
+				if fl.InterBandwidth(h, g) > base.InterBandwidth(h, g) {
+					t.Fatalf("link %d-%d sped up: %g > %g (faults %q)",
+						h, g, fl.InterBandwidth(h, g), base.InterBandwidth(h, g), fs.Canonical())
+				}
+				if fl.InterLatency(h, g) < base.InterLatency(h, g) {
+					t.Fatalf("link %d-%d latency dropped: %g < %g (faults %q)",
+						h, g, fl.InterLatency(h, g), base.InterLatency(h, g), fs.Canonical())
+				}
+				if fl.InterBandwidth(h, g) <= 0 {
+					t.Fatalf("link %d-%d degraded to non-positive bandwidth %g", h, g, fl.InterBandwidth(h, g))
+				}
+			}
+		}
+
+		// Structure delegates.
+		if fl.NumDevices() != base.NumDevices() || fl.HostCount() != base.HostCount() {
+			t.Fatal("overlay changed counts")
+		}
+		for d := 0; d < base.NumDevices(); d++ {
+			if fl.HostOf(d) != base.HostOf(d) {
+				t.Fatalf("device %d moved hosts", d)
+			}
+		}
+
+		// Fingerprint identity: rebuilt and shuffled overlays agree.
+		fl2, err := NewFaulted(base, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shuffled := FaultSet{
+			Links: append([]LinkFault(nil), fs.Links...),
+			Hosts: append([]HostFault(nil), fs.Hosts...),
+		}
+		rng.Shuffle(len(shuffled.Links), func(i, j int) { shuffled.Links[i], shuffled.Links[j] = shuffled.Links[j], shuffled.Links[i] })
+		rng.Shuffle(len(shuffled.Hosts), func(i, j int) { shuffled.Hosts[i], shuffled.Hosts[j] = shuffled.Hosts[j], shuffled.Hosts[i] })
+		fl3, err := NewFaulted(base, shuffled)
+		if err != nil {
+			t.Fatalf("shuffled overlay rejected: %v", err)
+		}
+		if fl.Fingerprint() != fl2.Fingerprint() || fl.Fingerprint() != fl3.Fingerprint() {
+			t.Fatal("fingerprint depends on construction order")
+		}
+		if fs.Empty() != (fl.Fingerprint() == base.Fingerprint()) {
+			t.Fatalf("fingerprint folding wrong: empty=%v base=%q faulted=%q", fs.Empty(), base.Fingerprint(), fl.Fingerprint())
+		}
+	})
+}
+
+// FuzzParseFaultSet throws arbitrary strings at the fault-spec parser: it
+// must never panic, and anything it accepts must render a deterministic
+// canonical form and survive overlay validation without panicking.
+func FuzzParseFaultSet(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"link:0-1:down",
+		"link:0-1:bw=0.5,lat+=20e-6;host:3:nic=0.25,intra=0.5",
+		"host:0:nic=0.5",
+		"link:0-1:down;link:1-2:bw=0.75;host:2:intra=0.25",
+		"link:9-9:warp=9",
+		"host:-1:nic=2",
+		";;;",
+		"link:0-1:bw=NaN",
+		"link:0-1:lat+=-5",
+	} {
+		f.Add(seed)
+	}
+	base := AWSP3Cluster(4)
+	f.Fuzz(func(t *testing.T, spec string) {
+		fs, err := ParseFaultSet(spec)
+		if err != nil {
+			return
+		}
+		if fs.Canonical() != fs.Canonical() {
+			t.Fatal("canonical form not deterministic")
+		}
+		// Validation may reject (out-of-range hosts, NaN scales, no-op
+		// faults) but must never panic, and acceptance must be stable.
+		fl, err := NewFaulted(base, fs)
+		if err != nil {
+			return
+		}
+		fl2, err := NewFaulted(base, fs)
+		if err != nil {
+			t.Fatalf("second validation of an accepted overlay failed: %v", err)
+		}
+		if fl.Fingerprint() != fl2.Fingerprint() {
+			t.Fatal("accepted overlay fingerprint not deterministic")
+		}
+	})
+}

@@ -27,18 +27,29 @@ type TopologyParams struct {
 // TopologyBuilder constructs a topology from parameters.
 type TopologyBuilder func(p TopologyParams) (Topology, error)
 
+// FaultScenarioBuilder constructs a named fault overlay for a concrete
+// topology — scenarios are parameterized by the hardware they degrade
+// (which link exists, which host is last) rather than being fixed lists.
+type FaultScenarioBuilder func(t Topology) (FaultSet, error)
+
 // Registry maps preset names to topology builders, so callers — command
 // lines, config files, and the plan-serving API — can name hardware
-// ("p3", "dgx-a100", "mixed") instead of constructing it. A Registry is
-// safe for concurrent use.
+// ("p3", "dgx-a100", "mixed") instead of constructing it. It also maps
+// fault-scenario names ("link-down", "brownout", "straggler") to fault
+// overlays, so the same callers can name degradations. A Registry is safe
+// for concurrent use.
 type Registry struct {
 	mu       sync.RWMutex
 	builders map[string]TopologyBuilder
+	faults   map[string]FaultScenarioBuilder
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{builders: map[string]TopologyBuilder{}}
+	return &Registry{
+		builders: map[string]TopologyBuilder{},
+		faults:   map[string]FaultScenarioBuilder{},
+	}
 }
 
 // Register adds a named builder. Names are case-insensitive. Registering
@@ -94,6 +105,56 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// RegisterFaultScenario adds a named fault-scenario builder. Names are
+// case-insensitive; empty names, nil builders and duplicates are errors.
+func (r *Registry) RegisterFaultScenario(name string, b FaultScenarioBuilder) error {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return fmt.Errorf("mesh: registry: empty fault scenario name")
+	}
+	if b == nil {
+		return fmt.Errorf("mesh: registry: nil fault scenario builder for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.faults == nil {
+		r.faults = map[string]FaultScenarioBuilder{}
+	}
+	if _, ok := r.faults[name]; ok {
+		return fmt.Errorf("mesh: registry: fault scenario %q already registered", name)
+	}
+	r.faults[name] = b
+	return nil
+}
+
+// BuildFaultScenario constructs the named fault overlay for a concrete
+// topology. Unknown names report the available scenarios.
+func (r *Registry) BuildFaultScenario(name string, t Topology) (FaultSet, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	r.mu.RLock()
+	b, ok := r.faults[key]
+	r.mu.RUnlock()
+	if !ok {
+		return FaultSet{}, fmt.Errorf("mesh: unknown fault scenario %q (have %s)", name, strings.Join(r.FaultScenarioNames(), ", "))
+	}
+	if t == nil {
+		return FaultSet{}, fmt.Errorf("mesh: fault scenario %q needs a topology", name)
+	}
+	return b(t)
+}
+
+// FaultScenarioNames returns the registered scenario names, sorted.
+func (r *Registry) FaultScenarioNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.faults))
+	for n := range r.faults {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Preset names of DefaultRegistry.
 const (
 	// TopologyP3 is the paper's homogeneous AWS p3 testbed.
@@ -103,6 +164,23 @@ const (
 	// TopologyMixed mixes p3 and DGX-A100 hosts on one fabric.
 	TopologyMixed = "mixed"
 )
+
+// Fault scenario names of DefaultRegistry.
+const (
+	// FaultLinkDown downs the link between hosts 0 and 1; traffic detours
+	// through the best surviving relay (needs at least 3 hosts).
+	FaultLinkDown = "link-down"
+	// FaultBrownout halves every inter-host link's bandwidth and adds 50%
+	// to its latency — an oversubscribed spine at peak load.
+	FaultBrownout = "brownout"
+	// FaultStraggler makes the last host a straggler: NIC at a quarter
+	// speed, intra-host links at half.
+	FaultStraggler = "straggler"
+)
+
+// maxBrownoutHosts bounds the quadratic link-fault expansion of the
+// brownout scenario; the registry fronts client-supplied host counts.
+const maxBrownoutHosts = 64
 
 // DefaultRegistry returns a fresh registry holding the built-in presets:
 //
@@ -138,6 +216,40 @@ func DefaultRegistry() *Registry {
 		}
 		p3 := hosts / 2
 		return MixedP3DGXCluster(p3, hosts-p3, oversub), nil
+	})
+	mustRegisterFaults := func(name string, b FaultScenarioBuilder) {
+		if err := r.RegisterFaultScenario(name, b); err != nil {
+			panic(err)
+		}
+	}
+	mustRegisterFaults(FaultLinkDown, func(t Topology) (FaultSet, error) {
+		if t.HostCount() < 3 {
+			return FaultSet{}, fmt.Errorf("mesh: %s needs at least 3 hosts for a detour, topology has %d", FaultLinkDown, t.HostCount())
+		}
+		return FaultSet{Links: []LinkFault{{A: 0, B: 1, Down: true}}}, nil
+	})
+	mustRegisterFaults(FaultBrownout, func(t Topology) (FaultSet, error) {
+		hosts := t.HostCount()
+		if hosts < 2 {
+			return FaultSet{}, fmt.Errorf("mesh: %s needs at least 2 hosts", FaultBrownout)
+		}
+		if hosts > maxBrownoutHosts {
+			return FaultSet{}, fmt.Errorf("mesh: %s faults every link pair; %d hosts exceed the bound %d", FaultBrownout, hosts, maxBrownoutHosts)
+		}
+		var fs FaultSet
+		for a := 0; a < hosts; a++ {
+			for b := a + 1; b < hosts; b++ {
+				fs.Links = append(fs.Links, LinkFault{
+					A: a, B: b,
+					BandwidthScale: 0.5,
+					ExtraLatency:   0.5 * t.InterLatency(a, b),
+				})
+			}
+		}
+		return fs, nil
+	})
+	mustRegisterFaults(FaultStraggler, func(t Topology) (FaultSet, error) {
+		return FaultSet{Hosts: []HostFault{{Host: t.HostCount() - 1, NICScale: 0.25, IntraScale: 0.5}}}, nil
 	})
 	return r
 }

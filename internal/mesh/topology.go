@@ -50,22 +50,25 @@ type Topology interface {
 	Slice(shape []int, firstDevice int) (*Mesh, error)
 	// Fingerprint is a stable identity string: two topologies with equal
 	// fingerprints time every transfer identically. SameTopology falls
-	// back to it when implementations cannot be compared directly.
+	// back to it whenever instance identity does not already decide.
 	Fingerprint() string
 	fmt.Stringer
 }
 
 // SameTopology reports whether two meshes' topologies describe the same
-// hardware: pointer/value identity when the implementations are comparable,
-// fingerprint equality otherwise. Interface equality alone would panic for
-// implementations backed by uncomparable types (e.g. a struct holding a
-// per-host slice by value).
+// hardware: pointer/value identity when the implementations are
+// comparable (the cheap common case — one topology instance threaded
+// everywhere), falling back to Fingerprint equality otherwise — so two
+// independently built but identical topologies, or a Faulted overlay with
+// an empty fault set and its base, compare equal. Interface equality
+// alone would panic for implementations backed by uncomparable types
+// (e.g. a struct holding a per-host slice by value).
 func SameTopology(a, b Topology) bool {
 	if a == nil || b == nil {
 		return a == b
 	}
-	if reflect.TypeOf(a).Comparable() && reflect.TypeOf(b).Comparable() {
-		return a == b
+	if reflect.TypeOf(a).Comparable() && reflect.TypeOf(b).Comparable() && a == b {
+		return true
 	}
 	return a.Fingerprint() == b.Fingerprint()
 }

@@ -165,8 +165,11 @@ func TestSameTopology(t *testing.T) {
 	if !SameTopology(a, a) {
 		t.Error("a topology must match itself")
 	}
-	if SameTopology(a, b) {
-		t.Error("distinct comparable instances keep identity semantics")
+	if !SameTopology(a, b) {
+		t.Error("independently built identical topologies must match by fingerprint")
+	}
+	if SameTopology(a, AWSP3Cluster(3)) {
+		t.Error("different host counts must not match")
 	}
 	if SameTopology(a, nil) || !SameTopology(nil, nil) {
 		t.Error("nil handling wrong")

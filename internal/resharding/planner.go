@@ -29,6 +29,10 @@ type Planner struct {
 	grid          []AutotuneCandidate
 	workers       int
 	defaults      Options
+	// faults, when non-empty, is the session-wide degradation overlay:
+	// every task planned through the session is rebound to a mesh.Faulted
+	// wrap of its topology first. See WithFaults.
+	faults mesh.FaultSet
 }
 
 // PlannerOption configures a Planner at construction.
@@ -83,6 +87,18 @@ func WithParallelism(workers int) PlannerOption {
 	return func(p *Planner) { p.workers = workers }
 }
 
+// WithFaults overlays a deterministic degradation (mesh.FaultSet) on
+// every task planned through the session: before planning, the task is
+// rebound to a mesh.Faulted wrap of its own topology, so netsim costs,
+// plans and cache keys all reflect the degraded fabric. The overlay is
+// folded into the topology fingerprint, so a session with faults and a
+// healthy session sharing one cache never share entries. An empty fault
+// set is a no-op. Overlay validation (host ranges, detour existence)
+// happens per plan call, against the task's topology.
+func WithFaults(fs mesh.FaultSet) PlannerOption {
+	return func(p *Planner) { p.faults = fs }
+}
+
 // WithDefaultPlanOptions sets the options a call with a zero Options value
 // plans under (strategy, scheduler, chunking, budgets, seed).
 //
@@ -120,6 +136,10 @@ func (p *Planner) AutotuneCache() *PlanCache { return p.autotuneCache }
 // Topology returns the session's pinned topology, nil when unpinned.
 func (p *Planner) Topology() mesh.Topology { return p.topo }
 
+// Faults returns the session-wide degradation overlay (empty for a
+// healthy session).
+func (p *Planner) Faults() mesh.FaultSet { return p.faults }
+
 // ResolveOptions returns the fully defaulted options a per-call value
 // plans under: a zero value means the session's defaults, and package
 // defaults fill whatever is still unset. CacheKey(task,
@@ -133,20 +153,36 @@ func (p *Planner) ResolveOptions(opts Options) Options {
 
 // resolve applies ResolveOptions and validates the task against the
 // pinned topology. The check is structural (same instance or same
-// fingerprint), so equal topologies built independently still share the
-// session — which is exactly when the translation-canonical cache keys
-// remain valid.
+// fingerprint — SameTopology covers both), so equal topologies built
+// independently still share the session — which is exactly when the
+// translation-canonical cache keys remain valid.
 func (p *Planner) resolve(task *sharding.Task, opts Options) (Options, error) {
 	if task == nil {
 		return opts, fmt.Errorf("resharding: planner: nil task")
 	}
-	if p.topo != nil {
-		tt := task.Src.Mesh.Topo
-		if !mesh.SameTopology(tt, p.topo) && (tt == nil || tt.Fingerprint() != p.topo.Fingerprint()) {
-			return opts, fmt.Errorf("resharding: planner: task topology differs from the session's")
-		}
+	if p.topo != nil && !mesh.SameTopology(task.Src.Mesh.Topo, p.topo) {
+		return opts, fmt.Errorf("resharding: planner: task topology differs from the session's")
 	}
 	return p.ResolveOptions(opts), nil
+}
+
+// degradeTask rebinds the task to a mesh.Faulted overlay of its own
+// topology. An empty fault set returns the task unchanged — the identity
+// that keeps healthy keys healthy. Overlays stack: a task already living
+// on an overlay is wrapped again.
+func degradeTask(task *sharding.Task, fs mesh.FaultSet) (*sharding.Task, error) {
+	if fs.Empty() {
+		return task, nil
+	}
+	ft, err := mesh.NewFaulted(task.Src.Mesh.Topo, fs)
+	if err != nil {
+		return nil, fmt.Errorf("resharding: fault overlay: %w", err)
+	}
+	degraded, err := task.OnTopology(ft)
+	if err != nil {
+		return nil, fmt.Errorf("resharding: fault overlay: %w", err)
+	}
+	return degraded, nil
 }
 
 // Plan returns the session's plan and simulation for the task under the
@@ -158,13 +194,63 @@ func (p *Planner) Plan(ctx context.Context, task *sharding.Task, opts Options) (
 	if err != nil {
 		return nil, nil, err
 	}
+	if task, err = degradeTask(task, p.faults); err != nil {
+		return nil, nil, err
+	}
 	return p.cache.PlanAndSimulateKeyedContext(ctx, CacheKey(task, opts), task, opts)
+}
+
+// ReplanDegraded re-plans a (possibly cached) boundary against a fault
+// overlay without rebuilding anything: the task — which may already be
+// planned and cached healthy through this session — is rebound to a
+// mesh.Faulted wrap of its own topology and planned through the same
+// session cache. The overlay is part of the cache key (host fingerprints
+// and pairwise fabric properties change under it), so degraded plans
+// partition away from healthy ones automatically, and re-planning the
+// same overlay twice is a cache hit. The given fault set applies instead
+// of any session-wide WithFaults overlay; an empty fault set degrades
+// nothing and is byte-identical to Plan.
+func (p *Planner) ReplanDegraded(ctx context.Context, task *sharding.Task, opts Options, fs mesh.FaultSet) (*Plan, *SimResult, error) {
+	opts, err := p.resolve(task, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if task, err = degradeTask(task, fs); err != nil {
+		return nil, nil, err
+	}
+	return p.cache.PlanAndSimulateKeyedContext(ctx, CacheKey(task, opts), task, opts)
+}
+
+// TaskKey returns the canonical cache key a session call plans the task
+// under — options resolved and the session's WithFaults overlay applied —
+// plus the (possibly degraded) task the key describes. This is the key
+// PlanKeyed expects.
+func (p *Planner) TaskKey(task *sharding.Task, opts Options) (string, *sharding.Task, error) {
+	opts, err := p.resolve(task, opts)
+	if err != nil {
+		return "", nil, err
+	}
+	if task, err = degradeTask(task, p.faults); err != nil {
+		return "", nil, err
+	}
+	return CacheKey(task, opts), task, nil
 }
 
 // PlanKeyed is Plan for callers that already hold the canonical
 // CacheKey(task, opts) of defaulted options — e.g. a server that rendered
-// it once for request coalescing.
+// it once for request coalescing. On a session with a WithFaults overlay
+// the task is rebound to the overlay first and the supplied key is
+// recomputed for the degraded task (use TaskKey to obtain it up front),
+// so a healthy key can never alias a degraded computation.
 func (p *Planner) PlanKeyed(ctx context.Context, key string, task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
+	if !p.faults.Empty() {
+		degraded, err := degradeTask(task, p.faults)
+		if err != nil {
+			return nil, nil, err
+		}
+		task = degraded
+		key = CacheKey(task, opts)
+	}
 	return p.cache.PlanAndSimulateKeyedContext(ctx, key, task, opts)
 }
 
@@ -190,6 +276,9 @@ func (p *Planner) Autotune(ctx context.Context, task *sharding.Task, base Option
 func (p *Planner) AutotuneWorkers(ctx context.Context, task *sharding.Task, base Options, workers int) (*AutotuneResult, error) {
 	base, err := p.resolve(task, base)
 	if err != nil {
+		return nil, err
+	}
+	if task, err = degradeTask(task, p.faults); err != nil {
 		return nil, err
 	}
 	if workers <= 0 {

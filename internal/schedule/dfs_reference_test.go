@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -167,6 +168,218 @@ func TestDFSMatchesReferenceUnderBudget(t *testing.T) {
 			if !reflect.DeepEqual(got.Order, want.Order) || !reflect.DeepEqual(got.Sender, want.Sender) {
 				t.Fatalf("trial %d budget %d: plan diverged from reference\n got: %+v\nwant: %+v\ntasks: %+v",
 					trial, budget, got, want, tasks)
+			}
+		}
+	}
+}
+
+// bruteForceOptimal exhaustively enumerates every launch order and sender
+// assignment — no pruning, no symmetry breaking, no budget — and returns
+// the smallest achievable makespan. Only viable for tiny instances; it is
+// the ground truth the budgeted searches are checked against.
+func bruteForceOptimal(t *testing.T, tasks []Task) float64 {
+	t.Helper()
+	n := len(tasks)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	sender := make(map[int]int, n)
+	best := math.Inf(1)
+	var walk func(depth int)
+	walk = func(depth int) {
+		if depth == n {
+			ids := make([]int, n)
+			copy(ids, order)
+			span, err := Makespan(tasks, Plan{Sender: sender, Order: ids})
+			if err != nil {
+				t.Fatalf("brute force built an invalid plan: %v", err)
+			}
+			if span < best {
+				best = span
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			order = append(order, tasks[i].ID)
+			for _, s := range tasks[i].SenderHosts {
+				sender[tasks[i].ID] = s
+				walk(depth + 1)
+			}
+			delete(sender, tasks[i].ID)
+			order = order[:len(order)-1]
+			used[i] = false
+		}
+	}
+	walk(0)
+	return best
+}
+
+// tinyDFSInstance generates an instance small enough to brute-force:
+// at most 5 tasks with at most 2 candidate senders each.
+func tinyDFSInstance(rng *rand.Rand) []Task {
+	hosts := 2 + rng.Intn(2)
+	n := 2 + rng.Intn(4)
+	tasks := make([]Task, n)
+	for i := range tasks {
+		ns := 1 + rng.Intn(2)
+		senders := make([]int, ns)
+		for j := range senders {
+			senders[j] = rng.Intn(hosts)
+		}
+		tasks[i] = Task{
+			ID:            i,
+			SenderHosts:   senders,
+			ReceiverHosts: []int{hosts + rng.Intn(hosts)},
+			Duration:      float64(1 + rng.Intn(5)),
+		}
+	}
+	return tasks
+}
+
+// TestDFSNodesStopReachesBruteForceOptimal: with a budget generous enough
+// to complete, DFSPruningNodesStop and EnsembleNodesStop reach exactly
+// the brute-force optimal makespan on small instances. Pruning and
+// symmetry breaking may change WHICH optimal plan is found, never how
+// good it is.
+func TestDFSNodesStopReachesBruteForceOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		tasks := tinyDFSInstance(rng)
+		want := bruteForceOptimal(t, tasks)
+
+		dfsPlan := DFSPruningNodesStop(tasks, 10_000_000, nil)
+		if err := Validate(tasks, dfsPlan); err != nil {
+			t.Fatalf("trial %d: DFS plan invalid: %v", trial, err)
+		}
+		got, err := Makespan(tasks, dfsPlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: DFS makespan %g, brute force optimal %g\ntasks: %+v", trial, got, want, tasks)
+		}
+
+		ens := EnsembleNodesStop(tasks, 10_000_000, 16, rand.New(rand.NewSource(int64(trial))), nil)
+		if err := Validate(tasks, ens); err != nil {
+			t.Fatalf("trial %d: ensemble plan invalid: %v", trial, err)
+		}
+		if got, _ := Makespan(tasks, ens); got != want {
+			t.Fatalf("trial %d: ensemble makespan %g, brute force optimal %g", trial, got, want)
+		}
+	}
+}
+
+// stopAfter returns a stop predicate that fires on its m-th poll. The DFS
+// polls every StopStride nodes, so firing on poll m aborts the search at
+// node m*StopStride — exactly where a node budget of m*StopStride-1
+// expires (the budget check precedes the poll and aborts node budget+1).
+func stopAfter(m int) func() bool {
+	calls := 0
+	return func() bool {
+		calls++
+		return calls >= m
+	}
+}
+
+// hardDFSInstance generates an instance whose search space comfortably
+// exceeds a few StopStride slices: 9-10 tasks with mostly distinct
+// durations (little symmetry to prune).
+func hardDFSInstance(rng *rand.Rand) []Task {
+	hosts := 3
+	n := 9 + rng.Intn(2)
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			ID:            i,
+			SenderHosts:   []int{rng.Intn(hosts), rng.Intn(hosts)},
+			ReceiverHosts: []int{hosts + rng.Intn(hosts)},
+			Duration:      1 + float64(rng.Intn(97))/7,
+		}
+	}
+	return tasks
+}
+
+// TestDFSCancellationMatchesNodeBudget pins the mid-search cancellation
+// semantics differentially: aborting via the stop predicate at poll m
+// must return the byte-identical plan as running the pre-refactor
+// reference (and the optimized node-budget path) to node m*StopStride-1.
+// Cancellation only truncates the search — it never perturbs traversal.
+func TestDFSCancellationMatchesNodeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		tasks := hardDFSInstance(rng)
+		for _, m := range []int{1, 2, 3, 5} {
+			cancelled := DFSPruningNodesStop(tasks, 1<<30, stopAfter(m))
+			budget := m*StopStride - 1
+			wantRef := referenceDFSNodes(tasks, budget)
+			wantOpt := DFSPruningNodes(tasks, budget)
+			if !reflect.DeepEqual(cancelled.Order, wantRef.Order) || !reflect.DeepEqual(cancelled.Sender, wantRef.Sender) {
+				t.Fatalf("trial %d m=%d: cancelled plan diverged from reference at node budget %d", trial, m, budget)
+			}
+			if !reflect.DeepEqual(cancelled.Order, wantOpt.Order) || !reflect.DeepEqual(cancelled.Sender, wantOpt.Sender) {
+				t.Fatalf("trial %d m=%d: cancelled plan diverged from node-budget path", trial, m)
+			}
+			if err := Validate(tasks, cancelled); err != nil {
+				t.Fatalf("trial %d m=%d: cancelled plan invalid: %v", trial, m, err)
+			}
+		}
+	}
+}
+
+// referenceEnsembleNodes mirrors the production ensemble exactly but with
+// the pre-refactor reference DFS as its search component: same candidate
+// set, same order, same tie-breaking.
+func referenceEnsembleNodes(tasks []Task, dfsNodes, trials int, rng *rand.Rand) Plan {
+	candidates := []Plan{Naive(tasks), LoadBalanceOnly(tasks), GreedyRandomized(tasks, trials, rng)}
+	if len(tasks) <= 20 {
+		candidates = append(candidates, referenceDFSNodes(tasks, dfsNodes))
+	}
+	best := candidates[0]
+	bestSpan := math.Inf(1)
+	for _, c := range candidates {
+		span, err := Makespan(tasks, c)
+		if err != nil {
+			continue
+		}
+		if span < bestSpan {
+			best, bestSpan = c, span
+		}
+	}
+	return best
+}
+
+// TestEnsembleNodesStopMatchesReference checks the full ensemble — not
+// just its DFS component — against the reference implementation, both
+// uncancelled under various node budgets and cancelled mid-search (the
+// stop fires inside the DFS; the closed-form components always finish).
+// The randomized component consumes its rng identically on both sides,
+// so plans must be byte-identical.
+func TestEnsembleNodesStopMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		tasks := randomDFSInstance(rng)
+		seed := int64(trial)*7919 + 1
+		for _, budget := range []int{1, 50, 2000, 50000} {
+			got := EnsembleNodesStop(tasks, budget, 16, rand.New(rand.NewSource(seed)), nil)
+			want := referenceEnsembleNodes(tasks, budget, 16, rand.New(rand.NewSource(seed)))
+			if !reflect.DeepEqual(got.Order, want.Order) || !reflect.DeepEqual(got.Sender, want.Sender) {
+				t.Fatalf("trial %d budget %d: ensemble diverged from reference\n got: %+v\nwant: %+v", trial, budget, got, want)
+			}
+		}
+	}
+	// Mid-search cancellation points on hard instances.
+	hard := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 10; trial++ {
+		tasks := hardDFSInstance(hard)
+		seed := int64(trial)*104729 + 13
+		for _, m := range []int{1, 2, 4} {
+			got := EnsembleNodesStop(tasks, 1<<30, 16, rand.New(rand.NewSource(seed)), stopAfter(m))
+			want := referenceEnsembleNodes(tasks, m*StopStride-1, 16, rand.New(rand.NewSource(seed)))
+			if !reflect.DeepEqual(got.Order, want.Order) || !reflect.DeepEqual(got.Sender, want.Sender) {
+				t.Fatalf("trial %d m=%d: cancelled ensemble diverged from reference", trial, m)
 			}
 		}
 	}

@@ -21,6 +21,39 @@ type TopologyRef struct {
 	Oversubscription float64 `json:"oversubscription,omitempty"`
 }
 
+// LinkFaultRef is one inter-host link degradation over the wire; see
+// mesh.LinkFault. Exactly one form is valid per link: down, or scaled
+// (bandwidth_scale in (0,1] and/or extra_latency_seconds > 0).
+type LinkFaultRef struct {
+	A                   int     `json:"a"`
+	B                   int     `json:"b"`
+	Down                bool    `json:"down,omitempty"`
+	BandwidthScale      float64 `json:"bandwidth_scale,omitempty"`
+	ExtraLatencySeconds float64 `json:"extra_latency_seconds,omitempty"`
+}
+
+// HostFaultRef is one straggler host over the wire; see mesh.HostFault.
+type HostFaultRef struct {
+	Host       int     `json:"host"`
+	NICScale   float64 `json:"nic_scale,omitempty"`
+	IntraScale float64 `json:"intra_scale,omitempty"`
+}
+
+// FaultsRef is the optional degradation overlay of a /v2 request: a named
+// scenario from the registry ("link-down", "brownout", "straggler"),
+// explicit link and host faults, or both (the scenario's faults come
+// first; duplicates are rejected). The topology the request planned
+// against becomes mesh.Faulted over the named preset, so the response's
+// cache key — and the server's plan cache — partition degraded plans
+// away from healthy ones. An entirely empty block degrades nothing.
+// Malformed fault specs fail with code invalid_argument. Only the /v2
+// endpoints accept a faults block.
+type FaultsRef struct {
+	Scenario string         `json:"scenario,omitempty"`
+	Links    []LinkFaultRef `json:"links,omitempty"`
+	Hosts    []HostFaultRef `json:"hosts,omitempty"`
+}
+
 // Endpoint is one side of a resharding: a mesh slice plus a sharding spec.
 type Endpoint struct {
 	// Mesh is the device mesh as ROWSxCOLS@FIRSTDEV (n-dimensional:
@@ -54,6 +87,8 @@ type PlanRequest struct {
 	Src     Endpoint    `json:"src"`
 	Dst     Endpoint    `json:"dst"`
 	Options PlanOptions `json:"options"`
+	// Faults overlays a degradation on the topology; /v2 only.
+	Faults *FaultsRef `json:"faults,omitempty"`
 }
 
 // PlanResponse reports one planned-and-simulated resharding. Senders are
@@ -96,6 +131,8 @@ type AutotuneRequest struct {
 	// Workers bounds the per-request autotune concurrency; 0 = GOMAXPROCS.
 	// The winner is identical for every worker count.
 	Workers int `json:"workers,omitempty"`
+	// Faults overlays a degradation on the topology; /v2 only.
+	Faults *FaultsRef `json:"faults,omitempty"`
 }
 
 // AutotuneTrial is one candidate's outcome over the wire.
@@ -158,17 +195,80 @@ type StatsResponse struct {
 	Topologies    []string      `json:"topologies"`
 }
 
-// buildTask resolves the request's topology against the registry and
-// decomposes the resharding. The returned options have the service's
-// deterministic defaults applied.
-func buildTask(reg *mesh.Registry, topoCache *topologyCache, ref TopologyRef,
+// MaxFaultEntries bounds one request's explicit fault list: like every
+// client-supplied parameter, the overlay must not scale server work
+// unboundedly (validation and detour precomputation are per-fault).
+const MaxFaultEntries = 256
+
+// resolveFaults applies a request's faults block to a built topology:
+// the named scenario's faults (if any) plus the explicit lists, validated
+// together by mesh.NewFaulted. An empty block returns the base untouched,
+// so sending "faults": {} is byte-identical to omitting it.
+func resolveFaults(reg *mesh.Registry, topo mesh.Topology, fr *FaultsRef) (mesh.Topology, error) {
+	if fr == nil {
+		return topo, nil
+	}
+	if len(fr.Links)+len(fr.Hosts) > MaxFaultEntries {
+		return nil, fmt.Errorf("faults block has %d entries, server bound is %d", len(fr.Links)+len(fr.Hosts), MaxFaultEntries)
+	}
+	var fs mesh.FaultSet
+	if fr.Scenario != "" {
+		var err error
+		if fs, err = reg.BuildFaultScenario(fr.Scenario, topo); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range fr.Links {
+		fs.Links = append(fs.Links, mesh.LinkFault{
+			A: l.A, B: l.B, Down: l.Down,
+			BandwidthScale: l.BandwidthScale, ExtraLatency: l.ExtraLatencySeconds,
+		})
+	}
+	for _, h := range fr.Hosts {
+		fs.Hosts = append(fs.Hosts, mesh.HostFault{
+			Host: h.Host, NICScale: h.NICScale, IntraScale: h.IntraScale,
+		})
+	}
+	if fs.Empty() {
+		return topo, nil
+	}
+	return mesh.NewFaulted(topo, fs)
+}
+
+// buildTopology resolves the request's topology against the registry and
+// applies the optional fault overlay.
+func buildTopology(reg *mesh.Registry, topoCache *topologyCache, ref TopologyRef, faults *FaultsRef) (mesh.Topology, error) {
+	topo, err := topoCache.get(reg, ref)
+	if err != nil {
+		return nil, err
+	}
+	if topo, err = resolveFaults(reg, topo, faults); err != nil {
+		return nil, fmt.Errorf("bad faults block: %v", err)
+	}
+	return topo, nil
+}
+
+// buildTask resolves the request's topology against the registry, applies
+// the optional fault overlay, and decomposes the resharding. The returned
+// options have the service's deterministic defaults applied.
+func buildTask(reg *mesh.Registry, topoCache *topologyCache, ref TopologyRef, faults *FaultsRef,
+	shape []int, dtype string, src, dst Endpoint, po PlanOptions) (*sharding.Task, resharding.Options, error) {
+
+	topo, err := buildTopology(reg, topoCache, ref, faults)
+	if err != nil {
+		var zero resharding.Options
+		return nil, zero, err
+	}
+	return buildTaskOn(topo, shape, dtype, src, dst, po)
+}
+
+// buildTaskOn decomposes one resharding on an already-resolved topology;
+// batch requests resolve their shared (topology, faults) pair once and
+// call this per item.
+func buildTaskOn(topo mesh.Topology,
 	shape []int, dtype string, src, dst Endpoint, po PlanOptions) (*sharding.Task, resharding.Options, error) {
 
 	var zero resharding.Options
-	topo, err := topoCache.get(reg, ref)
-	if err != nil {
-		return nil, zero, err
-	}
 	gshape, err := tensor.NewShape(shape...)
 	if err != nil {
 		return nil, zero, fmt.Errorf("bad shape: %v", err)

@@ -205,6 +205,10 @@ func (s *Server) AutotuneCache() *resharding.PlanCache { return s.autotuneCache 
 // errOverloaded marks an admission rejection; mapped to 429.
 var errOverloaded = errors.New("service: worker pool and queue full")
 
+// errFaultsNeedV2 rejects a faults block on a /v1 endpoint: degraded
+// planning is a /v2 feature (structured errors can name the bad fault).
+var errFaultsNeedV2 = errors.New("faults block requires the /v2 API (use /v2/plan, /v2/autotune or /v2/plan:batch)")
+
 // admission is one endpoint's worker pool: a caller first takes a queue
 // token (failing fast when the queue is full — the backpressure signal)
 // and then waits for one of the worker slots.
@@ -355,8 +359,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req, &s.planC) {
 		return
 	}
+	if req.Faults != nil {
+		s.fail(w, &s.planC, http.StatusBadRequest, errFaultsNeedV2)
+		return
+	}
 	task, opts, cacheKey, err := s.parseTask(r.Context(),
-		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+		req.Topology, nil, req.Shape, req.DType, req.Src, req.Dst, req.Options)
 	if err != nil {
 		s.failParse(w, &s.planC, err)
 		return
@@ -466,8 +474,12 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, &s.autotuneC, http.StatusBadRequest, fmt.Errorf("negative workers"))
 		return
 	}
+	if req.Faults != nil {
+		s.fail(w, &s.autotuneC, http.StatusBadRequest, errFaultsNeedV2)
+		return
+	}
 	task, opts, cacheKey, err := s.parseTask(r.Context(),
-		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+		req.Topology, nil, req.Shape, req.DType, req.Src, req.Dst, req.Options)
 	if err != nil {
 		s.failParse(w, &s.autotuneC, err)
 		return
@@ -517,13 +529,13 @@ func (e *badRequestError) Unwrap() error { return e.err }
 // intake token is released before the caller coalesces or queues, so
 // parsing capacity is never held across a computation.
 func (s *Server) parseTask(ctx context.Context,
-	ref TopologyRef, shape []int, dtype string, src, dst Endpoint, po PlanOptions) (task *sharding.Task, opts resharding.Options, key string, err error) {
+	ref TopologyRef, faults *FaultsRef, shape []int, dtype string, src, dst Endpoint, po PlanOptions) (task *sharding.Task, opts resharding.Options, key string, err error) {
 
 	if err := s.intake.acquire(ctx); err != nil {
 		return nil, opts, "", err
 	}
 	defer s.intake.release()
-	task, opts, err = buildTask(s.reg, &s.topos, ref, shape, dtype, src, dst, po)
+	task, opts, err = buildTask(s.reg, &s.topos, ref, faults, shape, dtype, src, dst, po)
 	if err != nil {
 		return nil, opts, "", &badRequestError{err}
 	}

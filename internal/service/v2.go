@@ -83,9 +83,12 @@ type BatchPlanItem struct {
 
 // BatchPlanRequest plans every stage boundary of a pipeline job in one
 // request. Congruent items (same canonical cache key under host
-// translation) are planned once.
+// translation) are planned once. The optional Faults overlay applies to
+// the whole batch — the degraded-fleet shape of the same job — and
+// re-keys every item away from its healthy twin.
 type BatchPlanRequest struct {
 	Topology TopologyRef     `json:"topology"`
+	Faults   *FaultsRef      `json:"faults,omitempty"`
 	Items    []BatchPlanItem `json:"items"`
 }
 
@@ -206,7 +209,7 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 	task, opts, cacheKey, err := s.parseTask(ctx,
-		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+		req.Topology, req.Faults, req.Shape, req.DType, req.Src, req.Dst, req.Options)
 	if err != nil {
 		s.failV2(w, ctx, &s.planC, err)
 		return
@@ -245,7 +248,7 @@ func (s *Server) handleAutotuneV2(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 	task, opts, cacheKey, err := s.parseTask(ctx,
-		req.Topology, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+		req.Topology, req.Faults, req.Shape, req.DType, req.Src, req.Dst, req.Options)
 	if err != nil {
 		s.failV2(w, ctx, &s.autotuneC, err)
 		return
@@ -313,8 +316,18 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		defer s.intake.release()
+		// The topology and the fault overlay are shared by the whole
+		// batch: resolve them once (overlay validation and down-link
+		// detour precomputation are not free), then decompose per item. A
+		// bad shared block fails every item identically, keeping the
+		// per-item error semantics of other parse failures.
+		topo, topoErr := buildTopology(s.reg, &s.topos, req.Topology, req.Faults)
 		for i, it := range req.Items {
-			task, opts, err := buildTask(s.reg, &s.topos, req.Topology, it.Shape, it.DType, it.Src, it.Dst, it.Options)
+			if topoErr != nil {
+				items[i] = batchItem{err: &badRequestError{fmt.Errorf("item %d: %v", i, topoErr)}}
+				continue
+			}
+			task, opts, err := buildTaskOn(topo, it.Shape, it.DType, it.Src, it.Dst, it.Options)
 			if err != nil {
 				items[i] = batchItem{err: &badRequestError{fmt.Errorf("item %d: %v", i, err)}}
 				continue

@@ -92,6 +92,24 @@ func decompose(src, dst *Placement) []UnitTask {
 	return units
 }
 
+// OnTopology rebuilds the task with both meshes bound to a different
+// topology: same logical shapes, same physical device indices, the same
+// decomposition re-derived. The target must use the same device indexing
+// as the meshes' current topology — the intended use is rebinding a task
+// to a fault overlay (mesh.Faulted) of its own topology, or back to the
+// overlay's base, without reconstructing the boundary by hand.
+func (t *Task) OnTopology(topo mesh.Topology) (*Task, error) {
+	src, err := mesh.NewMesh(topo, t.Src.Mesh.Shape, t.Src.Mesh.Devices)
+	if err != nil {
+		return nil, fmt.Errorf("sharding: rebind source mesh: %v", err)
+	}
+	dst, err := mesh.NewMesh(topo, t.Dst.Mesh.Shape, t.Dst.Mesh.Devices)
+	if err != nil {
+		return nil, fmt.Errorf("sharding: rebind destination mesh: %v", err)
+	}
+	return NewTask(t.Global, t.DType, src, t.Src.Spec, dst, t.Dst.Spec)
+}
+
 // TotalBytes returns the lower bound on cross-mesh traffic: the full tensor
 // size (§2.2 — "the size of messages transferred between two meshes is
 // lower bound by the size of D").

@@ -61,6 +61,11 @@ var WithParallelism = resharding.WithParallelism
 // plans under.
 var WithDefaultPlanOptions = resharding.WithDefaultPlanOptions
 
+// WithFaults overlays a deterministic degradation (FaultSet) on every
+// task planned through the session; see Planner.ReplanDegraded for
+// per-call overlays on a healthy session.
+var WithFaults = resharding.WithFaults
+
 // NewPlanner builds a planning session; see Planner.
 func NewPlanner(opts ...PlannerOption) *Planner {
 	return &Planner{resharding.NewPlanner(opts...)}
@@ -111,7 +116,12 @@ func (p *Planner) PlanBoundaries(ctx context.Context, job *TrainingJob) ([]Bound
 			return nil, err
 		}
 		opts := p.ResolveOptions(job.Reshard)
-		key := resharding.CacheKey(task, opts)
+		// TaskKey folds the session's fault overlay (if any) into the key,
+		// so the reported Key always matches what PlanKeyed plans under.
+		key, _, err := p.TaskKey(task, opts)
+		if err != nil {
+			return nil, fmt.Errorf("alpacomm: boundary %d tensor %q: %w", bt.Boundary, bt.Name, err)
+		}
 		plan, sim, err := p.PlanKeyed(ctx, key, task, opts)
 		if err != nil {
 			return nil, fmt.Errorf("alpacomm: boundary %d tensor %q: %w", bt.Boundary, bt.Name, err)
