@@ -306,6 +306,17 @@ var NewPlanServer = service.New
 // NewPlanClient builds a client for a plan server base URL.
 var NewPlanClient = service.NewClient
 
+// PlanClientOption configures NewPlanClient.
+type PlanClientOption = service.ClientOption
+
+// WithBinaryWire makes a plan client negotiate the binary wire format
+// (PlanWireContentType) on /v2 responses; safe against servers that only
+// speak JSON.
+var WithBinaryWire = service.WithBinary
+
+// PlanWireContentType is the media type of the binary plan wire format.
+const PlanWireContentType = service.ContentTypeBinary
+
 // Pipeline schedules (§4).
 type (
 	// PipelineConfig describes one pipeline-parallel iteration.

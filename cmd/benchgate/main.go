@@ -1,0 +1,111 @@
+// Command benchgate compares a freshly measured netsim benchmark artifact
+// against the committed baseline (BENCH_netsim.json) and fails when the
+// zero-alloc serve path regresses. It gates on allocation counts only —
+// deterministic across machines — and reports wall times for context
+// without failing on them.
+//
+// Gates:
+//
+//   - served_cache_hit / served_cache_hit_binary: allocs/op must stay at
+//     or below the absolute ceiling (-max-hit-allocs, default 50). The
+//     hit path is pre-serialized end to end; any new allocation is a leak
+//     into the hot path, not noise.
+//   - served_cache_miss: allocs/op must not exceed the committed baseline
+//     by more than the relative slack (-miss-slack, default 20%).
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_netsim.json -current BENCH_netsim.ci.json
+//
+// Exit status 0 when every gate holds, 1 on any regression or missing row.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"alpacomm/internal/harness"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_netsim.json", "committed baseline artifact")
+	currentPath := flag.String("current", "", "freshly measured artifact to gate (required)")
+	maxHitAllocs := flag.Int64("max-hit-allocs", 50, "absolute allocs/op ceiling for served cache hits")
+	missSlack := flag.Float64("miss-slack", 0.20, "allowed relative allocs/op growth for served_cache_miss vs baseline")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	baseline, err := readRows(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	current, err := readRows(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	report := func(ok bool, format string, args ...interface{}) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s\n", status, fmt.Sprintf(format, args...))
+	}
+
+	for _, name := range []string{"served_cache_hit", "served_cache_hit_binary"} {
+		row, ok := current[name]
+		if !ok {
+			report(false, "%s: missing from %s", name, *currentPath)
+			continue
+		}
+		report(row.AllocsPerOp <= *maxHitAllocs,
+			"%s: %d allocs/op (ceiling %d), %.0f ns/op",
+			name, row.AllocsPerOp, *maxHitAllocs, row.NsPerOp)
+	}
+
+	const miss = "served_cache_miss"
+	cur, curOK := current[miss]
+	base, baseOK := baseline[miss]
+	switch {
+	case !curOK:
+		report(false, "%s: missing from %s", miss, *currentPath)
+	case !baseOK:
+		report(false, "%s: missing from baseline %s", miss, *baselinePath)
+	default:
+		limit := int64(float64(base.AllocsPerOp) * (1 + *missSlack))
+		report(cur.AllocsPerOp <= limit,
+			"%s: %d allocs/op (baseline %d, limit %d), %.0f ns/op",
+			miss, cur.AllocsPerOp, base.AllocsPerOp, limit, cur.NsPerOp)
+	}
+
+	if failed {
+		fmt.Println("benchgate: allocation regression — see FAIL rows above")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gates hold")
+}
+
+func readRows(path string) (map[string]harness.NetsimBenchRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []harness.NetsimBenchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]harness.NetsimBenchRow, len(rows))
+	for _, r := range rows {
+		out[r.Name] = r
+	}
+	return out, nil
+}

@@ -20,6 +20,10 @@
 // percentiles are recorded alongside the single-request mix. With -verify
 // (or -smoke) every batch item is also checked byte-identical to the same
 // boundary served individually by /v1/plan.
+//
+// -wire binary negotiates the binary wire format (see the service
+// package's wire.go) on every /v2 response, after first proving one
+// response decodes identically over both formats.
 package main
 
 import (
@@ -207,6 +211,7 @@ func main() {
 	verify := flag.Bool("verify", false, "verify served plans byte-identical to the direct resharding path")
 	smoke := flag.Bool("smoke", false, "self-contained CI smoke: in-process server, fixed load, verification")
 	smokeCapacity := flag.Int("smoke-cache-capacity", 64, "in-process server LRU capacity in -smoke mode")
+	wire := flag.String("wire", "json", "wire format for /v2 responses: json or binary (binary also cross-checks one response against the JSON path)")
 	flag.Parse()
 	if *spread < 1 {
 		*spread = 1
@@ -242,8 +247,22 @@ func main() {
 	if *faults {
 		overlays = faultMix()
 	}
-	client := alpacomm.NewPlanClient(base, nil)
+	var clientOpts []alpacomm.PlanClientOption
+	switch *wire {
+	case "json":
+	case "binary":
+		clientOpts = append(clientOpts, alpacomm.WithBinaryWire())
+	default:
+		fail("unknown -wire %q (want json or binary)", *wire)
+	}
+	client := alpacomm.NewPlanClient(base, nil, clientOpts...)
 	ctx := context.Background()
+
+	if *wire == "binary" {
+		// One cross-format sanity check before the load: the same request
+		// served over JSON and binary must decode identically.
+		verifyWireParity(ctx, base, client, mix[0])
+	}
 
 	deadline := time.Time{}
 	if *duration > 0 {
@@ -551,6 +570,31 @@ func runClient(ctx context.Context, client *alpacomm.PlanClient, mix []template,
 // against resharding.NewPlan computed locally with the service's
 // normalized options: senders, launch order, makespan, ops — byte for
 // byte. Returns the number of diverging templates.
+// verifyWireParity serves one template over both wire formats and fails
+// the run unless the decoded responses are identical — the quick parity
+// proof -wire=binary runs before trusting the binary path under load.
+func verifyWireParity(ctx context.Context, base string, binClient *alpacomm.PlanClient, t template) {
+	req := &alpacomm.PlanServiceRequest{
+		Topology: t.topology, Shape: t.shape, DType: t.dtype,
+		Src: t.src, Dst: t.dst,
+		Options: service.PlanOptions{Seed: 1},
+	}
+	jsonResp, err := alpacomm.NewPlanClient(base, nil).PlanV2(ctx, req)
+	if err != nil {
+		fail("wire parity (json): %v", err)
+	}
+	binResp, err := binClient.PlanV2(ctx, req)
+	if err != nil {
+		fail("wire parity (binary): %v", err)
+	}
+	// Coalesced depends on request timing, not wire format.
+	jsonResp.Coalesced, binResp.Coalesced = false, false
+	if !reflect.DeepEqual(jsonResp, binResp) {
+		fail("wire parity: JSON and binary responses differ:\n json %+v\n bin  %+v", jsonResp, binResp)
+	}
+	fmt.Println("loadgen: wire parity verified (json == binary)")
+}
+
 func verifyPlans(ctx context.Context, client *alpacomm.PlanClient, mix []template) int {
 	reg := alpacomm.DefaultTopologyRegistry()
 	bad := 0

@@ -2,8 +2,9 @@
 // microbenchmarks: Fig. 5a/5b (single sender to multi-GPU receivers) and
 // Fig. 6 (the nine Table 2 multi-device resharding cases). It also
 // measures the netsim core's hot paths (plan build, autotune grid cell,
-// served cache miss, arena replay) and records ns/op + allocs/op to a
-// JSON artifact.
+// served cache miss, served cache hit in both wire formats, arena replay)
+// and records ns/op + allocs/op to a JSON artifact — the baseline
+// cmd/benchgate gates CI against.
 //
 // Usage:
 //

@@ -28,6 +28,11 @@
 //	     "dst": {"mesh": "2x2@8", "spec": "S0R"}, "options": {"seed": 1}}
 //	  ]
 //	}'
+//
+// Every /v2 response — including error envelopes — is also available in a
+// compact binary frame format: send "Accept: application/x-alpacomm-plan"
+// (clients: service.WithBinary / alpacomm.WithBinaryWire). JSON stays the
+// default and /v1 is JSON-only.
 package main
 
 import (

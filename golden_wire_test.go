@@ -1,0 +1,189 @@
+// Cross-format serving parity against the golden fixtures: every reshard
+// of testdata/golden_netsim.json and every healthy/degraded row of
+// testdata/golden_degraded.json is served through the real HTTP handlers
+// over both wire formats (JSON and application/x-alpacomm-plan), and the
+// decoded responses must be identical to each other and to the committed
+// fixture — proving the pre-serialized serve path and the binary codec
+// change the encoding, never the plan.
+package alpacomm_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"alpacomm/internal/service"
+)
+
+// goldenWireTopology maps a fixture preset name to the wire reference that
+// builds the same topology the fixture was captured on (see goldenPresets:
+// p3 = AWSP3Cluster(4), dgx-a100 = DGXA100Cluster(2), mixed =
+// MixedP3DGXCluster(2,2,2) — the registry's mixed preset splits hosts
+// half/half, so 4 hosts at oversubscription 2 is the same cluster).
+func goldenWireTopology(t *testing.T, preset string, degraded bool) service.TopologyRef {
+	t.Helper()
+	switch preset {
+	case "p3":
+		return service.TopologyRef{Name: "p3", Hosts: 4}
+	case "dgx-a100":
+		hosts := 2
+		if degraded {
+			// goldenDegradedPresets uses a third DGX host so link-down
+			// scenarios have a detour.
+			hosts = 3
+		}
+		return service.TopologyRef{Name: "dgx-a100", Hosts: hosts}
+	case "mixed":
+		return service.TopologyRef{Name: "mixed", Hosts: 4, Oversubscription: 2}
+	default:
+		t.Fatalf("unknown golden preset %q", preset)
+		return service.TopologyRef{}
+	}
+}
+
+// goldenWireOptions maps a fixture strategy name to the wire form of the
+// exact options the fixture was built with (see goldenStrategies).
+func goldenWireOptions(t *testing.T, strategy string) service.PlanOptions {
+	t.Helper()
+	switch strategy {
+	case "send/recv":
+		return service.PlanOptions{Strategy: "send/recv", Scheduler: "greedy-load"}
+	case "broadcast":
+		return service.PlanOptions{Strategy: "broadcast", Scheduler: "ensemble", Seed: 1, DFSNodes: 20000, Chunks: 8}
+	case "alpa":
+		return service.PlanOptions{Strategy: "alpa", Scheduler: "greedy-load"}
+	default:
+		t.Fatalf("unknown golden strategy %q", strategy)
+		return service.PlanOptions{}
+	}
+}
+
+// goldenWireRequest is the golden boundary (see buildGolden) as a wire
+// request: (128,128,8) fp32, (2,4) meshes at devices 0 and 8.
+func goldenWireRequest(topo service.TopologyRef, opts service.PlanOptions, faults *service.FaultsRef) *service.PlanRequest {
+	return &service.PlanRequest{
+		Topology: topo,
+		Faults:   faults,
+		Shape:    []int{128, 128, 8},
+		Src:      service.Endpoint{Mesh: "2x4@0", Spec: "RS01R"},
+		Dst:      service.Endpoint{Mesh: "2x4@8", Spec: "S01RR"},
+		Options:  opts,
+	}
+}
+
+// serveBothFormats requests the same plan over JSON and binary and asserts
+// the decoded responses are identical; it returns the (shared) response.
+func serveBothFormats(t *testing.T, jsonClient, binClient *service.Client, req *service.PlanRequest) *service.PlanResponse {
+	t.Helper()
+	ctx := context.Background()
+	jr, err := jsonClient.PlanV2(ctx, req)
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	br, err := binClient.PlanV2(ctx, req)
+	if err != nil {
+		t.Fatalf("binary: %v", err)
+	}
+	// The binary request is a cache hit of the JSON one; hit vs fill is not
+	// a format property, and neither request coalesced, so both flags are
+	// false already — compare everything.
+	if !reflect.DeepEqual(jr, br) {
+		t.Fatalf("wire formats decode differently:\n json %+v\n bin  %+v", jr, br)
+	}
+	return jr
+}
+
+// checkGoldenPlan asserts a served response matches a fixture's plan:
+// sender assignment, launch order and makespan (effGbps/numOps where the
+// fixture records them, signalled by effGbps > 0).
+func checkGoldenPlan(t *testing.T, resp *service.PlanResponse,
+	senderOf map[int]int, order []int, makespan, effGbps float64, numOps int) {
+	t.Helper()
+	if len(resp.Senders) != len(senderOf) {
+		t.Fatalf("served %d units, fixture has %d", len(resp.Senders), len(senderOf))
+	}
+	for i, d := range resp.Senders {
+		if d != senderOf[i] {
+			t.Errorf("unit %d: served sender %d, fixture %d", i, d, senderOf[i])
+		}
+	}
+	if !reflect.DeepEqual(resp.Order, order) {
+		t.Errorf("served order %v, fixture %v", resp.Order, order)
+	}
+	if resp.MakespanSeconds != makespan {
+		t.Errorf("served makespan %v, fixture %v", resp.MakespanSeconds, makespan)
+	}
+	if effGbps > 0 {
+		if resp.EffectiveGbps != effGbps {
+			t.Errorf("served eff_gbps %v, fixture %v", resp.EffectiveGbps, effGbps)
+		}
+	}
+	if numOps > 0 && resp.NumOps != numOps {
+		t.Errorf("served num_ops %d, fixture %d", resp.NumOps, numOps)
+	}
+}
+
+func newGoldenWireClients(t *testing.T) (*service.Client, *service.Client) {
+	t.Helper()
+	ts := httptest.NewServer(service.New(service.Config{}))
+	t.Cleanup(ts.Close)
+	return service.NewClient(ts.URL, nil), service.NewClient(ts.URL, nil, service.WithBinary())
+}
+
+// TestGoldenWireParity serves every reshard fixture of golden_netsim.json
+// over both wire formats.
+func TestGoldenWireParity(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_netsim.json"))
+	if err != nil {
+		t.Fatalf("missing golden fixtures (run go test -run TestGolden -update .): %v", err)
+	}
+	var g goldenFile
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatal(err)
+	}
+	jsonClient, binClient := newGoldenWireClients(t)
+	for _, r := range g.Reshards {
+		t.Run(r.Preset+"/"+r.Strategy, func(t *testing.T) {
+			req := goldenWireRequest(
+				goldenWireTopology(t, r.Preset, false),
+				goldenWireOptions(t, r.Strategy), nil)
+			resp := serveBothFormats(t, jsonClient, binClient, req)
+			checkGoldenPlan(t, resp, r.SenderOf, r.Order, r.Makespan, r.EffGbps, r.NumOps)
+		})
+	}
+}
+
+// TestGoldenWireParityDegraded serves every healthy baseline and every
+// (preset, scenario) replan row of golden_degraded.json over both formats;
+// the scenario rides the request's faults block.
+func TestGoldenWireParityDegraded(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_degraded.json"))
+	if err != nil {
+		t.Fatalf("missing degraded golden fixtures (run go test -run TestGoldenDegraded -update .): %v", err)
+	}
+	var g goldenDegradedFile
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatal(err)
+	}
+	jsonClient, binClient := newGoldenWireClients(t)
+	opts := goldenWireOptions(t, "broadcast") // == goldenDegradedOpts over the wire
+	for _, h := range g.Healthy {
+		t.Run(h.Preset+"/healthy", func(t *testing.T) {
+			req := goldenWireRequest(goldenWireTopology(t, h.Preset, true), opts, nil)
+			resp := serveBothFormats(t, jsonClient, binClient, req)
+			checkGoldenPlan(t, resp, h.SenderOf, h.Order, h.Makespan, 0, 0)
+		})
+	}
+	for _, r := range g.Rows {
+		t.Run(r.Preset+"/"+r.Scenario, func(t *testing.T) {
+			req := goldenWireRequest(goldenWireTopology(t, r.Preset, true), opts,
+				&service.FaultsRef{Scenario: r.Scenario})
+			resp := serveBothFormats(t, jsonClient, binClient, req)
+			checkGoldenPlan(t, resp, r.SenderOf, r.Order, r.Makespan, r.EffGbps, 0)
+		})
+	}
+}

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"testing"
@@ -11,6 +14,7 @@ import (
 	"alpacomm/internal/mesh"
 	"alpacomm/internal/netsim"
 	"alpacomm/internal/resharding"
+	"alpacomm/internal/service"
 	"alpacomm/internal/sharding"
 	"alpacomm/internal/tensor"
 )
@@ -19,7 +23,8 @@ import (
 // core, in the artifact's JSON format (BENCH_netsim.json in CI).
 type NetsimBenchRow struct {
 	// Name identifies the workload ("plan_build", "autotune_cell",
-	// "served_cache_miss", "netsim_replay").
+	// "served_cache_miss", "served_cache_hit", "served_cache_hit_binary",
+	// "netsim_replay").
 	Name string `json:"name"`
 	// NsPerOp is wall time per operation.
 	NsPerOp float64 `json:"ns_per_op"`
@@ -66,7 +71,12 @@ var netsimBenchOpts = resharding.Options{
 //   - autotune_cell: one strategy x scheduler grid cell — plan + chunk-level
 //     simulation, the unit of work an Autotune sweep fans out;
 //   - served_cache_miss: the plan service's cold path — canonical cache key,
-//     plan, simulate through a bounded LRU PlanCache;
+//     plan, simulate (trace-free, as the serving daemon does) through a
+//     bounded LRU PlanCache;
+//   - served_cache_hit / served_cache_hit_binary: the plan service's hot
+//     path measured through the real HTTP handler — request decode, parse
+//     memo, keyed cache lookup, pre-serialized response write — in each
+//     wire format;
 //   - netsim_replay: the raw discrete-event engine replaying a 1000-transfer
 //     schedule on one reused arena (ClusterNet.Reset between runs).
 func NetsimBench() ([]NetsimBenchRow, error) {
@@ -131,7 +141,9 @@ func NetsimBench() ([]NetsimBenchRow, error) {
 			// A fresh session per iteration keeps every lookup on the miss
 			// path, as a cold key is on the serving daemon — measuring the
 			// full served cold cost including the ctx-aware coalescing.
-			planner := resharding.NewPlanner(resharding.WithLRUCache(4))
+			// Trace-free simulation matches the serving configuration:
+			// responses carry timings, never event traces.
+			planner := resharding.NewPlanner(resharding.WithLRUCache(4), resharding.WithTraceFreeSim())
 			if _, _, err := planner.Plan(ctx, task, netsimBenchOpts); err != nil {
 				fail(b, err)
 			}
@@ -139,6 +151,53 @@ func NetsimBench() ([]NetsimBenchRow, error) {
 	}))
 	if benchErr != nil {
 		return nil, benchErr
+	}
+
+	for _, wire := range []struct {
+		name   string
+		accept string
+	}{
+		{"served_cache_hit", ""},
+		{"served_cache_hit_binary", service.ContentTypeBinary},
+	} {
+		record(wire.name, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			srv := service.New(service.Config{})
+			body, err := json.Marshal(servedBenchRequest())
+			if err != nil {
+				fail(b, err)
+			}
+			rd := bytes.NewReader(body)
+			req, err := http.NewRequest(http.MethodPost, "/v2/plan", replayBody{rd})
+			if err != nil {
+				fail(b, err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if wire.accept != "" {
+				req.Header.Set("Accept", wire.accept)
+			}
+			w := &discardResponseWriter{h: http.Header{}}
+			// One warm request fills the cache, the parse memo and the
+			// pre-serialized bodies; everything after is the hot hit path.
+			srv.ServeHTTP(w, req)
+			if w.status != http.StatusOK {
+				fail(b, fmt.Errorf("warm request: status %d", w.status))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rd.Seek(0, io.SeekStart); err != nil {
+					fail(b, err)
+				}
+				w.status = 0
+				srv.ServeHTTP(w, req)
+				if w.status != http.StatusOK {
+					fail(b, fmt.Errorf("status %d", w.status))
+				}
+			}
+		}))
+		if benchErr != nil {
+			return nil, benchErr
+		}
 	}
 
 	record("netsim_replay", testing.Benchmark(func(b *testing.B) {
@@ -159,6 +218,37 @@ func NetsimBench() ([]NetsimBenchRow, error) {
 	}
 	return rows, nil
 }
+
+// servedBenchRequest is the wire form of netsimBenchTask + netsimBenchOpts:
+// empty strategy/scheduler mean the service defaults (broadcast +
+// ensemble) and a zero dfs_nodes is forced to the deterministic budget, so
+// the served plan is the same plan the direct rows build.
+func servedBenchRequest() service.PlanRequest {
+	return service.PlanRequest{
+		Topology: service.TopologyRef{Name: "p3", Hosts: 4},
+		Shape:    []int{1024, 1024, 64},
+		Src:      service.Endpoint{Mesh: "2x4@0", Spec: "RS01R"},
+		Dst:      service.Endpoint{Mesh: "2x4@8", Spec: "S01RR"},
+		Options:  service.PlanOptions{Seed: 1, Chunks: 64},
+	}
+}
+
+// replayBody is a rewindable request body: the benchmark seeks it back to
+// the start between iterations instead of allocating a fresh reader.
+type replayBody struct{ *bytes.Reader }
+
+func (replayBody) Close() error { return nil }
+
+// discardResponseWriter records the status and drops the body, so the
+// served benchmarks measure the handler, not a network stack.
+type discardResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (d *discardResponseWriter) Header() http.Header         { return d.h }
+func (d *discardResponseWriter) WriteHeader(s int)           { d.status = s }
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
 
 // NetsimReplayTransfers issues the engine-contention workload shared by
 // the repository's BenchmarkNetsim and the netsim_replay artifact row:

@@ -55,6 +55,9 @@ type PlanCache struct {
 	hits      int
 	misses    int
 	evictions int
+	// noTrace makes leaders simulate without the Events timeline or the
+	// Utilization report; see SetSimulateNoTrace.
+	noTrace atomic.Bool
 }
 
 type cacheEntry struct {
@@ -73,6 +76,12 @@ type cacheEntry struct {
 	plan  *Plan
 	sim   *SimResult
 	err   error
+	// attach is an opaque sidecar a caller associated with the completed
+	// entry via PlanCache.Attach — e.g. the plan server's pre-serialized
+	// wire bodies, built once at fill time and handed back byte-for-byte
+	// on every later hit. It shares the entry's lifetime: evicting or
+	// forgetting the entry drops the attachment with it.
+	attach atomic.Value
 }
 
 // NewPlanCache returns an empty unbounded cache.
@@ -93,6 +102,60 @@ func NewLRUPlanCache(capacity int) *PlanCache {
 
 // Capacity returns the eviction bound, 0 when unbounded.
 func (c *PlanCache) Capacity() int { return c.capacity }
+
+// SetSimulateNoTrace switches the cache between full-trace and trace-free
+// simulation of new entries. When on, a leader fills its entry with
+// Plan.SimulateNoTrace: the timing fields (Makespan, EffectiveGbps,
+// NumOps) are identical to Simulate's, but Events and Utilization are nil.
+// Serving layers flip this on — responses carry timings, never traces, and
+// the Events rendering dominates a cache fill's allocations. Entries
+// already resident keep whatever simulation they were filled with.
+func (c *PlanCache) SetSimulateNoTrace(on bool) { c.noTrace.Store(on) }
+
+// SimulateNoTrace reports whether new entries are simulated trace-free.
+func (c *PlanCache) SimulatesNoTrace() bool { return c.noTrace.Load() }
+
+// Attach associates an opaque sidecar value with the completed entry for
+// key — e.g. a pre-serialized response body a server wants to reuse on
+// later hits. It reports false (and stores nothing) when the key is
+// absent, still being planned, or errored; the caller simply rebuilds the
+// sidecar on a later hit. Attach never blocks on in-flight planning.
+func (c *PlanCache) Attach(key string, v interface{}) bool {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok || !e.ready.Load() || e.err != nil {
+		return false
+	}
+	// atomic.Value requires one consistent concrete type across stores;
+	// the box keeps Attach agnostic to what callers attach.
+	e.attach.Store(attachBox{v})
+	return true
+}
+
+// attachBox wraps attachments of arbitrary dynamic type for atomic.Value.
+type attachBox struct{ v interface{} }
+
+// LookupKeyedAttachment is LookupKeyed plus the entry's attachment (nil
+// when none was attached). Like LookupKeyed it never blocks on an
+// in-flight computation.
+func (c *PlanCache) LookupKeyedAttachment(key string) (*Plan, *SimResult, interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.ready.Load() || e.err != nil {
+		return nil, nil, nil, false
+	}
+	c.hits++
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	var att interface{}
+	if box, ok := e.attach.Load().(attachBox); ok {
+		att = box.v
+	}
+	return e.plan, e.sim, att, true
+}
 
 // CacheStats reports cache effectiveness.
 type CacheStats struct {
@@ -229,7 +292,11 @@ func (c *PlanCache) planAndSimulateOnce(ctx context.Context, key string, task *s
 		}()
 		e.plan, e.err = NewPlanContext(ctx, task, opts)
 		if e.err == nil {
-			e.sim, e.err = e.plan.Simulate()
+			if c.noTrace.Load() {
+				e.sim, e.err = e.plan.SimulateNoTrace()
+			} else {
+				e.sim, e.err = e.plan.Simulate()
+			}
 		}
 		finished = true
 		e.ready.Store(true)

@@ -33,6 +33,9 @@ type Planner struct {
 	// every task planned through the session is rebound to a mesh.Faulted
 	// wrap of its topology first. See WithFaults.
 	faults mesh.FaultSet
+	// noTrace flips the session's caches to trace-free simulation at
+	// construction; see WithTraceFreeSim.
+	noTrace bool
 }
 
 // PlannerOption configures a Planner at construction.
@@ -99,6 +102,17 @@ func WithFaults(fs mesh.FaultSet) PlannerOption {
 	return func(p *Planner) { p.faults = fs }
 }
 
+// WithTraceFreeSim makes the session's caches simulate new entries with
+// Plan.SimulateNoTrace: timing fields are identical to a full simulation,
+// but SimResult.Events and SimResult.Utilization are nil. Serving layers
+// use this — responses carry makespans, never traces, and rendering the
+// per-op event timeline dominates a cache fill's allocations. The switch
+// applies to whatever caches the session ends up with, including ones
+// supplied via WithCache/WithAutotuneCache/WithLRUCache.
+func WithTraceFreeSim() PlannerOption {
+	return func(p *Planner) { p.noTrace = true }
+}
+
 // WithDefaultPlanOptions sets the options a call with a zero Options value
 // plans under (strategy, scheduler, chunking, budgets, seed).
 //
@@ -123,6 +137,10 @@ func NewPlanner(opts ...PlannerOption) *Planner {
 	}
 	if p.autotuneCache == nil {
 		p.autotuneCache = NewPlanCache()
+	}
+	if p.noTrace {
+		p.cache.SetSimulateNoTrace(true)
+		p.autotuneCache.SetSimulateNoTrace(true)
 	}
 	return p
 }

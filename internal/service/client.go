@@ -45,12 +45,29 @@ func (e *APIError) Error() string {
 type Client struct {
 	base string
 	hc   *http.Client
+	// binary negotiates the binary wire format on /v2 responses; see
+	// WithBinary.
+	binary bool
+}
+
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithBinary makes the client negotiate the binary wire format
+// (ContentTypeBinary) on every /v2 request via the Accept header. The
+// server answers /v2 responses — including error envelopes — as binary
+// frames, which the client decodes into the same response structs the
+// JSON path fills; /v1 requests are unaffected. Servers that predate the
+// binary format ignore the Accept header and keep answering JSON, which
+// the client still decodes, so the option is safe against old servers.
+func WithBinary() ClientOption {
+	return func(c *Client) { c.binary = true }
 }
 
 // NewClient builds a client for a base URL like "http://127.0.0.1:8100".
 // httpClient nil means a dedicated client whose transport tolerates
 // hundreds of concurrent connections to one host.
-func NewClient(baseURL string, httpClient *http.Client) *Client {
+func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		// DefaultTransport may have been replaced by the embedding
 		// program with an arbitrary RoundTripper; fall back to a fresh
@@ -65,7 +82,11 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 		tr.MaxIdleConnsPerHost = 512
 		httpClient = &http.Client{Transport: tr}
 	}
-	return &Client{base: baseURL, hc: httpClient}
+	c := &Client{base: baseURL, hc: httpClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Plan requests one resharding plan.
@@ -132,16 +153,22 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 }
 
 func (c *Client) post(ctx context.Context, path string, payload, out interface{}) error {
-	body, err := json.Marshal(payload)
-	if err != nil {
+	// Marshal into a pooled buffer: the request body must stay alive for
+	// the whole round trip, so the buffer is returned only afterwards.
+	je := getEncoder()
+	defer putEncoder(je)
+	if err := je.enc.Encode(payload); err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(je.buf.Bytes()))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if strings.HasPrefix(path, "/v2/") {
+		if c.binary {
+			req.Header.Set("Accept", ContentTypeBinary)
+		}
 		if deadline, ok := ctx.Deadline(); ok {
 			if ms := time.Until(deadline).Milliseconds(); ms > 0 {
 				req.Header.Set(TimeoutHeader, strconv.FormatInt(ms, 10))
@@ -165,10 +192,22 @@ func (c *Client) roundTrip(req *http.Request, out interface{}) error {
 		}
 		return &OverloadedError{RetryAfter: retry}
 	}
+	binary := strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeBinary)
 	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: resp.Status}
+		if binary {
+			// Binary errors are a complete error frame.
+			if data, err := io.ReadAll(resp.Body); err == nil {
+				if v, err := decodeBinary(data); err == nil {
+					if ve, ok := v.(*V2Error); ok {
+						apiErr.Message, apiErr.Code, apiErr.Retryable = ve.Message, ve.Code, ve.Retryable
+					}
+				}
+			}
+			return apiErr
+		}
 		// /v2 errors are a structured envelope, /v1 errors a flat string;
 		// the envelope decodes first so its code and retryability survive.
-		apiErr := &APIError{StatusCode: resp.StatusCode, Message: resp.Status}
 		var raw json.RawMessage
 		if err := json.NewDecoder(resp.Body).Decode(&struct {
 			Error *json.RawMessage `json:"error"`
@@ -185,5 +224,40 @@ func (c *Client) roundTrip(req *http.Request, out interface{}) error {
 		}
 		return apiErr
 	}
+	if binary {
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		return decodeBinaryInto(data, out)
+	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeBinaryInto decodes one binary frame into the response struct the
+// caller expects, rejecting kind mismatches (a plan frame answering an
+// autotune request means a server bug, not a value).
+func decodeBinaryInto(data []byte, out interface{}) error {
+	v, err := decodeBinary(data)
+	if err != nil {
+		return err
+	}
+	switch dst := out.(type) {
+	case *PlanResponse:
+		if p, ok := v.(*PlanResponse); ok {
+			*dst = *p
+			return nil
+		}
+	case *AutotuneResponse:
+		if a, ok := v.(*AutotuneResponse); ok {
+			*dst = *a
+			return nil
+		}
+	case *BatchPlanResponse:
+		if b, ok := v.(*BatchPlanResponse); ok {
+			*dst = *b
+			return nil
+		}
+	}
+	return fmt.Errorf("service: binary frame kind does not match expected %T", out)
 }

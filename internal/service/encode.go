@@ -1,0 +1,320 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"sync"
+
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/sharding"
+)
+
+// The zero-alloc serve path. A plan is serialized exactly once, when its
+// cache entry is filled: the leader renders the JSON body and the binary
+// frame for the identity response and attaches them to the entry
+// (resharding.PlanCache.Attach), so every later hit is a pooled-buffer
+// copy plus at most two in-place patches — the coalesced flag and, on a
+// translated hit, the remapped sender section. Nothing on the hit path
+// calls json.Marshal.
+
+// bufPool recycles the scratch buffers of the serve path: response
+// assembly, request parsing and memo-key rendering. Buffers are returned
+// via putBuf, which drops oversized ones so a single giant batch response
+// cannot pin memory in the pool forever.
+var bufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledBuf bounds what putBuf retains; larger buffers are left to the
+// collector.
+const maxPooledBuf = 1 << 20
+
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+func putBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// encoderPool recycles the bytes.Buffer + json.Encoder pairs writeJSON
+// uses for the slow (non-pre-serialized) responses: stats, autotune,
+// errors.
+var encoderPool = sync.Pool{
+	New: func() interface{} {
+		je := &jsonEncoder{buf: &bytes.Buffer{}}
+		je.enc = json.NewEncoder(je.buf)
+		return je
+	},
+}
+
+type jsonEncoder struct {
+	buf *bytes.Buffer
+	enc *json.Encoder
+}
+
+func getEncoder() *jsonEncoder {
+	je := encoderPool.Get().(*jsonEncoder)
+	je.buf.Reset()
+	return je
+}
+
+func putEncoder(je *jsonEncoder) {
+	if je.buf.Cap() > maxPooledBuf {
+		return
+	}
+	encoderPool.Put(je)
+}
+
+// encodedPlan is the pre-serialized form of one cached plan: the full
+// response bodies for the identity case plus the offsets needed to patch
+// the two request-dependent parts (the coalesced flag and the sender
+// devices) without re-encoding anything else. It is built once per cache
+// fill by newEncodedPlan and shared read-only by every request that hits
+// the entry; the serve path copies it into a pooled buffer and patches
+// the copy.
+type encodedPlan struct {
+	// task is the task the plan was computed for; a request carrying this
+	// exact task serves the identity senders verbatim. Congruent requests
+	// on other hosts remap through senderPos instead.
+	task *sharding.Task
+	// senderPos[i] is the logical position of unit i's sender in the source
+	// mesh: a translated hit's sender is task.Src.Mesh.Devices[senderPos[i]].
+	senderPos []int32
+
+	// jsonFull is the complete encoding/json-rendered response body
+	// (identity senders, coalesced unset), without the json.Encoder's
+	// trailing newline. jsonHead/jsonIdent/jsonTail are its three slices
+	// around the senders array — head ends just after `"senders":[`, tail
+	// runs from the closing `]` up to (excluding) the final `}` — so a
+	// translated or coalesced response reuses every byte that doesn't
+	// change.
+	jsonFull  []byte
+	jsonHead  []byte
+	jsonIdent []byte
+	jsonTail  []byte
+
+	// bin is the complete binary frame for the identity, non-coalesced
+	// response. The senders array lives at the fixed offset
+	// binPlanSendersOff and the flags byte at binFlagsOff, so patched
+	// variants copy the frame and overwrite in place.
+	bin []byte
+}
+
+// newEncodedPlan renders both wire bodies for one cached plan. The
+// identity response is produced by encoding/json itself, so the
+// serialize-once bytes are exactly what the per-request encoder wrote
+// before this path existed. Returns nil only if the rendered JSON does not
+// contain the senders marker, which cannot happen for PlanResponse.
+func newEncodedPlan(plan *resharding.Plan, sim *resharding.SimResult,
+	opts resharding.Options, key string) *encodedPlan {
+
+	task := plan.Task
+	n := len(task.Units)
+	senders := make([]int, n)
+	pos := make(map[int]int, len(task.Src.Mesh.Devices))
+	for idx, d := range task.Src.Mesh.Devices {
+		pos[d] = idx
+	}
+	senderPos := make([]int32, n)
+	for i := 0; i < n; i++ {
+		senders[i] = plan.SenderOf[i]
+		senderPos[i] = int32(pos[plan.SenderOf[i]])
+	}
+
+	resp := PlanResponse{
+		Strategy:        opts.Strategy.String(),
+		Scheduler:       opts.Scheduler.String(),
+		NumUnits:        n,
+		Senders:         senders,
+		Order:           plan.Order,
+		MakespanSeconds: sim.Makespan,
+		EffectiveGbps:   sim.EffectiveGbps,
+		NumOps:          sim.NumOps,
+		Key:             key,
+	}
+	full, err := json.Marshal(resp)
+	if err != nil {
+		return nil
+	}
+	marker := []byte(`"senders":[`)
+	i := bytes.Index(full, marker)
+	if i < 0 {
+		return nil
+	}
+	// The senders array holds only integers, so the first ']' after the
+	// marker closes it. The key string is the only free-form field and a
+	// cache key never contains a quote, so the marker cannot occur inside
+	// it.
+	start := i + len(marker)
+	end := bytes.IndexByte(full[start:], ']')
+	if end < 0 {
+		return nil
+	}
+	end += start
+
+	e := &encodedPlan{
+		task:      task,
+		senderPos: senderPos,
+		jsonFull:  full,
+		jsonHead:  full[:start],
+		jsonIdent: full[start:end],
+		jsonTail:  full[end : len(full)-1],
+	}
+	e.bin = appendPlanBinary(nil, &resp)
+	return e
+}
+
+// appendJSON appends the response body for one request — without the
+// trailing newline, so batch items can embed it — patching only what
+// differs from the fill-time identity body.
+func (e *encodedPlan) appendJSON(b []byte, task *sharding.Task, shared bool) []byte {
+	if !shared && task == e.task {
+		return append(b, e.jsonFull...)
+	}
+	b = append(b, e.jsonHead...)
+	if task == e.task {
+		b = append(b, e.jsonIdent...)
+	} else {
+		b = e.appendSenders(b, task)
+	}
+	b = append(b, e.jsonTail...)
+	if shared {
+		b = append(b, `,"coalesced":true`...)
+	}
+	return append(b, '}')
+}
+
+// appendSenders renders the translated sender list: congruent tasks have
+// congruent meshes, so unit i's sender sits at the same logical position
+// in this request's source mesh.
+func (e *encodedPlan) appendSenders(b []byte, task *sharding.Task) []byte {
+	devs := task.Src.Mesh.Devices
+	for i, p := range e.senderPos {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(devs[p]), 10)
+	}
+	return b
+}
+
+// appendBinary appends the binary frame for one request, patching the
+// flags byte and — on a translated hit — the fixed-offset sender section
+// in the appended copy, never in the shared original.
+func (e *encodedPlan) appendBinary(b []byte, task *sharding.Task, shared bool) []byte {
+	n := len(b)
+	b = append(b, e.bin...)
+	if shared {
+		b[n+binFlagsOff] |= binFlagCoalesced
+	}
+	if task != e.task {
+		devs := task.Src.Mesh.Devices
+		off := n + binPlanSendersOff
+		for i, p := range e.senderPos {
+			putU32(b[off+4*i:], uint32(int32(devs[p])))
+		}
+	}
+	return b
+}
+
+// parsedReq is one memoized request parse: the decomposed task, the
+// normalized options and the canonical cache key — everything parseTask
+// produces, keyed by the raw wire fields so a repeated request skips
+// topology resolution, task decomposition and cache-key rendering
+// entirely. Entries are immutable and shared; the planner only reads
+// tasks.
+type parsedReq struct {
+	task *sharding.Task
+	opts resharding.Options
+	key  string
+}
+
+// maxMemoEntries bounds the request-parse memo. Like the topology memo the
+// key space is client-controlled, so beyond the cap the memo stops adding
+// and requests fall back to the full parse path — correctness never
+// depends on a memo hit.
+const maxMemoEntries = 4096
+
+// parseMemo memoizes request parses for fault-free requests (fault
+// overlays re-derive topologies per request and are never memoized).
+type parseMemo struct {
+	mu sync.RWMutex
+	m  map[string]parsedReq
+}
+
+// appendMemoKey renders the raw request fields into b. Strings are
+// NUL-separated (none of the wire fields may contain NUL and still parse)
+// so distinct field splits never collide.
+func appendMemoKey(b []byte, ref TopologyRef, shape []int, dtype string, src, dst Endpoint, po PlanOptions) []byte {
+	b = append(b, ref.Name...)
+	b = append(b, 0)
+	b = strconv.AppendInt(b, int64(ref.Hosts), 10)
+	b = strconv.AppendFloat(b, ref.Oversubscription, 'g', -1, 64)
+	b = append(b, 0)
+	for _, d := range shape {
+		b = strconv.AppendInt(b, int64(d), 10)
+		b = append(b, ',')
+	}
+	b = append(b, dtype...)
+	b = append(b, 0)
+	b = append(b, src.Mesh...)
+	b = append(b, 0)
+	b = append(b, src.Spec...)
+	b = append(b, 0)
+	b = append(b, dst.Mesh...)
+	b = append(b, 0)
+	b = append(b, dst.Spec...)
+	b = append(b, 0)
+	b = append(b, po.Strategy...)
+	b = append(b, 0)
+	b = append(b, po.Scheduler...)
+	b = append(b, 0)
+	b = strconv.AppendInt(b, int64(po.Chunks), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(po.DFSNodes), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(po.Trials), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, po.Seed, 10)
+	return b
+}
+
+// get looks the raw request up without allocating: the scratch buffer is
+// pooled and the map lookup converts it to a string key for free.
+func (pm *parseMemo) get(ref TopologyRef, shape []int, dtype string, src, dst Endpoint, po PlanOptions) (parsedReq, bool) {
+	buf := getBuf()
+	b := appendMemoKey((*buf)[:0], ref, shape, dtype, src, dst, po)
+	*buf = b
+	pm.mu.RLock()
+	pr, ok := pm.m[string(b)]
+	pm.mu.RUnlock()
+	putBuf(buf)
+	return pr, ok
+}
+
+// put stores one parse result, keeping the first entry if another request
+// raced us in and stopping at the bound.
+func (pm *parseMemo) put(ref TopologyRef, shape []int, dtype string, src, dst Endpoint, po PlanOptions, pr parsedReq) {
+	buf := getBuf()
+	b := appendMemoKey((*buf)[:0], ref, shape, dtype, src, dst, po)
+	*buf = b
+	key := string(b)
+	putBuf(buf)
+	pm.mu.Lock()
+	if pm.m == nil {
+		pm.m = map[string]parsedReq{}
+	}
+	if _, ok := pm.m[key]; !ok && len(pm.m) < maxMemoEntries {
+		pm.m[key] = pr
+	}
+	pm.mu.Unlock()
+}

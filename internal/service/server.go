@@ -58,6 +58,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -116,7 +117,11 @@ type Server struct {
 	cache         *resharding.PlanCache
 	autotuneCache *resharding.PlanCache
 	topos         topologyCache
-	flight        flightGroup
+	// reqMemo memoizes fault-free request parses (task decomposition +
+	// cache-key rendering), the dominant per-request cost once the plan
+	// itself is a pre-serialized cache hit.
+	reqMemo parseMemo
+	flight  flightGroup
 	// intake bounds the pre-admission work every request pays before it
 	// can be coalesced or queued: topology construction, task
 	// decomposition and cache-key rendering. Without it that work would
@@ -160,6 +165,13 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	// Serving returns timings, never event traces, and rendering the
+	// per-op timeline dominates a cache fill's allocations — so the
+	// server's caches simulate trace-free (timing fields are identical, see
+	// resharding.PlanCache.SetSimulateNoTrace). A cache shared with an
+	// in-process planner that needs traces should not be passed here.
+	cfg.Cache.SetSimulateNoTrace(true)
+	cfg.AutotuneCache.SetSimulateNoTrace(true)
 	// Floor the intake gate: parsing is cheap and the gate exists to bound
 	// memory, so a small-core machine must not reject a burst of duplicate
 	// requests that the coalescing right behind the gate would collapse to
@@ -319,10 +331,13 @@ func newBodyDecoder(w http.ResponseWriter, r *http.Request) *json.Decoder {
 }
 
 // planned is one computed (plan, simulation) pair shared by every caller
-// of a canonical key.
+// of a canonical key, plus the pre-serialized wire bodies built at fill
+// time (nil only when serialization was impossible; callers then fall
+// back to per-request encoding).
 type planned struct {
 	plan *resharding.Plan
 	sim  *resharding.SimResult
+	enc  *encodedPlan
 }
 
 // computePlan serves one canonical planning problem: a completed cache
@@ -331,10 +346,20 @@ type planned struct {
 // computation is coalesced with identical in-flight requests and runs
 // through the plan admission pool under the caller's context — a cancelled
 // caller abandons its queue slot, and a cancelled waiter detaches without
-// disturbing the flight.
+// disturbing the flight. The flight leader serializes the response bodies
+// once and attaches them to the cache entry, so every later hit writes
+// pre-rendered bytes.
 func (s *Server) computePlan(ctx context.Context, cacheKey string, task *sharding.Task, opts resharding.Options) (*planned, bool, error) {
-	if plan, sim, ok := s.cache.LookupKeyed(cacheKey); ok {
-		return &planned{plan: plan, sim: sim}, false, nil
+	if plan, sim, att, ok := s.cache.LookupKeyedAttachment(cacheKey); ok {
+		enc, _ := att.(*encodedPlan)
+		if enc == nil {
+			// The entry predates this server's fills (shared cache) or the
+			// attach raced an eviction: serialize now so the next hit is
+			// free.
+			enc = newEncodedPlan(plan, sim, opts, cacheKey)
+			s.cache.Attach(cacheKey, enc)
+		}
+		return &planned{plan: plan, sim: sim, enc: enc}, false, nil
 	}
 	v, err, shared := s.flight.do(ctx, "plan|"+cacheKey, func() (interface{}, error) {
 		if err := s.plan.acquire(ctx); err != nil {
@@ -345,7 +370,9 @@ func (s *Server) computePlan(ctx context.Context, cacheKey string, task *shardin
 		if err != nil {
 			return nil, err
 		}
-		return &planned{plan: plan, sim: sim}, nil
+		enc := newEncodedPlan(plan, sim, opts, cacheKey)
+		s.cache.Attach(cacheKey, enc)
+		return &planned{plan: plan, sim: sim, enc: enc}, nil
 	})
 	if err != nil {
 		return nil, shared, err
@@ -380,7 +407,61 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if shared {
 		s.planC.coalesced.Add(1)
 	}
-	s.ok(w, &s.planC, s.planResponse(p.plan, p.sim, task, opts, cacheKey, shared))
+	s.servePlan(w, &s.planC, p, task, opts, cacheKey, shared, false)
+}
+
+// servePlan writes one plan response from the entry's pre-serialized
+// bodies: a pooled buffer, the fill-time bytes, and at most the coalesced
+// flag and the translated sender section patched — no marshaling. The
+// fallback (enc nil) renders per request exactly as the service did before
+// serialize-once fills.
+func (s *Server) servePlan(w http.ResponseWriter, c *endpointCounters, p *planned,
+	task *sharding.Task, opts resharding.Options, cacheKey string, shared, binary bool) {
+
+	if p.enc == nil {
+		resp := s.planResponse(p.plan, p.sim, task, opts, cacheKey, shared)
+		if binary {
+			buf := getBuf()
+			b := appendPlanBinary((*buf)[:0], &resp)
+			*buf = b
+			c.ok.Add(1)
+			writeBinary(w, http.StatusOK, b)
+			putBuf(buf)
+			return
+		}
+		s.ok(w, c, resp)
+		return
+	}
+	buf := getBuf()
+	var b []byte
+	if binary {
+		b = p.enc.appendBinary((*buf)[:0], task, shared)
+	} else {
+		b = append(p.enc.appendJSON((*buf)[:0], task, shared), '\n')
+	}
+	*buf = b
+	c.ok.Add(1)
+	if binary {
+		writeBinary(w, http.StatusOK, b)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(b)
+	}
+	putBuf(buf)
+}
+
+// writeBinary writes one complete binary frame.
+func writeBinary(w http.ResponseWriter, status int, frame []byte) {
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.WriteHeader(status)
+	_, _ = w.Write(frame)
+}
+
+// wantsBinary reports whether the request negotiated the binary response
+// format; only the /v2 handlers consult it.
+func wantsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), ContentTypeBinary)
 }
 
 // planResponse renders a plan for one request. It is built per request,
@@ -528,9 +609,19 @@ func (e *badRequestError) Unwrap() error { return e.err }
 // ends surface as-is (retryable), everything else as *badRequestError. The
 // intake token is released before the caller coalesces or queues, so
 // parsing capacity is never held across a computation.
+//
+// Fault-free requests are memoized on their raw wire fields: a repeated
+// request returns the stored (task, options, key) without touching the
+// intake gate — the memo hit does no bounded work for the gate to bound —
+// and the serve path stays allocation-free end to end.
 func (s *Server) parseTask(ctx context.Context,
 	ref TopologyRef, faults *FaultsRef, shape []int, dtype string, src, dst Endpoint, po PlanOptions) (task *sharding.Task, opts resharding.Options, key string, err error) {
 
+	if faults == nil {
+		if pr, ok := s.reqMemo.get(ref, shape, dtype, src, dst, po); ok {
+			return pr.task, pr.opts, pr.key, nil
+		}
+	}
 	if err := s.intake.acquire(ctx); err != nil {
 		return nil, opts, "", err
 	}
@@ -540,7 +631,11 @@ func (s *Server) parseTask(ctx context.Context,
 		return nil, opts, "", &badRequestError{err}
 	}
 	opts = opts.WithDefaults()
-	return task, opts, resharding.CacheKey(task, opts), nil
+	key = resharding.CacheKey(task, opts)
+	if faults == nil {
+		s.reqMemo.put(ref, shape, dtype, src, dst, po, parsedReq{task: task, opts: opts, key: key})
+	}
+	return task, opts, key, nil
 }
 
 // failParse writes a parseTask failure in the v1 envelope: bad requests
@@ -620,9 +715,31 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// encodeFailureLog rate-limits the encode-failure log line: a payload that
+// cannot encode is a programming bug hit on every affected request, and
+// one line is enough to surface it.
+var encodeFailureLog sync.Once
+
+// writeJSON encodes the payload into a pooled buffer first and only then
+// touches the ResponseWriter. Encoding a response type can only fail on a
+// programming bug (an unencodable field), but the old stream-encoder path
+// discovered that after the 200 header was committed and silently
+// truncated the body; buffering turns the same bug into a logged 500 with
+// an intact error envelope.
 func writeJSON(w http.ResponseWriter, status int, payload interface{}) {
+	je := getEncoder()
+	if err := je.enc.Encode(payload); err != nil {
+		putEncoder(je)
+		encodeFailureLog.Do(func() {
+			log.Printf("service: response encoding failed (suppressing further reports): %v", err)
+		})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"response encoding failed"}` + "\n"))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(payload)
+	_, _ = w.Write(je.buf.Bytes())
+	putEncoder(je)
 }

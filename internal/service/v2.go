@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -160,10 +161,11 @@ func (s *Server) v2Error(ctx context.Context, err error) (int, V2Error) {
 	}
 }
 
-// failV2 writes the envelope and bumps the endpoint counters the same way
+// failV2 writes the envelope — JSON or, when the request negotiated it,
+// the binary error frame — and bumps the endpoint counters the same way
 // the /v1 writers do: 429/deadline/cancel count as rejected, the rest as
 // errors.
-func (s *Server) failV2(w http.ResponseWriter, ctx context.Context, c *endpointCounters, err error) {
+func (s *Server) failV2(w http.ResponseWriter, ctx context.Context, c *endpointCounters, err error, bin bool) {
 	status, ve := s.v2Error(ctx, err)
 	if ve.Retryable {
 		c.rejected.Add(1)
@@ -173,21 +175,34 @@ func (s *Server) failV2(w http.ResponseWriter, ctx context.Context, c *endpointC
 	} else {
 		c.errors.Add(1)
 	}
-	writeJSON(w, status, V2ErrorEnvelope{Error: ve})
+	s.writeV2Error(w, status, ve, bin)
+}
+
+// writeV2Error renders one envelope in the request's negotiated format.
+func (s *Server) writeV2Error(w http.ResponseWriter, status int, ve V2Error, bin bool) {
+	if !bin {
+		writeJSON(w, status, V2ErrorEnvelope{Error: ve})
+		return
+	}
+	buf := getBuf()
+	b := appendErrorBinary((*buf)[:0], &ve)
+	*buf = b
+	writeBinary(w, status, b)
+	putBuf(buf)
 }
 
 // decodeV2 is decode with the v2 envelope on failure.
-func (s *Server) decodeV2(w http.ResponseWriter, r *http.Request, dst interface{}, c *endpointCounters) bool {
+func (s *Server) decodeV2(w http.ResponseWriter, r *http.Request, dst interface{}, c *endpointCounters, bin bool) bool {
 	if r.Method != http.MethodPost {
 		c.errors.Add(1)
-		writeJSON(w, http.StatusMethodNotAllowed, V2ErrorEnvelope{Error: V2Error{
+		s.writeV2Error(w, http.StatusMethodNotAllowed, V2Error{
 			Code: CodeMethodNotAllowed, Message: "use POST",
-		}})
+		}, bin)
 		return false
 	}
 	dec := newBodyDecoder(w, r)
 	if err := dec.Decode(dst); err != nil {
-		s.failV2(w, r.Context(), c, &badRequestError{fmt.Errorf("bad request body: %v", err)})
+		s.failV2(w, r.Context(), c, &badRequestError{fmt.Errorf("bad request body: %v", err)}, bin)
 		return false
 	}
 	return true
@@ -198,20 +213,21 @@ func (s *Server) decodeV2(w http.ResponseWriter, r *http.Request, dst interface{
 // /v1's for the same request.
 func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 	s.planC.requests.Add(1)
+	bin := wantsBinary(r)
 	var req PlanRequest
-	if !s.decodeV2(w, r, &req, &s.planC) {
+	if !s.decodeV2(w, r, &req, &s.planC, bin) {
 		return
 	}
 	ctx, cancel, err := v2Ctx(r)
 	if err != nil {
-		s.failV2(w, r.Context(), &s.planC, err)
+		s.failV2(w, r.Context(), &s.planC, err, bin)
 		return
 	}
 	defer cancel()
 	task, opts, cacheKey, err := s.parseTask(ctx,
 		req.Topology, req.Faults, req.Shape, req.DType, req.Src, req.Dst, req.Options)
 	if err != nil {
-		s.failV2(w, ctx, &s.planC, err)
+		s.failV2(w, ctx, &s.planC, err, bin)
 		return
 	}
 
@@ -219,13 +235,13 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 	defer s.planC.inFlight.Add(-1)
 	p, shared, err := s.computePlan(ctx, cacheKey, task, opts)
 	if err != nil {
-		s.failV2(w, ctx, &s.planC, err)
+		s.failV2(w, ctx, &s.planC, err, bin)
 		return
 	}
 	if shared {
 		s.planC.coalesced.Add(1)
 	}
-	s.ok(w, &s.planC, s.planResponse(p.plan, p.sim, task, opts, cacheKey, shared))
+	s.servePlan(w, &s.planC, p, task, opts, cacheKey, shared, bin)
 }
 
 // handleAutotuneV2 is /v1/autotune with the v2 envelope and deadline
@@ -233,24 +249,25 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 // grid search.
 func (s *Server) handleAutotuneV2(w http.ResponseWriter, r *http.Request) {
 	s.autotuneC.requests.Add(1)
+	bin := wantsBinary(r)
 	var req AutotuneRequest
-	if !s.decodeV2(w, r, &req, &s.autotuneC) {
+	if !s.decodeV2(w, r, &req, &s.autotuneC, bin) {
 		return
 	}
 	if req.Workers < 0 {
-		s.failV2(w, r.Context(), &s.autotuneC, &badRequestError{fmt.Errorf("negative workers")})
+		s.failV2(w, r.Context(), &s.autotuneC, &badRequestError{fmt.Errorf("negative workers")}, bin)
 		return
 	}
 	ctx, cancel, err := v2Ctx(r)
 	if err != nil {
-		s.failV2(w, r.Context(), &s.autotuneC, err)
+		s.failV2(w, r.Context(), &s.autotuneC, err, bin)
 		return
 	}
 	defer cancel()
 	task, opts, cacheKey, err := s.parseTask(ctx,
 		req.Topology, req.Faults, req.Shape, req.DType, req.Src, req.Dst, req.Options)
 	if err != nil {
-		s.failV2(w, ctx, &s.autotuneC, err)
+		s.failV2(w, ctx, &s.autotuneC, err, bin)
 		return
 	}
 
@@ -258,13 +275,22 @@ func (s *Server) handleAutotuneV2(w http.ResponseWriter, r *http.Request) {
 	defer s.autotuneC.inFlight.Add(-1)
 	v, shared, err := s.computeAutotune(ctx, cacheKey, task, opts, req.Workers)
 	if err != nil {
-		s.failV2(w, ctx, &s.autotuneC, err)
+		s.failV2(w, ctx, &s.autotuneC, err, bin)
 		return
 	}
 	resp := *v
 	resp.Coalesced = shared
 	if shared {
 		s.autotuneC.coalesced.Add(1)
+	}
+	if bin {
+		buf := getBuf()
+		b := appendAutotuneBinary((*buf)[:0], &resp)
+		*buf = b
+		s.autotuneC.ok.Add(1)
+		writeBinary(w, http.StatusOK, b)
+		putBuf(buf)
+		return
 	}
 	s.ok(w, &s.autotuneC, resp)
 }
@@ -284,21 +310,22 @@ type batchItem struct {
 // without the N round trips.
 func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchC.requests.Add(1)
+	bin := wantsBinary(r)
 	var req BatchPlanRequest
-	if !s.decodeV2(w, r, &req, &s.batchC) {
+	if !s.decodeV2(w, r, &req, &s.batchC, bin) {
 		return
 	}
 	if len(req.Items) == 0 {
-		s.failV2(w, r.Context(), &s.batchC, &badRequestError{fmt.Errorf("empty batch")})
+		s.failV2(w, r.Context(), &s.batchC, &badRequestError{fmt.Errorf("empty batch")}, bin)
 		return
 	}
 	if len(req.Items) > MaxBatchItems {
-		s.failV2(w, r.Context(), &s.batchC, &badRequestError{fmt.Errorf("batch has %d items, server bound is %d", len(req.Items), MaxBatchItems)})
+		s.failV2(w, r.Context(), &s.batchC, &badRequestError{fmt.Errorf("batch has %d items, server bound is %d", len(req.Items), MaxBatchItems)}, bin)
 		return
 	}
 	ctx, cancel, err := v2Ctx(r)
 	if err != nil {
-		s.failV2(w, r.Context(), &s.batchC, err)
+		s.failV2(w, r.Context(), &s.batchC, err, bin)
 		return
 	}
 	defer cancel()
@@ -337,7 +364,7 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}(); err != nil {
-		s.failV2(w, ctx, &s.batchC, err)
+		s.failV2(w, ctx, &s.batchC, err, bin)
 		return
 	}
 
@@ -400,32 +427,92 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	if fatal != nil {
-		s.failV2(w, ctx, &s.batchC, fatal)
+		s.failV2(w, ctx, &s.batchC, fatal, bin)
 		return
 	}
 	s.batchC.coalesced.Add(int64(coalesced))
 
-	resp := BatchPlanResponse{
-		Items:     make([]BatchPlanItemResult, len(items)),
-		Distinct:  len(order),
-		Coalesced: coalesced,
+	// Assemble the whole response into one pooled buffer: every planned
+	// item appends its class's pre-serialized body (senders remapped into
+	// its own meshes where needed) and item errors — the rare path —
+	// marshal individually. One buffer, one Write, no per-item allocation
+	// on the happy path.
+	buf := getBuf()
+	b := (*buf)[:0]
+	if bin {
+		b = appendBatchBinaryHeader(b, len(order), coalesced, len(items))
+	} else {
+		b = append(b, `{"items":[`...)
 	}
 	for i := range items {
-		if items[i].err != nil {
-			_, ve := s.v2Error(ctx, items[i].err)
-			resp.Items[i] = BatchPlanItemResult{Error: &ve}
-			continue
+		itemErr := items[i].err
+		if itemErr == nil && items[i].key != "" {
+			if err, ok := classErrs[items[i].key]; ok {
+				itemErr = err
+			}
 		}
-		if err, ok := classErrs[items[i].key]; ok {
-			_, ve := s.v2Error(ctx, err)
-			resp.Items[i] = BatchPlanItemResult{Error: &ve}
+		if !bin && i > 0 {
+			b = append(b, ',')
+		}
+		if itemErr != nil {
+			_, ve := s.v2Error(ctx, itemErr)
+			if bin {
+				b = append(b, 1)
+				b = appendErrorBinary(b, &ve)
+				continue
+			}
+			eb, err := json.Marshal(&ve)
+			if err != nil {
+				// Unreachable for V2Error; keep the envelope well-formed.
+				eb = []byte(`{"code":"unplannable","message":"error encoding failed"}`)
+			}
+			b = append(b, `{"error":`...)
+			b = append(b, eb...)
+			b = append(b, '}')
 			continue
 		}
 		p := classes[items[i].key]
+		shared := classShared[items[i].key]
 		// Render per item: congruent items on different hosts each need
 		// the shared plan's senders remapped into their own meshes.
-		pr := s.planResponse(p.plan, p.sim, items[i].task, items[i].opts, items[i].key, classShared[items[i].key])
-		resp.Items[i] = BatchPlanItemResult{Plan: &pr}
+		if bin {
+			b = append(b, 0)
+			if p.enc != nil {
+				b = p.enc.appendBinary(b, items[i].task, shared)
+			} else {
+				pr := s.planResponse(p.plan, p.sim, items[i].task, items[i].opts, items[i].key, shared)
+				b = appendPlanBinary(b, &pr)
+			}
+			continue
+		}
+		b = append(b, `{"plan":`...)
+		if p.enc != nil {
+			b = p.enc.appendJSON(b, items[i].task, shared)
+		} else {
+			pr := s.planResponse(p.plan, p.sim, items[i].task, items[i].opts, items[i].key, shared)
+			pb, err := json.Marshal(&pr)
+			if err != nil {
+				pb = []byte(`null`)
+			}
+			b = append(b, pb...)
+		}
+		b = append(b, '}')
 	}
-	s.ok(w, &s.batchC, resp)
+	if !bin {
+		b = append(b, `],"distinct":`...)
+		b = strconv.AppendInt(b, int64(len(order)), 10)
+		b = append(b, `,"coalesced":`...)
+		b = strconv.AppendInt(b, int64(coalesced), 10)
+		b = append(b, '}', '\n')
+	}
+	*buf = b
+	s.batchC.ok.Add(1)
+	if bin {
+		writeBinary(w, http.StatusOK, b)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(b)
+	}
+	putBuf(buf)
 }

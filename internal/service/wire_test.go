@@ -1,0 +1,390 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/sharding"
+	"alpacomm/internal/tensor"
+)
+
+func wireTestPlan() PlanResponse {
+	return PlanResponse{
+		Strategy:        "broadcast",
+		Scheduler:       "ensemble",
+		NumUnits:        4,
+		Senders:         []int{0, 1, 2, 3},
+		Order:           []int{3, 1, 0, 2},
+		MakespanSeconds: 0.0123,
+		EffectiveGbps:   87.5,
+		NumOps:          12,
+		Key:             "t=[64 96]/fp32;s=[2 2]/S01R@0.0;o=1/2/0/0/50000/0/7",
+	}
+}
+
+func TestBinaryPlanRoundTrip(t *testing.T) {
+	for _, coalesced := range []bool{false, true} {
+		want := wireTestPlan()
+		want.Coalesced = coalesced
+		frame := appendPlanBinary(nil, &want)
+		v, err := decodeBinary(frame)
+		if err != nil {
+			t.Fatalf("coalesced=%v: %v", coalesced, err)
+		}
+		got, ok := v.(*PlanResponse)
+		if !ok {
+			t.Fatalf("decoded %T, want *PlanResponse", v)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Errorf("coalesced=%v: round trip changed the plan:\n got %+v\nwant %+v", coalesced, *got, want)
+		}
+		// Re-encoding the decoded value must reproduce the frame exactly.
+		if !bytes.Equal(appendPlanBinary(nil, got), frame) {
+			t.Errorf("coalesced=%v: re-encoded frame differs", coalesced)
+		}
+	}
+}
+
+func TestBinaryAutotuneRoundTrip(t *testing.T) {
+	want := AutotuneResponse{
+		Winner:          "broadcast/ensemble",
+		BestIndex:       2,
+		MakespanSeconds: 0.5,
+		EffectiveGbps:   12.25,
+		Coalesced:       true,
+		Trials: []AutotuneTrial{
+			{Candidate: "send-recv/naive", MakespanSeconds: 1.5, EffectiveGbps: 4},
+			{Candidate: "broadcast/dfs", Err: "budget exhausted"},
+		},
+	}
+	frame := appendAutotuneBinary(nil, &want)
+	v, err := decodeBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*AutotuneResponse)
+	if !ok {
+		t.Fatalf("decoded %T, want *AutotuneResponse", v)
+	}
+	if !reflect.DeepEqual(*got, want) {
+		t.Errorf("round trip changed the result:\n got %+v\nwant %+v", *got, want)
+	}
+	if !bytes.Equal(appendAutotuneBinary(nil, got), frame) {
+		t.Error("re-encoded frame differs")
+	}
+}
+
+func TestBinaryErrorRoundTrip(t *testing.T) {
+	want := V2Error{Code: CodeOverloaded, Message: "queue full", Retryable: true, RetryAfterSeconds: 3}
+	frame := appendErrorBinary(nil, &want)
+	v, err := decodeBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*V2Error)
+	if !ok {
+		t.Fatalf("decoded %T, want *V2Error", v)
+	}
+	if *got != want {
+		t.Errorf("round trip changed the envelope: got %+v want %+v", *got, want)
+	}
+}
+
+func TestBinaryBatchRoundTrip(t *testing.T) {
+	plan := wireTestPlan()
+	want := BatchPlanResponse{
+		Distinct:  1,
+		Coalesced: 1,
+		Items: []BatchPlanItemResult{
+			{Plan: &plan},
+			{Error: &V2Error{Code: CodeInvalidArgument, Message: "item 1: bad src mesh"}},
+		},
+	}
+	frame := appendBatchBinary(nil, &want)
+	v, err := decodeBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*BatchPlanResponse)
+	if !ok {
+		t.Fatalf("decoded %T, want *BatchPlanResponse", v)
+	}
+	if !reflect.DeepEqual(*got, want) {
+		t.Errorf("round trip changed the batch:\n got %+v\nwant %+v", *got, want)
+	}
+	if !bytes.Equal(appendBatchBinary(nil, got), frame) {
+		t.Error("re-encoded frame differs")
+	}
+}
+
+// TestBinaryDecodeRejectsMalformed exercises the decoder's failure paths:
+// every malformed input must produce an error, never a panic and never a
+// huge allocation.
+func TestBinaryDecodeRejectsMalformed(t *testing.T) {
+	plan := wireTestPlan()
+	good := appendPlanBinary(nil, &plan)
+	cases := map[string][]byte{
+		"empty":           {},
+		"short magic":     good[:3],
+		"bad magic":       append([]byte("XXXX"), good[4:]...),
+		"unknown kind":    {'A', 'P', 'B', '1', 99},
+		"truncated body":  good[:12],
+		"truncated array": good[:binPlanSendersOff+2],
+		"trailing bytes":  append(append([]byte{}, good...), 0),
+	}
+	// A frame that advertises a giant sender array must fail on the bound
+	// check, not allocate.
+	huge := append([]byte{}, good...)
+	putU32(huge[binPlanSendersOff-4:], 1<<31-1)
+	cases["oversized array count"] = huge
+
+	for name, data := range cases {
+		if _, err := decodeBinary(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+// directTaskAt builds the testReq boundary on a p3 cluster of the given
+// host count, with the source/destination meshes at arbitrary device
+// offsets — congruent placements share a cache key, so two offsets give an
+// identity task and a translated one.
+func directTaskAt(t *testing.T, hosts, srcOff, dstOff int, seed int64) (*sharding.Task, resharding.Options) {
+	t.Helper()
+	topo, err := mesh.DefaultRegistry().Build("p3", mesh.TopologyParams{Hosts: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := topo.Slice([]int{2, 2}, srcOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := topo.Slice([]int{2, 2}, dstOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := sharding.NewTask(tensor.MustShape(64, 96), tensor.Float32,
+		src, sharding.MustParse("S01R"), dst, sharding.MustParse("S0R"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := NormalizedOptions(PlanOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task, opts
+}
+
+// TestServedBodiesMatchPerRequestEncoding pins the serialize-once
+// invariant: the segment-assembled bodies the hit path writes are
+// byte-identical to encoding the per-request response struct — across the
+// identity, coalesced and translated-sender cases, in both wire formats.
+func TestServedBodiesMatchPerRequestEncoding(t *testing.T) {
+	task, opts := directTaskAt(t, 4, 0, 4, 7)
+	transTask, _ := directTaskAt(t, 4, 8, 12, 7)
+	key := resharding.CacheKey(task, opts)
+	if tk := resharding.CacheKey(transTask, opts); tk != key {
+		t.Fatalf("translated task must share the cache key: %q vs %q", tk, key)
+	}
+
+	s := New(Config{})
+	p, shared, err := s.computePlan(context.Background(), key, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared || p.enc == nil {
+		t.Fatalf("fill: shared=%v enc=%v", shared, p.enc)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		task   *sharding.Task
+		shared bool
+	}{
+		{"identity", task, false},
+		{"identity coalesced", task, true},
+		{"translated", transTask, false},
+		{"translated coalesced", transTask, true},
+	} {
+		resp := s.planResponse(p.plan, p.sim, tc.task, opts, key, tc.shared)
+		wantJSON, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.enc.appendJSON(nil, tc.task, tc.shared); !bytes.Equal(got, wantJSON) {
+			t.Errorf("%s json:\n got %s\nwant %s", tc.name, got, wantJSON)
+		}
+		wantBin := appendPlanBinary(nil, &resp)
+		if got := p.enc.appendBinary(nil, tc.task, tc.shared); !bytes.Equal(got, wantBin) {
+			t.Errorf("%s binary: served frame differs from per-request frame", tc.name)
+		}
+	}
+}
+
+// TestBinaryServedMatchesJSONServed serves the same request over both wire
+// formats through the real handler and asserts the decoded responses are
+// identical.
+func TestBinaryServedMatchesJSONServed(t *testing.T) {
+	_, jsonClient := newTestServer(t, Config{})
+	binClient := NewClient(jsonClient.base, nil, WithBinary())
+	ctx := context.Background()
+
+	jr, err := jsonClient.PlanV2(ctx, testReq(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := binClient.PlanV2(ctx, testReq(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jr, br) {
+		t.Errorf("wire formats disagree:\n json %+v\n bin  %+v", jr, br)
+	}
+
+	ja, err := jsonClient.AutotuneV2(ctx, &AutotuneRequest{
+		Topology: TopologyRef{Name: "p3", Hosts: 2},
+		Shape:    []int{64, 96},
+		Src:      Endpoint{Mesh: "2x2@0", Spec: "S01R"},
+		Dst:      Endpoint{Mesh: "2x2@4", Spec: "S0R"},
+		Options:  PlanOptions{Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := binClient.AutotuneV2(ctx, &AutotuneRequest{
+		Topology: TopologyRef{Name: "p3", Hosts: 2},
+		Shape:    []int{64, 96},
+		Src:      Endpoint{Mesh: "2x2@0", Spec: "S01R"},
+		Dst:      Endpoint{Mesh: "2x2@4", Spec: "S0R"},
+		Options:  PlanOptions{Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coalesced depends on request timing, not format; mask it.
+	ja.Coalesced, ba.Coalesced = false, false
+	if !reflect.DeepEqual(ja, ba) {
+		t.Errorf("autotune wire formats disagree:\n json %+v\n bin  %+v", ja, ba)
+	}
+
+	batchReq := &BatchPlanRequest{
+		Topology: TopologyRef{Name: "p3", Hosts: 2},
+		Items: []BatchPlanItem{
+			{Shape: []int{64, 96}, Src: Endpoint{Mesh: "2x2@0", Spec: "S01R"}, Dst: Endpoint{Mesh: "2x2@4", Spec: "S0R"}, Options: PlanOptions{Seed: 5}},
+			{Shape: []int{64, 96}, Src: Endpoint{Mesh: "2x2@0", Spec: "bogus"}, Dst: Endpoint{Mesh: "2x2@4", Spec: "S0R"}},
+		},
+	}
+	jb, err := jsonClient.PlanBatch(ctx, batchReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := binClient.PlanBatch(ctx, batchReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jb, bb) {
+		t.Errorf("batch wire formats disagree:\n json %+v\n bin  %+v", jb, bb)
+	}
+	if jb.Items[1].Error == nil || jb.Items[1].Error.Code != CodeInvalidArgument {
+		t.Errorf("item error: %+v", jb.Items[1].Error)
+	}
+}
+
+// TestBinaryErrorEnvelope asserts a negotiated request gets its errors as
+// binary frames the client decodes into the same APIError the JSON path
+// yields.
+func TestBinaryErrorEnvelope(t *testing.T) {
+	_, jsonClient := newTestServer(t, Config{})
+	binClient := NewClient(jsonClient.base, nil, WithBinary())
+	ctx := context.Background()
+
+	bad := testReq(1)
+	bad.Src.Spec = "bogus"
+	_, jerr := jsonClient.PlanV2(ctx, bad)
+	_, berr := binClient.PlanV2(ctx, bad)
+	japi, ok := jerr.(*APIError)
+	if !ok {
+		t.Fatalf("json error: %v", jerr)
+	}
+	bapi, ok := berr.(*APIError)
+	if !ok {
+		t.Fatalf("binary error: %v", berr)
+	}
+	if *japi != *bapi {
+		t.Errorf("error envelopes disagree:\n json %+v\n bin  %+v", *japi, *bapi)
+	}
+	if bapi.Code != CodeInvalidArgument {
+		t.Errorf("code = %q, want %q", bapi.Code, CodeInvalidArgument)
+	}
+}
+
+// TestServedHitAllocations pins the zero-alloc serve path: a cache hit
+// through the real handler stays under 50 allocations in both wire
+// formats. Skipped under the race detector, whose instrumentation inflates
+// allocation counts.
+func TestServedHitAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is inflated under the race detector")
+	}
+	for _, tc := range []struct {
+		name   string
+		accept string
+	}{
+		{"json", ""},
+		{"binary", ContentTypeBinary},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := New(Config{})
+			body, err := json.Marshal(testReq(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd := bytes.NewReader(body)
+			req, err := http.NewRequest(http.MethodPost, "/v2/plan", struct {
+				io.ReadSeeker
+				io.Closer
+			}{rd, io.NopCloser(nil)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if tc.accept != "" {
+				req.Header.Set("Accept", tc.accept)
+			}
+			w := &statusOnlyWriter{h: http.Header{}}
+			srv.ServeHTTP(w, req) // warm: fills cache, memo and wire bodies
+			if w.status != http.StatusOK {
+				t.Fatalf("warm request: status %d", w.status)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := rd.Seek(0, io.SeekStart); err != nil {
+					t.Fatal(err)
+				}
+				w.status = 0
+				srv.ServeHTTP(w, req)
+				if w.status != http.StatusOK {
+					t.Fatalf("status %d", w.status)
+				}
+			})
+			if allocs > 50 {
+				t.Errorf("served cache hit: %.0f allocs/op, want <= 50", allocs)
+			}
+		})
+	}
+}
+
+type statusOnlyWriter struct {
+	h      http.Header
+	status int
+}
+
+func (s *statusOnlyWriter) Header() http.Header         { return s.h }
+func (s *statusOnlyWriter) WriteHeader(c int)           { s.status = c }
+func (s *statusOnlyWriter) Write(p []byte) (int, error) { return len(p), nil }
