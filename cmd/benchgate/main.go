@@ -13,9 +13,21 @@
 //   - served_cache_miss: allocs/op must not exceed the committed baseline
 //     by more than the relative slack (-miss-slack, default 20%).
 //
+// With -cluster it instead gates a distributed-tier artifact written by
+// `loadgen -cluster` (BENCH_cluster.json):
+//
+//   - speedup_8x_vs_1 must reach -min-cluster-speedup (default 6): the
+//     8-node tier must absorb the cache-miss load a single node thrashes
+//     on.
+//   - byte_identical must be true: every node serves the same bytes.
+//   - singleflight_computations must be exactly 1: a tier-wide cold herd
+//     costs one DFS.
+//   - warm_restart_hit_rate must reach -min-warm-hit-rate (default 0.95).
+//
 // Usage:
 //
 //	benchgate -baseline BENCH_netsim.json -current BENCH_netsim.ci.json
+//	benchgate -cluster -current BENCH_cluster.ci.json
 //
 // Exit status 0 when every gate holds, 1 on any regression or missing row.
 package main
@@ -34,10 +46,16 @@ func main() {
 	currentPath := flag.String("current", "", "freshly measured artifact to gate (required)")
 	maxHitAllocs := flag.Int64("max-hit-allocs", 50, "absolute allocs/op ceiling for served cache hits")
 	missSlack := flag.Float64("miss-slack", 0.20, "allowed relative allocs/op growth for served_cache_miss vs baseline")
+	cluster := flag.Bool("cluster", false, "gate a distributed-tier artifact (loadgen -cluster) instead of the netsim one")
+	minSpeedup := flag.Float64("min-cluster-speedup", 6, "minimum 8-node vs 1-node throughput ratio (-cluster)")
+	minWarmHit := flag.Float64("min-warm-hit-rate", 0.95, "minimum warm-restart hit rate (-cluster)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
 		os.Exit(2)
+	}
+	if *cluster {
+		os.Exit(gateCluster(*currentPath, *minSpeedup, *minWarmHit))
 	}
 
 	baseline, err := readRows(*baselinePath)
@@ -92,6 +110,51 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: all gates hold")
+}
+
+// clusterArtifact mirrors the gated subset of loadgen's BENCH_cluster.json.
+type clusterArtifact struct {
+	Speedup8xVs1             float64 `json:"speedup_8x_vs_1"`
+	ByteIdentical            bool    `json:"byte_identical"`
+	SingleflightComputations int     `json:"singleflight_computations"`
+	WarmRestartHitRate       float64 `json:"warm_restart_hit_rate"`
+}
+
+// gateCluster checks a distributed-tier artifact and returns the exit
+// status.
+func gateCluster(path string, minSpeedup, minWarmHit float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 1
+	}
+	var a clusterArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+		return 1
+	}
+	failed := false
+	report := func(ok bool, format string, args ...interface{}) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s\n", status, fmt.Sprintf(format, args...))
+	}
+	report(a.Speedup8xVs1 >= minSpeedup,
+		"speedup_8x_vs_1: %.1fx (floor %.1fx)", a.Speedup8xVs1, minSpeedup)
+	report(a.ByteIdentical, "byte_identical: %v", a.ByteIdentical)
+	report(a.SingleflightComputations == 1,
+		"singleflight_computations: %d (want exactly 1)", a.SingleflightComputations)
+	report(a.WarmRestartHitRate >= minWarmHit,
+		"warm_restart_hit_rate: %.3f (floor %.3f)", a.WarmRestartHitRate, minWarmHit)
+	if failed {
+		fmt.Println("benchgate: cluster gate failed — see FAIL rows above")
+		return 1
+	}
+	fmt.Println("benchgate: all gates hold")
+	return 0
 }
 
 func readRows(path string) (map[string]harness.NetsimBenchRow, error) {

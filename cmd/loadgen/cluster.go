@@ -1,0 +1,513 @@
+// Distributed-tier benchmark (-cluster): spins in-process plan-serving
+// tiers of 1/2/4/8 nodes over loopback HTTP, drives a working set that
+// overflows any single node's plan cache, and measures how aggregate
+// throughput scales as the tier absorbs the cache-miss load — one node
+// thrashes its LRU and pays a full DFS per miss, eight nodes keep the
+// whole working set resident and serve hits or one-hop proxied hits.
+// The run then proves the tier's correctness contracts on a 3-node tier
+// (byte-identical plans from every node, cross-node singleflight: a cold
+// thundering herd costs exactly one computation tier-wide) and measures
+// the warm-restart hit rate of a snapshot/restore cycle. Results land in
+// BENCH_cluster.json; cmd/benchgate gates them.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	alpacomm "alpacomm"
+	"alpacomm/internal/service"
+)
+
+// clusterRunReport is one node-count scaling run.
+type clusterRunReport struct {
+	Nodes            int     `json:"nodes"`
+	OK               int     `json:"ok"`
+	DurationSeconds  float64 `json:"duration_seconds"`
+	ThroughputRPS    float64 `json:"throughput_rps"`
+	LatencyP50Millis float64 `json:"latency_p50_ms"`
+	LatencyP99Millis float64 `json:"latency_p99_ms"`
+	// TierComputations is the number of actual planner computations the
+	// tier ran during the measured window (Σ cache misses across nodes):
+	// the figure the tier exists to shrink.
+	TierComputations int `json:"tier_computations"`
+	// RoutedProxied / ProxyFallbacks aggregate the tier's routing counters
+	// over the whole run (fill + measurement).
+	RoutedProxied  int64 `json:"routed_proxied"`
+	ProxyFallbacks int64 `json:"proxy_fallbacks"`
+}
+
+// clusterWarmRestart reports the snapshot/restore cycle.
+type clusterWarmRestart struct {
+	Keys             int `json:"keys"`
+	SnapshotEntries  int `json:"snapshot_entries"`
+	Restored         int `json:"restored"`
+	SnapshotRejected int `json:"snapshot_rejected"`
+	// HitRate is the fraction of replayed keys served without any planner
+	// computation anywhere in the restarted tier.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// clusterReport is BENCH_cluster.json.
+type clusterReport struct {
+	NodeCounts           []int              `json:"node_counts"`
+	PerNodeCacheCapacity int                `json:"per_node_cache_capacity"`
+	WorkingSetKeys       int                `json:"working_set_keys"`
+	Clients              int                `json:"clients"`
+	Runs                 []clusterRunReport `json:"runs"`
+	// Speedup8xVs1 is the headline scaling figure: measured throughput of
+	// the 8-node tier over the single node on the identical workload.
+	Speedup8xVs1 float64 `json:"speedup_8x_vs_1"`
+	// ByteIdentical: every node of a 3-node tier served every checked plan
+	// byte-identically to a standalone server.
+	ByteIdentical bool `json:"byte_identical"`
+	// SingleflightComputations: planner computations tier-wide for a
+	// 24-way thundering herd on one cold key. The contract is exactly 1.
+	SingleflightComputations int                `json:"singleflight_computations"`
+	WarmRestart              clusterWarmRestart `json:"warm_restart"`
+	// WarmRestartHitRate duplicates WarmRestart.HitRate at top level for
+	// the benchmark gate.
+	WarmRestartHitRate float64 `json:"warm_restart_hit_rate"`
+}
+
+// benchTier is an in-process tier over real loopback TCP: every node is a
+// full plan server wrapped by a cluster node, with static peer addresses.
+type benchTier struct {
+	nodes   []*alpacomm.ClusterNode
+	clients []*alpacomm.PlanClient
+	urls    []string
+	closers []func()
+}
+
+func (bt *benchTier) close() {
+	for _, c := range bt.closers {
+		c()
+	}
+}
+
+// stats fetches every node's service stats.
+func (bt *benchTier) stats(ctx context.Context) []*service.StatsResponse {
+	out := make([]*service.StatsResponse, len(bt.clients))
+	for i, cl := range bt.clients {
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			fail("cluster: stats from node %d: %v", i, err)
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// tierComputations sums actual planner computations (cache misses) across
+// the tier.
+func tierComputations(stats []*service.StatsResponse) int {
+	total := 0
+	for _, st := range stats {
+		total += st.Cache.Misses
+	}
+	return total
+}
+
+// startBenchTier builds an n-node tier with the given per-node cache
+// capacity. Listeners come up first so every node knows every peer's
+// address at construction.
+func startBenchTier(n, capacity int) *benchTier {
+	bt := &benchTier{}
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail("cluster: listen: %v", err)
+		}
+		lns[i] = ln
+		bt.urls = append(bt.urls, "http://"+ln.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		peers := map[string]string{}
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers[fmt.Sprintf("node%d", j)] = bt.urls[j]
+			}
+		}
+		srv := alpacomm.NewPlanServer(alpacomm.PlanServerConfig{
+			Cache:     alpacomm.NewLRUReshardCache(capacity),
+			PlanQueue: 256,
+		})
+		node, err := alpacomm.NewClusterNode(alpacomm.ClusterNodeConfig{
+			NodeID:   fmt.Sprintf("node%d", i),
+			SelfAddr: bt.urls[i],
+			Peers:    peers,
+		}, srv)
+		if err != nil {
+			fail("cluster: node: %v", err)
+		}
+		hs := &http.Server{Handler: node.Handler()}
+		go func(ln net.Listener) { _ = hs.Serve(ln) }(lns[i])
+		bt.nodes = append(bt.nodes, node)
+		bt.clients = append(bt.clients, alpacomm.NewPlanClient(bt.urls[i], nil))
+		bt.closers = append(bt.closers, func() { _ = hs.Close() })
+	}
+	return bt
+}
+
+// clusterKeyReq is the scaling workload's request shape: a 4x4 -> 4x4
+// boundary over 8 p3 hosts — expensive enough to plan (~ms-scale DFS)
+// that a cache-resident tier is decisively cheaper than recomputation.
+// Distinct seeds give distinct canonical cache keys.
+func clusterKeyReq(seed int64) *service.PlanRequest {
+	return &service.PlanRequest{
+		Topology: service.TopologyRef{Name: "p3", Hosts: 8},
+		Shape:    []int{128, 128, 8},
+		Src:      service.Endpoint{Mesh: "4x4@0", Spec: "RS01R"},
+		Dst:      service.Endpoint{Mesh: "4x4@16", Spec: "S01RR"},
+		Options: service.PlanOptions{
+			Seed: seed, Strategy: "broadcast", Scheduler: "ensemble",
+			DFSNodes: 20000, Chunks: 8,
+		},
+	}
+}
+
+// smallKeyReq is the cheap request shape used by the correctness checks.
+func smallKeyReq(seed int64) *service.PlanRequest {
+	return &service.PlanRequest{
+		Topology: service.TopologyRef{Name: "p3", Hosts: 2},
+		Shape:    []int{256, 256},
+		Src:      service.Endpoint{Mesh: "2x2@0", Spec: "S01R"},
+		Dst:      service.Endpoint{Mesh: "2x2@4", Spec: "S0R"},
+		Options:  service.PlanOptions{Seed: seed},
+	}
+}
+
+// rawClusterPlan posts a plan request and returns the raw body bytes.
+func rawClusterPlan(baseURL string, req *service.PlanRequest) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(baseURL+"/v2/plan", "application/json", &buf)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", baseURL, resp.Status, body)
+	}
+	return body, nil
+}
+
+// normalizeCoalesced strips the coalesced flag: whether a response joined
+// an in-flight computation is timing, not plan content.
+func normalizeCoalesced(b []byte) string {
+	return string(bytes.ReplaceAll(b, []byte(`,"coalesced":true`), nil))
+}
+
+// keyOwners precomputes, for each working-set key, which tier node owns
+// it: the canonical cache key from a scratch parse, routed on a ring
+// built exactly like the tier's. This is what a smart client does in a
+// consistent-hash serving tier — route to the owner, let the tier handle
+// the rest — and the bench sends most traffic that way, keeping a random
+// slice to exercise the proxy path under load.
+func keyOwners(n, workingSet int) []int {
+	scratch := service.New(service.Config{})
+	ring := alpacomm.NewClusterRing(0)
+	idx := map[string]int{}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("node%d", i)
+		ring.Add(id)
+		idx[id] = i
+	}
+	owners := make([]int, workingSet)
+	for k := 0; k < workingSet; k++ {
+		_, _, key, err := scratch.ParsePlanRequest(context.Background(), clusterKeyReq(int64(k)))
+		if err != nil {
+			fail("cluster: parse key %d: %v", k, err)
+		}
+		owner, ok := ring.Owner(key)
+		if !ok {
+			fail("cluster: empty ring")
+		}
+		owners[k] = idx[owner]
+	}
+	return owners
+}
+
+// affinityFraction is the share of measured traffic a smart client routes
+// straight to the key's owner; the rest lands on a random node and takes
+// the proxy / cache-aside path.
+const affinityFraction = 0.9
+
+// runScaling measures one node count: warm every key once (round-robin,
+// off the clock), then a closed loop of clients hitting uniformly random
+// keys — mostly owner-routed, partly on random nodes — for the measured
+// window.
+func runScaling(n, capacity, workingSet, clients int, window time.Duration) clusterRunReport {
+	bt := startBenchTier(n, capacity)
+	defer bt.close()
+	ctx := context.Background()
+	owners := keyOwners(n, workingSet)
+
+	for k := 0; k < workingSet; k++ {
+		if _, err := bt.clients[k%n].PlanV2(ctx, clusterKeyReq(int64(k))); err != nil {
+			fail("cluster: warmup key %d: %v", k, err)
+		}
+	}
+	warmComputations := tierComputations(bt.stats(ctx))
+
+	type workerOut struct {
+		ok        int
+		latencies []float64
+	}
+	outs := make([]workerOut, clients)
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c+1) * -0x61c8864680b583eb))
+			for time.Now().Before(deadline) {
+				k := rng.Intn(workingSet)
+				req := clusterKeyReq(int64(k))
+				node := owners[k]
+				if rng.Float64() >= affinityFraction {
+					node = rng.Intn(n)
+				}
+				start := time.Now()
+				if _, err := bt.clients[node].PlanV2(ctx, req); err != nil {
+					fail("cluster: plan on node %d: %v", node, err)
+				}
+				outs[c].ok++
+				outs[c].latencies = append(outs[c].latencies, time.Since(start).Seconds())
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var ok int
+	var lat []float64
+	for _, o := range outs {
+		ok += o.ok
+		lat = append(lat, o.latencies...)
+	}
+	sort.Float64s(lat)
+	stats := bt.stats(ctx)
+	var proxied, fallbacks int64
+	for _, st := range stats {
+		if st.Cluster != nil {
+			proxied += st.Cluster.RoutedProxied
+			fallbacks += st.Cluster.ProxyFallbacks
+		}
+	}
+	return clusterRunReport{
+		Nodes:            n,
+		OK:               ok,
+		DurationSeconds:  elapsed,
+		ThroughputRPS:    float64(ok) / elapsed,
+		LatencyP50Millis: percentileMillis(lat, 50),
+		LatencyP99Millis: percentileMillis(lat, 99),
+		TierComputations: tierComputations(stats) - warmComputations,
+		RoutedProxied:    proxied,
+		ProxyFallbacks:   fallbacks,
+	}
+}
+
+// checkByteIdentity serves seeds through every node of a 3-node tier —
+// cold and cached rounds — and compares bytes against a standalone
+// server.
+func checkByteIdentity() bool {
+	bt := startBenchTier(3, 0)
+	defer bt.close()
+	standalone := alpacomm.NewPlanServer(alpacomm.PlanServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail("cluster: listen: %v", err)
+	}
+	hs := &http.Server{Handler: standalone}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	saURL := "http://" + ln.Addr().String()
+
+	ok := true
+	for seed := int64(1); seed <= 12; seed++ {
+		req := smallKeyReq(seed)
+		want, err := rawClusterPlan(saURL, req)
+		if err != nil {
+			fail("cluster: standalone plan: %v", err)
+		}
+		for round := 0; round < 2; round++ {
+			for ni, url := range bt.urls {
+				got, err := rawClusterPlan(url, req)
+				if err != nil {
+					fail("cluster: node %d plan: %v", ni, err)
+				}
+				if !bytes.Equal(got, want) {
+					fmt.Printf("BYTE-IDENTITY FAILED: seed %d round %d node %d diverged\n", seed, round, ni)
+					ok = false
+				}
+			}
+		}
+	}
+	return ok
+}
+
+// checkSingleflight fans a 24-way thundering herd on one cold key across
+// a fresh 3-node tier and returns how many planner computations the tier
+// ran — the cluster-wide singleflight contract says exactly one.
+func checkSingleflight() int {
+	bt := startBenchTier(3, 0)
+	defer bt.close()
+	req := clusterKeyReq(1 << 20)
+	const herd = 24
+	bodies := make([][]byte, herd)
+	var wg sync.WaitGroup
+	for g := 0; g < herd; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			body, err := rawClusterPlan(bt.urls[g%3], req)
+			if err != nil {
+				fail("cluster: herd request: %v", err)
+			}
+			bodies[g] = body
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < herd; g++ {
+		if normalizeCoalesced(bodies[g]) != normalizeCoalesced(bodies[0]) {
+			fail("cluster: herd members got different plans")
+		}
+	}
+	return tierComputations(bt.stats(context.Background()))
+}
+
+// runWarmRestart fills a 3-node tier, snapshots every node, restores the
+// snapshots into a fresh tier with the same identities (same ring), and
+// replays every key once: the hit rate is the fraction of keys served
+// without any planner computation anywhere.
+func runWarmRestart(keys int) clusterWarmRestart {
+	wr := clusterWarmRestart{Keys: keys}
+	dir, err := os.MkdirTemp("", "loadgen-cluster-snap-")
+	if err != nil {
+		fail("cluster: tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+
+	warm := startBenchTier(3, 4*keys)
+	for k := 0; k < keys; k++ {
+		if _, err := warm.clients[k%3].PlanV2(ctx, smallKeyReq(int64(k+1))); err != nil {
+			fail("cluster: warm fill: %v", err)
+		}
+	}
+	paths := make([]string, 3)
+	for i, node := range warm.nodes {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("plans-%d.snap", i))
+		st, err := node.Snapshot(paths[i])
+		if err != nil {
+			fail("cluster: snapshot: %v", err)
+		}
+		wr.SnapshotEntries += st.Entries
+	}
+	warm.close()
+
+	cold := startBenchTier(3, 4*keys)
+	defer cold.close()
+	for i, node := range cold.nodes {
+		st, err := node.Restore(ctx, paths[i])
+		if err != nil {
+			fail("cluster: restore: %v", err)
+		}
+		wr.Restored += st.Restored
+		wr.SnapshotRejected += st.Rejected
+	}
+	for k := 0; k < keys; k++ {
+		if _, err := cold.clients[(k+1)%3].PlanV2(ctx, smallKeyReq(int64(k+1))); err != nil {
+			fail("cluster: replay: %v", err)
+		}
+	}
+	recomputed := tierComputations(cold.stats(ctx))
+	wr.HitRate = 1 - float64(recomputed)/float64(keys)
+	return wr
+}
+
+// runClusterBench is the -cluster mode entry point.
+func runClusterBench(jsonPath string, window time.Duration) {
+	if jsonPath == "" {
+		jsonPath = "BENCH_cluster.json"
+	}
+	const (
+		capacity   = 32
+		workingSet = 160
+		clients    = 8
+	)
+	rep := clusterReport{
+		NodeCounts:           []int{1, 2, 4, 8},
+		PerNodeCacheCapacity: capacity,
+		WorkingSetKeys:       workingSet,
+		Clients:              clients,
+	}
+	for _, n := range rep.NodeCounts {
+		fmt.Printf("cluster: measuring %d-node tier (capacity %d, working set %d keys, %s window)\n",
+			n, capacity, workingSet, window)
+		run := runScaling(n, capacity, workingSet, clients, window)
+		fmt.Printf("cluster: %d node(s): %.0f rps, p50 %.2fms p99 %.2fms, %d computations, %d proxied\n",
+			n, run.ThroughputRPS, run.LatencyP50Millis, run.LatencyP99Millis,
+			run.TierComputations, run.RoutedProxied)
+		rep.Runs = append(rep.Runs, run)
+	}
+	rep.Speedup8xVs1 = rep.Runs[len(rep.Runs)-1].ThroughputRPS / rep.Runs[0].ThroughputRPS
+	fmt.Printf("cluster: 8-node vs 1-node speedup: %.1fx\n", rep.Speedup8xVs1)
+
+	rep.ByteIdentical = checkByteIdentity()
+	if rep.ByteIdentical {
+		fmt.Println("cluster: every node serves byte-identical plans")
+	}
+	rep.SingleflightComputations = checkSingleflight()
+	fmt.Printf("cluster: 24-way cold herd cost %d computation(s) tier-wide\n", rep.SingleflightComputations)
+	rep.WarmRestart = runWarmRestart(60)
+	rep.WarmRestartHitRate = rep.WarmRestart.HitRate
+	fmt.Printf("cluster: warm restart: %d/%d entries restored, hit rate %.1f%%\n",
+		rep.WarmRestart.Restored, rep.WarmRestart.SnapshotEntries, 100*rep.WarmRestartHitRate)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail("cluster: marshal report: %v", err)
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		fail("cluster: write report: %v", err)
+	}
+	fmt.Printf("report written to %s\n", jsonPath)
+
+	failed := false
+	if !rep.ByteIdentical {
+		failed = true
+	}
+	if rep.SingleflightComputations != 1 {
+		fmt.Printf("SINGLEFLIGHT FAILED: %d computations for one cold key, want 1\n", rep.SingleflightComputations)
+		failed = true
+	}
+	if rep.WarmRestartHitRate < 0.95 {
+		fmt.Printf("WARM RESTART FAILED: hit rate %.2f < 0.95\n", rep.WarmRestartHitRate)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

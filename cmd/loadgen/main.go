@@ -9,6 +9,7 @@
 //	loadgen -addr http://host:8100 -clients 64 -requests 100
 //	loadgen -smoke -json BENCH_service.json
 //	loadgen -smoke -batch -json BENCH_service.json
+//	loadgen -cluster -json BENCH_cluster.json
 //
 // -smoke starts an in-process server on a loopback port, runs a fixed
 // closed-loop load, verifies that served plans are byte-identical to the
@@ -24,6 +25,9 @@
 // -wire binary negotiates the binary wire format (see the service
 // package's wire.go) on every /v2 response, after first proving one
 // response decodes identically over both formats.
+//
+// -cluster benchmarks the distributed plan-serving tier instead: see
+// cluster.go.
 package main
 
 import (
@@ -212,9 +216,15 @@ func main() {
 	smoke := flag.Bool("smoke", false, "self-contained CI smoke: in-process server, fixed load, verification")
 	smokeCapacity := flag.Int("smoke-cache-capacity", 64, "in-process server LRU capacity in -smoke mode")
 	wire := flag.String("wire", "json", "wire format for /v2 responses: json or binary (binary also cross-checks one response against the JSON path)")
+	clusterMode := flag.Bool("cluster", false, "run the distributed-tier benchmark: in-process 1/2/4/8-node tiers, byte-identity + cross-node singleflight checks, warm-restart hit rate (writes BENCH_cluster.json)")
+	clusterWindow := flag.Duration("cluster-measure", 3*time.Second, "measured window per node count in -cluster mode")
 	flag.Parse()
 	if *spread < 1 {
 		*spread = 1
+	}
+	if *clusterMode {
+		runClusterBench(*jsonPath, *clusterWindow)
+		return
 	}
 
 	base := *addr

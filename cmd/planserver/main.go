@@ -16,35 +16,60 @@
 //	curl -s localhost:8100/v1/stats
 //
 // The /v2 API (same payloads, structured error envelope, X-Timeout-Ms
-// deadline propagation) adds /v2/plan, /v2/autotune and /v2/plan:batch —
-// the latter plans every stage boundary of a pipeline job in one request:
+// deadline propagation) adds /v2/plan, /v2/autotune, /v2/plan:batch —
+// the latter plans every stage boundary of a pipeline job in one request
+// — and /v2/stats. Every /v2 response is also available as a compact
+// binary frame: send "Accept: application/x-alpacomm-plan".
 //
-//	curl -s localhost:8100/v2/plan:batch -H 'X-Timeout-Ms: 2000' -d '{
-//	  "topology": {"name": "p3", "hosts": 3},
-//	  "items": [
-//	    {"shape": [1024, 1024], "src": {"mesh": "2x2@0", "spec": "S01R"},
-//	     "dst": {"mesh": "2x2@4", "spec": "S0R"}, "options": {"seed": 1}},
-//	    {"shape": [1024, 1024], "src": {"mesh": "2x2@4", "spec": "S01R"},
-//	     "dst": {"mesh": "2x2@8", "spec": "S0R"}, "options": {"seed": 1}}
-//	  ]
-//	}'
+// Cluster mode (-node-id + -peers) makes N planservers one logical plan
+// cache: a consistent-hash ring routes each canonical cache key to an
+// owner node, non-owners fetch cold keys from the owner (re-simulating
+// every received plan before caching it — see internal/cluster), and the
+// owner's request coalescing gives the tier cluster-wide singleflight.
+// With -snapshot the cache is periodically persisted and replay-verified
+// back on start, so a bounced node rejoins warm:
 //
-// Every /v2 response — including error envelopes — is also available in a
-// compact binary frame format: send "Accept: application/x-alpacomm-plan"
-// (clients: service.WithBinary / alpacomm.WithBinaryWire). JSON stays the
-// default and /v1 is JSON-only.
+//	planserver -addr :8101 -node-id a -peers 'b=http://127.0.0.1:8102' \
+//	    -self http://127.0.0.1:8101 -snapshot /var/tmp/plans-a.snap
+//
+// Shutdown is graceful on SIGINT/SIGTERM: the node leaves the ring first
+// (peers stop routing new keys to it), drains in-flight requests under
+// -drain-timeout, then writes a final snapshot.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	alpacomm "alpacomm"
 )
+
+// parsePeers parses "id=url,id=url" into the peer map.
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		peers[id] = url
+	}
+	return peers, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8100", "listen address")
@@ -55,7 +80,21 @@ func main() {
 	autotuneWorkers := flag.Int("autotune-workers", 0, "/v1/autotune worker pool size (0 = GOMAXPROCS/2)")
 	autotuneQueue := flag.Int("autotune-queue", 0, "/v1/autotune wait-queue depth (0 = 2x workers)")
 	retryAfter := flag.Duration("retry-after", time.Second, "backoff hint on 429 responses")
+	nodeID := flag.String("node-id", "", "cluster node identity (empty = standalone)")
+	peersFlag := flag.String("peers", "", "cluster peers as id=url,id=url")
+	selfAddr := flag.String("self", "", "this node's advertised base URL for peer announcements")
+	snapshotPath := flag.String("snapshot", "", "plan-cache snapshot file (cluster mode; empty = no persistence)")
+	snapshotEvery := flag.Duration("snapshot-interval", time.Minute, "periodic snapshot interval")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("planserver: %v", err)
+	}
+	if *nodeID == "" && len(peers) > 0 {
+		log.Fatal("planserver: -peers requires -node-id")
+	}
 
 	reg := alpacomm.DefaultTopologyRegistry()
 	srv := alpacomm.NewPlanServer(alpacomm.PlanServerConfig{
@@ -68,19 +107,90 @@ func main() {
 		RetryAfter:      *retryAfter,
 	})
 
+	var handler http.Handler = srv
+	var node *alpacomm.ClusterNode
+	if *nodeID != "" {
+		node, err = alpacomm.NewClusterNode(alpacomm.ClusterNodeConfig{
+			NodeID:   *nodeID,
+			SelfAddr: *selfAddr,
+			Peers:    peers,
+		}, srv)
+		if err != nil {
+			log.Fatalf("planserver: %v", err)
+		}
+		handler = node.Handler()
+	}
+
 	fmt.Printf("planserver: listening on %s (APIs: /v1, /v2 incl. /v2/plan:batch)\n", *addr)
 	fmt.Printf("planserver: topologies: %s\n", strings.Join(reg.Names(), ", "))
 	fmt.Printf("planserver: cache capacity %d, retry-after %v\n", *capacity, *retryAfter)
+
+	// ctx ends on the first SIGINT/SIGTERM and starts the graceful path;
+	// a second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if node != nil {
+		fmt.Printf("planserver: cluster node %q, peers: %v\n", *nodeID, peers)
+		if *snapshotPath != "" {
+			if st, err := node.Restore(ctx, *snapshotPath); err != nil {
+				log.Printf("planserver: warm restart failed: %v", err)
+			} else if st.Entries > 0 {
+				fmt.Printf("planserver: warm restart: %d/%d snapshot entries verified and restored\n",
+					st.Restored, st.Entries)
+			}
+		}
+		if err := node.Join(ctx); err != nil {
+			// Best-effort: static -peers already seeded the ring.
+			log.Printf("planserver: join announcement incomplete: %v", err)
+		}
+		if *snapshotPath != "" {
+			// The loop's final snapshot runs on ctx end — before Shutdown
+			// completes the drain — so the post-drain snapshot below is the
+			// authoritative last write.
+			go node.SnapshotLoop(ctx, *snapshotPath, *snapshotEvery, func(err error) {
+				log.Printf("planserver: snapshot failed: %v", err)
+			})
+		}
+	}
+
 	// Connection handling must be as bounded as the admission layers
 	// behind it: without read/idle timeouts, slow or idle connections pin
 	// goroutines before a request ever reaches the intake gate.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful shutdown, leave-the-ring first: peers stop routing new keys
+	// here while in-flight requests drain (the node keeps serving hits and
+	// proxies until Shutdown returns), then the drained cache is persisted.
+	fmt.Println("planserver: shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if node != nil {
+		node.Leave(drainCtx)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("planserver: drain incomplete: %v", err)
+	}
+	if node != nil && *snapshotPath != "" {
+		if st, err := node.Snapshot(*snapshotPath); err != nil {
+			log.Printf("planserver: final snapshot failed: %v", err)
+		} else {
+			fmt.Printf("planserver: final snapshot: %d entries (%d bytes)\n", st.Entries, st.Bytes)
+		}
+	}
 }

@@ -1,0 +1,458 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"alpacomm/internal/service"
+)
+
+// testNode is one member of an in-process tier over real loopback HTTP.
+type testNode struct {
+	node *Node
+	srv  *service.Server
+	ts   *httptest.Server
+	url  string
+}
+
+// startTier builds an n-member tier: every node gets its own plan server
+// (cfg built per node — caches must not be shared) and knows every peer's
+// address up front.
+func startTier(t testing.TB, ids []string, mkCfg func() service.Config) []*testNode {
+	t.Helper()
+	n := len(ids)
+	nodes := make([]*testNode, n)
+	handlers := make([]http.Handler, n)
+	for i := range ids {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handlers[i].ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		nodes[i] = &testNode{ts: ts, url: ts.URL}
+	}
+	for i, id := range ids {
+		peers := map[string]string{}
+		for j, pid := range ids {
+			if j != i {
+				peers[pid] = nodes[j].url
+			}
+		}
+		srv := service.New(mkCfg())
+		node, err := New(Config{NodeID: id, SelfAddr: nodes[i].url, Peers: peers}, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i].srv, nodes[i].node = srv, node
+		handlers[i] = node.Handler()
+	}
+	return nodes
+}
+
+// tierReq is a small, fast, valid plan request; distinct seeds give
+// distinct cache keys.
+func tierReq(seed int64) *service.PlanRequest {
+	return &service.PlanRequest{
+		Topology: service.TopologyRef{Name: "p3", Hosts: 2},
+		Shape:    []int{128, 128},
+		Src:      service.Endpoint{Mesh: "2x2@0", Spec: "S01R"},
+		Dst:      service.Endpoint{Mesh: "2x2@4", Spec: "S0R"},
+		Options:  service.PlanOptions{Seed: seed},
+	}
+}
+
+// rawPlan posts the request as JSON and returns the raw response body —
+// the bytes clients see, for byte-identity assertions.
+func rawPlan(t *testing.T, baseURL string, req *service.PlanRequest) []byte {
+	t.Helper()
+	body, err := postJSON(baseURL+"/v2/plan", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postJSON(url string, req *service.PlanRequest) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+	}
+	return body, nil
+}
+
+func tierMisses(nodes []*testNode) int {
+	total := 0
+	for _, tn := range nodes {
+		total += tn.srv.Cache().Stats().Misses
+	}
+	return total
+}
+
+// TestTierByteIdenticalAcrossNodes: the same request served by every node
+// of a 3-node tier — owner, proxier, cache-aside — returns byte-identical
+// bodies, identical to a standalone server's.
+func TestTierByteIdenticalAcrossNodes(t *testing.T) {
+	nodes := startTier(t, []string{"a", "b", "c"}, func() service.Config { return service.Config{} })
+	standalone := httptest.NewServer(service.New(service.Config{}))
+	defer standalone.Close()
+	for seed := int64(1); seed <= 5; seed++ {
+		req := tierReq(seed)
+		want := rawPlan(t, standalone.URL, req)
+		for round := 0; round < 2; round++ { // cold then cached
+			for _, tn := range nodes {
+				if got := rawPlan(t, tn.url, req); !bytes.Equal(got, want) {
+					t.Fatalf("seed %d round %d node %s: body differs\n got %s\nwant %s",
+						seed, round, tn.node.NodeID(), got, want)
+				}
+			}
+		}
+	}
+	// The tier computed each key exactly once no matter how many nodes
+	// served it.
+	if m := tierMisses(nodes); m != 5 {
+		t.Errorf("tier computed %d plans for 5 distinct keys", m)
+	}
+}
+
+// TestTierCrossNodeSingleflight: a thundering herd on one cold key,
+// spread across every node of the tier, costs exactly one planner
+// computation tier-wide — the owner's in-process coalescing merges the
+// proxied fetches, and each non-owner's local flight merges its own herd.
+func TestTierCrossNodeSingleflight(t *testing.T) {
+	nodes := startTier(t, []string{"a", "b", "c"}, func() service.Config { return service.Config{} })
+	req := tierReq(99)
+	const herd = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, herd)
+	bodies := make([][]byte, herd)
+	for g := 0; g < herd; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			body, err := postJSON(nodes[g%len(nodes)].url+"/v2/plan", req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			bodies[g] = body
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if m := tierMisses(nodes); m != 1 {
+		t.Errorf("cold key cost %d computations tier-wide, want exactly 1", m)
+	}
+	// Coalesced responses differ from computed ones only in the coalesced
+	// flag; normalize it away and every body must match.
+	norm := func(b []byte) string {
+		return string(bytes.ReplaceAll(b, []byte(`,"coalesced":true`), nil))
+	}
+	for g := 1; g < herd; g++ {
+		if norm(bodies[g]) != norm(bodies[0]) {
+			t.Fatalf("herd member %d got a different plan:\n %s\n vs %s", g, bodies[g], bodies[0])
+		}
+	}
+}
+
+// TestTierVerifiedFill: a non-owner's fetch is verified before it is
+// cached (accept counter), and a tampered peer response — a byzantine
+// owner claiming a makespan its plan does not achieve — is rejected, with
+// the node falling back to a correct local computation.
+func TestTierVerifiedFill(t *testing.T) {
+	// Honest 2-node tier first: find a seed owned by b, request it via a.
+	nodes := startTier(t, []string{"a", "b"}, func() service.Config { return service.Config{} })
+	a, b := nodes[0], nodes[1]
+	seedOwnedBy := func(owner string) int64 {
+		for seed := int64(1); ; seed++ {
+			req := tierReq(seed)
+			_, _, key, err := a.srv.ParsePlanRequest(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := a.node.Ring().Owner(key); got == owner {
+				return seed
+			}
+		}
+	}
+	seed := seedOwnedBy("b")
+	req := tierReq(seed)
+	want := rawPlan(t, b.url, req) // owner computes
+	if got := rawPlan(t, a.url, req); !bytes.Equal(got, want) {
+		t.Fatalf("proxied fill differs from owner's plan")
+	}
+	if acc := a.node.Info().VerifiedFillAccepts; acc != 1 {
+		t.Errorf("accepts = %d, want 1", acc)
+	}
+	if m := b.srv.Cache().Stats().Misses; m != 1 {
+		t.Errorf("owner misses = %d, want 1", m)
+	}
+	// a now serves the cache-aside copy without touching b.
+	if got := rawPlan(t, a.url, req); !bytes.Equal(got, want) {
+		t.Fatalf("cache-aside serve differs")
+	}
+
+	// Byzantine tier: node a2's address for its peer points through a
+	// proxy that corrupts the claimed makespan in every binary plan frame.
+	tamperTarget := ""
+	tamper := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		out, err := http.NewRequest(r.Method, tamperTarget+r.URL.Path, r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		out.Header = r.Header.Clone()
+		resp, err := http.DefaultClient.Do(out)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusOK && r.URL.Path == "/v2/plan" && len(body) > 22 {
+			body[14] ^= 0xff // one makespan byte of the APB1 plan frame
+		}
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(body)
+	}))
+	defer tamper.Close()
+
+	honest := service.New(service.Config{})
+	honestTS := httptest.NewServer(honest)
+	defer honestTS.Close()
+	honestNode, err := New(Config{NodeID: "b2", Peers: map[string]string{}}, honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = honestNode
+	tamperTarget = honestTS.URL
+
+	victim := service.New(service.Config{})
+	victimNode, err := New(Config{NodeID: "a2", Peers: map[string]string{"b2": tamper.URL}}, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimTS := httptest.NewServer(victimNode.Handler())
+	defer victimTS.Close()
+
+	for s := int64(1); ; s++ {
+		r := tierReq(s)
+		_, _, key, err := victim.ParsePlanRequest(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner, _ := victimNode.Ring().Owner(key); owner == "b2" {
+			req = r
+			break
+		}
+	}
+	direct := rawPlan(t, honestTS.URL, req)
+	got := rawPlan(t, victimTS.URL, req)
+	if !bytes.Equal(got, direct) {
+		t.Fatalf("fallback plan differs from direct computation:\n %s\n vs %s", got, direct)
+	}
+	info := victimNode.Info()
+	if info.VerifiedFillRejects != 1 {
+		t.Errorf("rejects = %d, want 1 (tampered fill must not be trusted)", info.VerifiedFillRejects)
+	}
+	if info.VerifiedFillAccepts != 0 {
+		t.Errorf("accepts = %d, want 0", info.VerifiedFillAccepts)
+	}
+}
+
+// TestTierMembershipChangeDuringMiss: joins and leaves racing a coalesced
+// cold miss never double-compute on any single node and never strand a
+// waiter — every request completes with the same correct plan. Run under
+// -race in CI.
+func TestTierMembershipChangeDuringMiss(t *testing.T) {
+	nodes := startTier(t, []string{"a", "b", "c"}, func() service.Config { return service.Config{} })
+	// A slow cold key: a large deterministic DFS budget keeps the miss in
+	// flight while membership churns.
+	req := tierReq(7)
+	req.Options.DFSNodes = 2_000_000
+	req.Options.Strategy = "broadcast"
+	req.Options.Scheduler = "ensemble"
+
+	const herd = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, herd)
+	bodies := make([][]byte, herd)
+	start := make(chan struct{})
+	for g := 0; g < herd; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			body, err := postJSON(nodes[g%len(nodes)].url+"/v2/plan", req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			bodies[g] = body
+		}(g)
+	}
+	// Membership churn: a ghost member joins and leaves every node's ring
+	// while the miss is in flight. Its address points at a real node so a
+	// rerouted fetch still resolves (and is then verified like any fill).
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; i < 50; i++ {
+			for _, tn := range nodes {
+				body := `{"node":"ghost","addr":"` + nodes[0].url + `"}`
+				resp, err := http.Post(tn.url+"/cluster/join", "application/json", bytes.NewReader([]byte(body)))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				resp, err = http.Post(tn.url+"/cluster/leave", "application/json", bytes.NewReader([]byte(`{"node":"ghost"}`)))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+	<-churnDone
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// No node may have computed the key more than once, and no waiter may
+	// have been lost: every body present and identical modulo coalesced.
+	for _, tn := range nodes {
+		if m := tn.srv.Cache().Stats().Misses; m > 1 {
+			t.Errorf("node %s computed the key %d times", tn.node.NodeID(), m)
+		}
+	}
+	if total := tierMisses(nodes); total < 1 {
+		t.Errorf("no node computed the key at all")
+	}
+	norm := func(b []byte) string {
+		return string(bytes.ReplaceAll(b, []byte(`,"coalesced":true`), nil))
+	}
+	for g := 0; g < herd; g++ {
+		if bodies[g] == nil {
+			t.Fatalf("herd member %d lost (no response)", g)
+		}
+		if norm(bodies[g]) != norm(bodies[0]) {
+			t.Fatalf("herd member %d got a different plan", g)
+		}
+	}
+	// Rings converged back to the static membership.
+	for _, tn := range nodes {
+		if tn.node.Ring().Has("ghost") {
+			t.Errorf("node %s still has the ghost member", tn.node.NodeID())
+		}
+	}
+}
+
+// TestTierStats: /v2/stats exposes the per-node cluster block — identity,
+// members, ownership share, routing and verification counters — and a
+// standalone server omits it.
+func TestTierStats(t *testing.T) {
+	nodes := startTier(t, []string{"a", "b"}, func() service.Config { return service.Config{} })
+	// One proxied and one locally-owned fill.
+	for seed := int64(1); seed <= 6; seed++ {
+		rawPlan(t, nodes[0].url, tierReq(seed))
+	}
+	cl := service.NewClient(nodes[0].url, nil)
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.Cluster
+	if cs == nil {
+		t.Fatal("tier node stats have no cluster block")
+	}
+	if cs.NodeID != "a" {
+		t.Errorf("node_id = %q", cs.NodeID)
+	}
+	if len(cs.Members) != 2 {
+		t.Errorf("members = %v", cs.Members)
+	}
+	if cs.OwnershipShare <= 0.2 || cs.OwnershipShare >= 0.8 {
+		t.Errorf("ownership_share = %v, want ~0.5", cs.OwnershipShare)
+	}
+	if cs.RoutedLocal+cs.RoutedProxied != 6 {
+		t.Errorf("routed local %d + proxied %d, want 6 total", cs.RoutedLocal, cs.RoutedProxied)
+	}
+	if cs.RoutedProxied != cs.VerifiedFillAccepts || cs.VerifiedFillRejects != 0 {
+		t.Errorf("proxied %d, accepts %d, rejects %d: every proxied fill should verify",
+			cs.RoutedProxied, cs.VerifiedFillAccepts, cs.VerifiedFillRejects)
+	}
+
+	// /v2/stats serves the same payload.
+	resp, err := http.Get(nodes[0].url + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"cluster"`)) {
+		t.Errorf("/v2/stats: %s: %s", resp.Status, body)
+	}
+
+	standalone := httptest.NewServer(service.New(service.Config{}))
+	defer standalone.Close()
+	sst, err := service.NewClient(standalone.URL, nil).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst.Cluster != nil {
+		t.Error("standalone server reports a cluster block")
+	}
+}
+
+// TestNodeLeaveRoutesAway: after Leave, the departing node's own ring
+// routes every key to the survivors (it drains by proxying), and the
+// survivors no longer own... route to it.
+func TestNodeLeaveRoutesAway(t *testing.T) {
+	nodes := startTier(t, []string{"a", "b", "c"}, func() service.Config { return service.Config{} })
+	a := nodes[0]
+	a.node.Leave(context.Background())
+	for seed := int64(1); seed <= 20; seed++ {
+		_, _, key, err := a.srv.ParsePlanRequest(context.Background(), tierReq(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner, local := a.node.Route(key); local {
+			t.Fatalf("left node still owns key (owner %q)", owner)
+		}
+		for _, tn := range nodes[1:] {
+			if owner, _ := tn.node.Ring().Owner(key); owner == "a" {
+				t.Fatalf("survivor %s still routes to the departed node", tn.node.NodeID())
+			}
+		}
+	}
+	// The drained node still serves correctly by proxying.
+	req := tierReq(3)
+	want := rawPlan(t, nodes[1].url, req)
+	if got := rawPlan(t, a.url, req); !bytes.Equal(got, want) {
+		t.Fatal("draining node served a different plan")
+	}
+}

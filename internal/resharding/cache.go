@@ -316,6 +316,88 @@ func (c *PlanCache) planAndSimulateOnce(ctx context.Context, key string, task *s
 	return e.plan, e.sim, e.err
 }
 
+// Install inserts an externally computed (plan, simulation) pair as a
+// completed entry for key, as if a leader had just filled it. It is the
+// import half of the cluster tier's cache transfer: a node that fetched a
+// verified plan from a peer — or replayed one from a snapshot — installs
+// it so later lookups hit locally. The insert counts as neither a hit nor
+// a miss (no lookup happened), respects the LRU bound like any fill, and
+// reports false without storing anything when the key is already resident
+// (completed or in flight — an in-flight leader will finish its own
+// computation and must keep its waiters).
+func (c *PlanCache) Install(key string, plan *Plan, sim *SimResult) bool {
+	if plan == nil || sim == nil {
+		return false
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{}), plan: plan, sim: sim}
+	e.ready.Store(true)
+	close(e.done)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	c.entries[key] = e
+	if c.lru != nil {
+		e.elem = c.lru.PushFront(e)
+		for c.lru.Len() > c.capacity {
+			victim := c.lru.Remove(c.lru.Back()).(*cacheEntry)
+			victim.elem = nil
+			delete(c.entries, victim.key)
+			c.evictions++
+		}
+	}
+	return true
+}
+
+// ExportedEntry is one completed cache entry surfaced by Export: the key,
+// the plan/simulation pair, and whatever sidecar was attached (nil when
+// none).
+type ExportedEntry struct {
+	Key    string
+	Plan   *Plan
+	Sim    *SimResult
+	Attach interface{}
+}
+
+// Export snapshots every completed, non-errored entry. On a bounded cache
+// the slice is ordered most- to least-recently used, so a consumer that
+// persists a prefix keeps the hottest keys; an unbounded cache exports in
+// key order. The snapshot is taken under the cache lock but shares the
+// entries' plans and simulations — callers must treat them as immutable
+// (they already are for every cache user). Recency is not touched: an
+// export is an observation, not a use.
+func (c *PlanCache) Export() []ExportedEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ExportedEntry, 0, len(c.entries))
+	appendEntry := func(e *cacheEntry) {
+		if !e.ready.Load() || e.err != nil {
+			return
+		}
+		var att interface{}
+		if box, ok := e.attach.Load().(attachBox); ok {
+			att = box.v
+		}
+		out = append(out, ExportedEntry{Key: e.key, Plan: e.plan, Sim: e.sim, Attach: att})
+	}
+	if c.lru != nil {
+		for el := c.lru.Front(); el != nil; el = el.Next() {
+			appendEntry(el.Value.(*cacheEntry))
+		}
+		return out
+	}
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		appendEntry(c.entries[k])
+	}
+	return out
+}
+
 // LookupKeyed returns the completed entry for a canonical key without
 // planning anything and without ever blocking on an in-flight
 // computation: entries still being planned (or whose planning failed)

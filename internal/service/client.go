@@ -48,6 +48,10 @@ type Client struct {
 	// binary negotiates the binary wire format on /v2 responses; see
 	// WithBinary.
 	binary bool
+	// peer, when non-empty, stamps every request with PeerHeader so the
+	// receiving tier node resolves it locally instead of re-routing; see
+	// AsPeer.
+	peer string
 }
 
 // ClientOption configures a Client at construction.
@@ -165,6 +169,9 @@ func (c *Client) post(ctx context.Context, path string, payload, out interface{}
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.peer != "" {
+		req.Header.Set(PeerHeader, c.peer)
+	}
 	if strings.HasPrefix(path, "/v2/") {
 		if c.binary {
 			req.Header.Set("Accept", ContentTypeBinary)

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"context"
+	"errors"
+
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/sharding"
+)
+
+// errNotPlanFrame rejects a frame of the wrong kind where a plan frame is
+// required (snapshot records, peer fills).
+var errNotPlanFrame = errors.New("service: binary frame is not a plan frame")
+
+// Cluster integration. The service knows nothing about rings, peers or
+// snapshots — it exposes a Router seam that internal/cluster plugs into:
+// the router decides whether a canonical cache key belongs to this node,
+// fetches plans from the owning peer when it does not, and records
+// successful fills for snapshot persistence. Keeping the dependency in
+// this direction (cluster imports service, never the reverse) lets a
+// standalone server run with zero cluster overhead: a nil router skips
+// every hook.
+
+// PeerHeader marks a request as originating from another tier node rather
+// than a client; its value is the sending node's id. A server receiving it
+// always resolves the plan locally — owner-side compute or cache — and
+// never re-proxies, so routing disagreement during a membership change
+// costs at most one extra computation, never a forwarding loop.
+const PeerHeader = "X-Alpacomm-Peer"
+
+// Router is the cluster tier's routing seam; see internal/cluster for the
+// consistent-hash implementation. Implementations must be safe for
+// concurrent use. Install a router with SetRouter before serving.
+type Router interface {
+	// Route reports the owner of a canonical cache key and whether that
+	// owner is this node.
+	Route(key string) (owner string, local bool)
+	// Fetch obtains the plan for key from the owning peer. The returned
+	// plan must already be verified against this node's own task (the
+	// fetcher re-simulates it); an error falls the caller back to local
+	// computation.
+	Fetch(ctx context.Context, owner, key string, req *PlanRequest, task *sharding.Task, opts resharding.Options) (*resharding.Plan, *resharding.SimResult, error)
+	// Record notes a successful fill (local compute or verified peer
+	// fetch) so snapshots can persist the request alongside the plan.
+	Record(key string, req *PlanRequest)
+	// Info snapshots the router's identity and counters for /v2/stats;
+	// the server overlays its own routing counters on the result.
+	Info() ClusterNodeStats
+}
+
+// ClusterNodeStats is the per-node cluster block of a stats response; nil
+// when the server runs standalone. Ownership and verification counters
+// come from the router, routing counters from the server.
+type ClusterNodeStats struct {
+	// NodeID is this node's tier-unique identity.
+	NodeID string `json:"node_id"`
+	// Members lists the ring members this node currently sees (self
+	// included), sorted.
+	Members []string `json:"members"`
+	// OwnershipShare is the fraction of the hash space this node owns —
+	// ~1/N with virtual-node smoothing.
+	OwnershipShare float64 `json:"ownership_share"`
+	// RoutedLocal counts misses whose key this node owned (computed here).
+	RoutedLocal int64 `json:"routed_local"`
+	// RoutedProxied counts misses routed to an owning peer.
+	RoutedProxied int64 `json:"routed_proxied"`
+	// ProxyFallbacks counts proxied misses that fell back to local
+	// computation (peer unreachable, fill rejected): availability wins
+	// over ownership.
+	ProxyFallbacks int64 `json:"proxy_fallbacks"`
+	// VerifiedFillAccepts counts peer plans accepted after re-simulation.
+	VerifiedFillAccepts int64 `json:"verified_fill_accepts"`
+	// VerifiedFillRejects counts peer plans rejected by re-simulation —
+	// a buggy or byzantine peer's plans never enter this node's cache.
+	VerifiedFillRejects int64 `json:"verified_fill_rejects"`
+	// SnapshotRestored / SnapshotRejected count warm-restart entries that
+	// passed / failed replay verification.
+	SnapshotRestored int64 `json:"snapshot_restored"`
+	// SnapshotRejected — see SnapshotRestored.
+	SnapshotRejected int64 `json:"snapshot_rejected"`
+}
+
+// SetRouter installs the cluster router. Call before the server starts
+// handling requests (it is not synchronized against in-flight handlers);
+// a nil router (the default) serves standalone.
+func (s *Server) SetRouter(r Router) { s.router = r }
+
+// AsPeer marks every request from this client as tier-internal traffic
+// from the named node: the receiving server resolves it locally instead of
+// re-routing (see PeerHeader).
+func AsPeer(nodeID string) ClientOption {
+	return func(c *Client) { c.peer = nodeID }
+}
+
+// InstallPlan inserts an externally obtained, already-verified plan into
+// the serving cache as a completed entry, pre-serializing the wire bodies
+// exactly like a local fill so later hits are byte-identical to locally
+// computed ones. It reports false when the key is already resident.
+func (s *Server) InstallPlan(key string, plan *resharding.Plan, sim *resharding.SimResult, opts resharding.Options) bool {
+	if !s.cache.Install(key, plan, sim) {
+		return false
+	}
+	s.cache.Attach(key, newEncodedPlan(plan, sim, opts, key))
+	return true
+}
+
+// ParsePlanRequest resolves a wire request into its task, normalized
+// options and canonical cache key — the same bounded parse the handlers
+// run, exposed for snapshot replay and cluster routing.
+func (s *Server) ParsePlanRequest(ctx context.Context, req *PlanRequest) (*sharding.Task, resharding.Options, string, error) {
+	return s.parseTask(ctx, req.Topology, req.Faults, req.Shape, req.DType, req.Src, req.Dst, req.Options)
+}
+
+// ExportedPlan is one cache entry in snapshot form: the canonical key plus
+// the entry's pre-serialized binary plan frame (see DecodePlanFrame).
+type ExportedPlan struct {
+	Key   string
+	Frame []byte
+}
+
+// ExportPlans snapshots the plan cache as binary wire frames — the same
+// bytes a binary-negotiated /v2/plan response carries, reused as the
+// persistence format. Entries whose frame is missing (a fill raced an
+// eviction before Attach) are re-serialized; the frames are copies, safe
+// to hold after the entries are evicted. Order is most- to least-recently
+// used, so truncating a snapshot keeps the hottest keys.
+func (s *Server) ExportPlans() []ExportedPlan {
+	entries := s.cache.Export()
+	out := make([]ExportedPlan, 0, len(entries))
+	for _, e := range entries {
+		enc, _ := e.Attach.(*encodedPlan)
+		if enc == nil {
+			enc = newEncodedPlan(e.Plan, e.Sim, e.Plan.Opts, e.Key)
+		}
+		if enc == nil {
+			continue
+		}
+		out = append(out, ExportedPlan{Key: e.Key, Frame: append([]byte(nil), enc.bin...)})
+	}
+	return out
+}
+
+// DecodePlanFrame decodes one binary plan frame (an ExportPlans frame, or
+// the body of a binary /v2/plan response) into its wire response.
+func DecodePlanFrame(data []byte) (*PlanResponse, error) {
+	v, err := decodeBinary(data)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := v.(*PlanResponse)
+	if !ok {
+		return nil, errNotPlanFrame
+	}
+	return p, nil
+}

@@ -193,6 +193,9 @@ type StatsResponse struct {
 	Autotune      EndpointStats `json:"autotune"`
 	Batch         EndpointStats `json:"batch"`
 	Topologies    []string      `json:"topologies"`
+	// Cluster is the per-node tier block — identity, ring share, routing
+	// and verified-fill counters; nil on a standalone server.
+	Cluster *ClusterNodeStats `json:"cluster,omitempty"`
 }
 
 // MaxFaultEntries bounds one request's explicit fault list: like every

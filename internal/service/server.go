@@ -134,6 +134,15 @@ type Server struct {
 	batchC     endpointCounters
 	retryAfter time.Duration
 	mux        *http.ServeMux
+	// router, when set, makes this server one node of a cluster tier: cold
+	// keys owned by a peer are fetched (and verified) from it instead of
+	// computed locally. Nil = standalone. See SetRouter.
+	router Router
+	// routedLocalC / routedProxyC / proxyFallbackC count miss routing
+	// outcomes; see ClusterNodeStats.
+	routedLocalC   atomic.Int64
+	routedProxyC   atomic.Int64
+	proxyFallbackC atomic.Int64
 }
 
 // New builds a Server from the config (see Config for defaults).
@@ -200,6 +209,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v2/plan", s.handlePlanV2)
 	s.mux.HandleFunc("/v2/autotune", s.handleAutotuneV2)
 	s.mux.HandleFunc("/v2/plan:batch", s.handlePlanBatch)
+	s.mux.HandleFunc("/v2/stats", s.handleStats)
 	return s
 }
 
@@ -349,7 +359,18 @@ type planned struct {
 // disturbing the flight. The flight leader serializes the response bodies
 // once and attaches them to the cache entry, so every later hit writes
 // pre-rendered bytes.
-func (s *Server) computePlan(ctx context.Context, cacheKey string, task *sharding.Task, opts resharding.Options) (*planned, bool, error) {
+//
+// In cluster mode (router set) a miss on a key owned by a peer is fetched
+// from that peer instead of computed: the owner's in-process coalescing
+// then makes a tier-wide thundering herd on one cold key cost exactly one
+// DFS. The fetch shares the local flight key with the compute path, so
+// in-process duplicates coalesce no matter which route each took (a
+// membership change mid-flight cannot double-compute locally). wireReq nil
+// or forwarded true (the request came from a peer — see PeerHeader) pins
+// resolution to this node. A failed fetch falls back to local computation:
+// availability beats ownership, and the verified-fill gate has already
+// kept any bad peer plan out of the cache.
+func (s *Server) computePlan(ctx context.Context, cacheKey string, task *sharding.Task, opts resharding.Options, wireReq *PlanRequest, forwarded bool) (*planned, bool, error) {
 	if plan, sim, att, ok := s.cache.LookupKeyedAttachment(cacheKey); ok {
 		enc, _ := att.(*encodedPlan)
 		if enc == nil {
@@ -360,6 +381,32 @@ func (s *Server) computePlan(ctx context.Context, cacheKey string, task *shardin
 			s.cache.Attach(cacheKey, enc)
 		}
 		return &planned{plan: plan, sim: sim, enc: enc}, false, nil
+	}
+	if s.router != nil && wireReq != nil && !forwarded {
+		if owner, local := s.router.Route(cacheKey); !local {
+			s.routedProxyC.Add(1)
+			v, err, shared := s.flight.do(ctx, "plan|"+cacheKey, func() (interface{}, error) {
+				plan, sim, err := s.router.Fetch(ctx, owner, cacheKey, wireReq, task, opts)
+				if err != nil {
+					return nil, err
+				}
+				enc := newEncodedPlan(plan, sim, opts, cacheKey)
+				if s.cache.Install(cacheKey, plan, sim) {
+					s.cache.Attach(cacheKey, enc)
+				}
+				s.router.Record(cacheKey, wireReq)
+				return &planned{plan: plan, sim: sim, enc: enc}, nil
+			})
+			if err == nil {
+				return v.(*planned), shared, nil
+			}
+			if ctx.Err() != nil {
+				return nil, shared, err
+			}
+			s.proxyFallbackC.Add(1)
+		} else {
+			s.routedLocalC.Add(1)
+		}
 	}
 	v, err, shared := s.flight.do(ctx, "plan|"+cacheKey, func() (interface{}, error) {
 		if err := s.plan.acquire(ctx); err != nil {
@@ -372,6 +419,9 @@ func (s *Server) computePlan(ctx context.Context, cacheKey string, task *shardin
 		}
 		enc := newEncodedPlan(plan, sim, opts, cacheKey)
 		s.cache.Attach(cacheKey, enc)
+		if s.router != nil && wireReq != nil {
+			s.router.Record(cacheKey, wireReq)
+		}
 		return &planned{plan: plan, sim: sim, enc: enc}, nil
 	})
 	if err != nil {
@@ -379,6 +429,10 @@ func (s *Server) computePlan(ctx context.Context, cacheKey string, task *shardin
 	}
 	return v.(*planned), shared, nil
 }
+
+// isPeerRequest reports whether the request came from another tier node
+// (see PeerHeader); such requests always resolve locally.
+func isPeerRequest(r *http.Request) bool { return r.Header.Get(PeerHeader) != "" }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.planC.requests.Add(1)
@@ -399,7 +453,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	s.planC.inFlight.Add(1)
 	defer s.planC.inFlight.Add(-1)
-	p, shared, err := s.computePlan(r.Context(), cacheKey, task, opts)
+	p, shared, err := s.computePlan(r.Context(), cacheKey, task, opts, &req, isPeerRequest(r))
 	if err != nil {
 		s.failCompute(w, &s.planC, err)
 		return
@@ -586,14 +640,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Cache:         wireCacheStats(s.cache.Stats()),
 		AutotuneCache: wireCacheStats(s.autotuneCache.Stats()),
 		Plan:          s.planC.snapshot(),
 		Autotune:      s.autotuneC.snapshot(),
 		Batch:         s.batchC.snapshot(),
 		Topologies:    s.reg.Names(),
-	})
+	}
+	if s.router != nil {
+		cs := s.router.Info()
+		cs.RoutedLocal = s.routedLocalC.Load()
+		cs.RoutedProxied = s.routedProxyC.Load()
+		cs.ProxyFallbacks = s.proxyFallbackC.Load()
+		resp.Cluster = &cs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // badRequestError marks a request that parsed as HTTP but cannot be

@@ -233,7 +233,7 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 
 	s.planC.inFlight.Add(1)
 	defer s.planC.inFlight.Add(-1)
-	p, shared, err := s.computePlan(ctx, cacheKey, task, opts)
+	p, shared, err := s.computePlan(ctx, cacheKey, task, opts, &req, isPeerRequest(r))
 	if err != nil {
 		s.failV2(w, ctx, &s.planC, err, bin)
 		return
@@ -393,13 +393,24 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 	var mu sync.Mutex
 	gate := make(chan struct{}, cap(s.plan.slots))
 	var wg sync.WaitGroup
+	forwarded := isPeerRequest(r)
 	for _, key := range order {
 		wg.Add(1)
 		go func(key string, li int) {
 			defer wg.Done()
 			gate <- struct{}{}
 			defer func() { <-gate }()
-			p, shared, err := s.computePlan(ctx, key, items[li].task, items[li].opts)
+			// Each class resolves through the cluster router like an
+			// individual plan request would, so batch misses also land on
+			// (and fill) their owning node; the per-item wire request is
+			// built only on this miss path.
+			it := &req.Items[li]
+			itemReq := &PlanRequest{
+				Topology: req.Topology, Faults: req.Faults,
+				Shape: it.Shape, DType: it.DType,
+				Src: it.Src, Dst: it.Dst, Options: it.Options,
+			}
+			p, shared, err := s.computePlan(ctx, key, items[li].task, items[li].opts, itemReq, forwarded)
 			mu.Lock()
 			defer mu.Unlock()
 			switch {

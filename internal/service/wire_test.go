@@ -195,7 +195,7 @@ func TestServedBodiesMatchPerRequestEncoding(t *testing.T) {
 	}
 
 	s := New(Config{})
-	p, shared, err := s.computePlan(context.Background(), key, task, opts)
+	p, shared, err := s.computePlan(context.Background(), key, task, opts, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
