@@ -126,6 +126,36 @@ const (
 	FaultScenarioStraggler = mesh.FaultStraggler
 )
 
+// Continuous topology churn: deterministic timelines of fault arrivals and
+// heals, replayed through Planner.ReplanDegradedFrom (each step warms from
+// the previous overlay's cached plan) or served live via /v2/plan.
+type (
+	// ChurnTimeline is a deterministic schedule of fault-overlay changes;
+	// each step's FaultSet is the complete overlay active from that
+	// instant (empty = healed).
+	ChurnTimeline = mesh.ChurnTimeline
+	// ChurnStep is one timeline entry: an arrival time and the overlay
+	// active from it.
+	ChurnStep = mesh.ChurnStep
+	// ReplanStats reports how a session's replan steps were served: cache
+	// hits, warm identity/search/rejected/invalid fills, cold fills.
+	ReplanStats = resharding.ReplanStats
+	// WarmReplanInfo describes how one warm replan produced its plan.
+	WarmReplanInfo = resharding.WarmInfo
+)
+
+// ParseChurnTimeline parses the CLIs' timeline notation, e.g.
+// "@0 link:0-1:down | @500ms | @1s host:1:nic=0.25" — steps separated by
+// "|", each "@<duration> <fault spec>", an empty spec meaning healed.
+var ParseChurnTimeline = mesh.ParseChurnTimeline
+
+// Named churn scenarios of the default topology registry.
+const (
+	ChurnScenarioFlap             = mesh.ChurnFlap
+	ChurnScenarioCascade          = mesh.ChurnCascade
+	ChurnScenarioBrownoutRecovery = mesh.ChurnBrownoutRecovery
+)
+
 // Named topology presets.
 type (
 	// TopologyRegistry maps preset names ("p3", "dgx-a100", "mixed") to

@@ -1,0 +1,94 @@
+package alpacomm_test
+
+import (
+	"context"
+	"testing"
+
+	alpacomm "alpacomm"
+)
+
+// TestChurnTimelineExample keeps the README's "Incremental replanning"
+// example compiling and honest: a healthy plan, a parsed timeline replayed
+// through ReplanDegradedFrom, and ReplanStats accounting for every step.
+func TestChurnTimelineExample(t *testing.T) {
+	cluster := alpacomm.AWSP3Cluster(4)
+	src, err := cluster.Slice([]int{2, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := cluster.Slice([]int{2, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := alpacomm.NewShape(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sspec, err := alpacomm.ParseSpec("S01R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dspec, err := alpacomm.ParseSpec("S0R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := alpacomm.NewReshardTask(shape, alpacomm.Float32, src, sspec, dst, dspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the ensemble scheduler pays a search worth warming; the
+	// closed-form schedulers replan cold in microseconds anyway.
+	opts := alpacomm.ReshardOptions{Scheduler: alpacomm.SchedulerEnsemble, Seed: 1}
+	ctx := context.Background()
+
+	planner := alpacomm.NewPlanner(alpacomm.WithTopology(cluster))
+	healthy, _, err := planner.Plan(ctx, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tl, err := alpacomm.ParseChurnTimeline("@0 link:0-1:down | @500ms | @1s host:1:nic=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Steps) != 3 {
+		t.Fatalf("timeline has %d steps, want 3", len(tl.Steps))
+	}
+	prev := alpacomm.FaultSet{}
+	var plans []*alpacomm.ReshardPlan
+	for _, step := range tl.Steps {
+		plan, sim, err := planner.ReplanDegradedFrom(ctx, task, opts, prev, step.Faults)
+		if err != nil {
+			t.Fatalf("step @%v: %v", step.At, err)
+		}
+		if sim == nil || sim.Makespan <= 0 {
+			t.Fatalf("step @%v: no simulation", step.At)
+		}
+		plans = append(plans, plan)
+		prev = step.Faults
+	}
+	// The @500ms heal returns the cached healthy plan itself.
+	if plans[1] != healthy {
+		t.Error("heal step did not hit the healthy cache entry")
+	}
+	s := planner.ReplanStats()
+	if s.Cold != 0 {
+		t.Errorf("cold replans = %d, want 0 (every step had an incumbent)", s.Cold)
+	}
+	if s.WarmIdentity < 1 {
+		t.Errorf("warm identity = %d, want >= 1 (the link-down step)", s.WarmIdentity)
+	}
+	if got := s.CacheHits + s.WarmIdentity + s.WarmSearch + s.WarmRejected + s.WarmInvalid + s.Cold; got != int64(len(tl.Steps)) {
+		t.Errorf("replan counters sum to %d, want %d", got, len(tl.Steps))
+	}
+	// The default registry's churn scenarios are usable the same way.
+	for _, name := range []string{alpacomm.ChurnScenarioFlap, alpacomm.ChurnScenarioCascade, alpacomm.ChurnScenarioBrownoutRecovery} {
+		scenarioTL, err := alpacomm.DefaultTopologyRegistry().BuildChurnScenario(name, cluster)
+		if err != nil {
+			t.Fatalf("scenario %s: %v", name, err)
+		}
+		if len(scenarioTL.Steps) == 0 || !scenarioTL.Steps[len(scenarioTL.Steps)-1].Faults.Empty() {
+			t.Errorf("scenario %s must end healed", name)
+		}
+	}
+}

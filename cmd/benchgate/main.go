@@ -24,10 +24,25 @@
 //     costs one DFS.
 //   - warm_restart_hit_rate must reach -min-warm-hit-rate (default 0.95).
 //
+// With -churn it gates a warm-replan artifact written by
+// `microbench -churn` (BENCH_churn.json):
+//
+//   - every replan row's warm makespan must be at or below its cold
+//     makespan — warm replanning never serves a worse plan than a cold
+//     search would;
+//   - every link-down replan row's warm path must be at least
+//     -min-warm-speedup (default 5) times faster than the cold replan;
+//   - link-down and brownout rows must replan in identity mode with zero
+//     impacted units (link faults never change the host-level instance);
+//   - every timeline must end healed at the healthy makespan, serve at
+//     least one step from cache (the heal-back hit), and serve no step
+//     cold.
+//
 // Usage:
 //
 //	benchgate -baseline BENCH_netsim.json -current BENCH_netsim.ci.json
 //	benchgate -cluster -current BENCH_cluster.ci.json
+//	benchgate -churn -current BENCH_churn.json
 //
 // Exit status 0 when every gate holds, 1 on any regression or missing row.
 package main
@@ -49,6 +64,8 @@ func main() {
 	cluster := flag.Bool("cluster", false, "gate a distributed-tier artifact (loadgen -cluster) instead of the netsim one")
 	minSpeedup := flag.Float64("min-cluster-speedup", 6, "minimum 8-node vs 1-node throughput ratio (-cluster)")
 	minWarmHit := flag.Float64("min-warm-hit-rate", 0.95, "minimum warm-restart hit rate (-cluster)")
+	churn := flag.Bool("churn", false, "gate a warm-replan artifact (microbench -churn) instead of the netsim one")
+	minWarmSpeedup := flag.Float64("min-warm-speedup", 5, "minimum warm vs cold replan speedup on link-down rows (-churn)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -56,6 +73,9 @@ func main() {
 	}
 	if *cluster {
 		os.Exit(gateCluster(*currentPath, *minSpeedup, *minWarmHit))
+	}
+	if *churn {
+		os.Exit(gateChurn(*currentPath, *minWarmSpeedup))
 	}
 
 	baseline, err := readRows(*baselinePath)
@@ -151,6 +171,100 @@ func gateCluster(path string, minSpeedup, minWarmHit float64) int {
 		"warm_restart_hit_rate: %.3f (floor %.3f)", a.WarmRestartHitRate, minWarmHit)
 	if failed {
 		fmt.Println("benchgate: cluster gate failed — see FAIL rows above")
+		return 1
+	}
+	fmt.Println("benchgate: all gates hold")
+	return 0
+}
+
+// gateChurn checks a warm-replan artifact (microbench -churn) and returns
+// the exit status.
+func gateChurn(path string, minWarmSpeedup float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 1
+	}
+	var r harness.ChurnReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+		return 1
+	}
+	failed := false
+	report := func(ok bool, format string, args ...interface{}) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s\n", status, fmt.Sprintf(format, args...))
+	}
+
+	if len(r.Replans) == 0 {
+		report(false, "replans: no rows in %s", path)
+	}
+	presets := map[string]bool{}
+	linkDown := map[string]bool{}
+	for _, row := range r.Replans {
+		presets[row.Preset] = true
+		name := row.Preset + "/" + row.Scenario
+		// Warm replanning must never serve a worse plan than a cold search
+		// would have produced (acceptance rule + identity proof).
+		report(row.WarmMakespan <= row.ColdMakespan,
+			"%s: warm makespan %.9f vs cold %.9f (%+.2f%%)",
+			name, row.WarmMakespan, row.ColdMakespan, row.QualityDeltaPct)
+		// Link faults never change the host-level instance, so link-only
+		// overlays must replan as identity — zero impact, no search — and
+		// beat the cold search by the speedup floor.
+		if row.Scenario == "link-down" || row.Scenario == "brownout" {
+			report(row.WarmMode == "identity" && row.ImpactedUnits == 0,
+				"%s: warm mode %s with %d impacted units (want identity, 0)",
+				name, row.WarmMode, row.ImpactedUnits)
+		}
+		if row.Scenario == "link-down" {
+			linkDown[row.Preset] = true
+			report(row.Speedup >= minWarmSpeedup,
+				"%s: warm replan %.1fx faster than cold (floor %.1fx)",
+				name, row.Speedup, minWarmSpeedup)
+		}
+	}
+	for p := range presets {
+		if !linkDown[p] {
+			report(false, "%s: no link-down replan row", p)
+		}
+	}
+
+	if len(r.Timelines) == 0 {
+		report(false, "timelines: no rows in %s", path)
+	}
+	healed := map[string]float64{}
+	for _, row := range r.Timelines {
+		name := row.Preset + "/" + row.Scenario
+		served := row.Stats.CacheHits + row.Stats.WarmIdentity + row.Stats.WarmSearch +
+			row.Stats.WarmRejected + row.Stats.WarmInvalid + row.Stats.Cold
+		report(served == int64(row.Steps),
+			"%s: %d steps served (hit %d, identity %d, search %d, rejected %d, invalid %d, cold %d)",
+			name, served, row.Stats.CacheHits, row.Stats.WarmIdentity, row.Stats.WarmSearch,
+			row.Stats.WarmRejected, row.Stats.WarmInvalid, row.Stats.Cold)
+		// Every registry timeline ends healed, and the healthy plan was
+		// cached before the first step — so at least the final heal must be
+		// a cache hit, and no step may fall back to an incumbent-less cold
+		// plan.
+		report(row.Stats.CacheHits >= 1, "%s: %d cache hits (heal-back must hit)", name, row.Stats.CacheHits)
+		report(row.Stats.Cold == 0, "%s: %d cold replans (every step has an incumbent)", name, row.Stats.Cold)
+		// All timelines on one preset end healed on the same boundary, so
+		// they must agree on the final makespan byte for byte.
+		if prev, ok := healed[row.Preset]; ok {
+			report(prev == row.FinalMakespan,
+				"%s: final healed makespan %.9f (%s's other timelines: %.9f)",
+				name, row.FinalMakespan, row.Preset, prev)
+		} else {
+			healed[row.Preset] = row.FinalMakespan
+		}
+	}
+
+	if failed {
+		fmt.Println("benchgate: churn gate failed — see FAIL rows above")
 		return 1
 	}
 	fmt.Println("benchgate: all gates hold")

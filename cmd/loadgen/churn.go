@@ -1,0 +1,185 @@
+// Churn mode (-churn): drive a deterministic fault/heal timeline through
+// /v2/plan under concurrent load and verify the server serves the churn
+// warm — every degraded step warmed from the cached healthy twin, every
+// revisited overlay (heal-back, flap) from the cache, no step cold.
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	alpacomm "alpacomm"
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/service"
+)
+
+// churnResult is the churn phase's tally plus the server's replan-counter
+// delta over the phase.
+type churnResult struct {
+	scenario string
+	steps    int
+	passes   int
+	ok       int
+	rejected int
+	errs     int
+	firstErr string
+	// delta is ReplanStats(after) - ReplanStats(before): only fills the
+	// churn phase itself caused.
+	delta resharding.ReplanStats
+}
+
+// churnTemplate returns the fixed boundary churn traffic replans: p3 on 4
+// hosts, wide enough that the registry timelines (which down the 0-1
+// link) leave detour routes.
+func churnTemplate() template {
+	return template{name: "p3-churn", topology: service.TopologyRef{Name: "p3", Hosts: 4},
+		shape: []int{512, 512},
+		src:   service.Endpoint{Mesh: "2x4@0", Spec: "S01R"}, dst: service.Endpoint{Mesh: "2x4@8", Spec: "S0R"}}
+}
+
+// faultsRefOf converts a validated mesh overlay to its wire form — the
+// inverse of the server's resolveFaults. An empty set maps to nil: a
+// healed step is a plain healthy request, not an empty overlay.
+func faultsRefOf(fs mesh.FaultSet) *service.FaultsRef {
+	if fs.Empty() {
+		return nil
+	}
+	ref := &service.FaultsRef{}
+	for _, lf := range fs.Links {
+		ref.Links = append(ref.Links, service.LinkFaultRef{
+			A: lf.A, B: lf.B, Down: lf.Down,
+			BandwidthScale:      lf.BandwidthScale,
+			ExtraLatencySeconds: lf.ExtraLatency,
+		})
+	}
+	for _, hf := range fs.Hosts {
+		ref.Hosts = append(ref.Hosts, service.HostFaultRef{
+			Host: hf.Host, NICScale: hf.NICScale, IntraScale: hf.IntraScale,
+		})
+	}
+	return ref
+}
+
+// runChurnPhase walks a churn timeline against the server: a stepper
+// advances the active overlay every period while workers replan the churn
+// boundary closed-loop with whatever overlay is active. The timeline runs
+// `passes` times so heal-backs and flap revisits exercise the cache, and
+// the healthy boundary is planned once up front so the very first
+// degraded step already has an incumbent to warm from.
+func runChurnPhase(ctx context.Context, client *alpacomm.PlanClient, scenario string, period time.Duration, workers, passes int) (*churnResult, error) {
+	reg := alpacomm.DefaultTopologyRegistry()
+	tmpl := churnTemplate()
+	topo, err := reg.Build(tmpl.topology.Name, alpacomm.TopologyParams{Hosts: tmpl.topology.Hosts})
+	if err != nil {
+		return nil, err
+	}
+	var tl mesh.ChurnTimeline
+	if tl, err = reg.BuildChurnScenario(scenario, topo); err != nil {
+		// Not a registry scenario: accept an inline timeline spec, the same
+		// notation mesh.ParseChurnTimeline and the README use.
+		parsed, perr := mesh.ParseChurnTimeline(scenario)
+		if perr != nil {
+			return nil, fmt.Errorf("-churn-scenario %q: not a registry scenario (%v) or a timeline spec (%v)", scenario, err, perr)
+		}
+		if err := parsed.Validate(topo); err != nil {
+			return nil, fmt.Errorf("-churn-scenario %q: %v", scenario, err)
+		}
+		tl = parsed
+	}
+	res := &churnResult{scenario: scenario, steps: len(tl.Steps), passes: passes}
+
+	// The healthy incumbent: one warm-up plan so step 0 warms instead of
+	// going cold, mirroring a real deployment where the healthy plan was
+	// serving before the fault arrived.
+	if _, err := client.PlanV2(ctx, &alpacomm.PlanServiceRequest{
+		Topology: tmpl.topology, Shape: tmpl.shape, DType: tmpl.dtype,
+		Src: tmpl.src, Dst: tmpl.dst,
+		Options: service.PlanOptions{Seed: 1},
+	}); err != nil {
+		return nil, fmt.Errorf("healthy warm-up: %v", err)
+	}
+	before, err := client.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	// The stepper owns the active overlay; workers load it per request.
+	var active atomic.Value // *service.FaultsRef (nil wrapped below)
+	type box struct{ ref *service.FaultsRef }
+	active.Store(box{nil})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := 0; p < passes; p++ {
+			for _, step := range tl.Steps {
+				active.Store(box{faultsRefOf(step.Faults)})
+				time.Sleep(period)
+			}
+		}
+	}()
+
+	stats := make([]clientStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(out *clientStats) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_, err := client.PlanV2(ctx, &alpacomm.PlanServiceRequest{
+					Topology: tmpl.topology, Shape: tmpl.shape, DType: tmpl.dtype,
+					Src: tmpl.src, Dst: tmpl.dst,
+					Options: service.PlanOptions{Seed: 1},
+					Faults:  active.Load().(box).ref,
+				})
+				switch e := err.(type) {
+				case nil:
+					out.ok++
+				case *service.OverloadedError:
+					out.rejected++
+					backoff := e.RetryAfter
+					if backoff > 50*time.Millisecond {
+						backoff = 50 * time.Millisecond
+					}
+					time.Sleep(backoff)
+				default:
+					out.errs++
+					if out.firstErr == "" {
+						out.firstErr = err.Error()
+					}
+				}
+			}
+		}(&stats[w])
+	}
+	wg.Wait()
+	for _, s := range stats {
+		res.ok += s.ok
+		res.rejected += s.rejected
+		res.errs += s.errs
+		if res.firstErr == "" {
+			res.firstErr = s.firstErr
+		}
+	}
+
+	after, err := client.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.delta = resharding.ReplanStats{
+		CacheHits:    after.Replan.CacheHits - before.Replan.CacheHits,
+		WarmIdentity: after.Replan.WarmIdentity - before.Replan.WarmIdentity,
+		WarmSearch:   after.Replan.WarmSearch - before.Replan.WarmSearch,
+		WarmRejected: after.Replan.WarmRejected - before.Replan.WarmRejected,
+		WarmInvalid:  after.Replan.WarmInvalid - before.Replan.WarmInvalid,
+		Cold:         after.Replan.Cold - before.Replan.Cold,
+	}
+	return res, nil
+}

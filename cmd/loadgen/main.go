@@ -26,6 +26,13 @@
 // package's wire.go) on every /v2 response, after first proving one
 // response decodes identically over both formats.
 //
+// -churn appends a continuous-churn phase after the main load: a
+// deterministic fault/heal timeline (-churn-scenario, default "flap")
+// advances every -churn-period while closed-loop clients replan one
+// boundary through /v2/plan with whatever overlay is active. The phase
+// measures the server's replan counters and, under -smoke, fails unless
+// every degraded step was served warm (no cold fills) — see churn.go.
+//
 // -cluster benchmarks the distributed plan-serving tier instead: see
 // cluster.go.
 package main
@@ -189,14 +196,23 @@ type report struct {
 	// Fault fields cover the degraded-topology churn slice of the mix
 	// (-faults): /v2/plan requests carrying a fault overlay. Zero when
 	// fault churn is disabled.
-	FaultRequests   int   `json:"fault_requests,omitempty"`
-	FaultOK         int   `json:"fault_ok,omitempty"`
-	CacheHits       int   `json:"cache_hits"`
-	CacheMisses     int   `json:"cache_misses"`
-	CacheEntries    int   `json:"cache_entries"`
-	CacheEvictions  int   `json:"cache_evictions"`
-	CacheCapacity   int   `json:"cache_capacity"`
-	ServerCoalesced int64 `json:"server_coalesced"`
+	FaultRequests int `json:"fault_requests,omitempty"`
+	FaultOK       int `json:"fault_ok,omitempty"`
+	// Churn fields cover the -churn phase: a fault/heal timeline walked
+	// through /v2/plan after the main load, with the server's replan
+	// counters (warm/cold fill split) measured over the phase alone.
+	ChurnScenario   string                  `json:"churn_scenario,omitempty"`
+	ChurnSteps      int                     `json:"churn_steps,omitempty"`
+	ChurnPasses     int                     `json:"churn_passes,omitempty"`
+	ChurnRequests   int                     `json:"churn_requests,omitempty"`
+	ChurnOK         int                     `json:"churn_ok,omitempty"`
+	ChurnReplan     *resharding.ReplanStats `json:"churn_replan,omitempty"`
+	CacheHits       int                     `json:"cache_hits"`
+	CacheMisses     int                     `json:"cache_misses"`
+	CacheEntries    int                     `json:"cache_entries"`
+	CacheEvictions  int                     `json:"cache_evictions"`
+	CacheCapacity   int                     `json:"cache_capacity"`
+	ServerCoalesced int64                   `json:"server_coalesced"`
 }
 
 func main() {
@@ -210,6 +226,11 @@ func main() {
 	batchFrac := flag.Float64("batch-fraction", 0.15, "fraction of requests sent to /v2/plan:batch when -batch is set")
 	faults := flag.Bool("faults", false, "add degraded-topology churn to the mix: /v2/plan requests carrying fault overlays alongside their healthy twins")
 	faultsFrac := flag.Float64("faults-fraction", 0.2, "fraction of plan requests carrying a fault overlay when -faults is set")
+	churnMode := flag.Bool("churn", false, "after the main load, walk a fault/heal timeline through /v2/plan and verify the server replans warm (no cold fills)")
+	churnScenario := flag.String("churn-scenario", mesh.ChurnFlap, "churn timeline: a registry scenario (flap, cascade, brownout-recovery) or an inline spec like \"@0 link:0-1:down | @500ms\"")
+	churnPeriod := flag.Duration("churn-period", 150*time.Millisecond, "wall time each timeline step stays active in -churn mode")
+	churnWorkers := flag.Int("churn-clients", 8, "concurrent closed-loop clients during the churn phase")
+	churnPasses := flag.Int("churn-passes", 2, "times the churn timeline repeats (>1 exercises heal-back cache hits)")
 	spread := flag.Int("spread", 1, "distinct Options.Seed values per template (>1 multiplies distinct cache keys, exercising LRU eviction)")
 	jsonPath := flag.String("json", "", "write the benchmark report JSON to this file")
 	verify := flag.Bool("verify", false, "verify served plans byte-identical to the direct resharding path")
@@ -304,6 +325,17 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 
+	var churn *churnResult
+	if *churnMode {
+		fmt.Printf("loadgen: churn phase: scenario %q, %d clients, %v per step, %d pass(es)\n",
+			*churnScenario, *churnWorkers, *churnPeriod, *churnPasses)
+		var err error
+		churn, err = runChurnPhase(ctx, client, *churnScenario, *churnPeriod, *churnWorkers, *churnPasses)
+		if err != nil {
+			fail("churn phase: %v", err)
+		}
+	}
+
 	// Merge.
 	var all clientStats
 	for _, s := range stats {
@@ -362,6 +394,14 @@ func main() {
 		CacheCapacity:         sstats.Cache.Capacity,
 		ServerCoalesced:       sstats.Plan.Coalesced + sstats.Autotune.Coalesced + sstats.Batch.Coalesced,
 	}
+	if churn != nil {
+		rep.ChurnScenario = churn.scenario
+		rep.ChurnSteps = churn.steps
+		rep.ChurnPasses = churn.passes
+		rep.ChurnRequests = churn.ok + churn.rejected + churn.errs
+		rep.ChurnOK = churn.ok
+		rep.ChurnReplan = &churn.delta
+	}
 	printReport(rep)
 	if all.firstErr != "" {
 		fmt.Printf("first error: %s\n", all.firstErr)
@@ -410,6 +450,30 @@ func main() {
 	if *smoke && len(overlays) > 0 && all.faultOK == 0 {
 		fmt.Println("SMOKE FAILED: no degraded-topology request succeeded")
 		failed = true
+	}
+	if churn != nil {
+		if churn.ok == 0 {
+			fmt.Println("CHURN FAILED: no churn-phase request succeeded")
+			if churn.firstErr != "" {
+				fmt.Printf("first churn error: %s\n", churn.firstErr)
+			}
+			failed = true
+		}
+		if *smoke && churn.errs > 0 {
+			fmt.Printf("SMOKE FAILED: %d churn-phase request errors (first: %s)\n", churn.errs, churn.firstErr)
+			failed = true
+		}
+		warm := churn.delta.WarmIdentity + churn.delta.WarmSearch + churn.delta.WarmRejected
+		if *smoke && warm == 0 {
+			fmt.Println("SMOKE FAILED: churn phase produced no warm replans")
+			failed = true
+		}
+		// The healthy incumbent is planned before the first fault arrives,
+		// so no churn step may ever fall back to a cold search.
+		if *smoke && churn.delta.Cold > 0 {
+			fmt.Printf("SMOKE FAILED: %d cold replan(s) during churn despite a cached healthy incumbent\n", churn.delta.Cold)
+			failed = true
+		}
 	}
 	if rep.CacheCapacity > 0 && rep.CacheEntries > rep.CacheCapacity {
 		fmt.Printf("LRU VIOLATION: %d entries > capacity %d\n", rep.CacheEntries, rep.CacheCapacity)
@@ -850,6 +914,13 @@ func printReport(r report) {
 	}
 	if r.FaultRequests > 0 {
 		fmt.Printf("  degraded churn: %d requests (%d ok)\n", r.FaultRequests, r.FaultOK)
+	}
+	if r.ChurnReplan != nil {
+		fmt.Printf("  churn timeline %q: %d steps x %d passes, %d requests (%d ok)\n",
+			r.ChurnScenario, r.ChurnSteps, r.ChurnPasses, r.ChurnRequests, r.ChurnOK)
+		d := r.ChurnReplan
+		fmt.Printf("  churn replans: %d cache hits, %d warm identity, %d warm search, %d warm rejected, %d invalid, %d cold\n",
+			d.CacheHits, d.WarmIdentity, d.WarmSearch, d.WarmRejected, d.WarmInvalid, d.Cold)
 	}
 	fmt.Printf("  server cache: %d hits, %d misses, %d entries (capacity %d), %d evictions\n",
 		r.CacheHits, r.CacheMisses, r.CacheEntries, r.CacheCapacity, r.CacheEvictions)

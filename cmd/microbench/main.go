@@ -9,13 +9,16 @@
 // Usage:
 //
 //	microbench [-fig 5a|5b|6|all] [-scale N] [-netsim BENCH_netsim.json]
-//	           [-degraded BENCH_degraded.json]
+//	           [-degraded BENCH_degraded.json] [-churn BENCH_churn.json]
 //
 // scale divides the message size (1 for the paper's full 1-2 GB tensors).
-// With -netsim and/or -degraded the figure benchmarks are skipped unless
-// -fig is given explicitly. -degraded runs the degraded-topology scenario
-// pack: the golden boundary planned healthy and under every named fault
-// scenario on p3/dgx-a100/mixed, reporting makespan deltas.
+// With -netsim, -degraded and/or -churn the figure benchmarks are skipped
+// unless -fig is given explicitly. -degraded runs the degraded-topology
+// scenario pack: the golden boundary planned healthy and under every named
+// fault scenario on p3/dgx-a100/mixed, reporting makespan deltas. -churn
+// runs the warm-replan benchmark: warm vs cold replan latency and plan
+// quality per (preset, fault scenario), plus every registry churn timeline
+// replayed through a planner session.
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also record all rows to this JSON file (artifact format)")
 	netsimOut := flag.String("netsim", "", "measure netsim core hot paths (ns/op + allocs/op) and write them to this JSON file")
 	degradedOut := flag.String("degraded", "", "run the degraded-topology scenario pack and write it to this JSON file")
+	churnOut := flag.String("churn", "", "run the warm-replan churn benchmark and write it to this JSON file")
 	flag.Parse()
 
 	ranAux := false
@@ -61,6 +65,20 @@ func main() {
 		fmt.Print(harness.RenderDegradedRows(rows))
 		fmt.Println()
 		if err := harness.WriteDegradedJSON(*degradedOut, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *churnOut != "" {
+		ranAux = true
+		report, err := harness.ChurnBench(context.Background())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: churn bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.RenderChurnReport(report))
+		fmt.Println()
+		if err := harness.WriteChurnJSON(*churnOut, report); err != nil {
 			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
 			os.Exit(1)
 		}

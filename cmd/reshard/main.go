@@ -17,6 +17,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	alpacomm "alpacomm"
 	"alpacomm/internal/mesh"
@@ -176,6 +177,43 @@ func main() {
 		fmt.Printf("Degraded plan: %v\n  launch order %v\n  senders %v\n", degPlan, degPlan.Order, degPlan.SenderOf)
 		fmt.Printf("Degraded completion: %.6fs (healthy %.6fs, %+.1f%%), effective bandwidth %.2f Gbps\n",
 			degSim.Makespan, res.Makespan, 100*(degSim.Makespan-res.Makespan)/res.Makespan, degSim.EffectiveGbps)
+
+		// Warm vs cold replan: time a from-scratch search on the degraded
+		// boundary against the incremental warm path seeded by the healthy
+		// plan — what the serving session above actually did.
+		degTask, err := task.OnTopology(mesh.MustFaulted(cluster, fs))
+		if err != nil {
+			fail("rebind under faults: %v", err)
+		}
+		start := time.Now()
+		coldPlan, err := resharding.NewPlanContext(ctx, degTask, opts)
+		if err != nil {
+			fail("cold replan under faults: %v", err)
+		}
+		coldLatency := time.Since(start)
+		coldSim, err := coldPlan.SimulateNoTrace()
+		if err != nil {
+			fail("cold replan simulate: %v", err)
+		}
+		start = time.Now()
+		warmPlan, warmSim, warmInfo, err := resharding.WarmReplanContext(ctx, degTask, opts, task, plan)
+		if err != nil {
+			fail("warm replan under faults: %v", err)
+		}
+		warmLatency := time.Since(start)
+		if warmSim == nil {
+			if warmSim, err = warmPlan.SimulateNoTrace(); err != nil {
+				fail("warm replan simulate: %v", err)
+			}
+		}
+		fmt.Printf("\nWarm vs cold replan (%d of %d units impacted, warm mode %s):\n",
+			warmInfo.ImpactedUnits, warmInfo.TotalUnits, warmInfo.Mode)
+		fmt.Printf("  cold search: %v -> makespan %.6fs\n", coldLatency, coldSim.Makespan)
+		fmt.Printf("  warm replan: %v -> makespan %.6fs (%.1fx faster, makespan %+.2f%%)\n",
+			warmLatency, warmSim.Makespan,
+			float64(coldLatency)/float64(warmLatency),
+			100*(warmSim.Makespan-coldSim.Makespan)/coldSim.Makespan)
+
 		if *showTimeline {
 			fmt.Println("\nDegraded network timeline:")
 			fmt.Print(trace.Gantt(degSim.Events, nil, 100))

@@ -1,0 +1,333 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"alpacomm/internal/mesh"
+	"alpacomm/internal/resharding"
+	"alpacomm/internal/sharding"
+)
+
+// The churn benchmark pack: warm vs cold replanning under topology churn.
+// Two views of the same question — how much of the cold-plan cost does
+// incremental warm replanning avoid:
+//
+//   - replan rows measure one fault arrival per (preset, fault scenario)
+//     with testing.Benchmark: the cold path (full ensemble search on the
+//     degraded instance) against the warm path (WarmReplanContext from the
+//     healthy incumbent), plus the plan-quality delta between the two;
+//   - timeline rows replay each registry churn scenario step by step
+//     through a Planner session (ReplanDegradedFrom, exactly the serving
+//     path) and report the end-to-end warm cost, the per-step cold cost it
+//     replaces, and how each step was served (cache hit, identity, search).
+//
+// This is the BENCH_churn.json artifact gated by `benchgate -churn`: a
+// regression that silently falls back to cold replanning shows up as a
+// collapsed speedup, and a warm plan worse than cold fails the quality
+// gate.
+
+// ChurnReplanRow is one measured (preset, fault scenario) warm-vs-cold
+// replan comparison.
+type ChurnReplanRow struct {
+	// Preset is the registry topology ("p3", "dgx-a100", "mixed").
+	Preset string `json:"preset"`
+	// Scenario is the registry fault scenario ("link-down", ...).
+	Scenario string `json:"scenario"`
+	// TotalUnits is the boundary's decomposition size; ImpactedUnits is how
+	// many units' host-level tasks the overlay changed.
+	TotalUnits    int `json:"total_units"`
+	ImpactedUnits int `json:"impacted_units"`
+	// WarmMode is how the warm replan was served (identity, search,
+	// incumbent, cold) and WarmDFSNodes its scaled node budget (0 when no
+	// search ran).
+	WarmMode     string `json:"warm_mode"`
+	WarmDFSNodes int    `json:"warm_dfs_nodes"`
+	// ColdNsPerReplan / WarmNsPerReplan are testing.Benchmark wall times
+	// to produce the replacement plan: a full cold ensemble search vs the
+	// warm path (impact diff, then nothing, a rebind, or a pinned
+	// warm-started search with its acceptance simulations, depending on
+	// WarmMode); Speedup is their ratio.
+	ColdNsPerReplan float64 `json:"cold_ns_per_replan"`
+	WarmNsPerReplan float64 `json:"warm_ns_per_replan"`
+	Speedup         float64 `json:"speedup"`
+	// ColdMakespan / WarmMakespan are the simulated makespans of the two
+	// plans; IncumbentMakespan is the rebound incumbent's (the acceptance
+	// baseline). QualityDeltaPct is 100*(warm-cold)/cold — positive means
+	// the warm plan is worse.
+	ColdMakespan      float64 `json:"cold_makespan_seconds"`
+	WarmMakespan      float64 `json:"warm_makespan_seconds"`
+	IncumbentMakespan float64 `json:"incumbent_makespan_seconds"`
+	QualityDeltaPct   float64 `json:"quality_delta_pct"`
+}
+
+// ChurnTimelineRow is one registry churn scenario replayed through a
+// Planner session on one preset.
+type ChurnTimelineRow struct {
+	// Preset is the registry topology; Scenario the churn scenario name.
+	Preset   string `json:"preset"`
+	Scenario string `json:"scenario"`
+	// Steps is the timeline's step count.
+	Steps int `json:"steps"`
+	// WarmTotalNs is the wall time of serving every step through
+	// ReplanDegradedFrom; ColdTotalNs is the summed cost of planning each
+	// step's overlay cold instead; Speedup is their ratio.
+	WarmTotalNs int64   `json:"warm_total_ns"`
+	ColdTotalNs int64   `json:"cold_total_ns"`
+	Speedup     float64 `json:"speedup"`
+	// Stats is how the session served the steps — heals back to an overlay
+	// already planned must show up as CacheHits.
+	Stats resharding.ReplanStats `json:"stats"`
+	// FinalMakespan is the simulated makespan after the last step (every
+	// registry scenario ends healed, so this must equal the healthy
+	// makespan).
+	FinalMakespan float64 `json:"final_makespan_seconds"`
+}
+
+// ChurnReport is the BENCH_churn.json artifact shape.
+type ChurnReport struct {
+	Replans   []ChurnReplanRow   `json:"replans"`
+	Timelines []ChurnTimelineRow `json:"timelines"`
+}
+
+// churnBenchOptions is the degraded pack's deterministic configuration at
+// the serving node budget: replan latency is what the pack measures, so
+// the cold side must pay what the serving daemon's cold path pays
+// (DefaultAutotuneDFSNodes, the budget a served request with zero
+// dfs_nodes is forced to), not the reduced test-speed budget the degraded
+// pack uses.
+var churnBenchOptions = resharding.Options{
+	Strategy:  resharding.Broadcast,
+	Scheduler: resharding.SchedEnsemble,
+	Seed:      1,
+	DFSNodes:  resharding.DefaultAutotuneDFSNodes,
+	Chunks:    8,
+}
+
+// ChurnBench measures warm-vs-cold replanning on the golden boundary
+// across every preset x fault scenario (replan rows) and replays every
+// preset x churn scenario through a Planner session (timeline rows). The
+// boundary and presets are the degraded pack's; the node budget is the
+// serving default.
+func ChurnBench(ctx context.Context) (*ChurnReport, error) {
+	reg := mesh.DefaultRegistry()
+	report := &ChurnReport{}
+	for _, p := range degradedPackPresets() {
+		task, err := degradedPackBoundary(p.Topo)
+		if err != nil {
+			return nil, fmt.Errorf("%s: boundary: %v", p.Name, err)
+		}
+		opts := churnBenchOptions
+
+		// The healthy incumbent every warm replan starts from.
+		incumbent, err := resharding.NewPlanContext(ctx, task, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: healthy plan: %v", p.Name, err)
+		}
+
+		for _, scenario := range reg.FaultScenarioNames() {
+			fs, err := reg.BuildFaultScenario(scenario, p.Topo)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: scenario: %v", p.Name, scenario, err)
+			}
+			row, err := churnReplanRow(ctx, p.Name, scenario, task, opts, fs, incumbent)
+			if err != nil {
+				return nil, err
+			}
+			report.Replans = append(report.Replans, *row)
+		}
+
+		for _, scenario := range reg.ChurnScenarioNames() {
+			tl, err := reg.BuildChurnScenario(scenario, p.Topo)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: churn scenario: %v", p.Name, scenario, err)
+			}
+			row, err := churnTimelineRow(ctx, p.Name, scenario, p.Topo, task, opts, tl)
+			if err != nil {
+				return nil, err
+			}
+			report.Timelines = append(report.Timelines, *row)
+		}
+	}
+	return report, nil
+}
+
+// churnReplanRow benchmarks one fault arrival: a cold replan of the
+// degraded boundary against the warm path from the healthy incumbent.
+func churnReplanRow(ctx context.Context, preset, scenario string, task *sharding.Task, opts resharding.Options, fs mesh.FaultSet, incumbent *resharding.Plan) (*ChurnReplanRow, error) {
+	degTask, err := task.OnTopology(mesh.MustFaulted(task.Src.Mesh.Topo, fs))
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: rebind: %v", preset, scenario, err)
+	}
+
+	// One un-timed run each to capture the outcome the benchmark repeats
+	// and the plan qualities. The timed loops below measure plan production
+	// only — symmetric on both sides; neither re-times the reporting
+	// simulation (warm search mode still pays its acceptance simulations,
+	// which are part of deciding the plan).
+	coldPlan, err := resharding.NewPlanContext(ctx, degTask, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: cold replan: %v", preset, scenario, err)
+	}
+	coldSim, err := coldPlan.SimulateNoTrace()
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: cold simulate: %v", preset, scenario, err)
+	}
+	warmPlan, warmSim, info, err := resharding.WarmReplanContext(ctx, degTask, opts, task, incumbent)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: warm replan: %v", preset, scenario, err)
+	}
+	if warmSim == nil {
+		if warmSim, err = warmPlan.SimulateNoTrace(); err != nil {
+			return nil, fmt.Errorf("%s/%s: warm simulate: %v", preset, scenario, err)
+		}
+	}
+	incMakespan := info.IncumbentMakespan
+	if incMakespan == 0 {
+		incMakespan = warmSim.Makespan
+	}
+
+	var benchErr error
+	fail := func(b *testing.B, err error) {
+		benchErr = err
+		b.FailNow()
+	}
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := resharding.NewPlanContext(ctx, degTask, opts); err != nil {
+				fail(b, err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, fmt.Errorf("%s/%s: cold bench: %v", preset, scenario, benchErr)
+	}
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := resharding.WarmReplanContext(ctx, degTask, opts, task, incumbent); err != nil {
+				fail(b, err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, fmt.Errorf("%s/%s: warm bench: %v", preset, scenario, benchErr)
+	}
+
+	coldNs := float64(cold.T.Nanoseconds()) / float64(cold.N)
+	warmNs := float64(warm.T.Nanoseconds()) / float64(warm.N)
+	row := &ChurnReplanRow{
+		Preset:            preset,
+		Scenario:          scenario,
+		TotalUnits:        info.TotalUnits,
+		ImpactedUnits:     info.ImpactedUnits,
+		WarmMode:          info.Mode,
+		WarmDFSNodes:      info.DFSNodes,
+		ColdNsPerReplan:   coldNs,
+		WarmNsPerReplan:   warmNs,
+		ColdMakespan:      coldSim.Makespan,
+		WarmMakespan:      warmSim.Makespan,
+		IncumbentMakespan: incMakespan,
+	}
+	if warmNs > 0 {
+		row.Speedup = coldNs / warmNs
+	}
+	if coldSim.Makespan > 0 {
+		row.QualityDeltaPct = 100 * (warmSim.Makespan - coldSim.Makespan) / coldSim.Makespan
+	}
+	return row, nil
+}
+
+// churnTimelineRow replays a churn timeline through a Planner session: the
+// healthy boundary is planned once, then every step is a
+// ReplanDegradedFrom(previous overlay -> this overlay) — the serving path,
+// warm replans and cache hits included. The cold total is what planning
+// each step's overlay from scratch would have cost instead.
+func churnTimelineRow(ctx context.Context, preset, scenario string, topo mesh.Topology, task *sharding.Task, opts resharding.Options, tl mesh.ChurnTimeline) (*ChurnTimelineRow, error) {
+	planner := resharding.NewPlanner(resharding.WithTopology(topo), resharding.WithTraceFreeSim())
+	if _, _, err := planner.Plan(ctx, task, opts); err != nil {
+		return nil, fmt.Errorf("%s/%s: healthy plan: %v", preset, scenario, err)
+	}
+
+	var warmTotal, coldTotal time.Duration
+	var lastSim *resharding.SimResult
+	prev := mesh.FaultSet{}
+	for i, step := range tl.Steps {
+		start := time.Now()
+		_, sim, err := planner.ReplanDegradedFrom(ctx, task, opts, prev, step.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: step %d: %v", preset, scenario, i, err)
+		}
+		warmTotal += time.Since(start)
+		lastSim = sim
+
+		// The cold alternative: plan this step's overlay from scratch.
+		degTask, err := task.OnTopology(mesh.MustFaulted(topo, step.Faults))
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: step %d rebind: %v", preset, scenario, i, err)
+		}
+		start = time.Now()
+		coldPlan, err := resharding.NewPlanContext(ctx, degTask, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: step %d cold: %v", preset, scenario, i, err)
+		}
+		if _, err := coldPlan.SimulateNoTrace(); err != nil {
+			return nil, fmt.Errorf("%s/%s: step %d cold simulate: %v", preset, scenario, i, err)
+		}
+		coldTotal += time.Since(start)
+		prev = step.Faults
+	}
+
+	row := &ChurnTimelineRow{
+		Preset:      preset,
+		Scenario:    scenario,
+		Steps:       len(tl.Steps),
+		WarmTotalNs: warmTotal.Nanoseconds(),
+		ColdTotalNs: coldTotal.Nanoseconds(),
+		Stats:       planner.ReplanStats(),
+	}
+	if warmTotal > 0 {
+		row.Speedup = float64(coldTotal) / float64(warmTotal)
+	}
+	if lastSim != nil {
+		row.FinalMakespan = lastSim.Makespan
+	}
+	return row, nil
+}
+
+// RenderChurnReport formats the churn report as aligned tables.
+func RenderChurnReport(r *ChurnReport) string {
+	var b strings.Builder
+	b.WriteString("Warm vs cold replan, one fault arrival (testing.Benchmark):\n")
+	fmt.Fprintf(&b, "  %-10s %-10s %9s %-9s %12s %12s %9s %9s\n",
+		"preset", "scenario", "impacted", "mode", "cold ns", "warm ns", "speedup", "quality")
+	for _, row := range r.Replans {
+		fmt.Fprintf(&b, "  %-10s %-10s %5d/%-3d %-9s %12.0f %12.0f %8.1fx %+8.2f%%\n",
+			row.Preset, row.Scenario, row.ImpactedUnits, row.TotalUnits, row.WarmMode,
+			row.ColdNsPerReplan, row.WarmNsPerReplan, row.Speedup, row.QualityDeltaPct)
+	}
+	b.WriteString("\nChurn timelines replayed through a planner session:\n")
+	fmt.Fprintf(&b, "  %-10s %-18s %5s %12s %12s %9s %s\n",
+		"preset", "scenario", "steps", "warm ns", "cold ns", "speedup", "served (hit/ident/search/rej/cold)")
+	for _, row := range r.Timelines {
+		fmt.Fprintf(&b, "  %-10s %-18s %5d %12d %12d %8.1fx %d/%d/%d/%d/%d\n",
+			row.Preset, row.Scenario, row.Steps, row.WarmTotalNs, row.ColdTotalNs, row.Speedup,
+			row.Stats.CacheHits, row.Stats.WarmIdentity, row.Stats.WarmSearch,
+			row.Stats.WarmRejected, row.Stats.Cold)
+	}
+	return b.String()
+}
+
+// WriteChurnJSON writes the churn report (the BENCH_churn.json artifact
+// format).
+func WriteChurnJSON(path string, r *ChurnReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

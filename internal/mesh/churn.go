@@ -1,0 +1,145 @@
+package mesh
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Churn timelines: a deterministic schedule of fault arrivals and heals
+// over Faulted overlays. Each step names the complete FaultSet active from
+// its time onward — not a delta — so any prefix of a timeline fully
+// determines the fabric's state, a step with an empty set is a heal back
+// to the pristine topology, and two timelines that visit the same overlay
+// (e.g. a link flapping down, up, down) revisit the same Canonical()
+// identity, which is exactly what lets a replanning cache serve the
+// revisit without a search.
+
+// ChurnStep is one state transition of a churn timeline.
+type ChurnStep struct {
+	// At is when this overlay becomes active, relative to the timeline
+	// start.
+	At time.Duration
+	// Faults is the complete overlay active from At until the next step
+	// (empty = healed).
+	Faults FaultSet
+}
+
+// ChurnTimeline is a deterministic fault schedule: steps in strictly
+// increasing time order. Before the first step the topology is healthy.
+type ChurnTimeline struct {
+	Steps []ChurnStep
+}
+
+// Empty reports whether the timeline has no steps.
+func (tl ChurnTimeline) Empty() bool { return len(tl.Steps) == 0 }
+
+// Validate checks the schedule shape (non-negative, strictly increasing
+// times) and, when topo is non-nil, that every step's overlay is valid on
+// it (host ranges, detour existence — the NewFaulted rules).
+func (tl ChurnTimeline) Validate(topo Topology) error {
+	for i, s := range tl.Steps {
+		if s.At < 0 {
+			return fmt.Errorf("mesh: churn step %d at negative time %v", i, s.At)
+		}
+		if i > 0 && s.At <= tl.Steps[i-1].At {
+			return fmt.Errorf("mesh: churn step %d at %v does not advance past step %d at %v",
+				i, s.At, i-1, tl.Steps[i-1].At)
+		}
+		if topo != nil {
+			if _, err := NewFaulted(topo, s.Faults); err != nil {
+				return fmt.Errorf("mesh: churn step %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ActiveAt returns the overlay active at elapsed time d and the index of
+// the step that installed it; before the first step it returns the empty
+// overlay and index -1.
+func (tl ChurnTimeline) ActiveAt(d time.Duration) (FaultSet, int) {
+	active, idx := FaultSet{}, -1
+	for i, s := range tl.Steps {
+		if s.At > d {
+			break
+		}
+		active, idx = s.Faults, i
+	}
+	return active, idx
+}
+
+// String renders the timeline in the ParseChurnTimeline notation.
+func (tl ChurnTimeline) String() string {
+	parts := make([]string, len(tl.Steps))
+	for i, s := range tl.Steps {
+		parts[i] = strings.TrimSpace(fmt.Sprintf("@%v %s", s.At, faultSetSpec(s.Faults)))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// faultSetSpec renders a FaultSet in the ParseFaultSet notation (the
+// normalized order; empty overlay renders "").
+func faultSetSpec(fs FaultSet) string {
+	n := fs.normalized()
+	var clauses []string
+	for _, l := range n.Links {
+		switch {
+		case l.Down:
+			clauses = append(clauses, fmt.Sprintf("link:%d-%d:down", l.A, l.B))
+		default:
+			var fields []string
+			if l.BandwidthScale != 0 && l.BandwidthScale != 1 {
+				fields = append(fields, fmt.Sprintf("bw=%g", l.BandwidthScale))
+			}
+			if l.ExtraLatency != 0 {
+				fields = append(fields, fmt.Sprintf("lat+=%g", l.ExtraLatency))
+			}
+			clauses = append(clauses, fmt.Sprintf("link:%d-%d:%s", l.A, l.B, strings.Join(fields, ",")))
+		}
+	}
+	for _, h := range n.Hosts {
+		var fields []string
+		if h.NICScale != 0 && h.NICScale != 1 {
+			fields = append(fields, fmt.Sprintf("nic=%g", h.NICScale))
+		}
+		if h.IntraScale != 0 && h.IntraScale != 1 {
+			fields = append(fields, fmt.Sprintf("intra=%g", h.IntraScale))
+		}
+		clauses = append(clauses, fmt.Sprintf("host:%d:%s", h.Host, strings.Join(fields, ",")))
+	}
+	return strings.Join(clauses, ";")
+}
+
+// ParseChurnTimeline parses the CLI churn notation: steps separated by
+// "|", each "@<duration> <faultspec>" where the fault spec uses the
+// ParseFaultSet notation and an omitted spec means healed.
+//
+//	@0 link:0-1:down | @500ms | @1s host:1:nic=0.25
+//
+// downs the 0-1 link immediately, heals it at 500ms, and makes host 1 a
+// straggler at 1s. Validation against a concrete topology (host ranges,
+// detour existence, strictly increasing times) happens at Validate.
+func ParseChurnTimeline(s string) (ChurnTimeline, error) {
+	var tl ChurnTimeline
+	for _, part := range strings.Split(s, "|") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.HasPrefix(part, "@") {
+			return tl, fmt.Errorf("mesh: churn step %q must start with @<duration>", part)
+		}
+		atSpec, faultSpec, _ := strings.Cut(part[1:], " ")
+		at, err := time.ParseDuration(atSpec)
+		if err != nil {
+			return tl, fmt.Errorf("mesh: churn step %q: bad time %q: %v", part, atSpec, err)
+		}
+		fs, err := ParseFaultSet(strings.TrimSpace(faultSpec))
+		if err != nil {
+			return tl, fmt.Errorf("mesh: churn step %q: %v", part, err)
+		}
+		tl.Steps = append(tl.Steps, ChurnStep{At: at, Faults: fs})
+	}
+	return tl, tl.Validate(nil)
+}

@@ -1,0 +1,164 @@
+package mesh
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseChurnTimelineRoundTrip(t *testing.T) {
+	cases := []string{
+		"@0s link:0-1:down | @500ms  | @1s host:1:nic=0.25",
+		"@0s link:0-1:bw=0.5,lat+=1e-06 | @2s ",
+		"@0s host:2:nic=0.25,intra=0.5",
+	}
+	for _, in := range cases {
+		tl, err := ParseChurnTimeline(in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		tl2, err := ParseChurnTimeline(tl.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", tl.String(), in, err)
+		}
+		if tl.String() != tl2.String() {
+			t.Fatalf("round trip changed: %q -> %q", tl.String(), tl2.String())
+		}
+		if len(tl.Steps) != len(tl2.Steps) {
+			t.Fatalf("round trip changed step count: %d -> %d", len(tl.Steps), len(tl2.Steps))
+		}
+		for i := range tl.Steps {
+			if tl.Steps[i].At != tl2.Steps[i].At {
+				t.Fatalf("step %d time changed: %v -> %v", i, tl.Steps[i].At, tl2.Steps[i].At)
+			}
+			if tl.Steps[i].Faults.Canonical() != tl2.Steps[i].Faults.Canonical() {
+				t.Fatalf("step %d overlay changed: %q -> %q",
+					i, tl.Steps[i].Faults.Canonical(), tl2.Steps[i].Faults.Canonical())
+			}
+		}
+	}
+}
+
+func TestParseChurnTimelineErrors(t *testing.T) {
+	cases := map[string]string{
+		"link:0-1:down":           "must start with",
+		"@abc link:0-1:down":      "bad time",
+		"@0 link:0-1:wat":         "",
+		"@1s | @1s":               "does not advance",
+		"@2s | @1s link:0-1:down": "does not advance",
+		"@-1s link:0-1:down":      "negative",
+	}
+	for in, want := range cases {
+		_, err := ParseChurnTimeline(in)
+		if err == nil {
+			t.Fatalf("parse %q: want error, got none", in)
+		}
+		if want != "" && !strings.Contains(err.Error(), want) {
+			t.Fatalf("parse %q: error %q does not mention %q", in, err, want)
+		}
+	}
+}
+
+func TestChurnTimelineActiveAt(t *testing.T) {
+	tl, err := ParseChurnTimeline("@100ms link:0-1:down | @200ms | @300ms host:1:nic=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at      time.Duration
+		idx     int
+		overlay string
+	}{
+		{0, -1, ""},
+		{99 * time.Millisecond, -1, ""},
+		{100 * time.Millisecond, 0, "link:0-1:down"},
+		{150 * time.Millisecond, 0, "link:0-1:down"},
+		{200 * time.Millisecond, 1, ""},
+		{299 * time.Millisecond, 1, ""},
+		{300 * time.Millisecond, 2, "host:1:nic=0.25"},
+		{time.Hour, 2, "host:1:nic=0.25"},
+	}
+	for _, c := range cases {
+		fs, idx := tl.ActiveAt(c.at)
+		if idx != c.idx {
+			t.Fatalf("ActiveAt(%v): idx = %d, want %d", c.at, idx, c.idx)
+		}
+		if got := faultSetSpec(fs); got != c.overlay {
+			t.Fatalf("ActiveAt(%v): overlay %q, want %q", c.at, got, c.overlay)
+		}
+	}
+}
+
+func TestChurnTimelineValidateTopology(t *testing.T) {
+	topo := AWSP3Cluster(3)
+	good, err := ParseChurnTimeline("@0 link:0-1:down | @1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Validate(topo); err != nil {
+		t.Fatalf("valid timeline rejected: %v", err)
+	}
+	// Host 9 does not exist on a 3-host cluster; shape-only validation
+	// passes but topology validation must reject it.
+	bad, err := ParseChurnTimeline("@0 host:9:nic=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(topo); err == nil {
+		t.Fatal("out-of-range host accepted by Validate(topo)")
+	}
+	// A two-host cluster has no detour for a downed 0-1 link.
+	twoHost, err := ParseChurnTimeline("@0 link:0-1:down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twoHost.Validate(AWSP3Cluster(2)); err == nil {
+		t.Fatal("detour-less link-down accepted by Validate(topo)")
+	}
+}
+
+func TestDefaultRegistryChurnScenarios(t *testing.T) {
+	r := DefaultRegistry()
+	names := r.ChurnScenarioNames()
+	want := []string{ChurnBrownoutRecovery, ChurnCascade, ChurnFlap}
+	if len(names) != len(want) {
+		t.Fatalf("churn scenario names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("churn scenario names = %v, want %v", names, want)
+		}
+	}
+	topo := AWSP3Cluster(4)
+	for _, name := range names {
+		tl, err := r.BuildChurnScenario(name, topo)
+		if err != nil {
+			t.Fatalf("build %q: %v", name, err)
+		}
+		if tl.Empty() {
+			t.Fatalf("scenario %q is empty", name)
+		}
+		if err := tl.Validate(topo); err != nil {
+			t.Fatalf("scenario %q invalid: %v", name, err)
+		}
+		// Every scenario ends healed.
+		last := tl.Steps[len(tl.Steps)-1]
+		if len(last.Faults.Links) != 0 || len(last.Faults.Hosts) != 0 {
+			t.Fatalf("scenario %q does not end healed: %v", name, last.Faults)
+		}
+	}
+	// Flap revisits the same overlay identity — the cache-hit case.
+	flap, err := r.BuildChurnScenario(ChurnFlap, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flap.Steps) != 4 {
+		t.Fatalf("flap has %d steps, want 4", len(flap.Steps))
+	}
+	if flap.Steps[0].Faults.Canonical() != flap.Steps[2].Faults.Canonical() {
+		t.Fatal("flap steps 0 and 2 should share an overlay identity")
+	}
+	if _, err := r.BuildChurnScenario("no-such-scenario", topo); err == nil {
+		t.Fatal("unknown churn scenario accepted")
+	}
+}

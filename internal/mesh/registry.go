@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // MaxRegistryHosts bounds the host count a registry build accepts: preset
@@ -42,13 +43,20 @@ type Registry struct {
 	mu       sync.RWMutex
 	builders map[string]TopologyBuilder
 	faults   map[string]FaultScenarioBuilder
+	churns   map[string]ChurnScenarioBuilder
 }
+
+// ChurnScenarioBuilder constructs a named churn timeline for a concrete
+// topology — like fault scenarios, timelines are parameterized by the
+// hardware they degrade rather than being fixed lists.
+type ChurnScenarioBuilder func(t Topology) (ChurnTimeline, error)
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		builders: map[string]TopologyBuilder{},
 		faults:   map[string]FaultScenarioBuilder{},
+		churns:   map[string]ChurnScenarioBuilder{},
 	}
 }
 
@@ -155,6 +163,61 @@ func (r *Registry) FaultScenarioNames() []string {
 	return names
 }
 
+// RegisterChurnScenario adds a named churn-timeline builder. Names are
+// case-insensitive; empty names, nil builders and duplicates are errors.
+func (r *Registry) RegisterChurnScenario(name string, b ChurnScenarioBuilder) error {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return fmt.Errorf("mesh: registry: empty churn scenario name")
+	}
+	if b == nil {
+		return fmt.Errorf("mesh: registry: nil churn scenario builder for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.churns == nil {
+		r.churns = map[string]ChurnScenarioBuilder{}
+	}
+	if _, ok := r.churns[name]; ok {
+		return fmt.Errorf("mesh: registry: churn scenario %q already registered", name)
+	}
+	r.churns[name] = b
+	return nil
+}
+
+// BuildChurnScenario constructs the named churn timeline for a concrete
+// topology and validates every step's overlay against it. Unknown names
+// report the available scenarios.
+func (r *Registry) BuildChurnScenario(name string, t Topology) (ChurnTimeline, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	r.mu.RLock()
+	b, ok := r.churns[key]
+	r.mu.RUnlock()
+	if !ok {
+		return ChurnTimeline{}, fmt.Errorf("mesh: unknown churn scenario %q (have %s)", name, strings.Join(r.ChurnScenarioNames(), ", "))
+	}
+	if t == nil {
+		return ChurnTimeline{}, fmt.Errorf("mesh: churn scenario %q needs a topology", name)
+	}
+	tl, err := b(t)
+	if err != nil {
+		return ChurnTimeline{}, err
+	}
+	return tl, tl.Validate(t)
+}
+
+// ChurnScenarioNames returns the registered churn scenario names, sorted.
+func (r *Registry) ChurnScenarioNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.churns))
+	for n := range r.churns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Preset names of DefaultRegistry.
 const (
 	// TopologyP3 is the paper's homogeneous AWS p3 testbed.
@@ -176,6 +239,20 @@ const (
 	// FaultStraggler makes the last host a straggler: NIC at a quarter
 	// speed, intra-host links at half.
 	FaultStraggler = "straggler"
+)
+
+// Churn scenario names of DefaultRegistry.
+const (
+	// ChurnFlap flaps the 0-1 link: down, healed, down again, healed
+	// (needs at least 3 hosts for the detour). Healing back to an earlier
+	// overlay revisits its identity — the cache-hit case.
+	ChurnFlap = "flap"
+	// ChurnCascade compounds faults: link down, then link down plus a
+	// straggler, then the link heals leaving the straggler, then healthy.
+	ChurnCascade = "cascade"
+	// ChurnBrownoutRecovery browns out every link, partially recovers to
+	// three-quarter bandwidth, then heals.
+	ChurnBrownoutRecovery = "brownout-recovery"
 )
 
 // maxBrownoutHosts bounds the quadratic link-fault expansion of the
@@ -250,6 +327,58 @@ func DefaultRegistry() *Registry {
 	})
 	mustRegisterFaults(FaultStraggler, func(t Topology) (FaultSet, error) {
 		return FaultSet{Hosts: []HostFault{{Host: t.HostCount() - 1, NICScale: 0.25, IntraScale: 0.5}}}, nil
+	})
+	mustRegisterChurn := func(name string, b ChurnScenarioBuilder) {
+		if err := r.RegisterChurnScenario(name, b); err != nil {
+			panic(err)
+		}
+	}
+	mustRegisterChurn(ChurnFlap, func(t Topology) (ChurnTimeline, error) {
+		linkDown, err := r.BuildFaultScenario(FaultLinkDown, t)
+		if err != nil {
+			return ChurnTimeline{}, err
+		}
+		return ChurnTimeline{Steps: []ChurnStep{
+			{At: 0, Faults: linkDown},
+			{At: 1 * time.Second},
+			{At: 2 * time.Second, Faults: linkDown},
+			{At: 3 * time.Second},
+		}}, nil
+	})
+	mustRegisterChurn(ChurnCascade, func(t Topology) (ChurnTimeline, error) {
+		linkDown, err := r.BuildFaultScenario(FaultLinkDown, t)
+		if err != nil {
+			return ChurnTimeline{}, err
+		}
+		straggler, err := r.BuildFaultScenario(FaultStraggler, t)
+		if err != nil {
+			return ChurnTimeline{}, err
+		}
+		both := FaultSet{Links: linkDown.Links, Hosts: straggler.Hosts}
+		return ChurnTimeline{Steps: []ChurnStep{
+			{At: 0, Faults: linkDown},
+			{At: 1 * time.Second, Faults: both},
+			{At: 2 * time.Second, Faults: straggler},
+			{At: 3 * time.Second},
+		}}, nil
+	})
+	mustRegisterChurn(ChurnBrownoutRecovery, func(t Topology) (ChurnTimeline, error) {
+		brownout, err := r.BuildFaultScenario(FaultBrownout, t)
+		if err != nil {
+			return ChurnTimeline{}, err
+		}
+		// Partial recovery: the same links at three-quarter bandwidth with
+		// the extra latency gone, then fully healed.
+		partial := FaultSet{Links: append([]LinkFault(nil), brownout.Links...)}
+		for i := range partial.Links {
+			partial.Links[i].BandwidthScale = 0.75
+			partial.Links[i].ExtraLatency = 0
+		}
+		return ChurnTimeline{Steps: []ChurnStep{
+			{At: 0, Faults: brownout},
+			{At: 1 * time.Second, Faults: partial},
+			{At: 2 * time.Second},
+		}}, nil
 	})
 	return r
 }

@@ -234,8 +234,26 @@ func (c *PlanCache) PlanAndSimulateKeyed(key string, task *sharding.Task, opts O
 // rendering the key is the cache-hit fast path's dominant cost, so this
 // avoids paying it twice.
 func (c *PlanCache) PlanAndSimulateKeyedContext(ctx context.Context, key string, task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
+	return c.PlanAndSimulateKeyedFillContext(ctx, key, task, opts, nil)
+}
+
+// PlanFill computes a cache entry's plan in place of the default cold
+// NewPlanContext — e.g. a warm replan seeded from another overlay's
+// incumbent. It may return a trace-free simulation alongside the plan; a
+// nil simulation makes the cache simulate the plan itself, in the cache's
+// configured trace mode. A fill must produce a plan for the exact
+// (task, opts) it was keyed under.
+type PlanFill func(ctx context.Context) (*Plan, *SimResult, error)
+
+// PlanAndSimulateKeyedFillContext is PlanAndSimulateKeyedContext with a
+// caller-supplied fill for the leader path: when the key misses, fill
+// computes the plan instead of NewPlanContext. Hits, coalescing, errored-
+// entry forgetting and cancellation behave identically — a fill only ever
+// replaces the cold computation, never the caching discipline. A nil fill
+// is exactly PlanAndSimulateKeyedContext.
+func (c *PlanCache) PlanAndSimulateKeyedFillContext(ctx context.Context, key string, task *sharding.Task, opts Options, fill PlanFill) (*Plan, *SimResult, error) {
 	for {
-		plan, sim, err := c.planAndSimulateOnce(ctx, key, task, opts)
+		plan, sim, err := c.planAndSimulateOnce(ctx, key, task, opts, fill)
 		// A leader that was cancelled reports its own ctx error to every
 		// waiter — but a waiter whose context is still live holds a valid
 		// request that was never attempted, and the errored entry has
@@ -251,7 +269,7 @@ func (c *PlanCache) PlanAndSimulateKeyedContext(ctx context.Context, key string,
 
 // planAndSimulateOnce runs one lookup-or-lead round; see
 // PlanAndSimulateKeyedContext for the retry wrapper.
-func (c *PlanCache) planAndSimulateOnce(ctx context.Context, key string, task *sharding.Task, opts Options) (*Plan, *SimResult, error) {
+func (c *PlanCache) planAndSimulateOnce(ctx context.Context, key string, task *sharding.Task, opts Options, fill PlanFill) (*Plan, *SimResult, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if ok {
@@ -290,8 +308,17 @@ func (c *PlanCache) planAndSimulateOnce(ctx context.Context, key string, task *s
 				c.forget(e)
 			}
 		}()
-		e.plan, e.err = NewPlanContext(ctx, task, opts)
-		if e.err == nil {
+		if fill != nil {
+			e.plan, e.sim, e.err = fill(ctx)
+			// A trace-free fill simulation only satisfies a trace-free
+			// cache; a full-trace cache re-simulates the filled plan.
+			if e.err == nil && e.sim != nil && !c.noTrace.Load() {
+				e.sim = nil
+			}
+		} else {
+			e.plan, e.err = NewPlanContext(ctx, task, opts)
+		}
+		if e.err == nil && e.sim == nil {
 			if c.noTrace.Load() {
 				e.sim, e.err = e.plan.SimulateNoTrace()
 			} else {

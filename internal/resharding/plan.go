@@ -46,32 +46,8 @@ func NewPlanContext(ctx context.Context, task *sharding.Task, opts Options) (*Pl
 	if !mesh.SameTopology(task.Src.Mesh.Topo, task.Dst.Mesh.Topo) {
 		return nil, fmt.Errorf("resharding: source and destination meshes must share a topology")
 	}
-	cluster := task.Src.Mesh.Topo
 
-	// Build the host-level Eq. 1-3 instance. Task durations estimate the
-	// strategy's cross-host cost: one copy per receiver host for SendRecv,
-	// one copy total for the gather/broadcast strategies. On heterogeneous
-	// topologies the copy is costed at the slowest NIC among the hosts the
-	// task can touch, the bandwidth it bottlenecks on.
-	hostTasks := make([]schedule.Task, len(task.Units))
-	for i, u := range task.Units {
-		bytes := float64(u.Bytes(task.DType))
-		senderHosts := task.SenderHosts(u)
-		recvHosts := task.ReceiverHosts(u)
-		dur := bytes / minNICBandwidth(cluster, senderHosts, recvHosts)
-		if opts.Strategy == SendRecv {
-			dur *= float64(len(u.Receivers))
-		}
-		if opts.Strategy == Signal {
-			dur = maxInterLatency(cluster, senderHosts, recvHosts)
-		}
-		hostTasks[i] = schedule.Task{
-			ID:            u.Index,
-			SenderHosts:   senderHosts,
-			ReceiverHosts: recvHosts,
-			Duration:      dur,
-		}
-	}
+	hostTasks := buildHostTasks(task, opts)
 
 	var hostPlan schedule.Plan
 	switch opts.Scheduler {
@@ -101,16 +77,60 @@ func NewPlanContext(ctx context.Context, task *sharding.Task, opts Options) (*Pl
 		return nil, fmt.Errorf("resharding: scheduler produced invalid plan: %v", err)
 	}
 
-	// Resolve host-level senders to devices, spreading intra-host load
-	// round-robin over the replicas available on the chosen host.
-	p := &Plan{
+	senderOf, err := resolveDeviceSenders(task, hostPlan)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
 		Task:      task,
 		Opts:      opts,
-		SenderOf:  map[int]int{},
+		SenderOf:  senderOf,
 		Order:     hostPlan.Order,
 		HostPlan:  hostPlan,
 		HostTasks: hostTasks,
+	}, nil
+}
+
+// buildHostTasks builds the host-level Eq. 1-3 instance of a resharding.
+// Task durations estimate the strategy's cross-host cost: one copy per
+// receiver host for SendRecv, one copy total for the gather/broadcast
+// strategies. On heterogeneous topologies the copy is costed at the
+// slowest NIC among the hosts the task can touch, the bandwidth it
+// bottlenecks on. Because durations depend only on per-host NIC bandwidth
+// (plus inter-host latency for Signal), overlays that degrade only links
+// leave the instance unchanged — the property the warm replanner exploits
+// to skip the search entirely.
+func buildHostTasks(task *sharding.Task, opts Options) []schedule.Task {
+	cluster := task.Src.Mesh.Topo
+	hostTasks := make([]schedule.Task, len(task.Units))
+	for i, u := range task.Units {
+		bytes := float64(u.Bytes(task.DType))
+		senderHosts := task.SenderHosts(u)
+		recvHosts := task.ReceiverHosts(u)
+		dur := bytes / minNICBandwidth(cluster, senderHosts, recvHosts)
+		if opts.Strategy == SendRecv {
+			dur *= float64(len(u.Receivers))
+		}
+		if opts.Strategy == Signal {
+			dur = maxInterLatency(cluster, senderHosts, recvHosts)
+		}
+		hostTasks[i] = schedule.Task{
+			ID:            u.Index,
+			SenderHosts:   senderHosts,
+			ReceiverHosts: recvHosts,
+			Duration:      dur,
+		}
 	}
+	return hostTasks
+}
+
+// resolveDeviceSenders maps a host-level schedule onto concrete sender
+// devices, spreading intra-host load round-robin over the replicas
+// available on each chosen host (in launch order, so the assignment is a
+// pure function of the host plan).
+func resolveDeviceSenders(task *sharding.Task, hostPlan schedule.Plan) (map[int]int, error) {
+	cluster := task.Src.Mesh.Topo
+	senderOf := make(map[int]int, len(hostPlan.Order))
 	perHostCount := map[int]int{}
 	for _, idx := range hostPlan.Order {
 		u := task.Units[idx]
@@ -126,9 +146,9 @@ func NewPlanContext(ctx context.Context, task *sharding.Task, opts Options) (*Pl
 		}
 		dev := onHost[perHostCount[host]%len(onHost)]
 		perHostCount[host]++
-		p.SenderOf[idx] = dev
+		senderOf[idx] = dev
 	}
-	return p, nil
+	return senderOf, nil
 }
 
 // minNICBandwidth returns the slowest per-NIC bandwidth among the hosts a

@@ -3,6 +3,7 @@ package resharding
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"alpacomm/internal/mesh"
 	"alpacomm/internal/sharding"
@@ -36,6 +37,61 @@ type Planner struct {
 	// noTrace flips the session's caches to trace-free simulation at
 	// construction; see WithTraceFreeSim.
 	noTrace bool
+	// replans counts how the session's replan steps were served; see
+	// ReplanStats.
+	replans replanCounters
+}
+
+// ReplanStats reports how a session's replan-on-churn steps were served:
+// target-key cache hits (including empty fault deltas and heals back to an
+// overlay already planned), each warm mode of WarmReplanContext, and cold
+// replans that found no incumbent to warm from.
+type ReplanStats struct {
+	// CacheHits is replan steps whose target overlay was already cached.
+	CacheHits int64 `json:"cache_hits"`
+	// WarmIdentity is warm replans that proved the host-level instance
+	// unchanged and returned the rebound incumbent without searching.
+	WarmIdentity int64 `json:"warm_identity"`
+	// WarmSearch is warm replans served by the pinned warm-started search.
+	WarmSearch int64 `json:"warm_search"`
+	// WarmRejected is warm searches whose plan re-simulated worse than the
+	// rebound incumbent, which was served instead (the acceptance rule).
+	WarmRejected int64 `json:"warm_rejected"`
+	// WarmInvalid is warm attempts whose incumbent rebound as invalid,
+	// falling back to a cold plan.
+	WarmInvalid int64 `json:"warm_invalid"`
+	// Cold is replan steps with no cached incumbent to warm from.
+	Cold int64 `json:"cold"`
+}
+
+// replanCounters is the atomic backing store of ReplanStats.
+type replanCounters struct {
+	hits, identity, search, rejected, invalid, cold atomic.Int64
+}
+
+func (c *replanCounters) note(info WarmInfo) {
+	switch info.Mode {
+	case WarmIdentity:
+		c.identity.Add(1)
+	case WarmSearch:
+		c.search.Add(1)
+	case WarmIncumbent:
+		c.rejected.Add(1)
+	default:
+		c.invalid.Add(1)
+	}
+}
+
+// ReplanStats snapshots the session's replan counters.
+func (p *Planner) ReplanStats() ReplanStats {
+	return ReplanStats{
+		CacheHits:    p.replans.hits.Load(),
+		WarmIdentity: p.replans.identity.Load(),
+		WarmSearch:   p.replans.search.Load(),
+		WarmRejected: p.replans.rejected.Load(),
+		WarmInvalid:  p.replans.invalid.Load(),
+		Cold:         p.replans.cold.Load(),
+	}
 }
 
 // PlannerOption configures a Planner at construction.
@@ -224,19 +280,64 @@ func (p *Planner) Plan(ctx context.Context, task *sharding.Task, opts Options) (
 // mesh.Faulted wrap of its own topology and planned through the same
 // session cache. The overlay is part of the cache key (host fingerprints
 // and pairwise fabric properties change under it), so degraded plans
-// partition away from healthy ones automatically, and re-planning the
-// same overlay twice is a cache hit. The given fault set applies instead
-// of any session-wide WithFaults overlay; an empty fault set degrades
-// nothing and is byte-identical to Plan.
+// partition away from healthy ones automatically — each distinct overlay
+// a churn timeline visits gets its own CacheKey, re-planning the same
+// overlay twice is a cache hit, and healing back to an earlier FaultSet
+// (including the empty one) hits that earlier entry byte-identically. The
+// given fault set applies instead of any session-wide WithFaults overlay;
+// an empty fault set degrades nothing and is byte-identical to Plan.
+//
+// Replanning is warm when the session already holds the healthy plan:
+// ReplanDegraded is ReplanDegradedFrom with an empty "from" overlay.
 func (p *Planner) ReplanDegraded(ctx context.Context, task *sharding.Task, opts Options, fs mesh.FaultSet) (*Plan, *SimResult, error) {
+	return p.ReplanDegradedFrom(ctx, task, opts, mesh.FaultSet{}, fs)
+}
+
+// ReplanDegradedFrom is the churn-timeline step: re-plan the boundary onto
+// overlay "to", warm-started from the session's cached plan for overlay
+// "from" (typically the timeline's previous step). When the target
+// overlay's plan is already cached it is returned as-is — so an empty
+// fault delta costs one lookup and returns the cached plan byte-identical,
+// with no search at all. On a miss with a cached "from"-incumbent, the
+// fill runs WarmReplanContext (impact diff, pinned warm-started DFS,
+// re-simulation acceptance); without one it plans cold. Either way the
+// result lands in the session cache under the target overlay's own key.
+func (p *Planner) ReplanDegradedFrom(ctx context.Context, task *sharding.Task, opts Options, from, to mesh.FaultSet) (*Plan, *SimResult, error) {
 	opts, err := p.resolve(task, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	if task, err = degradeTask(task, fs); err != nil {
+	toTask, err := degradeTask(task, to)
+	if err != nil {
 		return nil, nil, err
 	}
-	return p.cache.PlanAndSimulateKeyedContext(ctx, CacheKey(task, opts), task, opts)
+	fromTask, err := degradeTask(task, from)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.replanKeyed(ctx, CacheKey(toTask, opts), toTask, opts, CacheKey(fromTask, opts), fromTask)
+}
+
+// replanKeyed serves one replan step given both canonical keys: target
+// fast path first, then a warm or cold fill under the target key.
+func (p *Planner) replanKeyed(ctx context.Context, key string, task *sharding.Task, opts Options, fromKey string, fromTask *sharding.Task) (*Plan, *SimResult, error) {
+	if plan, sim, ok := p.cache.LookupKeyed(key); ok {
+		p.replans.hits.Add(1)
+		return plan, sim, nil
+	}
+	if fromKey != key {
+		if incumbent, _, ok := p.cache.LookupKeyed(fromKey); ok {
+			return p.cache.PlanAndSimulateKeyedFillContext(ctx, key, task, opts, func(ctx context.Context) (*Plan, *SimResult, error) {
+				plan, sim, info, err := WarmReplanContext(ctx, task, opts, fromTask, incumbent)
+				if err == nil {
+					p.replans.note(info)
+				}
+				return plan, sim, err
+			})
+		}
+	}
+	p.replans.cold.Add(1)
+	return p.cache.PlanAndSimulateKeyedContext(ctx, key, task, opts)
 }
 
 // TaskKey returns the canonical cache key a session call plans the task
@@ -270,6 +371,20 @@ func (p *Planner) PlanKeyed(ctx context.Context, key string, task *sharding.Task
 		key = CacheKey(task, opts)
 	}
 	return p.cache.PlanAndSimulateKeyedContext(ctx, key, task, opts)
+}
+
+// PlanKeyedWarm is PlanKeyed for a degraded request whose healthy twin the
+// caller also holds: fromKey/fromTask name the same boundary on the
+// overlay being replanned away from (for serving, the fault-free parse of
+// the request). A cached plan under fromKey warm-starts the fill exactly
+// as ReplanDegradedFrom does; otherwise the call degenerates to PlanKeyed.
+// Sessions with their own WithFaults overlay fall back to PlanKeyed — the
+// session overlay already owns the keying there.
+func (p *Planner) PlanKeyedWarm(ctx context.Context, key string, task *sharding.Task, opts Options, fromKey string, fromTask *sharding.Task) (*Plan, *SimResult, error) {
+	if !p.faults.Empty() || fromTask == nil || fromKey == "" {
+		return p.PlanKeyed(ctx, key, task, opts)
+	}
+	return p.replanKeyed(ctx, key, task, opts, fromKey, fromTask)
 }
 
 // Simulate returns the simulated timing of the task under the options,

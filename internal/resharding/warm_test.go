@@ -1,0 +1,270 @@
+package resharding
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"alpacomm/internal/mesh"
+)
+
+// planEqual reports whether two plans choose the same senders in the same
+// launch order — the byte-level identity the wire format serializes.
+func planEqual(a, b *Plan) bool {
+	return reflect.DeepEqual(a.SenderOf, b.SenderOf) && reflect.DeepEqual(a.Order, b.Order)
+}
+
+// TestReplanEmptyDeltaReturnsCachedPlan: a replan step whose fault delta
+// is empty (same overlay as the cached plan) must return the cached entry
+// itself — the same pointer, so provably byte-identical and search-free —
+// and count as a cache hit, not a warm or cold fill.
+func TestReplanEmptyDeltaReturnsCachedPlan(t *testing.T) {
+	topo := mesh.AWSP3Cluster(2)
+	task := degradedBoundary(t, topo)
+	p := NewPlanner(WithTopology(topo))
+	ctx := context.Background()
+
+	healthy, _, err := p.Plan(ctx, task, degradedTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := p.ReplanDegraded(ctx, task, degradedTestOpts, mesh.FaultSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != healthy {
+		t.Error("empty-delta replan did not return the cached healthy plan pointer")
+	}
+	fs := mesh.FaultSet{Hosts: []mesh.HostFault{{Host: 1, NICScale: 0.5}}}
+	deg, _, err := p.ReplanDegraded(ctx, task, degradedTestOpts, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degAgain, _, err := p.ReplanDegradedFrom(ctx, task, degradedTestOpts, fs, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degAgain != deg {
+		t.Error("empty-delta degraded replan did not return the cached degraded plan pointer")
+	}
+	stats := p.ReplanStats()
+	if stats.CacheHits != 2 {
+		t.Errorf("cache hits = %d, want 2 (one empty-delta step per overlay)", stats.CacheHits)
+	}
+	if stats.Cold != 0 {
+		t.Errorf("cold replans = %d, want 0", stats.Cold)
+	}
+}
+
+// TestWarmReplanMatchesColdOnFaultScenarios runs every registry fault
+// scenario as one warm replan step and checks the warm contract against a
+// cold search on the same degraded task: link-only overlays (which never
+// change the host-level instance) must reproduce the cold plan exactly in
+// identity mode with no simulation; host overlays must re-simulate no
+// worse than the rebound incumbent (the acceptance rule).
+func TestWarmReplanMatchesColdOnFaultScenarios(t *testing.T) {
+	reg := mesh.DefaultRegistry()
+	topo := mesh.AWSP3Cluster(4)
+	task := degradedBoundary(t, topo)
+	ctx := context.Background()
+
+	healthy, err := NewPlanContext(ctx, task, degradedTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scenario := range reg.FaultScenarioNames() {
+		fs, err := reg.BuildFaultScenario(scenario, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		degTask, err := task.OnTopology(mesh.MustFaulted(topo, fs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := NewPlanContext(ctx, degTask, degradedTestOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldSim, err := cold.SimulateNoTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, warmSim, info, err := WarmReplanContext(ctx, degTask, degradedTestOpts, task, healthy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch info.Mode {
+		case WarmIdentity:
+			if info.ImpactedUnits != 0 {
+				t.Errorf("%s: identity mode with %d impacted units", scenario, info.ImpactedUnits)
+			}
+			if warmSim != nil {
+				t.Errorf("%s: identity mode returned a simulation; the contract is nil", scenario)
+			}
+			if !planEqual(warm, cold) {
+				t.Errorf("%s: identity-mode warm plan differs from the cold plan", scenario)
+			}
+		case WarmSearch, WarmIncumbent:
+			if info.ImpactedUnits == 0 {
+				t.Errorf("%s: search ran with no impacted units", scenario)
+			}
+			if warmSim == nil {
+				t.Fatalf("%s: search mode returned no acceptance simulation", scenario)
+			}
+			if warmSim.Makespan > info.IncumbentMakespan {
+				t.Errorf("%s: warm makespan %.9f worse than rebound incumbent %.9f",
+					scenario, warmSim.Makespan, info.IncumbentMakespan)
+			}
+		default:
+			t.Errorf("%s: unexpected warm mode %q", scenario, info.Mode)
+		}
+		// Universal: whatever mode served the step, the warm plan must never
+		// be worse than what the cold search found.
+		sim := warmSim
+		if sim == nil {
+			if sim, err = warm.SimulateNoTrace(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if sim.Makespan > coldSim.Makespan+1e-12 {
+			t.Errorf("%s: warm makespan %.9f worse than cold %.9f (mode %s)",
+				scenario, sim.Makespan, coldSim.Makespan, info.Mode)
+		}
+	}
+}
+
+// TestWarmReplanColdFallbacks: every path without a usable incumbent must
+// fall back to a plan bit-identical to cold planning, reported as
+// Mode == WarmCold with a nil simulation.
+func TestWarmReplanColdFallbacks(t *testing.T) {
+	topo := mesh.AWSP3Cluster(4)
+	task := degradedBoundary(t, topo)
+	ctx := context.Background()
+	fs := mesh.FaultSet{Hosts: []mesh.HostFault{{Host: 0, NICScale: 0.5}}}
+	degTask, err := task.OnTopology(mesh.MustFaulted(topo, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewPlanContext(ctx, degTask, degradedTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := NewPlanContext(ctx, task, degradedTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := degradedTestOpts
+	naive.Scheduler = SchedNaive
+	for name, call := range map[string]func() (*Plan, *SimResult, WarmInfo, error){
+		"nil-incumbent": func() (*Plan, *SimResult, WarmInfo, error) {
+			return WarmReplanContext(ctx, degTask, degradedTestOpts, task, nil)
+		},
+		"nil-from-task": func() (*Plan, *SimResult, WarmInfo, error) {
+			return WarmReplanContext(ctx, degTask, degradedTestOpts, nil, healthy)
+		},
+	} {
+		plan, sim, info, err := call()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.Mode != WarmCold {
+			t.Errorf("%s: mode %q, want %q", name, info.Mode, WarmCold)
+		}
+		if sim != nil {
+			t.Errorf("%s: cold fallback returned a simulation; the contract is nil", name)
+		}
+		if !planEqual(plan, cold) {
+			t.Errorf("%s: cold-fallback plan differs from NewPlanContext", name)
+		}
+	}
+	// A non-ensemble scheduler replans cold in closed form — no warming.
+	naiveCold, err := NewPlanContext(ctx, degTask, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveHealthy, err := NewPlanContext(ctx, task, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, info, err := WarmReplanContext(ctx, degTask, naive, task, naiveHealthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != WarmCold || !planEqual(plan, naiveCold) {
+		t.Errorf("naive scheduler: mode %q (want cold fallback identical to NewPlanContext)", info.Mode)
+	}
+}
+
+// TestReplanStatsAcrossChurnTimeline documents ReplanDegradedFrom's
+// cache-key behavior over successive fault deltas: each overlay partitions
+// under its own key, healing back to an earlier overlay (including the
+// healthy one) is a cache hit on that earlier entry, and a session that
+// already holds the previous step's plan never replans cold.
+func TestReplanStatsAcrossChurnTimeline(t *testing.T) {
+	topo := mesh.AWSP3Cluster(4)
+	task := degradedBoundary(t, topo)
+	p := NewPlanner(WithTopology(topo), WithTraceFreeSim())
+	ctx := context.Background()
+
+	healthy, _, err := p.Plan(ctx, task, degradedTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linkDown := mesh.FaultSet{Links: []mesh.LinkFault{{A: 0, B: 1, Down: true}}}
+	straggler := mesh.FaultSet{Hosts: []mesh.HostFault{{Host: 1, NICScale: 0.25}}}
+
+	// @0 link-down arrives: warm identity (link faults never change the
+	// host-level instance).
+	down1, _, err := p.ReplanDegradedFrom(ctx, task, degradedTestOpts, mesh.FaultSet{}, linkDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := p.ReplanStats(); s.WarmIdentity != 1 || s.Cold != 0 {
+		t.Fatalf("after link-down: %+v, want 1 warm identity and no cold", s)
+	}
+	// @1 the link heals: back to the healthy overlay's own cache entry.
+	healed, _, err := p.ReplanDegradedFrom(ctx, task, degradedTestOpts, linkDown, mesh.FaultSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed != healthy {
+		t.Error("heal-back did not hit the healthy overlay's cache entry")
+	}
+	// @2 the link flaps down again: the overlay re-keys to the same entry
+	// as step one — a hit, not a second fill.
+	down2, _, err := p.ReplanDegradedFrom(ctx, task, degradedTestOpts, mesh.FaultSet{}, linkDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down2 != down1 {
+		t.Error("flap revisit did not hit the link-down overlay's cache entry")
+	}
+	// @3 a straggler instead: the host instance changes, so a warm search
+	// (or the rebound incumbent, per the acceptance rule) serves the step.
+	if _, _, err := p.ReplanDegradedFrom(ctx, task, degradedTestOpts, mesh.FaultSet{}, straggler); err != nil {
+		t.Fatal(err)
+	}
+	s := p.ReplanStats()
+	if s.CacheHits != 2 {
+		t.Errorf("cache hits = %d, want 2 (heal-back + flap revisit)", s.CacheHits)
+	}
+	if s.WarmSearch+s.WarmRejected != 1 {
+		t.Errorf("warm search+rejected = %d, want 1 (the straggler step)", s.WarmSearch+s.WarmRejected)
+	}
+	if s.Cold != 0 {
+		t.Errorf("cold replans = %d, want 0 (every step had an incumbent)", s.Cold)
+	}
+	if got := s.CacheHits + s.WarmIdentity + s.WarmSearch + s.WarmRejected + s.WarmInvalid + s.Cold; got != 4 {
+		t.Errorf("counters sum to %d, want 4 (one per timeline step)", got)
+	}
+
+	// A fresh session with no cached incumbent replans the same overlay
+	// cold — and says so.
+	cold := NewPlanner(WithTopology(topo), WithTraceFreeSim())
+	if _, _, err := cold.ReplanDegraded(ctx, task, degradedTestOpts, linkDown); err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.ReplanStats(); s.Cold != 1 || s.WarmIdentity != 0 {
+		t.Errorf("fresh session: %+v, want exactly one cold replan", s)
+	}
+}

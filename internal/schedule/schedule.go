@@ -207,7 +207,7 @@ func LoadBalanceOnly(tasks []Task) Plan {
 // time budget and returns the best plan seen; with a generous budget and
 // few tasks (the paper reports < 20) the result is optimal.
 func DFSPruning(tasks []Task, budget time.Duration) Plan {
-	return dfsPruning(tasks, budget, 0, nil)
+	return dfsPruning(tasks, budget, 0, nil, nil)
 }
 
 // DFSPruningNodes is DFSPruning with a deterministic budget: the search
@@ -216,6 +216,32 @@ func DFSPruning(tasks []Task, budget time.Duration) Plan {
 // machines and concurrent callers. The autotuner uses this variant.
 func DFSPruningNodes(tasks []Task, maxNodes int) Plan {
 	return DFSPruningNodesStop(tasks, maxNodes, nil)
+}
+
+// DFSPruningWarmStart is DFSPruningNodesStop seeded from an incumbent
+// plan: when the incumbent is valid for the tasks, best/bestSpan start at
+// the better of the incumbent and the LPT baseline, so pruning bites from
+// node one instead of waiting for the search to rediscover a bound the
+// caller already holds. An incremental replanner feeds the previous
+// overlay's plan here; because the seed only tightens the bound, the
+// search tree is a subset of the cold tree and the result is never worse
+// at the host level than the incumbent. An invalid incumbent is ignored,
+// making the call bit-identical to DFSPruningNodesStop.
+func DFSPruningWarmStart(tasks []Task, maxNodes int, incumbent Plan, stop func() bool) Plan {
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	return dfsPruning(tasks, 0, maxNodes, stop, &incumbent)
+}
+
+// clonePlan deep-copies a plan so a warm seed never aliases the caller's
+// incumbent maps.
+func clonePlan(p Plan) Plan {
+	cp := Plan{Sender: make(map[int]int, len(p.Sender)), Order: append([]int(nil), p.Order...)}
+	for id, s := range p.Sender {
+		cp.Sender[id] = s
+	}
+	return cp
 }
 
 // StopStride is how many DFS nodes one budget slice spans: a stop function
@@ -233,7 +259,7 @@ func DFSPruningNodesStop(tasks []Task, maxNodes int, stop func() bool) Plan {
 	if maxNodes < 1 {
 		maxNodes = 1
 	}
-	return dfsPruning(tasks, 0, maxNodes, stop)
+	return dfsPruning(tasks, 0, maxNodes, stop, nil)
 }
 
 // symmetryClasses assigns each task the index of the first task with
@@ -280,8 +306,11 @@ func sameTaskShape(a, b *Task) bool {
 // non-nil) every StopStride nodes. All scratch state is allocated once up
 // front: the per-node symmetry set is a stamp array over precomputed task
 // classes and the rollback stack is one flat per-depth buffer, so the
-// search allocates only when it improves on the incumbent plan.
-func dfsPruning(tasks []Task, budget time.Duration, maxNodes int, stop func() bool) Plan {
+// search allocates only when it improves on the incumbent plan. A non-nil
+// warm plan seeds best/bestSpan when it is valid and beats the LPT
+// baseline; seeding only tightens the bound, so every node a seeded search
+// visits, the unseeded search visits too.
+func dfsPruning(tasks []Task, budget time.Duration, maxNodes int, stop func() bool, warm *Plan) Plan {
 	if len(tasks) == 0 {
 		return Plan{Sender: map[int]int{}}
 	}
@@ -292,6 +321,11 @@ func dfsPruning(tasks []Task, budget time.Duration, maxNodes int, stop func() bo
 	bestSpan, err := Makespan(tasks, best)
 	if err != nil {
 		panic(err) // unreachable: LoadBalanceOnly plans are valid
+	}
+	if warm != nil {
+		if ws, werr := Makespan(tasks, *warm); werr == nil && ws < bestSpan {
+			best, bestSpan = clonePlan(*warm), ws
+		}
 	}
 
 	n := len(tasks)
@@ -517,7 +551,7 @@ func Ensemble(tasks []Task, dfsBudget time.Duration, trials int, rng *rand.Rand)
 // alongside the deadline check, and a true return makes the DFS yield its
 // incumbent early.
 func EnsembleStop(tasks []Task, dfsBudget time.Duration, trials int, rng *rand.Rand, stop func() bool) Plan {
-	return ensemble(tasks, func(t []Task) Plan { return dfsPruning(t, dfsBudget, 0, stop) }, trials, rng)
+	return ensemble(tasks, func(t []Task) Plan { return dfsPruning(t, dfsBudget, 0, stop, nil) }, trials, rng)
 }
 
 // EnsembleNodes is Ensemble with the deterministic node-budgeted DFS, for
@@ -535,13 +569,44 @@ func EnsembleNodesStop(tasks []Task, dfsNodes, trials int, rng *rand.Rand, stop 
 	return ensemble(tasks, func(t []Task) Plan { return DFSPruningNodesStop(t, dfsNodes, stop) }, trials, rng)
 }
 
-func ensemble(tasks []Task, dfs func([]Task) Plan, trials int, rng *rand.Rand) Plan {
+// EnsembleWarmStart is EnsembleNodesStop with an incumbent plan threaded
+// through: the DFS component runs warm-started (DFSPruningWarmStart) and
+// the incumbent itself joins the candidate set as the final entry — so the
+// returned plan's host-level makespan is never worse than the incumbent's,
+// even on problems too large for the DFS to run. Ties break toward the
+// earlier candidate, exactly as in the cold ensemble: an incumbent that
+// merely matches the cold winner never displaces it, which keeps warm
+// replans bit-identical to cold ones whenever the incumbent adds no new
+// information. An invalid incumbent is ignored entirely, making the call
+// bit-identical to EnsembleNodesStop.
+func EnsembleWarmStart(tasks []Task, dfsNodes, trials int, rng *rand.Rand, incumbent Plan, stop func() bool) Plan {
+	warm := &incumbent
+	if _, err := Makespan(tasks, incumbent); err != nil {
+		warm = nil
+	}
+	dfs := func(t []Task) Plan {
+		if warm == nil {
+			return DFSPruningNodesStop(t, dfsNodes, stop)
+		}
+		return DFSPruningWarmStart(t, dfsNodes, *warm, stop)
+	}
+	if warm == nil {
+		return ensemble(tasks, dfs, trials, rng)
+	}
+	return ensemble(tasks, dfs, trials, rng, *warm)
+}
+
+// ensemble picks the best of the closed-form candidates, the DFS (on small
+// problems) and any extra candidates appended after them; invalid extras
+// are skipped by the makespan evaluation.
+func ensemble(tasks []Task, dfs func([]Task) Plan, trials int, rng *rand.Rand, extra ...Plan) Plan {
 	candidates := []Plan{Naive(tasks), LoadBalanceOnly(tasks), GreedyRandomized(tasks, trials, rng)}
 	// DFS explodes combinatorially; the paper reports it fails beyond ~20
 	// unit tasks, so only attempt it below that scale.
 	if len(tasks) <= 20 {
 		candidates = append(candidates, dfs(tasks))
 	}
+	candidates = append(candidates, extra...)
 	best := candidates[0]
 	bestSpan := math.Inf(1)
 	for _, c := range candidates {

@@ -1,0 +1,115 @@
+package schedule
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomProblem builds a reproducible scheduling problem: n tasks over
+// hosts with random candidate sender sets, receiver sets and durations.
+func randomProblem(rng *rand.Rand, n, hosts int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		senders := rng.Intn(hosts) + 1
+		perm := rng.Perm(hosts)
+		tasks[i] = Task{
+			ID:            i,
+			SenderHosts:   append([]int(nil), perm[:senders]...),
+			ReceiverHosts: []int{rng.Intn(hosts)},
+			Duration:      0.1 + rng.Float64(),
+		}
+	}
+	return tasks
+}
+
+func mustMakespan(t *testing.T, tasks []Task, p Plan) float64 {
+	t.Helper()
+	m, err := Makespan(tasks, p)
+	if err != nil {
+		t.Fatalf("makespan: %v", err)
+	}
+	return m
+}
+
+func TestDFSPruningWarmStartNeverWorseThanIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		tasks := randomProblem(rng, 3+rng.Intn(8), 2+rng.Intn(4))
+		incumbent := LoadBalanceOnly(tasks)
+		incSpan := mustMakespan(t, tasks, incumbent)
+		// Tiny node budgets starve the search on purpose: even when the DFS
+		// finds nothing, the incumbent-seeded bound must hold.
+		for _, nodes := range []int{1, 64, 4096} {
+			warm := DFSPruningWarmStart(tasks, nodes, incumbent, nil)
+			if err := Validate(tasks, warm); err != nil {
+				t.Fatalf("trial %d nodes %d: invalid warm plan: %v", trial, nodes, err)
+			}
+			if span := mustMakespan(t, tasks, warm); span > incSpan+1e-12 {
+				t.Fatalf("trial %d nodes %d: warm makespan %.9f worse than incumbent %.9f",
+					trial, nodes, span, incSpan)
+			}
+		}
+	}
+}
+
+func TestDFSPruningWarmStartInvalidIncumbentIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tasks := randomProblem(rng, 8, 3)
+	cold := DFSPruningNodesStop(tasks, 2000, nil)
+	for name, bad := range map[string]Plan{
+		"empty":          {},
+		"missing-task":   {Sender: map[int]int{0: tasks[0].SenderHosts[0]}, Order: []int{0}},
+		"illegal-sender": {Sender: map[int]int{0: -1}, Order: []int{0}},
+	} {
+		warm := DFSPruningWarmStart(tasks, 2000, bad, nil)
+		if !reflect.DeepEqual(cold, warm) {
+			t.Errorf("%s incumbent: warm result diverged from cold DFS", name)
+		}
+	}
+}
+
+func TestEnsembleWarmStartNeverWorseThanIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		tasks := randomProblem(rng, 3+rng.Intn(10), 2+rng.Intn(4))
+		incumbent := Naive(tasks)
+		// Perturb toward a better incumbent than Naive sometimes, so the
+		// test covers incumbents both above and below the ensemble's own
+		// candidates.
+		if trial%2 == 1 {
+			incumbent = LoadBalanceOnly(tasks)
+		}
+		incSpan := mustMakespan(t, tasks, incumbent)
+		warm := EnsembleWarmStart(tasks, 500, 4, rand.New(rand.NewSource(int64(trial))), incumbent, nil)
+		if err := Validate(tasks, warm); err != nil {
+			t.Fatalf("trial %d: invalid warm ensemble plan: %v", trial, err)
+		}
+		if span := mustMakespan(t, tasks, warm); span > incSpan+1e-12 {
+			t.Fatalf("trial %d: warm ensemble makespan %.9f worse than incumbent %.9f",
+				trial, span, incSpan)
+		}
+	}
+}
+
+// A warm ensemble whose incumbent merely matches the cold winner must
+// return the cold result bit for bit: the incumbent is appended last and
+// ties break toward earlier candidates, so equal-information warm replans
+// cannot perturb served plans.
+func TestEnsembleWarmStartBitIdenticalWhenIncumbentAddsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		tasks := randomProblem(rng, 3+rng.Intn(8), 2+rng.Intn(4))
+		cold := EnsembleNodesStop(tasks, 2000, 4, rand.New(rand.NewSource(99)), nil)
+		warm := EnsembleWarmStart(tasks, 2000, 4, rand.New(rand.NewSource(99)), cold, nil)
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("trial %d: warm ensemble with the cold winner as incumbent diverged from cold", trial)
+		}
+		// An invalid incumbent must be ignored entirely, with the same
+		// bit-identity guarantee.
+		warm = EnsembleWarmStart(tasks, 2000, 4, rand.New(rand.NewSource(99)), Plan{}, nil)
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("trial %d: warm ensemble with an invalid incumbent diverged from cold", trial)
+		}
+	}
+}

@@ -370,7 +370,13 @@ type planned struct {
 // resolution to this node. A failed fetch falls back to local computation:
 // availability beats ownership, and the verified-fill gate has already
 // kept any bad peer plan out of the cache.
-func (s *Server) computePlan(ctx context.Context, cacheKey string, task *sharding.Task, opts resharding.Options, wireReq *PlanRequest, forwarded bool) (*planned, bool, error) {
+//
+// A non-nil fromTask (with its key fromKey) names the same boundary on the
+// overlay being replanned away from — for a degraded /v2 request, its
+// fault-free twin. A cold miss then warm-starts from the cached plan under
+// fromKey instead of searching from scratch (Planner.PlanKeyedWarm);
+// fromTask nil plans cold exactly as before.
+func (s *Server) computePlan(ctx context.Context, cacheKey string, task *sharding.Task, opts resharding.Options, wireReq *PlanRequest, forwarded bool, fromKey string, fromTask *sharding.Task) (*planned, bool, error) {
 	if plan, sim, att, ok := s.cache.LookupKeyedAttachment(cacheKey); ok {
 		enc, _ := att.(*encodedPlan)
 		if enc == nil {
@@ -413,7 +419,7 @@ func (s *Server) computePlan(ctx context.Context, cacheKey string, task *shardin
 			return nil, err
 		}
 		defer s.plan.release()
-		plan, sim, err := s.planner.PlanKeyed(ctx, cacheKey, task, opts)
+		plan, sim, err := s.planner.PlanKeyedWarm(ctx, cacheKey, task, opts, fromKey, fromTask)
 		if err != nil {
 			return nil, err
 		}
@@ -453,7 +459,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	s.planC.inFlight.Add(1)
 	defer s.planC.inFlight.Add(-1)
-	p, shared, err := s.computePlan(r.Context(), cacheKey, task, opts, &req, isPeerRequest(r))
+	p, shared, err := s.computePlan(r.Context(), cacheKey, task, opts, &req, isPeerRequest(r), "", nil)
 	if err != nil {
 		s.failCompute(w, &s.planC, err)
 		return
@@ -647,6 +653,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Autotune:      s.autotuneC.snapshot(),
 		Batch:         s.batchC.snapshot(),
 		Topologies:    s.reg.Names(),
+		Replan:        s.planner.ReplanStats(),
 	}
 	if s.router != nil {
 		cs := s.router.Info()

@@ -230,10 +230,24 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 		s.failV2(w, ctx, &s.planC, err, bin)
 		return
 	}
+	// A degraded request replans warm from its fault-free twin when the
+	// twin is cached: the healthy parse is memoized, so under churn (the
+	// same boundary arriving with one overlay after another) this costs a
+	// memo lookup, and the fill diffs instances instead of searching from
+	// scratch. A twin parse failure just plans cold — warming is an
+	// optimization, never a new failure mode.
+	var fromKey string
+	var fromTask *sharding.Task
+	if req.Faults != nil {
+		if t0, _, k0, err := s.parseTask(ctx,
+			req.Topology, nil, req.Shape, req.DType, req.Src, req.Dst, req.Options); err == nil && k0 != cacheKey {
+			fromKey, fromTask = k0, t0
+		}
+	}
 
 	s.planC.inFlight.Add(1)
 	defer s.planC.inFlight.Add(-1)
-	p, shared, err := s.computePlan(ctx, cacheKey, task, opts, &req, isPeerRequest(r))
+	p, shared, err := s.computePlan(ctx, cacheKey, task, opts, &req, isPeerRequest(r), fromKey, fromTask)
 	if err != nil {
 		s.failV2(w, ctx, &s.planC, err, bin)
 		return
@@ -410,7 +424,7 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 				Shape: it.Shape, DType: it.DType,
 				Src: it.Src, Dst: it.Dst, Options: it.Options,
 			}
-			p, shared, err := s.computePlan(ctx, key, items[li].task, items[li].opts, itemReq, forwarded)
+			p, shared, err := s.computePlan(ctx, key, items[li].task, items[li].opts, itemReq, forwarded, "", nil)
 			mu.Lock()
 			defer mu.Unlock()
 			switch {

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// A link brownout is valid on the 2-host testReq topology (downing the
+// only link would be rejected) and never changes the host-level instance,
+// so a warm replan must serve it in identity mode.
+var brownoutFaults = &FaultsRef{Links: []LinkFaultRef{{A: 0, B: 1, BandwidthScale: 0.5}}}
+
+// TestV2PlanWarmServesFromHealthyTwin: once a boundary's healthy plan is
+// cached, a degraded request for the same boundary is filled by the warm
+// replan path — visible in /v2/stats' replan counters — and serves bytes
+// identical to what a cold fill on a fresh server produces.
+func TestV2PlanWarmServesFromHealthyTwin(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	if _, err := client.PlanV2(ctx, testReq(5)); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := client.PlanV2(ctx, faultyReq(5, brownoutFaults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replan.WarmIdentity != 1 {
+		t.Errorf("warm_identity = %d, want 1 (link brownout never changes the host instance)",
+			stats.Replan.WarmIdentity)
+	}
+	if stats.Replan.Cold != 0 {
+		t.Errorf("cold = %d, want 0 (the healthy twin was cached)", stats.Replan.Cold)
+	}
+
+	// The same degraded request on a fresh server — no healthy twin cached —
+	// fills cold, and must produce the same bytes the warm path served.
+	_, coldClient := newTestServer(t, Config{})
+	cold, err := coldClient.PlanV2(ctx, faultyReq(5, brownoutFaults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldStats, err := coldClient.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Replan.Cold != 1 {
+		t.Errorf("fresh server: cold = %d, want 1", coldStats.Replan.Cold)
+	}
+	if warm.Key != cold.Key {
+		t.Errorf("warm and cold fills keyed apart: %q vs %q", warm.Key, cold.Key)
+	}
+	if !reflect.DeepEqual(warm.Senders, cold.Senders) || !reflect.DeepEqual(warm.Order, cold.Order) {
+		t.Error("warm-served degraded plan differs from the cold fill")
+	}
+	if warm.MakespanSeconds != cold.MakespanSeconds {
+		t.Errorf("warm makespan %.9f != cold %.9f", warm.MakespanSeconds, cold.MakespanSeconds)
+	}
+}
+
+// TestV2PlanWarmSearchOnHostFault: a straggler overlay changes the host
+// instance, so the warm fill runs the pinned search (or serves the rebound
+// incumbent) instead of the identity shortcut — never a cold plan.
+func TestV2PlanWarmSearchOnHostFault(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	if _, err := client.PlanV2(ctx, testReq(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.PlanV2(ctx, faultyReq(7, stragglerFaults)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Replan.WarmSearch + stats.Replan.WarmRejected; got != 1 {
+		t.Errorf("warm search+rejected = %d, want 1 (host fault impacts the instance)", got)
+	}
+	if stats.Replan.Cold != 0 {
+		t.Errorf("cold = %d, want 0", stats.Replan.Cold)
+	}
+}

@@ -195,7 +195,7 @@ func TestServedBodiesMatchPerRequestEncoding(t *testing.T) {
 	}
 
 	s := New(Config{})
-	p, shared, err := s.computePlan(context.Background(), key, task, opts, nil, false)
+	p, shared, err := s.computePlan(context.Background(), key, task, opts, nil, false, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
