@@ -1,0 +1,281 @@
+// Command alpalint runs the repo's static-analysis suite
+// (internal/analysis) over the module: five analyzers that mechanically
+// enforce the invariants the planner and serve path depend on —
+// determinism, hotalloc, ctxflow, pooldiscipline and fingerprint.
+//
+// Usage:
+//
+//	go run ./cmd/alpalint ./...          # text diagnostics, exit 1 if any
+//	go run ./cmd/alpalint -json ./...    # machine-readable findings
+//	go run ./cmd/alpalint -fix ./...     # apply suggested fixes in place
+//	go run ./cmd/alpalint -list          # describe the analyzers
+//
+// Each analyzer is package-agnostic; this driver decides where each one
+// applies. Determinism runs over the plan-producing packages (planner,
+// schedule, netsim, resharding, mesh), ctxflow over the layers that block
+// or search on behalf of a caller (service, cluster, resharding), and the
+// remaining three everywhere. Test files are never analyzed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"alpacomm/internal/analysis"
+)
+
+// analyzerScope maps analyzer name -> import paths it applies to. A nil
+// entry means every package.
+var analyzerScope = map[string][]string{
+	"determinism": {
+		"alpacomm",
+		"alpacomm/internal/schedule",
+		"alpacomm/internal/netsim",
+		"alpacomm/internal/resharding",
+		"alpacomm/internal/mesh",
+	},
+	"ctxflow": {
+		"alpacomm/internal/service",
+		"alpacomm/internal/cluster",
+		"alpacomm/internal/resharding",
+	},
+	"hotalloc":       nil,
+	"pooldiscipline": nil,
+	"fingerprint":    nil,
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	applyFix := flag.Bool("fix", false, "apply suggested fixes in place")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.LoadPackages(dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	var findings []jsonFinding
+	fixed := 0
+	for _, pkg := range pkgs {
+		analyzers := scopedAnalyzers(pkg.ImportPath)
+		if len(analyzers) == 0 {
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		if *applyFix {
+			n, remaining, err := applyFixes(pkg, diags)
+			if err != nil {
+				fatal(err)
+			}
+			fixed += n
+			diags = remaining
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			findings = append(findings, jsonFinding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Fixable:  len(d.Fixes) > 0,
+			})
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []jsonFinding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+		if fixed > 0 {
+			fmt.Fprintf(os.Stderr, "alpalint: applied %d fix(es)\n", fixed)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func scopedAnalyzers(importPath string) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		scope, known := analyzerScope[a.Name]
+		if !known {
+			// New analyzer without a scope entry: run everywhere rather
+			// than silently skip it.
+			out = append(out, a)
+			continue
+		}
+		if scope == nil {
+			out = append(out, a)
+			continue
+		}
+		for _, p := range scope {
+			if p == importPath {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// applyFixes applies the first suggested fix of each diagnostic that has
+// one, skipping fixes that overlap an already-applied edit. Returns the
+// number of fixes applied and the diagnostics that remain (no fix, or
+// fix skipped due to overlap).
+func applyFixes(pkg *analysis.Package, diags []analysis.Diagnostic) (int, []analysis.Diagnostic, error) {
+	type edit struct {
+		pos, end token.Pos
+		text     []byte
+		imp      string
+	}
+	byFile := map[string][]edit{}
+	var remaining []analysis.Diagnostic
+	applied := 0
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			remaining = append(remaining, d)
+			continue
+		}
+		fix := d.Fixes[0]
+		file := pkg.Fset.Position(d.Pos).Filename
+		overlap := false
+		for _, e := range fix.Edits {
+			for _, prev := range byFile[file] {
+				if e.Pos < prev.end && prev.pos < e.End {
+					overlap = true
+				}
+			}
+		}
+		if overlap {
+			remaining = append(remaining, d)
+			continue
+		}
+		for _, e := range fix.Edits {
+			byFile[file] = append(byFile[file], edit{e.Pos, e.End, e.NewText, fix.NeedImport})
+		}
+		applied++
+	}
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return 0, nil, err
+		}
+		tf := pkg.Fset.File(edits[0].pos)
+		// Apply back-to-front so earlier offsets stay valid.
+		sort.Slice(edits, func(i, j int) bool { return edits[i].pos > edits[j].pos })
+		imports := map[string]bool{}
+		for _, e := range edits {
+			start := tf.Offset(e.pos)
+			end := tf.Offset(e.end)
+			src = append(src[:start:start], append(e.text, src[end:]...)...)
+			if e.imp != "" {
+				imports[e.imp] = true
+			}
+		}
+		src, err = ensureImports(src, imports)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%s: %v", file, err)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%s: formatting fixed source: %v", file, err)
+		}
+		if err := os.WriteFile(file, formatted, 0o644); err != nil {
+			return 0, nil, err
+		}
+	}
+	return applied, remaining, nil
+}
+
+// ensureImports adds each needed import to the file's import block if the
+// source does not already import it. Textual insertion is enough here:
+// the result is gofmt-ed immediately after, and fix targets always have
+// an import block (they import the package that got them flagged).
+func ensureImports(src []byte, needed map[string]bool) ([]byte, error) {
+	text := string(src)
+	var missing []string
+	for imp := range needed {
+		if !strings.Contains(text, `"`+imp+`"`) {
+			missing = append(missing, imp)
+		}
+	}
+	if len(missing) == 0 {
+		return src, nil
+	}
+	sort.Strings(missing)
+	idx := strings.Index(text, "import (")
+	if idx < 0 {
+		// Single-import or importless file: synthesize a block after the
+		// package clause.
+		nl := strings.Index(text, "\n")
+		if pkgEnd := strings.Index(text, "package "); pkgEnd >= 0 {
+			nl = pkgEnd + strings.Index(text[pkgEnd:], "\n")
+		}
+		if nl < 0 {
+			return nil, fmt.Errorf("cannot locate package clause to add imports %v", missing)
+		}
+		var block strings.Builder
+		block.WriteString("\n\nimport (\n")
+		for _, imp := range missing {
+			fmt.Fprintf(&block, "\t%q\n", imp)
+		}
+		block.WriteString(")")
+		return []byte(text[:nl] + block.String() + text[nl:]), nil
+	}
+	insert := idx + len("import (")
+	var add strings.Builder
+	for _, imp := range missing {
+		fmt.Fprintf(&add, "\n\t%q", imp)
+	}
+	return []byte(text[:insert] + add.String() + text[insert:]), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alpalint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// runFixture is the repo's analysistest: it loads the fixture package
+// under testdata/src/<name>, runs the named analyzer, and matches the
+// diagnostics against `// want "regex"` comments line by line — every
+// diagnostic must be expected, every expectation must fire. Lines carrying
+// //alpacomm: annotations and no want comment double as suppression
+// tests: if suppression broke, the stray diagnostic would fail the run.
+func runFixture(t *testing.T, analyzerName, fixture string) {
+	t.Helper()
+	a := ByName(analyzerName)
+	if a == nil {
+		t.Fatalf("unknown analyzer %q", analyzerName)
+	}
+	pkg, err := LoadFixtureDir("../..", "testdata/src/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", analyzerName, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s",
+				pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("expected diagnostic matching %q at %s:%d, got none",
+				w.re, w.file, w.line)
+		}
+	}
+}
+
+type wantExpectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+func collectWants(t *testing.T, pkg *Package) []wantExpectation {
+	t.Helper()
+	var wants []wantExpectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Fatalf("malformed want comment (use // want `regex`): %s", c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, wantExpectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces that cancellation can reach every layer that blocks or
+// searches. In the packages the driver applies it to (service, cluster,
+// resharding) it checks three things:
+//
+//  1. a context.Context parameter, where present, is the first parameter
+//     (the universal Go convention — callers and wrappers rely on it);
+//  2. a function that already receives a ctx must not manufacture a fresh
+//     context.Background()/TODO() for downstream calls — that silently
+//     severs the caller's deadline and cancellation;
+//  3. an exported function with no ctx parameter must not block (channel
+//     ops, select, sync waits, time.Sleep) or call into ctx-first
+//     functions with a severed context — if it can wait, the caller must
+//     be able to cancel the wait.
+//
+// http.Handler methods (those taking *http.Request, which carries its own
+// context) are exempt from rule 3, as are annotated compatibility shims
+// (//alpacomm:allow ctxflow).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "requires context.Context first and unbroken ctx propagation in blocking/searching packages",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCtxFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkCtxFunc(pass *Pass, fn *ast.FuncDecl) {
+	ctxIdx := ctxParamIndex(pass, fn)
+	if ctxIdx > 0 {
+		pass.Reportf(fn.Type.Params.List[ctxIdx].Pos(),
+			"context.Context should be the first parameter of %s", fn.Name.Name)
+	}
+	if ctxIdx >= 0 {
+		checkSeveredCtx(pass, fn)
+		return
+	}
+	// No ctx parameter. Exported functions that can block need one;
+	// unexported helpers are the callee's business.
+	if !fn.Name.IsExported() {
+		return
+	}
+	if hasRequestParam(pass, fn) {
+		return // *http.Request carries the context
+	}
+	if pos, what, ok := findBlocking(pass, fn); ok {
+		pass.Reportf(pos,
+			"exported %s blocks (%s) but takes no context.Context; "+
+				"callers cannot cancel the wait", fn.Name.Name, what)
+	}
+}
+
+// ctxParamIndex returns the flattened index of the context.Context
+// parameter, or -1 if none.
+func ctxParamIndex(pass *Pass, fn *ast.FuncDecl) int {
+	idx := 0
+	for fieldIdx, field := range fn.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			if idx == 0 {
+				return 0
+			}
+			// Report at the field; return its field index so the caller can
+			// point at it. Encode: any nonzero means "not first".
+			return fieldIdx
+		}
+		idx += n
+	}
+	return -1
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkSeveredCtx flags context.Background()/TODO() inside a function
+// that already has a caller-supplied ctx: passing the fresh context on
+// discards the caller's deadline.
+func checkSeveredCtx(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A goroutine or stored callback may legitimately need to
+			// outlive the request; judge only straight-line body code.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+			return true
+		}
+		if obj.Name() == "Background" || obj.Name() == "TODO" {
+			pass.Reportf(call.Pos(),
+				"%s already receives a context.Context; context.%s here severs the caller's "+
+					"cancellation and deadline", fn.Name.Name, obj.Name())
+		}
+		return true
+	})
+}
+
+func hasRequestParam(pass *Pass, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request" {
+			return true
+		}
+	}
+	return false
+}
+
+// findBlocking scans fn's straight-line body (not nested literals, which
+// run on their own goroutines or as callbacks) for operations that can
+// wait indefinitely.
+func findBlocking(pass *Pass, fn *ast.FuncDecl) (pos token.Pos, what string, found bool) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			// A select with a default case polls; without one it blocks.
+			// Either way its comm clauses belong to the select — walk only
+			// the clause bodies, not the send/receive operations themselves.
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				pos, what, found = n.Pos(), "select without default", true
+				return false
+			}
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, visit)
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			pos, what, found = n.Pos(), "channel send", true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pos, what, found = n.Pos(), "channel receive", true
+			}
+		case *ast.CallExpr:
+			if name, ok := blockingCallName(pass, n); ok {
+				pos, what, found = n.Pos(), name, true
+			}
+		}
+		return !found
+	}
+	ast.Inspect(fn.Body, visit)
+	return pos, what, found
+}
+
+// blockingCallName recognizes well-known blocking calls from the standard
+// library: time.Sleep, sync.WaitGroup.Wait, sync.Cond.Wait,
+// sync.Mutex/RWMutex excluded (bounded critical sections are fine).
+func blockingCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if obj.Name() == "Sleep" && obj.Type().(*types.Signature).Recv() == nil {
+			return "time.Sleep", true
+		}
+	case "sync":
+		if obj.Name() == "Wait" {
+			if recv := obj.Type().(*types.Signature).Recv(); recv != nil {
+				return "sync." + recvTypeName(recv) + ".Wait", true
+			}
+		}
+	}
+	return "", false
+}
+
+func recvTypeName(recv *types.Var) string {
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Fingerprint checks cache-key completeness. Plans are cached under
+// resharding.CacheKey, which folds in mesh fingerprints; a struct field
+// that influences planning but is missing from the fingerprint makes two
+// different configurations collide on one cache entry — the cache serves
+// a stale plan and every layer above it (pre-serialization, the cluster
+// tier, warm restart) faithfully replicates the wrong answer.
+//
+// For every fingerprint function — a method named Fingerprint or
+// fingerprint, or a package function named CacheKey — the analyzer takes
+// the receiver and any same-package struct parameters as roots, then
+// walks the function and (transitively) every same-package function it
+// calls, recording which fields of the root structs are read. Exported
+// fields never reached are reported at their declaration. Cross-package
+// parameters are not roots: each package owns the completeness of its own
+// fingerprints, and the analyzer cannot see into another package's
+// accessor bodies. A field that deliberately does not affect identity
+// (metrics, debug labels) carries //alpacomm:allow fingerprint at its
+// declaration.
+var Fingerprint = &Analyzer{
+	Name: "fingerprint",
+	Doc:  "requires every exported field of fingerprinted structs to be reachable from the fingerprint function",
+	Run:  runFingerprint,
+}
+
+const fingerprintCallDepth = 6
+
+func runFingerprint(pass *Pass) error {
+	decls := packageFuncDecls(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isFingerprintFunc(fn) {
+				continue
+			}
+			checkFingerprintFunc(pass, decls, fn)
+		}
+	}
+	return nil
+}
+
+func isFingerprintFunc(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	if fn.Recv != nil {
+		return name == "Fingerprint" || name == "fingerprint"
+	}
+	return name == "CacheKey"
+}
+
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	m := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					m[obj] = fn
+				}
+			}
+		}
+	}
+	return m
+}
+
+// fingerprintRoot is one struct type whose fields the fingerprint must
+// cover.
+type fingerprintRoot struct {
+	named  *types.Named
+	strct  *types.Struct
+	origin string // "receiver" or the parameter name, for the message
+}
+
+func checkFingerprintFunc(pass *Pass, decls map[*types.Func]*ast.FuncDecl, fn *ast.FuncDecl) {
+	roots := collectRoots(pass, fn)
+	if len(roots) == 0 {
+		return
+	}
+	reached := map[*types.Var]bool{}
+	coverAll := map[*types.Named]bool{}
+	visited := map[*ast.FuncDecl]bool{}
+	walkFingerprint(pass, decls, fn, roots, reached, coverAll, visited, 0)
+
+	for _, root := range roots {
+		if coverAll[root.named] {
+			continue
+		}
+		for i := 0; i < root.strct.NumFields(); i++ {
+			f := root.strct.Field(i)
+			if !f.Exported() || reached[f] {
+				continue
+			}
+			pass.Reportf(f.Pos(),
+				"exported field %s.%s is not reachable from %s; a change to it "+
+					"would not change the cache key (annotate //alpacomm:allow fingerprint "+
+					"if it deliberately carries no identity)",
+				root.named.Obj().Name(), f.Name(), fn.Name.Name)
+		}
+	}
+}
+
+// collectRoots gathers the receiver and same-package struct parameters.
+func collectRoots(pass *Pass, fn *ast.FuncDecl) []fingerprintRoot {
+	var roots []fingerprintRoot
+	add := func(t types.Type, origin string) {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return
+		}
+		if named.Obj().Pkg() != pass.Pkg {
+			return // cross-package: its package owns its fingerprint
+		}
+		strct, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		roots = append(roots, fingerprintRoot{named: named, strct: strct, origin: origin})
+	}
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		add(pass.TypesInfo.TypeOf(fn.Recv.List[0].Type), "receiver")
+	}
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		name := ""
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+		}
+		add(t, name)
+	}
+	return roots
+}
+
+// walkFingerprint records root-struct field reads in fn's body and
+// recurses into same-package callees. Passing a whole root value to a
+// function outside the package (fmt.Fprintf(w, "%v", opts)) marks every
+// field of that root as covered — the formatter reads them all.
+func walkFingerprint(pass *Pass, decls map[*types.Func]*ast.FuncDecl, fn *ast.FuncDecl,
+	roots []fingerprintRoot, reached map[*types.Var]bool, coverAll map[*types.Named]bool,
+	visited map[*ast.FuncDecl]bool, depth int) {
+
+	if visited[fn] || depth > fingerprintCallDepth {
+		return
+	}
+	visited[fn] = true
+
+	rootNamed := func(t types.Type) *types.Named {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil
+		}
+		for _, r := range roots {
+			if r.named.Obj() == named.Obj() {
+				return r.named
+			}
+		}
+		return nil
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			selInfo, ok := pass.TypesInfo.Selections[n]
+			if !ok || selInfo.Kind() != types.FieldVal {
+				return true
+			}
+			if rootNamed(selInfo.Recv()) != nil {
+				if f, ok := selInfo.Obj().(*types.Var); ok {
+					reached[f] = true
+				}
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(pass, n)
+			if callee != nil {
+				if decl, ok := decls[callee]; ok {
+					walkFingerprint(pass, decls, decl, roots, reached, coverAll, visited, depth+1)
+					return true
+				}
+			}
+			// External call: a root passed whole is fully read (formatting,
+			// hashing, encoding all traverse every field).
+			for _, arg := range n.Args {
+				if t := pass.TypesInfo.TypeOf(arg); t != nil {
+					if named := rootNamed(t); named != nil {
+						coverAll[named] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}

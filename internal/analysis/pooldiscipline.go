@@ -1,0 +1,489 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolDiscipline checks that every value taken from a sync.Pool goes
+// back. A pooled buffer that misses its Put on one return path degrades
+// the pool silently — the serve path stays correct but re-allocates,
+// which is exactly the regression the zero-alloc benchmarks gate against
+// and the hardest one to spot in review.
+//
+// The analyzer first classifies the package's own helpers: a function
+// whose body reaches (*sync.Pool).Get and returns the value is an
+// acquire helper (getBuf, AcquirePlanBuilder); one that reaches
+// (*sync.Pool).Put is a release helper (putBuf, (*PlanBuilder).Release),
+// transitively. Inside every other function, each acquire —
+// `x := pool.Get().(*T)` or `x := getBuf()` — must be matched by a
+// release of x (deferred, or present on every path before each return
+// and before falling off the end). Returning the pooled value itself is
+// ownership transfer and is fine. Storing the pooled value into a field
+// or element is flagged: a retained reference outlives the Put.
+var PoolDiscipline = &Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "matches sync.Pool acquires with releases on every path and flags escaping pooled values",
+	Run:  runPoolDiscipline,
+}
+
+// poolFuncs is the per-package classification of acquire/release helpers.
+type poolFuncs struct {
+	acquirers map[*types.Func]bool
+	releasers map[*types.Func]bool
+}
+
+func runPoolDiscipline(pass *Pass) error {
+	pf := classifyPoolFuncs(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj != nil && (pf.acquirers[obj] || pf.releasers[obj]) {
+				// Acquire helpers hand ownership to their caller; release
+				// helpers intentionally decide whether to Put (oversized
+				// buffers are dropped). Neither is checked from the inside.
+				continue
+			}
+			checkPoolUse(pass, pf, fn)
+		}
+	}
+	return nil
+}
+
+// classifyPoolFuncs finds the package's acquire and release helpers,
+// iterating to a fixpoint so wrappers of wrappers classify too.
+func classifyPoolFuncs(pass *Pass) *poolFuncs {
+	pf := &poolFuncs{
+		acquirers: map[*types.Func]bool{},
+		releasers: map[*types.Func]bool{},
+	}
+	type declInfo struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []declInfo
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				decls = append(decls, declInfo{obj, fn})
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, di := range decls {
+			if !pf.acquirers[di.obj] && returnsAcquired(pass, pf, di.decl) {
+				pf.acquirers[di.obj] = true
+				changed = true
+			}
+			if !pf.releasers[di.obj] && releasesParam(pass, pf, di.decl) {
+				pf.releasers[di.obj] = true
+				changed = true
+			}
+		}
+	}
+	return pf
+}
+
+// returnsAcquired reports whether the function hands a pool-acquired
+// value to its caller: it returns a pool.Get / acquirer call directly, or
+// a local variable that was assigned from one. Merely containing a Get
+// does not make a function an acquire helper — a function that gets,
+// uses and puts internally is an ordinary pool user and stays checked.
+func returnsAcquired(pass *Pass, pf *poolFuncs, fn *ast.FuncDecl) bool {
+	acquired := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if stmt, ok := n.(ast.Stmt); ok {
+			if obj, ok := acquireTarget(pass, pf, stmt); ok {
+				acquired[obj] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, res := range ret.Results {
+			r := res
+			if ta, ok := r.(*ast.TypeAssertExpr); ok {
+				r = ta.X
+			}
+			if call, ok := r.(*ast.CallExpr); ok {
+				if isPoolMethodCall(pass, call, "Get") || isAcquirerCall(pass, pf, call) {
+					found = true
+				}
+			}
+			if id, ok := res.(*ast.Ident); ok && acquired[pass.TypesInfo.ObjectOf(id)] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// releasesParam reports whether the function releases a value it received
+// from its caller — a parameter or the receiver — which makes it a
+// release helper (putBuf, (*PlanBuilder).Release). Releasing a local is
+// ordinary balanced use, not helping.
+func releasesParam(pass *Pass, fn0 *poolFuncs, fn *ast.FuncDecl) bool {
+	params := map[types.Object]bool{}
+	addField := func(f *ast.Field) {
+		for _, name := range f.Names {
+			if obj := pass.TypesInfo.ObjectOf(name); obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			addField(f)
+		}
+	}
+	for _, f := range fn.Type.Params.List {
+		addField(f)
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if !isPoolMethodCall(pass, call, "Put") && !isReleaserCall(pass, fn0, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && params[pass.TypesInfo.ObjectOf(id)] {
+				found = true
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && params[pass.TypesInfo.ObjectOf(id)] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isPoolMethodCall reports whether call is (*sync.Pool).Get or .Put.
+func isPoolMethodCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	return recv != nil && recvTypeName(recv) == "Pool"
+}
+
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func isAcquirerCall(pass *Pass, pf *poolFuncs, call *ast.CallExpr) bool {
+	f := calleeFunc(pass, call)
+	return f != nil && pf.acquirers[f]
+}
+
+func isReleaserCall(pass *Pass, pf *poolFuncs, call *ast.CallExpr) bool {
+	f := calleeFunc(pass, call)
+	return f != nil && pf.releasers[f]
+}
+
+// poolCheck tracks one acquired variable through the function body.
+type poolCheck struct {
+	pass *Pass
+	pf   *poolFuncs
+	obj  types.Object // the pooled variable
+	fn   *ast.FuncDecl
+}
+
+func checkPoolUse(pass *Pass, pf *poolFuncs, fn *ast.FuncDecl) {
+	// Find acquire statements at any block depth; each starts its own
+	// tracked lifetime within its enclosing statement list.
+	var walkList func(stmts []ast.Stmt)
+	walkList = func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			if obj, ok := acquireTarget(pass, pf, stmt); ok {
+				c := &poolCheck{pass: pass, pf: pf, obj: obj, fn: fn}
+				c.checkEscapes(stmts[i+1:])
+				released, terminated := c.walk(stmts[i+1:], false)
+				if !released && !terminated {
+					pass.Reportf(stmt.Pos(),
+						"pooled %s from %s is not released before the end of %s",
+						obj.Name(), acquireName(pass, pf, stmt), fn.Name.Name)
+				}
+			}
+			// Recurse into nested blocks for acquires scoped inside them.
+			switch s := stmt.(type) {
+			case *ast.BlockStmt:
+				walkList(s.List)
+			case *ast.IfStmt:
+				walkList(s.Body.List)
+				if eb, ok := s.Else.(*ast.BlockStmt); ok {
+					walkList(eb.List)
+				}
+			case *ast.ForStmt:
+				walkList(s.Body.List)
+			case *ast.RangeStmt:
+				walkList(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, cc := range s.Body.List {
+					if c, ok := cc.(*ast.CaseClause); ok {
+						walkList(c.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, cc := range s.Body.List {
+					if c, ok := cc.(*ast.CaseClause); ok {
+						walkList(c.Body)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, cc := range s.Body.List {
+					if c, ok := cc.(*ast.CommClause); ok {
+						walkList(c.Body)
+					}
+				}
+			}
+		}
+	}
+	walkList(fn.Body.List)
+}
+
+// acquireTarget recognizes `x := <acquire>` and returns x's object.
+func acquireTarget(pass *Pass, pf *poolFuncs, stmt ast.Stmt) (types.Object, bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, false
+	}
+	rhs := as.Rhs[0]
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ta.X // pool.Get().(*T)
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	if !isPoolMethodCall(pass, call, "Get") && !isAcquirerCall(pass, pf, call) {
+		return nil, false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	return obj, obj != nil
+}
+
+func acquireName(pass *Pass, pf *poolFuncs, stmt ast.Stmt) string {
+	as := stmt.(*ast.AssignStmt)
+	rhs := as.Rhs[0]
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ta.X
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if f := calleeFunc(pass, call); f != nil {
+			return f.Name()
+		}
+	}
+	return "pool"
+}
+
+// walk checks the statement list with the pooled var in state released;
+// it reports returns reached unreleased and returns the end-of-list state
+// plus whether every path through the list terminated.
+func (c *poolCheck) walk(stmts []ast.Stmt, released bool) (endReleased, terminated bool) {
+	for _, stmt := range stmts {
+		if released {
+			return true, false
+		}
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if c.releases(s.X) {
+				released = true
+			}
+		case *ast.DeferStmt:
+			// A deferred release covers every subsequent exit.
+			if c.releasesCall(s.Call) {
+				released = true
+			}
+		case *ast.ReturnStmt:
+			if !released && !c.returnsValue(s) {
+				c.pass.Reportf(s.Pos(),
+					"return without releasing pooled %s acquired in %s",
+					c.obj.Name(), c.fn.Name.Name)
+			}
+			return released, true
+		case *ast.BlockStmt:
+			rel, term := c.walk(s.List, released)
+			if term {
+				return rel, true
+			}
+			released = rel
+		case *ast.IfStmt:
+			bodyRel, bodyTerm := c.walk(s.Body.List, released)
+			if s.Else != nil {
+				var elseRel, elseTerm bool
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					elseRel, elseTerm = c.walk(e.List, released)
+				case *ast.IfStmt:
+					elseRel, elseTerm = c.walk([]ast.Stmt{e}, released)
+				}
+				if bodyTerm && elseTerm {
+					return released, true
+				}
+				// Fallthrough state merges over the branches that reach it.
+				rel := true
+				if !bodyTerm {
+					rel = rel && bodyRel
+				}
+				if !elseTerm {
+					rel = rel && elseRel
+				}
+				released = rel
+			} else {
+				// Condition-false path keeps the current state; only if the
+				// body terminates does fallthrough stay at `released`.
+				if !bodyTerm {
+					released = released && bodyRel
+				}
+			}
+		case *ast.ForStmt:
+			c.walk(s.Body.List, released) // zero iterations possible: state unchanged
+		case *ast.RangeStmt:
+			c.walk(s.Body.List, released)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			c.walkClauses(stmt, released)
+		case *ast.LabeledStmt:
+			rel, term := c.walk([]ast.Stmt{s.Stmt}, released)
+			if term {
+				return rel, true
+			}
+			released = rel
+		}
+	}
+	return released, false
+}
+
+// walkClauses conservatively walks switch/select bodies: returns inside
+// clauses are checked, but the post-switch state stays whatever it was —
+// a release inside one clause does not prove the others released.
+func (c *poolCheck) walkClauses(stmt ast.Stmt, released bool) {
+	var body *ast.BlockStmt
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	for _, cl := range body.List {
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			c.walk(cc.Body, released)
+		case *ast.CommClause:
+			c.walk(cc.Body, released)
+		}
+	}
+}
+
+// releases reports whether expr is a call that releases the tracked var.
+func (c *poolCheck) releases(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	return ok && c.releasesCall(call)
+}
+
+func (c *poolCheck) releasesCall(call *ast.CallExpr) bool {
+	// pool.Put(x), putBuf(x): the var among the arguments.
+	if isPoolMethodCall(c.pass, call, "Put") || isReleaserCall(c.pass, c.pf, call) {
+		for _, arg := range call.Args {
+			if c.isObj(arg) {
+				return true
+			}
+		}
+		// x.Release(): the var as the receiver.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && c.isObj(sel.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsValue reports whether the return hands the pooled value itself
+// (or a method call on it) to the caller — ownership transfer.
+func (c *poolCheck) returnsValue(ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		if c.isObj(res) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *poolCheck) isObj(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && c.pass.TypesInfo.ObjectOf(id) == c.obj
+}
+
+// checkEscapes flags the pooled value being stored somewhere that
+// outlives the function: a struct field, a map/slice element, or a
+// package-level variable.
+func (c *poolCheck) checkEscapes(stmts []ast.Stmt) {
+	for _, stmt := range stmts {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !c.isObj(rhs) || i >= len(as.Lhs) {
+					continue
+				}
+				switch lhs := as.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					c.pass.Reportf(as.Pos(),
+						"pooled %s stored into field %s outlives its release",
+						c.obj.Name(), lhs.Sel.Name)
+				case *ast.IndexExpr:
+					c.pass.Reportf(as.Pos(),
+						"pooled %s stored into a container element outlives its release",
+						c.obj.Name())
+				case *ast.Ident:
+					if v, ok := c.pass.TypesInfo.ObjectOf(lhs).(*types.Var); ok && v.Parent() == c.pass.Pkg.Scope() {
+						c.pass.Reportf(as.Pos(),
+							"pooled %s stored into package-level %s outlives its release",
+							c.obj.Name(), lhs.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismFixture(t *testing.T)    { runFixture(t, "determinism", "determinism") }
+func TestHotAllocFixture(t *testing.T)       { runFixture(t, "hotalloc", "hotalloc") }
+func TestCtxFlowFixture(t *testing.T)        { runFixture(t, "ctxflow", "ctxflow") }
+func TestPoolDisciplineFixture(t *testing.T) { runFixture(t, "pooldiscipline", "pooldiscipline") }
+func TestFingerprintFixture(t *testing.T)    { runFixture(t, "fingerprint", "fingerprint") }
+
+// TestLoadRepo proves the export-data loader type-checks the whole module
+// offline — the property everything above depends on.
+func TestLoadRepo(t *testing.T) {
+	pkgs, err := LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("expected the full package set, got %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || pkg.Info == nil {
+			t.Errorf("%s: missing type information", pkg.ImportPath)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName of unknown analyzer should be nil")
+	}
+}
+
+func TestParseAnnotation(t *testing.T) {
+	cases := []struct {
+		in      string
+		allowed []string
+		hot     bool
+	}{
+		{"//alpacomm:hotpath", nil, true},
+		{"//alpacomm:nondet-ok budget mode", []string{"determinism"}, false},
+		{"//alpacomm:allow hotalloc cold branch", []string{"hotalloc"}, false},
+		{"//alpacomm:allow hotalloc,ctxflow shim", []string{"hotalloc", "ctxflow"}, false},
+		{"// ordinary comment", nil, false},
+		{"//alpacomm:future-directive x", nil, false},
+	}
+	for _, c := range cases {
+		allowed, hot := parseAnnotation(c.in)
+		if hot != c.hot || len(allowed) != len(c.allowed) {
+			t.Errorf("parseAnnotation(%q) = %v, %v; want %v, %v", c.in, allowed, hot, c.allowed, c.hot)
+			continue
+		}
+		for i := range allowed {
+			if allowed[i] != c.allowed[i] {
+				t.Errorf("parseAnnotation(%q) allowed[%d] = %q, want %q", c.in, i, allowed[i], c.allowed[i])
+			}
+		}
+	}
+}

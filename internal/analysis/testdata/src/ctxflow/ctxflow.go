@@ -1,0 +1,103 @@
+// Package ctxflow exercises the ctxflow analyzer: ctx-second signatures,
+// severed contexts and blocking exported functions without a ctx are
+// flagged; http handlers, unexported helpers, ctx-threading functions and
+// annotated shims are not.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func CtxSecond(name string, ctx context.Context) error { // want `context.Context should be the first parameter`
+	return work(ctx)
+}
+
+// Correct ordering — not flagged.
+func CtxFirst(ctx context.Context, name string) error {
+	return work(ctx)
+}
+
+func Severed(ctx context.Context) error {
+	return work(context.Background()) // want `severs the caller's cancellation`
+}
+
+func SeveredTODO(ctx context.Context) error {
+	return work(context.TODO()) // want `severs the caller's cancellation`
+}
+
+// A goroutine that must outlive the request may build its own context —
+// function literals are not judged.
+func DetachedWorker(ctx context.Context, ch chan error) {
+	go func() {
+		ch <- work(context.Background())
+	}()
+}
+
+func ReceivesNoCtx(ch chan int) int {
+	return <-ch // want `channel receive`
+}
+
+func SendsNoCtx(ch chan int) {
+	ch <- 1 // want `channel send`
+}
+
+func SleepsNoCtx() {
+	time.Sleep(time.Millisecond) // want `time.Sleep`
+}
+
+func WaitsNoCtx(wg *sync.WaitGroup) {
+	wg.Wait() // want `sync.WaitGroup.Wait`
+}
+
+func SelectsNoCtx(a, b chan int) int {
+	select { // want `select without default`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// A select with a default polls instead of blocking — not flagged.
+func Polls(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// With a ctx parameter the blocking rule does not apply — not flagged.
+func BlocksWithCtx(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Unexported helpers are the caller's responsibility — not flagged.
+func blocksUnexported(ch chan int) int {
+	return <-ch
+}
+
+type handler struct{ done chan struct{} }
+
+// *http.Request carries the context — not flagged.
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	<-h.done
+}
+
+// Annotated compatibility shim — not flagged.
+//
+//alpacomm:allow ctxflow v0-compat wrapper; removal tracked in the roadmap
+func LegacyWait(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,68 @@
+// Package fingerprint exercises the fingerprint analyzer: exported
+// fields of a fingerprinted struct that the fingerprint function never
+// reads are flagged; transitive reads through helpers, whole-struct
+// formatting, unexported fields and annotated identity-free fields are
+// not.
+package fingerprint
+
+import "fmt"
+
+type Spec struct {
+	Hosts     int
+	Bandwidth float64
+	Label     string // want `exported field Spec.Label is not reachable`
+	debug     string
+}
+
+func (s *Spec) Fingerprint() string {
+	return fmt.Sprintf("%d|%g", s.Hosts, s.Bandwidth)
+}
+
+// Every exported field folded in — not flagged.
+type Full struct {
+	A int
+	B string
+}
+
+func (f Full) Fingerprint() string {
+	return fmt.Sprintf("%d|%s", f.A, f.B)
+}
+
+// Fields read through a same-package helper still count — not flagged.
+type Nested struct {
+	Core  int
+	Extra int
+}
+
+func (n *Nested) Fingerprint() string { return n.core() }
+
+func (n *Nested) core() string { return fmt.Sprintf("%d|%d", n.Core, n.Extra) }
+
+// Passing the whole struct to a formatter reads every field — not
+// flagged.
+type Dumped struct {
+	X int
+	Y int
+}
+
+func (d Dumped) Fingerprint() string { return fmt.Sprintf("%+v", d) }
+
+// Package-level CacheKey over a same-package options struct.
+type Options struct {
+	Strategy int
+	Seed     int64
+	Note     string // want `exported field Options.Note is not reachable`
+}
+
+func CacheKey(opts Options) string {
+	return fmt.Sprintf("%d|%d", opts.Strategy, opts.Seed)
+}
+
+// A deliberately identity-free field carries the annotation at its
+// declaration.
+type WithMeta struct {
+	ID      int
+	Metrics string //alpacomm:allow fingerprint observability only, no identity
+}
+
+func (w WithMeta) Fingerprint() string { return fmt.Sprintf("%d", w.ID) }

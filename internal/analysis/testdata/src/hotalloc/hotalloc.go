@@ -1,0 +1,123 @@
+// Package hotalloc exercises the hotalloc analyzer: allocation patterns
+// inside //alpacomm:hotpath functions are flagged; the same code in an
+// unannotated function, hinted/strconv alternatives and annotated cold
+// branches are not.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+//alpacomm:hotpath
+func hotSprintf(id int) string {
+	return fmt.Sprintf("plan-%d", id) // want `fmt.Sprintf in hot path`
+}
+
+// Identical body, no hotpath annotation — not flagged.
+func coldSprintf(id int) string {
+	return fmt.Sprintf("plan-%d", id)
+}
+
+// The strconv replacement the analyzer points at — not flagged.
+//
+//alpacomm:hotpath
+func hotStrconv(buf []byte, id int) []byte {
+	buf = append(buf, "plan-"...)
+	return strconv.AppendInt(buf, int64(id), 10)
+}
+
+//alpacomm:hotpath
+func hotConcat(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out = out + p // want `string concatenation in a loop`
+	}
+	return out
+}
+
+//alpacomm:hotpath
+func hotConcatAssign(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p // want `string \+= in a loop`
+	}
+	return out
+}
+
+//alpacomm:hotpath
+func hotAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `grows an unhinted slice`
+	}
+	return out
+}
+
+// Capacity-hinted growth — not flagged.
+//
+//alpacomm:hotpath
+func hintedAppend(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func consume(v interface{}) { _ = v }
+
+//alpacomm:hotpath
+func hotBoxingCall(n int) {
+	consume(n) // want `boxes a concrete value into an interface parameter`
+}
+
+//alpacomm:hotpath
+func hotBoxingAssign(n int) interface{} {
+	var sink interface{}
+	sink = n // want `boxes a concrete value`
+	return sink
+}
+
+// Passing an interface through is not boxing — not flagged.
+//
+//alpacomm:hotpath
+func hotPassThrough(v interface{}) {
+	consume(v)
+}
+
+//alpacomm:hotpath
+func hotClosure(xs []int) func() int {
+	total := 0
+	f := func() int { // want `closure captures`
+		for _, x := range xs {
+			total += x
+		}
+		return total
+	}
+	return f
+}
+
+// Immediately-invoked literals keep their captures on the stack — not
+// flagged.
+//
+//alpacomm:hotpath
+func hotIIFE(xs []int) int {
+	total := 0
+	func() {
+		for _, x := range xs {
+			total += x
+		}
+	}()
+	return total
+}
+
+// Line-level exemption for a genuinely cold branch inside a hot function.
+//
+//alpacomm:hotpath
+func hotWithColdBranch(id int, fail bool) string {
+	if fail {
+		return fmt.Sprintf("failed-%d", id) //alpacomm:allow hotalloc cold error branch
+	}
+	return "ok"
+}

@@ -1,0 +1,89 @@
+// Package pooldiscipline exercises the pooldiscipline analyzer: pooled
+// values leaked on a return path, at function end or into retained
+// structures are flagged; balanced use, deferred release, ownership
+// transfer, classified helpers and annotated handoffs are not.
+package pooldiscipline
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+var bufPool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 64); return &b }}
+
+type response struct{ buf *[]byte }
+
+func use(b *[]byte) {}
+
+// getBuf returns the acquired value: an acquire helper, classified and
+// not checked from the inside.
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// putBuf releases its parameter: a release helper. The early return for
+// oversized buffers is the intentional drop the classifier exists to
+// excuse.
+func putBuf(b *[]byte) {
+	if cap(*b) > 1<<16 {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// Deferred release covers every exit — not flagged.
+func deferredRelease() {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	use(b)
+}
+
+// Release present on every path — not flagged.
+func branchBalanced(fail bool) error {
+	b := getBuf()
+	if fail {
+		putBuf(b)
+		return errFail
+	}
+	use(b)
+	putBuf(b)
+	return nil
+}
+
+func leakOnErrorPath(fail bool) error {
+	b := getBuf()
+	if fail {
+		return errFail // want `return without releasing pooled b`
+	}
+	putBuf(b)
+	return nil
+}
+
+func leakAtEnd() {
+	b := getBuf() // want `pooled b from getBuf is not released`
+	use(b)
+}
+
+// Returning the pooled value transfers ownership — not flagged (and
+// classifies this function as an acquire helper in turn).
+func ownershipTransfer() *[]byte {
+	b := getBuf()
+	return b
+}
+
+func escapesIntoField(r *response) {
+	b := getBuf()
+	r.buf = b // want `stored into field buf`
+	putBuf(b)
+}
+
+// Annotated handoff: the response writer releases the buffer later.
+//
+//alpacomm:allow pooldiscipline released by the response writer after flush
+func annotatedHandoff(r *response) {
+	b := getBuf()
+	r.buf = b
+}
