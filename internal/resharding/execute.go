@@ -2,6 +2,7 @@ package resharding
 
 import (
 	"fmt"
+	"sort"
 
 	"alpacomm/internal/tensor"
 )
@@ -45,7 +46,13 @@ func RoundTrip(p *Plan) (*SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, b := range srcBufs {
+	keys48 := make([]int, 0, len(srcBufs))
+	for k := range srcBufs {
+		keys48 = append(keys48, k)
+	}
+	sort.Ints(keys48)
+	for _, k := range keys48 {
+		b := srcBufs[k]
 		b.FillLinear()
 	}
 	dstBufs, err := p.Task.Dst.Buffers()
@@ -55,7 +62,13 @@ func RoundTrip(p *Plan) (*SimResult, error) {
 	if err := p.Execute(srcBufs, dstBufs); err != nil {
 		return nil, err
 	}
-	for dev, b := range dstBufs {
+	keys58 := make([]int, 0, len(dstBufs))
+	for dev := range dstBufs {
+		keys58 = append(keys58, dev)
+	}
+	sort.Ints(keys58)
+	for _, dev := range keys58 {
+		b := dstBufs[dev]
 		if ok, pt, got, want := b.VerifyLinear(); !ok {
 			return nil, fmt.Errorf("resharding: device %d corrupt at %v: got %v want %v", dev, pt, got, want)
 		}
