@@ -310,11 +310,13 @@ func sameTaskShape(a, b *Task) bool {
 // warm plan seeds best/bestSpan when it is valid and beats the LPT
 // baseline; seeding only tightens the bound, so every node a seeded search
 // visits, the unseeded search visits too.
+//
+//alpacomm:hotpath
 func dfsPruning(tasks []Task, budget time.Duration, maxNodes int, stop func() bool, warm *Plan) Plan {
 	if len(tasks) == 0 {
 		return Plan{Sender: map[int]int{}}
 	}
-	deadline := time.Now().Add(budget)
+	deadline := time.Now().Add(budget) //alpacomm:nondet-ok wall-clock budget is the documented non-reproducible mode; DFSNodes is the deterministic one
 
 	// Seed with the LPT plan so pruning has a baseline.
 	best := LoadBalanceOnly(tasks)
@@ -355,7 +357,7 @@ func dfsPruning(tasks []Task, budget time.Duration, maxNodes int, stop func() bo
 	checkCount := 0
 
 	var dfs func(depth int, span float64)
-	dfs = func(depth int, span float64) {
+	dfs = func(depth int, span float64) { //alpacomm:allow hotalloc recursive search closure, allocated once per search not per node
 		if expired {
 			return
 		}
@@ -365,7 +367,7 @@ func dfsPruning(tasks []Task, budget time.Duration, maxNodes int, stop func() bo
 				expired = true
 				return
 			}
-		} else if checkCount%1024 == 0 && time.Now().After(deadline) {
+		} else if checkCount%1024 == 0 && time.Now().After(deadline) { //alpacomm:nondet-ok same opt-in wall-clock mode as the deadline above
 			expired = true
 			return
 		}
