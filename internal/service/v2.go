@@ -165,7 +165,7 @@ func (s *Server) v2Error(ctx context.Context, err error) (int, V2Error) {
 // the binary error frame — and bumps the endpoint counters the same way
 // the /v1 writers do: 429/deadline/cancel count as rejected, the rest as
 // errors.
-func (s *Server) failV2(w http.ResponseWriter, ctx context.Context, c *endpointCounters, err error, bin bool) {
+func (s *Server) failV2(ctx context.Context, w http.ResponseWriter, c *endpointCounters, err error, bin bool) {
 	status, ve := s.v2Error(ctx, err)
 	if ve.Retryable {
 		c.rejected.Add(1)
@@ -202,7 +202,7 @@ func (s *Server) decodeV2(w http.ResponseWriter, r *http.Request, dst interface{
 	}
 	dec := newBodyDecoder(w, r)
 	if err := dec.Decode(dst); err != nil {
-		s.failV2(w, r.Context(), c, &badRequestError{fmt.Errorf("bad request body: %v", err)}, bin)
+		s.failV2(r.Context(), w, c, &badRequestError{fmt.Errorf("bad request body: %v", err)}, bin)
 		return false
 	}
 	return true
@@ -220,14 +220,14 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, err := v2Ctx(r)
 	if err != nil {
-		s.failV2(w, r.Context(), &s.planC, err, bin)
+		s.failV2(r.Context(), w, &s.planC, err, bin)
 		return
 	}
 	defer cancel()
 	task, opts, cacheKey, err := s.parseTask(ctx,
 		req.Topology, req.Faults, req.Shape, req.DType, req.Src, req.Dst, req.Options)
 	if err != nil {
-		s.failV2(w, ctx, &s.planC, err, bin)
+		s.failV2(ctx, w, &s.planC, err, bin)
 		return
 	}
 	// A degraded request replans warm from its fault-free twin when the
@@ -249,7 +249,7 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 	defer s.planC.inFlight.Add(-1)
 	p, shared, err := s.computePlan(ctx, cacheKey, task, opts, &req, isPeerRequest(r), fromKey, fromTask)
 	if err != nil {
-		s.failV2(w, ctx, &s.planC, err, bin)
+		s.failV2(ctx, w, &s.planC, err, bin)
 		return
 	}
 	if shared {
@@ -269,19 +269,19 @@ func (s *Server) handleAutotuneV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Workers < 0 {
-		s.failV2(w, r.Context(), &s.autotuneC, &badRequestError{fmt.Errorf("negative workers")}, bin)
+		s.failV2(r.Context(), w, &s.autotuneC, &badRequestError{fmt.Errorf("negative workers")}, bin)
 		return
 	}
 	ctx, cancel, err := v2Ctx(r)
 	if err != nil {
-		s.failV2(w, r.Context(), &s.autotuneC, err, bin)
+		s.failV2(r.Context(), w, &s.autotuneC, err, bin)
 		return
 	}
 	defer cancel()
 	task, opts, cacheKey, err := s.parseTask(ctx,
 		req.Topology, req.Faults, req.Shape, req.DType, req.Src, req.Dst, req.Options)
 	if err != nil {
-		s.failV2(w, ctx, &s.autotuneC, err, bin)
+		s.failV2(ctx, w, &s.autotuneC, err, bin)
 		return
 	}
 
@@ -289,7 +289,7 @@ func (s *Server) handleAutotuneV2(w http.ResponseWriter, r *http.Request) {
 	defer s.autotuneC.inFlight.Add(-1)
 	v, shared, err := s.computeAutotune(ctx, cacheKey, task, opts, req.Workers)
 	if err != nil {
-		s.failV2(w, ctx, &s.autotuneC, err, bin)
+		s.failV2(ctx, w, &s.autotuneC, err, bin)
 		return
 	}
 	resp := *v
@@ -330,16 +330,16 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Items) == 0 {
-		s.failV2(w, r.Context(), &s.batchC, &badRequestError{fmt.Errorf("empty batch")}, bin)
+		s.failV2(r.Context(), w, &s.batchC, &badRequestError{fmt.Errorf("empty batch")}, bin)
 		return
 	}
 	if len(req.Items) > MaxBatchItems {
-		s.failV2(w, r.Context(), &s.batchC, &badRequestError{fmt.Errorf("batch has %d items, server bound is %d", len(req.Items), MaxBatchItems)}, bin)
+		s.failV2(r.Context(), w, &s.batchC, &badRequestError{fmt.Errorf("batch has %d items, server bound is %d", len(req.Items), MaxBatchItems)}, bin)
 		return
 	}
 	ctx, cancel, err := v2Ctx(r)
 	if err != nil {
-		s.failV2(w, r.Context(), &s.batchC, err, bin)
+		s.failV2(r.Context(), w, &s.batchC, err, bin)
 		return
 	}
 	defer cancel()
@@ -378,7 +378,7 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}(); err != nil {
-		s.failV2(w, ctx, &s.batchC, err, bin)
+		s.failV2(ctx, w, &s.batchC, err, bin)
 		return
 	}
 
@@ -452,7 +452,7 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	if fatal != nil {
-		s.failV2(w, ctx, &s.batchC, fatal, bin)
+		s.failV2(ctx, w, &s.batchC, fatal, bin)
 		return
 	}
 	s.batchC.coalesced.Add(int64(coalesced))
