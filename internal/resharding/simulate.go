@@ -39,6 +39,17 @@ type PlanBuilder struct {
 	lastSend map[int][]netsim.OpID
 	lastRecv map[int][]netsim.OpID
 	deps     []netsim.OpID
+	// labels memoizes the "u<idx>" unit labels so repeated simulations on
+	// a pooled builder stop re-rendering the same strings.
+	labels []string
+}
+
+// unitLabel returns the memoized label for unit idx.
+func (b *PlanBuilder) unitLabel(idx int) string {
+	for idx >= len(b.labels) {
+		b.labels = append(b.labels, "u"+strconv.Itoa(len(b.labels)))
+	}
+	return b.labels[idx]
 }
 
 // NewPlanBuilder returns an empty builder.
@@ -102,6 +113,7 @@ func (p *Plan) SimulateWith(b *PlanBuilder) (*SimResult, error) {
 	return p.simulateWith(b, true)
 }
 
+//alpacomm:hotpath
 func (p *Plan) simulateWith(b *PlanBuilder, trace bool) (*SimResult, error) {
 	cluster := p.Task.Src.Mesh.Topo
 	net := b.bind(cluster)
@@ -119,7 +131,7 @@ func (p *Plan) simulateWith(b *PlanBuilder, trace bool) (*SimResult, error) {
 			deps = append(deps, b.lastRecv[h]...)
 		}
 		b.deps = deps
-		done, err := buildUnitOps(net, p.Opts, "u"+strconv.Itoa(idx), sender, u.Receivers,
+		done, err := buildUnitOps(net, p.Opts, b.unitLabel(idx), sender, u.Receivers,
 			u.Slice.NumElements(), u.Bytes(p.Task.DType), pos, deps)
 		if err != nil {
 			return nil, fmt.Errorf("resharding: unit %d: %v", idx, err)

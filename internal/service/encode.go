@@ -176,6 +176,8 @@ func newEncodedPlan(plan *resharding.Plan, sim *resharding.SimResult,
 // appendJSON appends the response body for one request — without the
 // trailing newline, so batch items can embed it — patching only what
 // differs from the fill-time identity body.
+//
+//alpacomm:hotpath
 func (e *encodedPlan) appendJSON(b []byte, task *sharding.Task, shared bool) []byte {
 	if !shared && task == e.task {
 		return append(b, e.jsonFull...)
@@ -196,6 +198,8 @@ func (e *encodedPlan) appendJSON(b []byte, task *sharding.Task, shared bool) []b
 // appendSenders renders the translated sender list: congruent tasks have
 // congruent meshes, so unit i's sender sits at the same logical position
 // in this request's source mesh.
+//
+//alpacomm:hotpath
 func (e *encodedPlan) appendSenders(b []byte, task *sharding.Task) []byte {
 	devs := task.Src.Mesh.Devices
 	for i, p := range e.senderPos {
@@ -210,6 +214,8 @@ func (e *encodedPlan) appendSenders(b []byte, task *sharding.Task) []byte {
 // appendBinary appends the binary frame for one request, patching the
 // flags byte and — on a translated hit — the fixed-offset sender section
 // in the appended copy, never in the shared original.
+//
+//alpacomm:hotpath
 func (e *encodedPlan) appendBinary(b []byte, task *sharding.Task, shared bool) []byte {
 	n := len(b)
 	b = append(b, e.bin...)
@@ -254,6 +260,8 @@ type parseMemo struct {
 // appendMemoKey renders the raw request fields into b. Strings are
 // NUL-separated (none of the wire fields may contain NUL and still parse)
 // so distinct field splits never collide.
+//
+//alpacomm:hotpath
 func appendMemoKey(b []byte, ref TopologyRef, shape []int, dtype string, src, dst Endpoint, po PlanOptions) []byte {
 	b = append(b, ref.Name...)
 	b = append(b, 0)

@@ -299,11 +299,20 @@ type topologyCache struct {
 	m  map[string]mesh.Topology
 }
 
+//alpacomm:hotpath
 func (tc *topologyCache) get(reg *mesh.Registry, ref TopologyRef) (mesh.Topology, error) {
 	// Normalize the name the same way Registry.Build does, so case and
 	// whitespace variants of one preset share a memo slot instead of
-	// letting clients fill the bounded memo with junk aliases.
-	key := fmt.Sprintf("%s|%d|%g", strings.ToLower(strings.TrimSpace(ref.Name)), ref.Hosts, ref.Oversubscription)
+	// letting clients fill the bounded memo with junk aliases. Rendered
+	// with strconv appends: this runs on every parse, cache hit or miss.
+	name := strings.ToLower(strings.TrimSpace(ref.Name))
+	kb := make([]byte, 0, len(name)+24)
+	kb = append(kb, name...)
+	kb = append(kb, '|')
+	kb = strconv.AppendInt(kb, int64(ref.Hosts), 10)
+	kb = append(kb, '|')
+	kb = strconv.AppendFloat(kb, ref.Oversubscription, 'g', -1, 64)
+	key := string(kb)
 	tc.mu.RLock()
 	t, ok := tc.m[key]
 	tc.mu.RUnlock()
@@ -475,6 +484,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 // flag and the translated sender section patched — no marshaling. The
 // fallback (enc nil) renders per request exactly as the service did before
 // serialize-once fills.
+//
+//alpacomm:hotpath
 func (s *Server) servePlan(w http.ResponseWriter, c *endpointCounters, p *planned,
 	task *sharding.Task, opts resharding.Options, cacheKey string, shared, binary bool) {
 
@@ -489,6 +500,7 @@ func (s *Server) servePlan(w http.ResponseWriter, c *endpointCounters, p *planne
 			putBuf(buf)
 			return
 		}
+		//alpacomm:allow hotalloc fallback without a pre-serialized plan; encoding/json boxes inherently
 		s.ok(w, c, resp)
 		return
 	}
