@@ -1,0 +1,30 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test lint lint-fix fmt bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs the repo's own invariant suite (see internal/analysis and the
+# README "Static analysis" section) plus go vet. CI layers pinned
+# staticcheck and govulncheck on top; they are not required locally.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/alpalint ./...
+
+# lint-fix applies alpalint's mechanical rewrites (sorted map iteration,
+# capacity hints) in place, then re-runs the suite.
+lint-fix:
+	$(GO) run ./cmd/alpalint -fix ./...
+	$(GO) run ./cmd/alpalint ./...
+
+fmt:
+	gofmt -w .
+
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x .
