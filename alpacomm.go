@@ -41,6 +41,7 @@ package alpacomm
 import (
 	"alpacomm/internal/cluster"
 	"alpacomm/internal/intramesh"
+	"alpacomm/internal/loadmodel"
 	"alpacomm/internal/mesh"
 	"alpacomm/internal/model"
 	"alpacomm/internal/netsim"
@@ -347,6 +348,54 @@ var WithBinaryWire = service.WithBinary
 
 // PlanWireContentType is the media type of the binary plan wire format.
 const PlanWireContentType = service.ContentTypeBinary
+
+// SLO-aware admission (internal/service): a sliding-window latency and
+// queue-depth controller that degrades /v2 planning to a greedy
+// single-pass schedule under pressure and sheds load outright past the
+// budget, recovering with hysteresis.
+type (
+	// ServiceSLOConfig enables the admission controller on a PlanServer
+	// (PlanServerConfig.SLO); the zero value of each field picks the
+	// documented default.
+	ServiceSLOConfig = service.SLOConfig
+	// ServiceAdmissionMode is the controller's decision for one request:
+	// full, degraded or shed.
+	ServiceAdmissionMode = service.AdmissionMode
+	// ServiceAdmissionStats is the admission block of /v2/stats.
+	ServiceAdmissionStats = service.AdmissionStats
+)
+
+// PlanAdmissionHeader is the /v2 response header naming the admission
+// mode that produced the response ("degraded" or "shed").
+const PlanAdmissionHeader = service.AdmissionHeader
+
+// Open-loop load modeling (internal/loadmodel): seeded arrival processes
+// for distribution-driven load generation (cmd/loadgen -open/-open-sim).
+type (
+	// ArrivalProcess emits successive interarrival gaps.
+	ArrivalProcess = loadmodel.Process
+	// BurstyArrivalConfig shapes a two-state (base/burst) MMPP.
+	BurstyArrivalConfig = loadmodel.BurstyConfig
+	// DiurnalArrivalConfig shapes a sinusoidal rate curve.
+	DiurnalArrivalConfig = loadmodel.DiurnalConfig
+)
+
+// NewPoissonArrivals builds a seeded open-loop Poisson process.
+var NewPoissonArrivals = loadmodel.NewPoisson
+
+// NewBurstyArrivals builds a seeded two-state bursty process.
+var NewBurstyArrivals = loadmodel.NewBursty
+
+// NewDiurnalArrivals builds a seeded sinusoidal-rate process.
+var NewDiurnalArrivals = loadmodel.NewDiurnal
+
+// DeriveAgentSeed maps (base seed, agent index) to a statistically
+// independent per-agent stream seed; the mapping is pinned forever.
+var DeriveAgentSeed = loadmodel.DeriveSeed
+
+// ArrivalOffsets materializes a process into intended-start offsets
+// within a horizon.
+var ArrivalOffsets = loadmodel.Offsets
 
 // Distributed plan-serving tier (internal/cluster): N plan servers as one
 // logical plan cache — consistent-hash key ownership, cross-node

@@ -39,6 +39,7 @@ var analyzerScope = map[string][]string{
 		"alpacomm/internal/netsim",
 		"alpacomm/internal/resharding",
 		"alpacomm/internal/mesh",
+		"alpacomm/internal/loadmodel",
 	},
 	"ctxflow": {
 		"alpacomm/internal/service",

@@ -38,16 +38,33 @@
 //     least one step from cache (the heal-back hit), and serve no step
 //     cold.
 //
+// With -slo it gates the open-loop rows written by `loadgen -open-sim`
+// into BENCH_service.json. The open-loop simulator is a pure function of
+// its seed, so these gates are exact, not statistical:
+//
+//   - every mix (poisson, bursty, diurnal) must have a controller-on and
+//     a controller-off row;
+//   - controller-on rows must hold the corrected p99 within the budget,
+//     keep the offered-vs-achieved gap at or below -max-slo-gap (default
+//     0.65), and show the controller actually engaged;
+//   - controller-off rows must blow through the same budget — proof the
+//     offered load saturates the modeled server and the controller, not
+//     slack capacity, holds the SLO;
+//   - every candidate row must be byte-identical to the committed
+//     baseline row (regenerate the baseline on intentional changes).
+//
 // Usage:
 //
 //	benchgate -baseline BENCH_netsim.json -current BENCH_netsim.ci.json
 //	benchgate -cluster -current BENCH_cluster.ci.json
 //	benchgate -churn -current BENCH_churn.json
+//	benchgate -slo -baseline BENCH_service.json -current BENCH_service.ci.json
 //
 // Exit status 0 when every gate holds, 1 on any regression or missing row.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -66,6 +83,8 @@ func main() {
 	minWarmHit := flag.Float64("min-warm-hit-rate", 0.95, "minimum warm-restart hit rate (-cluster)")
 	churn := flag.Bool("churn", false, "gate a warm-replan artifact (microbench -churn) instead of the netsim one")
 	minWarmSpeedup := flag.Float64("min-warm-speedup", 5, "minimum warm vs cold replan speedup on link-down rows (-churn)")
+	slo := flag.Bool("slo", false, "gate open-loop rows (loadgen -open-sim) in a service artifact instead of the netsim one")
+	maxSLOGap := flag.Float64("max-slo-gap", 0.65, "maximum offered-vs-achieved gap fraction for controller-on rows (-slo)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -76,6 +95,9 @@ func main() {
 	}
 	if *churn {
 		os.Exit(gateChurn(*currentPath, *minWarmSpeedup))
+	}
+	if *slo {
+		os.Exit(gateSLO(*baselinePath, *currentPath, *maxSLOGap))
 	}
 
 	baseline, err := readRows(*baselinePath)
@@ -269,6 +291,120 @@ func gateChurn(path string, minWarmSpeedup float64) int {
 	}
 	fmt.Println("benchgate: all gates hold")
 	return 0
+}
+
+// sloRow mirrors the gated subset of loadgen's open_loop rows.
+type sloRow struct {
+	Mix            string  `json:"mix"`
+	SLO            bool    `json:"slo"`
+	GapFraction    float64 `json:"gap_fraction"`
+	Served         int     `json:"served"`
+	Shed           int     `json:"shed"`
+	Degraded       int     `json:"degraded_served"`
+	BudgetMs       float64 `json:"budget_ms"`
+	CorrectedP99Ms float64 `json:"corrected_p99_ms"`
+}
+
+// readOpenLoop returns the open_loop rows of a service artifact both raw
+// (for the byte-identity gate) and decoded (for the semantic gates).
+func readOpenLoop(path string) ([]json.RawMessage, []sloRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var a struct {
+		OpenLoop []json.RawMessage `json:"open_loop"`
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, nil, fmt.Errorf("%s: %v", path, err)
+	}
+	rows := make([]sloRow, len(a.OpenLoop))
+	for i, raw := range a.OpenLoop {
+		if err := json.Unmarshal(raw, &rows[i]); err != nil {
+			return nil, nil, fmt.Errorf("%s: open_loop[%d]: %v", path, i, err)
+		}
+	}
+	return a.OpenLoop, rows, nil
+}
+
+// gateSLO checks the open-loop rows of a service artifact against the
+// committed baseline and returns the exit status.
+func gateSLO(baselinePath, currentPath string, maxGap float64) int {
+	curRaw, cur, err := readOpenLoop(currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 1
+	}
+	baseRaw, _, err := readOpenLoop(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 1
+	}
+	failed := false
+	report := func(ok bool, format string, args ...interface{}) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s\n", status, fmt.Sprintf(format, args...))
+	}
+
+	byKey := map[string]sloRow{}
+	for _, r := range cur {
+		byKey[fmt.Sprintf("%s/slo=%v", r.Mix, r.SLO)] = r
+	}
+	for _, mix := range []string{"poisson", "bursty", "diurnal"} {
+		ctl, okCtl := byKey[mix+"/slo=true"]
+		raw, okRaw := byKey[mix+"/slo=false"]
+		if !okCtl || !okRaw {
+			report(false, "%s: missing controller-on and/or controller-off row in %s", mix, currentPath)
+			continue
+		}
+		report(ctl.BudgetMs > 0 && ctl.CorrectedP99Ms <= ctl.BudgetMs,
+			"%s: corrected p99 %.2fms within %.0fms budget", mix, ctl.CorrectedP99Ms, ctl.BudgetMs)
+		report(ctl.GapFraction <= maxGap,
+			"%s: offered-vs-achieved gap %.3f (ceiling %.3f)", mix, ctl.GapFraction, maxGap)
+		report(ctl.Degraded > 0 || ctl.Shed > 0,
+			"%s: controller engaged (degraded %d, shed %d)", mix, ctl.Degraded, ctl.Shed)
+		// Without the controller the same offered load must violate the
+		// budget, otherwise the gate proves nothing about admission.
+		report(raw.CorrectedP99Ms > ctl.BudgetMs,
+			"%s: uncontrolled corrected p99 %.2fms exceeds the %.0fms budget (load saturates)",
+			mix, raw.CorrectedP99Ms, ctl.BudgetMs)
+	}
+
+	// The simulator is a pure function of its seed: every candidate row
+	// must match the committed baseline byte for byte.
+	if len(curRaw) != len(baseRaw) {
+		report(false, "open_loop: %d rows, baseline %s has %d", len(curRaw), baselinePath, len(baseRaw))
+	} else {
+		for i := range curRaw {
+			name := fmt.Sprintf("open_loop[%d]", i)
+			if i < len(cur) {
+				name = fmt.Sprintf("%s/slo=%v", cur[i].Mix, cur[i].SLO)
+			}
+			report(compactJSON(curRaw[i]) == compactJSON(baseRaw[i]),
+				"%s: row byte-identical to baseline", name)
+		}
+	}
+
+	if failed {
+		fmt.Println("benchgate: slo gate failed — see FAIL rows above")
+		return 1
+	}
+	fmt.Println("benchgate: all gates hold")
+	return 0
+}
+
+// compactJSON normalizes whitespace so the identity gate compares values,
+// not indentation.
+func compactJSON(raw json.RawMessage) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return string(raw)
+	}
+	return buf.String()
 }
 
 func readRows(path string) (map[string]harness.NetsimBenchRow, error) {

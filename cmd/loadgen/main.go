@@ -201,18 +201,24 @@ type report struct {
 	// Churn fields cover the -churn phase: a fault/heal timeline walked
 	// through /v2/plan after the main load, with the server's replan
 	// counters (warm/cold fill split) measured over the phase alone.
-	ChurnScenario   string                  `json:"churn_scenario,omitempty"`
-	ChurnSteps      int                     `json:"churn_steps,omitempty"`
-	ChurnPasses     int                     `json:"churn_passes,omitempty"`
-	ChurnRequests   int                     `json:"churn_requests,omitempty"`
-	ChurnOK         int                     `json:"churn_ok,omitempty"`
-	ChurnReplan     *resharding.ReplanStats `json:"churn_replan,omitempty"`
-	CacheHits       int                     `json:"cache_hits"`
-	CacheMisses     int                     `json:"cache_misses"`
-	CacheEntries    int                     `json:"cache_entries"`
-	CacheEvictions  int                     `json:"cache_evictions"`
-	CacheCapacity   int                     `json:"cache_capacity"`
-	ServerCoalesced int64                   `json:"server_coalesced"`
+	ChurnScenario string                  `json:"churn_scenario,omitempty"`
+	ChurnSteps    int                     `json:"churn_steps,omitempty"`
+	ChurnPasses   int                     `json:"churn_passes,omitempty"`
+	ChurnRequests int                     `json:"churn_requests,omitempty"`
+	ChurnOK       int                     `json:"churn_ok,omitempty"`
+	ChurnReplan   *resharding.ReplanStats `json:"churn_replan,omitempty"`
+	// OpenLoop rows cover the open-loop distribution-driven mode (-open /
+	// -open-sim): per arrival mix, coordinated-omission-corrected
+	// percentiles and the offered-vs-achieved gap, with and without the
+	// SLO admission controller. Simulated rows are byte-identical across
+	// reruns with the same seed.
+	OpenLoop        []openLoopRow `json:"open_loop,omitempty"`
+	CacheHits       int           `json:"cache_hits"`
+	CacheMisses     int           `json:"cache_misses"`
+	CacheEntries    int           `json:"cache_entries"`
+	CacheEvictions  int           `json:"cache_evictions"`
+	CacheCapacity   int           `json:"cache_capacity"`
+	ServerCoalesced int64         `json:"server_coalesced"`
 }
 
 func main() {
@@ -239,6 +245,13 @@ func main() {
 	wire := flag.String("wire", "json", "wire format for /v2 responses: json or binary (binary also cross-checks one response against the JSON path)")
 	clusterMode := flag.Bool("cluster", false, "run the distributed-tier benchmark: in-process 1/2/4/8-node tiers, byte-identity + cross-node singleflight checks, warm-restart hit rate (writes BENCH_cluster.json)")
 	clusterWindow := flag.Duration("cluster-measure", 3*time.Second, "measured window per node count in -cluster mode")
+	open := flag.Bool("open", false, "open-loop mode: distribution-driven agents dispatch /v2/plan on a fixed schedule and report coordinated-omission-corrected percentiles")
+	openSim := flag.Bool("open-sim", false, "deterministic open-loop simulation: replay the arrival schedule through a serve-path model with the real SLO controller on a simulated clock (byte-identical BENCH rows per seed)")
+	openMix := flag.String("open-mix", "poisson,bursty,diurnal", "comma-separated arrival mixes for open-loop modes (-open uses the first)")
+	openRate := flag.Float64("open-rate", 40000, "total offered arrival rate (requests per second) in open-loop modes")
+	openAgents := flag.Int("open-agents", 1600, "open-loop agents (each owns one connection and a derived-seed arrival stream)")
+	openDur := flag.Duration("open-duration", 2*time.Second, "open-loop schedule horizon")
+	sloBudget := flag.Duration("slo-budget", 25*time.Millisecond, "p99 budget for the SLO admission controller (-open-sim rows; -open -smoke server)")
 	flag.Parse()
 	if *spread < 1 {
 		*spread = 1
@@ -247,14 +260,24 @@ func main() {
 		runClusterBench(*jsonPath, *clusterWindow)
 		return
 	}
+	if *openSim {
+		runOpenSimMode(*jsonPath, parseMixes(*openMix), *openRate, *openAgents, *openDur, uint64(*seed), *sloBudget)
+		return
+	}
 
 	base := *addr
 	var srv *alpacomm.PlanServer
 	if *smoke {
-		srv = alpacomm.NewPlanServer(alpacomm.PlanServerConfig{
+		cfg := alpacomm.PlanServerConfig{
 			Cache:     alpacomm.NewLRUReshardCache(*smokeCapacity),
 			PlanQueue: 256,
-		})
+		}
+		if *open {
+			// Open-loop smoke exists to exercise the admission controller
+			// under distribution-driven load.
+			cfg.SLO = &service.SLOConfig{P99Budget: *sloBudget}
+		}
+		srv = alpacomm.NewPlanServer(cfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fail("listen: %v", err)
@@ -263,7 +286,9 @@ func main() {
 		go func() { _ = (&http.Server{Handler: srv}).Serve(ln) }()
 		base = "http://" + ln.Addr().String()
 		*verify = true
-		if *jsonPath == "" {
+		// Open-loop live rows are wall-clock measurements; never merge
+		// them into the committed deterministic report by default.
+		if *jsonPath == "" && !*open {
 			*jsonPath = "BENCH_service.json"
 		}
 		fmt.Printf("loadgen: smoke server on %s (cache capacity %d)\n", base, *smokeCapacity)
@@ -293,6 +318,18 @@ func main() {
 		// One cross-format sanity check before the load: the same request
 		// served over JSON and binary must decode identically.
 		verifyWireParity(ctx, base, client, mix[0])
+	}
+
+	if *open {
+		mixName := parseMixes(*openMix)[0]
+		fmt.Printf("loadgen: open loop: %s mix, %d agents, %.0f offered rps for %v against %s\n",
+			mixName, *openAgents, *openRate, *openDur, base)
+		row := runOpenLive(ctx, client, mixName, *openRate, *openAgents, *openDur, uint64(*seed), *sloBudget)
+		if *jsonPath != "" {
+			mergeOpenRows(*jsonPath, []openLoopRow{row})
+			fmt.Printf("open-loop row merged into %s\n", *jsonPath)
+		}
+		return
 	}
 
 	deadline := time.Time{}
@@ -408,6 +445,14 @@ func main() {
 	}
 
 	if *jsonPath != "" {
+		// Closed-loop and open-loop runs share the artifact: carry any
+		// committed open_loop rows forward, mirroring mergeOpenRows.
+		if prev, err := os.ReadFile(*jsonPath); err == nil {
+			var old report
+			if json.Unmarshal(prev, &old) == nil {
+				rep.OpenLoop = old.OpenLoop
+			}
+		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fail("marshal report: %v", err)

@@ -1,0 +1,593 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	alpacomm "alpacomm"
+	"alpacomm/internal/loadmodel"
+	"alpacomm/internal/service"
+)
+
+// Open-loop load generation. The closed loop in main.go sends the next
+// request when the previous response lands, so a slow server throttles
+// its own load and the measured percentiles flatter it — coordinated
+// omission. The open loop fixes the schedule first: every request gets an
+// intended start time drawn from a seeded arrival process
+// (internal/loadmodel), agents dispatch on that schedule no matter how
+// the server is doing, and latency is measured from the intended start.
+//
+// Two modes share the machinery:
+//
+//   - -open drives a real server over HTTP: many lightweight agents, one
+//     connection each, dispatching /v2/plan requests on their private
+//     arrival streams (per-agent derived seeds make the fleet shardable).
+//   - -open-sim replays the same arrival streams through a discrete-event
+//     model of the serve path — fixed worker pool, FIFO queue, cache-hit
+//     fraction, and the *real* service.SLOController on a simulated
+//     clock. No wall time, no goroutines: the run is a pure function of
+//     its seed, so the BENCH rows are byte-identical across reruns and CI
+//     can gate on them exactly.
+
+// openLoopRow is one open-loop measurement in BENCH_service.json.
+type openLoopRow struct {
+	Mix    string `json:"mix"` // poisson | bursty | diurnal
+	SLO    bool   `json:"slo"` // admission controller enabled
+	Agents int    `json:"agents"`
+	Seed   uint64 `json:"seed"`
+	// OfferedRPS is the scheduled arrival rate; AchievedRPS counts
+	// responses served within the run horizon. GapFraction is the
+	// offered-vs-achieved shortfall (0 = the server kept up).
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	GapFraction float64 `json:"gap_fraction"`
+	Offered     int     `json:"offered"`
+	Served      int     `json:"served"`
+	Shed        int     `json:"shed"`
+	Degraded    int     `json:"degraded_served"`
+	BudgetMs    float64 `json:"budget_ms,omitempty"`
+	// Corrected percentiles measure from the intended start (coordinated
+	// omission corrected); naive percentiles measure from dispatch, the
+	// figure a closed-loop generator would report.
+	CorrectedP50Ms  float64 `json:"corrected_p50_ms"`
+	CorrectedP99Ms  float64 `json:"corrected_p99_ms"`
+	CorrectedP999Ms float64 `json:"corrected_p99_9_ms"`
+	NaiveP50Ms      float64 `json:"naive_p50_ms"`
+	NaiveP99Ms      float64 `json:"naive_p99_ms"`
+	NaiveP999Ms     float64 `json:"naive_p99_9_ms"`
+	// Controller counters (SLO rows only).
+	Degrades   int64 `json:"degrades,omitempty"`
+	Sheds      int64 `json:"sheds,omitempty"`
+	Recoveries int64 `json:"recoveries,omitempty"`
+}
+
+// buildProcess maps a mix name to its arrival process at the given
+// per-agent rate.
+func buildProcess(mix string, rate float64, seed uint64) loadmodel.Process {
+	switch mix {
+	case "poisson":
+		return loadmodel.NewPoisson(rate, seed)
+	case "bursty":
+		return loadmodel.StandardBursty(rate, seed)
+	case "diurnal":
+		return loadmodel.StandardDiurnal(rate, seed)
+	default:
+		fail("unknown -open-mix %q (want poisson, bursty or diurnal)", mix)
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic simulation (-open-sim)
+
+// Simulated serve-path costs. Constants, not flags: they parameterize the
+// committed BENCH rows, so changing them means regenerating the baseline.
+const (
+	simWorkers      = 8
+	simFullCost     = 8 * time.Millisecond   // full-quality planning (DFS)
+	simDegradedCost = 300 * time.Microsecond // greedy-degraded planning
+	simHitCost      = 40 * time.Microsecond  // pre-serialized cache hit
+	simHitFraction  = 0.25                   // fraction of arrivals hitting the cache
+	simWindow       = 250 * time.Millisecond // controller latency window
+	simDwell        = 50 * time.Millisecond  // controller de-escalation dwell
+	simDegradeDepth = 2 * simWorkers         // queue depth that degrades
+	simShedDepth    = 32 * simWorkers        // queue depth that sheds
+)
+
+// simParams configures one simulated run.
+type simParams struct {
+	mix     string
+	rate    float64 // total offered arrivals per second
+	agents  int
+	horizon time.Duration
+	seed    uint64
+	budget  time.Duration // 0 disables the SLO controller
+	// stall freezes service starts inside [stallStart, stallEnd): the
+	// deliberately wedged server of the coordinated-omission regression
+	// test.
+	stallStart, stallEnd time.Duration
+}
+
+// simArrival is one scheduled request: intended start plus whether it
+// hits the plan cache (drawn at schedule build time so the trace is fixed
+// before the run).
+type simArrival struct {
+	intended time.Duration
+	hit      bool
+}
+
+// simComplete is a queued completion event.
+type simComplete struct {
+	at         time.Duration
+	agent      int
+	intended   time.Duration
+	dispatched time.Duration
+}
+
+// simQueued is one request waiting for a worker.
+type simQueued struct {
+	agent      int
+	intended   time.Duration
+	dispatched time.Duration
+	cost       time.Duration
+}
+
+// simClock adapts simulated time to the controller's injected clock.
+type simClock struct{ now time.Duration }
+
+func (c *simClock) time() time.Time { return time.Unix(0, 0).Add(c.now) }
+
+// openSim is the discrete-event state: per-agent arrival streams with one
+// connection each, a worker pool with FIFO queue, and the real admission
+// controller.
+type openSim struct {
+	p   simParams
+	arr [][]simArrival
+	nxt []int
+	bsy []bool
+
+	clk *simClock
+	ctl *service.SLOController
+
+	running int
+	queue   []simQueued
+	qhead   int
+
+	completions []simComplete // min-heap by (at, agent)
+
+	served, shed, degraded int
+	servedInHorizon        int
+	corrected, naive       []float64 // seconds
+}
+
+// runOpenSim executes one simulated run and returns its BENCH row.
+func runOpenSim(p simParams) openLoopRow {
+	s := &openSim{p: p, clk: &simClock{}}
+	if p.budget > 0 {
+		s.ctl = service.NewSLOController(service.SLOConfig{
+			P99Budget:    p.budget,
+			Window:       simWindow,
+			Dwell:        simDwell,
+			EvalEvery:    -1, // re-evaluate every Admit: decisions depend only on the trace
+			DegradeDepth: simDegradeDepth,
+			ShedDepth:    simShedDepth,
+		}, s.clk.time)
+	}
+
+	// Build the full schedule up front: per-agent streams from derived
+	// seeds, cache-hit draws from an independent derived stream.
+	perAgent := p.rate / float64(p.agents)
+	offered := 0
+	s.arr = make([][]simArrival, p.agents)
+	s.nxt = make([]int, p.agents)
+	s.bsy = make([]bool, p.agents)
+	type arrivalEvent struct {
+		at    time.Duration
+		agent int
+		idx   int
+	}
+	var events []arrivalEvent
+	for a := 0; a < p.agents; a++ {
+		proc := buildProcess(p.mix, perAgent, loadmodel.DeriveSeed(p.seed, a))
+		hits := rand.New(rand.NewSource(int64(loadmodel.DeriveSeed(p.seed+1, a))))
+		for _, off := range loadmodel.Offsets(proc, p.horizon) {
+			s.arr[a] = append(s.arr[a], simArrival{intended: off, hit: hits.Float64() < simHitFraction})
+			events = append(events, arrivalEvent{at: off, agent: a, idx: len(s.arr[a]) - 1})
+			offered++
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].agent < events[j].agent
+	})
+
+	// Event loop: completions and arrivals merged in time order,
+	// completions first on ties so freed workers and agents are visible
+	// to same-instant arrivals.
+	ei := 0
+	for ei < len(events) || len(s.completions) > 0 {
+		if len(s.completions) > 0 &&
+			(ei == len(events) || s.completions[0].at <= events[ei].at) {
+			s.complete(s.popCompletion())
+			continue
+		}
+		ev := events[ei]
+		ei++
+		if !s.bsy[ev.agent] && ev.idx == s.nxt[ev.agent] {
+			s.agentNext(ev.at, ev.agent)
+		}
+	}
+
+	sort.Float64s(s.corrected)
+	sort.Float64s(s.naive)
+	horizonSec := p.horizon.Seconds()
+	row := openLoopRow{
+		Mix:             p.mix,
+		SLO:             p.budget > 0,
+		Agents:          p.agents,
+		Seed:            p.seed,
+		Offered:         offered,
+		OfferedRPS:      float64(offered) / horizonSec,
+		AchievedRPS:     float64(s.servedInHorizon) / horizonSec,
+		Served:          s.served,
+		Shed:            s.shed,
+		Degraded:        s.degraded,
+		BudgetMs:        float64(p.budget) / float64(time.Millisecond),
+		CorrectedP50Ms:  percentileMillis(s.corrected, 50),
+		CorrectedP99Ms:  percentileMillis(s.corrected, 99),
+		CorrectedP999Ms: percentileMillis(s.corrected, 99.9),
+		NaiveP50Ms:      percentileMillis(s.naive, 50),
+		NaiveP99Ms:      percentileMillis(s.naive, 99),
+		NaiveP999Ms:     percentileMillis(s.naive, 99.9),
+	}
+	if row.OfferedRPS > 0 {
+		row.GapFraction = 1 - row.AchievedRPS/row.OfferedRPS
+	}
+	if s.ctl != nil {
+		st := s.ctl.Snapshot()
+		row.Degrades, row.Sheds, row.Recoveries = st.Degrades, st.Sheds, st.Recoveries
+	}
+	return row
+}
+
+// agentNext dispatches the agent's due arrivals in order until one is in
+// flight (the agent's single connection is busy) or none are due. Shed
+// requests finish instantly, so a backlog built up behind a stall can
+// drain several arrivals at one instant.
+func (s *openSim) agentNext(now time.Duration, a int) {
+	for s.nxt[a] < len(s.arr[a]) && s.arr[a][s.nxt[a]].intended <= now {
+		r := s.arr[a][s.nxt[a]]
+		s.nxt[a]++
+		if s.dispatch(now, a, r) {
+			s.bsy[a] = true
+			return
+		}
+	}
+	s.bsy[a] = false
+}
+
+// dispatch admits one request exactly as the /v2 handler does: cache hits
+// always serve, degraded mode swaps the planning cost, shed mode rejects
+// misses. Reports whether the request occupies the agent's connection.
+func (s *openSim) dispatch(now time.Duration, a int, r simArrival) bool {
+	mode := service.AdmitFull
+	if s.ctl != nil {
+		s.clk.now = now
+		mode = s.ctl.Admit(s.running + len(s.queue) - s.qhead)
+	}
+	var cost time.Duration
+	switch {
+	case r.hit:
+		cost = simHitCost
+	case mode == service.AdmitShed:
+		s.shed++
+		s.ctl.NoteShed(false)
+		return false
+	case mode == service.AdmitDegraded:
+		cost = simDegradedCost
+		s.degraded++
+		s.ctl.NoteDegraded()
+	default:
+		cost = simFullCost
+	}
+	if s.running < simWorkers {
+		s.running++
+		s.pushCompletion(simComplete{
+			at: s.stallAdjust(now) + cost, agent: a, intended: r.intended, dispatched: now,
+		})
+	} else {
+		s.queue = append(s.queue, simQueued{agent: a, intended: r.intended, dispatched: now, cost: cost})
+	}
+	return true
+}
+
+// complete retires one served request: record both latencies, feed the
+// controller, hand the worker to the queue head, and let the agent
+// dispatch its next due arrival.
+func (s *openSim) complete(e simComplete) {
+	s.served++
+	if e.at <= s.p.horizon {
+		s.servedInHorizon++
+	}
+	s.corrected = append(s.corrected, (e.at - e.intended).Seconds())
+	s.naive = append(s.naive, (e.at - e.dispatched).Seconds())
+	if s.ctl != nil {
+		s.clk.now = e.at
+		s.ctl.Observe(e.at - e.dispatched)
+	}
+	s.running--
+	if s.qhead < len(s.queue) {
+		q := s.queue[s.qhead]
+		s.qhead++
+		if s.qhead == len(s.queue) {
+			s.queue, s.qhead = s.queue[:0], 0
+		}
+		s.running++
+		s.pushCompletion(simComplete{
+			at: s.stallAdjust(e.at) + q.cost, agent: q.agent, intended: q.intended, dispatched: q.dispatched,
+		})
+	}
+	s.agentNext(e.at, e.agent)
+}
+
+// stallAdjust delays a service start that lands inside the stall window.
+func (s *openSim) stallAdjust(t time.Duration) time.Duration {
+	if t >= s.p.stallStart && t < s.p.stallEnd {
+		return s.p.stallEnd
+	}
+	return t
+}
+
+// pushCompletion / popCompletion: a small binary min-heap ordered by
+// (time, agent) so same-instant completions retire in a fixed order.
+func (s *openSim) pushCompletion(e simComplete) {
+	h := append(s.completions, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !completionLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	s.completions = h
+}
+
+func (s *openSim) popCompletion() simComplete {
+	h := s.completions
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && completionLess(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && completionLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	s.completions = h
+	return top
+}
+
+func completionLess(a, b simComplete) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.agent < b.agent
+}
+
+// runOpenSimMode runs the full simulated matrix — every mix, with and
+// without the controller — and merges the rows into the report JSON.
+func runOpenSimMode(jsonPath string, mixes []string, rate float64, agents int, horizon time.Duration, seed uint64, budget time.Duration) {
+	var rows []openLoopRow
+	for _, mix := range mixes {
+		for _, b := range []time.Duration{budget, 0} {
+			p := simParams{mix: mix, rate: rate, agents: agents, horizon: horizon, seed: seed, budget: b}
+			row := runOpenSim(p)
+			rows = append(rows, row)
+			printOpenRow(row)
+		}
+	}
+	if jsonPath != "" {
+		mergeOpenRows(jsonPath, rows)
+		fmt.Printf("open-loop rows merged into %s\n", jsonPath)
+	}
+}
+
+// mergeOpenRows rewrites the report file with the open_loop section
+// replaced, preserving every closed-loop field already there. The report
+// struct is the file's only writer, so the round-trip is lossless.
+func mergeOpenRows(path string, rows []openLoopRow) {
+	var rep report
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fail("merge %s: %v", path, err)
+		}
+	}
+	rep.OpenLoop = rows
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail("marshal report: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail("write report: %v", err)
+	}
+}
+
+func printOpenRow(r openLoopRow) {
+	slo := "slo off"
+	if r.SLO {
+		slo = fmt.Sprintf("slo %gms", r.BudgetMs)
+	}
+	fmt.Printf("open-loop %-7s %-9s %5d agents  offered %7.0f/s  achieved %7.0f/s  gap %5.1f%%\n",
+		r.Mix, slo, r.Agents, r.OfferedRPS, r.AchievedRPS, 100*r.GapFraction)
+	fmt.Printf("  served %d (degraded %d, shed %d)  corrected p50/p99/p99.9 %.2f/%.2f/%.2fms  naive %.2f/%.2f/%.2fms\n",
+		r.Served, r.Degraded, r.Shed,
+		r.CorrectedP50Ms, r.CorrectedP99Ms, r.CorrectedP999Ms,
+		r.NaiveP50Ms, r.NaiveP99Ms, r.NaiveP999Ms)
+	if r.SLO {
+		fmt.Printf("  controller: %d degrades, %d sheds, %d recoveries\n", r.Degrades, r.Sheds, r.Recoveries)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Live open loop (-open)
+
+// openAgentStats is one live agent's tally.
+type openAgentStats struct {
+	served, shed, errs, degraded int
+	corrected, naive             []float64
+	firstErr                     string
+}
+
+// runOpenLive drives a real server with open-loop agents: each agent owns
+// one connection and a private arrival stream, dispatches on schedule (or
+// as soon as its connection frees, for arrivals whose intended start has
+// passed), and measures latency from the intended start.
+func runOpenLive(ctx context.Context, client *alpacomm.PlanClient, mix string, rate float64, agents int, horizon time.Duration, seed uint64, budget time.Duration) openLoopRow {
+	templates := make([]template, 0)
+	for _, t := range requestMix() {
+		if !t.autotune {
+			templates = append(templates, t)
+		}
+	}
+	perAgent := rate / float64(agents)
+	stats := make([]openAgentStats, agents)
+	offsets := make([][]time.Duration, agents)
+	offered := 0
+	for a := 0; a < agents; a++ {
+		proc := buildProcess(mix, perAgent, loadmodel.DeriveSeed(seed, a))
+		offsets[a] = loadmodel.Offsets(proc, horizon)
+		offered += len(offsets[a])
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(loadmodel.DeriveSeed(seed+1, a))))
+			out := &stats[a]
+			for _, off := range offsets[a] {
+				intended := start.Add(off)
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				t := templates[rng.Intn(len(templates))]
+				dispatched := time.Now()
+				resp, err := client.PlanV2(ctx, &alpacomm.PlanServiceRequest{
+					Topology: t.topology, Shape: t.shape, DType: t.dtype,
+					Src: t.src, Dst: t.dst,
+					Options: service.PlanOptions{Seed: 1 + int64(rng.Intn(8))},
+				})
+				now := time.Now()
+				switch err.(type) {
+				case nil:
+					out.served++
+					if resp.Degraded {
+						out.degraded++
+					}
+					out.corrected = append(out.corrected, now.Sub(intended).Seconds())
+					out.naive = append(out.naive, now.Sub(dispatched).Seconds())
+				case *service.OverloadedError:
+					// Open loop: no backoff, the schedule is the schedule.
+					out.shed++
+				default:
+					out.errs++
+					if out.firstErr == "" {
+						out.firstErr = err.Error()
+					}
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var all openAgentStats
+	for _, s := range stats {
+		all.served += s.served
+		all.shed += s.shed
+		all.errs += s.errs
+		all.degraded += s.degraded
+		all.corrected = append(all.corrected, s.corrected...)
+		all.naive = append(all.naive, s.naive...)
+		if all.firstErr == "" {
+			all.firstErr = s.firstErr
+		}
+	}
+	sort.Float64s(all.corrected)
+	sort.Float64s(all.naive)
+	row := openLoopRow{
+		Mix:             mix,
+		SLO:             true,
+		Agents:          agents,
+		Seed:            seed,
+		Offered:         offered,
+		OfferedRPS:      float64(offered) / horizon.Seconds(),
+		AchievedRPS:     float64(all.served) / elapsed,
+		Served:          all.served,
+		Shed:            all.shed,
+		Degraded:        all.degraded,
+		BudgetMs:        float64(budget) / float64(time.Millisecond),
+		CorrectedP50Ms:  percentileMillis(all.corrected, 50),
+		CorrectedP99Ms:  percentileMillis(all.corrected, 99),
+		CorrectedP999Ms: percentileMillis(all.corrected, 99.9),
+		NaiveP50Ms:      percentileMillis(all.naive, 50),
+		NaiveP99Ms:      percentileMillis(all.naive, 99),
+		NaiveP999Ms:     percentileMillis(all.naive, 99.9),
+	}
+	if row.OfferedRPS > 0 {
+		row.GapFraction = 1 - row.AchievedRPS/row.OfferedRPS
+	}
+	if all.errs > 0 {
+		fmt.Printf("open-loop: %d request errors (first: %s)\n", all.errs, all.firstErr)
+	}
+	printOpenRow(row)
+	if all.errs > 0 || all.served == 0 {
+		fail("open-loop live run failed: %d errors, %d served", all.errs, all.served)
+	}
+	return row
+}
+
+// parseMixes splits the -open-mix list and validates every entry.
+func parseMixes(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		switch m {
+		case "poisson", "bursty", "diurnal":
+			out = append(out, m)
+		default:
+			fail("unknown mix %q in -open-mix (want poisson, bursty or diurnal)", m)
+		}
+	}
+	if len(out) == 0 {
+		fail("-open-mix selects no mixes")
+	}
+	return out
+}

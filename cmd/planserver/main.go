@@ -1,7 +1,12 @@
 // Command planserver runs the plan-serving daemon: an HTTP+JSON API that
 // plans, simulates and autotunes cross-mesh reshardings against named
 // hardware topologies, with request coalescing, a bounded LRU plan cache
-// and per-endpoint admission control (see internal/service).
+// and per-endpoint admission control (see internal/service). With
+// -slo-p99 the /v2 endpoints additionally run SLO-aware admission: when
+// the sliding-window p99 approaches the budget the server degrades
+// planning to a greedy single-pass schedule (flagged in the response),
+// and past the budget it sheds with a structured overloaded error and
+// Retry-After.
 //
 // Example:
 //
@@ -80,6 +85,8 @@ func main() {
 	autotuneWorkers := flag.Int("autotune-workers", 0, "/v1/autotune worker pool size (0 = GOMAXPROCS/2)")
 	autotuneQueue := flag.Int("autotune-queue", 0, "/v1/autotune wait-queue depth (0 = 2x workers)")
 	retryAfter := flag.Duration("retry-after", time.Second, "backoff hint on 429 responses")
+	sloP99 := flag.Duration("slo-p99", 0,
+		"corrected p99 latency budget for SLO-aware /v2 admission (0 = fixed worker-pool gate only)")
 	nodeID := flag.String("node-id", "", "cluster node identity (empty = standalone)")
 	peersFlag := flag.String("peers", "", "cluster peers as id=url,id=url")
 	selfAddr := flag.String("self", "", "this node's advertised base URL for peer announcements")
@@ -97,7 +104,7 @@ func main() {
 	}
 
 	reg := alpacomm.DefaultTopologyRegistry()
-	srv := alpacomm.NewPlanServer(alpacomm.PlanServerConfig{
+	cfg := alpacomm.PlanServerConfig{
 		Registry:        reg,
 		Cache:           alpacomm.NewLRUReshardCache(*capacity),
 		PlanWorkers:     *planWorkers,
@@ -105,7 +112,11 @@ func main() {
 		AutotuneWorkers: *autotuneWorkers,
 		AutotuneQueue:   *autotuneQueue,
 		RetryAfter:      *retryAfter,
-	})
+	}
+	if *sloP99 > 0 {
+		cfg.SLO = &alpacomm.ServiceSLOConfig{P99Budget: *sloP99}
+	}
+	srv := alpacomm.NewPlanServer(cfg)
 
 	var handler http.Handler = srv
 	var node *alpacomm.ClusterNode
@@ -124,6 +135,9 @@ func main() {
 	fmt.Printf("planserver: listening on %s (APIs: /v1, /v2 incl. /v2/plan:batch)\n", *addr)
 	fmt.Printf("planserver: topologies: %s\n", strings.Join(reg.Names(), ", "))
 	fmt.Printf("planserver: cache capacity %d, retry-after %v\n", *capacity, *retryAfter)
+	if *sloP99 > 0 {
+		fmt.Printf("planserver: SLO admission on /v2: p99 budget %v (degrade, then shed)\n", *sloP99)
+	}
 
 	// ctx ends on the first SIGINT/SIGTERM and starts the graceful path;
 	// a second signal kills the process the default way.

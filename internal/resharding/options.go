@@ -98,6 +98,13 @@ const (
 	// SchedEnsemble: best of naive, LPT, randomized-greedy and (small
 	// problems) DFS-with-pruning — AlpaComm's configuration.
 	SchedEnsemble
+	// SchedDegraded: the search-free ensemble (best of naive, LPT and
+	// greedy-load; no DFS, no randomized trials). This is what the serving
+	// tier's SLO-aware admission controller plans with when the p99 budget
+	// is at risk: bounded, seed-independent work per request. Because the
+	// scheduler is part of CacheKey, degraded plans partition under their
+	// own cache keys and never pollute full-quality entries.
+	SchedDegraded
 )
 
 func (s Scheduler) String() string {
@@ -110,6 +117,8 @@ func (s Scheduler) String() string {
 		return "loadbalance-only"
 	case SchedEnsemble:
 		return "ensemble"
+	case SchedDegraded:
+		return "greedy-degraded"
 	default:
 		return fmt.Sprintf("scheduler(%d)", int(s))
 	}
@@ -128,8 +137,10 @@ func ParseScheduler(s string) (Scheduler, error) {
 		return SchedLoadBalanceOnly, nil
 	case "ensemble", "":
 		return SchedEnsemble, nil
+	case "greedy-degraded":
+		return SchedDegraded, nil
 	default:
-		return 0, fmt.Errorf("resharding: unknown scheduler %q (want naive, greedy-load, loadbalance, loadbalance-only or ensemble)", s)
+		return 0, fmt.Errorf("resharding: unknown scheduler %q (want naive, greedy-load, loadbalance, loadbalance-only, ensemble or greedy-degraded)", s)
 	}
 }
 

@@ -3,7 +3,6 @@ package resharding
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"alpacomm/internal/mesh"
@@ -54,9 +53,11 @@ func NewPlanContext(ctx context.Context, task *sharding.Task, opts Options) (*Pl
 	case SchedNaive:
 		hostPlan = schedule.Naive(hostTasks)
 	case SchedGreedyLoad:
-		hostPlan = greedyLoad(hostTasks)
+		hostPlan = schedule.GreedyLoad(hostTasks)
 	case SchedLoadBalanceOnly:
 		hostPlan = schedule.LoadBalanceOnly(hostTasks)
+	case SchedDegraded:
+		hostPlan = schedule.GreedyEnsemble(hostTasks)
 	case SchedEnsemble:
 		rng := rand.New(rand.NewSource(opts.Seed))
 		stop := func() bool { return ctx.Err() != nil }
@@ -178,26 +179,6 @@ func maxInterLatency(t mesh.Topology, senderHosts, recvHosts []int) float64 {
 		}
 	}
 	return max
-}
-
-// greedyLoad is the baselines' load balancing (§5.1.2): iterate unit tasks
-// in order and give each to the candidate sender host with the lowest
-// committed load.
-func greedyLoad(tasks []schedule.Task) schedule.Plan {
-	load := map[int]float64{}
-	p := schedule.Plan{Sender: map[int]int{}}
-	for _, t := range tasks {
-		best, bestLoad := -1, math.Inf(1)
-		for _, c := range t.SenderHosts {
-			if load[c] < bestLoad || (load[c] == bestLoad && c < best) {
-				best, bestLoad = c, load[c]
-			}
-		}
-		p.Sender[t.ID] = best
-		load[best] += t.Duration
-		p.Order = append(p.Order, t.ID)
-	}
-	return p
 }
 
 // HostMakespan returns the Eq. 1-3 objective value of the host-level plan,

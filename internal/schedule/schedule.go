@@ -200,6 +200,38 @@ func LoadBalanceOnly(tasks []Task) Plan {
 	return p
 }
 
+// GreedyLoad assigns each task, in input order, to the candidate sender
+// with the lowest committed load (ties to the lower host id) — the
+// input-order counterpart of LoadBalanceOnly, matching the baseline
+// systems' load balancing (§5.1.2). It is cheap enough to run per task
+// on the serving hot path.
+func GreedyLoad(tasks []Task) Plan {
+	load := map[int]float64{}
+	p := Plan{Sender: map[int]int{}}
+	for _, t := range tasks {
+		best, bestLoad := -1, math.Inf(1)
+		for _, c := range t.SenderHosts {
+			if load[c] < bestLoad || (load[c] == bestLoad && c < best) {
+				best, bestLoad = c, load[c]
+			}
+		}
+		p.Sender[t.ID] = best
+		load[best] += t.Duration
+		p.Order = append(p.Order, t.ID)
+	}
+	return p
+}
+
+// GreedyEnsemble is the search-free companion of Ensemble: the best of
+// Naive, LoadBalanceOnly and GreedyLoad by list-scheduled makespan. No
+// DFS, no randomized trials, no RNG — O(n log n) and deterministic
+// without a seed. This is the plan quality an overloaded server can
+// afford while defending its latency SLO: the admission controller's
+// degraded mode plans with it instead of the ensemble DFS.
+func GreedyEnsemble(tasks []Task) Plan {
+	return bestOf(tasks, []Plan{Naive(tasks), LoadBalanceOnly(tasks), GreedyLoad(tasks)})
+}
+
 // DFSPruning searches jointly over sender assignments and launch orders
 // with depth-first search, pruning branches whose lower bound (current
 // makespan, or any host's committed send load plus unavoidable future
@@ -609,6 +641,13 @@ func ensemble(tasks []Task, dfs func([]Task) Plan, trials int, rng *rand.Rand, e
 		candidates = append(candidates, dfs(tasks))
 	}
 	candidates = append(candidates, extra...)
+	return bestOf(tasks, candidates)
+}
+
+// bestOf returns the candidate with the smallest list-scheduled makespan,
+// ties breaking toward the earlier candidate; invalid candidates are
+// skipped by the makespan evaluation.
+func bestOf(tasks []Task, candidates []Plan) Plan {
 	best := candidates[0]
 	bestSpan := math.Inf(1)
 	for _, c := range candidates {

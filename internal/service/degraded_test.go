@@ -1,0 +1,293 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Server-level admission tests: degraded responses are flagged on the
+// wire, partition under their own cache keys, and are never served to a
+// client that required full quality. The controller runs on a fakeClock
+// with huge latency budgets, so the real (microsecond) serve latencies the
+// handler observes can never move the state machine — only the scripted
+// samples do.
+
+// slowSLOConfig is the server-test controller config: a 10s budget keeps
+// real latencies irrelevant, the hour-long window and dwell freeze the
+// forced mode, and the depth thresholds are out of reach.
+func slowSLOConfig() SLOConfig {
+	return SLOConfig{
+		P99Budget:    10 * time.Second,
+		Window:       time.Hour,
+		MinSamples:   4,
+		Dwell:        time.Hour,
+		EvalEvery:    -1,
+		DegradeDepth: 1 << 20,
+		ShedDepth:    1 << 21,
+	}
+}
+
+func newSLOTestServer(t *testing.T, cfg SLOConfig) (*Client, *SLOController, *fakeClock, string) {
+	t.Helper()
+	s := New(Config{})
+	clk := newFakeClock()
+	ctl := NewSLOController(cfg, clk.now)
+	s.SetSLOController(ctl)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, nil), ctl, clk, ts.URL
+}
+
+// forceMode drives the controller into the target mode with scripted
+// observations; lat should sit in the target's latency band.
+func forceMode(t *testing.T, ctl *SLOController, target AdmissionMode, lat time.Duration) {
+	t.Helper()
+	observeN(ctl, 32, lat)
+	for i := 0; i < 2 && ctl.Mode() != target; i++ {
+		ctl.Admit(0)
+	}
+	if got := ctl.Mode(); got != target {
+		t.Fatalf("could not force mode %v, controller is %v", target, got)
+	}
+}
+
+// rawPlanV2 posts the request without the client wrapper so the test can
+// read the admission header off the raw response.
+func rawPlanV2(t *testing.T, url string, req *PlanRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v2/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestDegradedPartitionAndQuality walks a server through
+// full→degraded→shed and pins the satellite-4 contract at each step:
+// degraded responses are flagged and keyed apart, full-quality cache
+// entries stay clean and servable, and "quality":"full" clients are shed
+// rather than answered with a degraded plan.
+func TestDegradedPartitionAndQuality(t *testing.T) {
+	client, ctl, _, url := newSLOTestServer(t, slowSLOConfig())
+	ctx := context.Background()
+
+	// Healthy baseline: full-quality plan, no degraded flag.
+	respFull, err := client.PlanV2(ctx, testReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respFull.Degraded {
+		t.Fatal("healthy response marked degraded")
+	}
+
+	forceMode(t, ctl, AdmitDegraded, 8*time.Second)
+
+	// A miss in degraded mode is planned by the search-free scheduler,
+	// flagged, and keyed apart from every full-quality entry.
+	respD, err := client.PlanV2(ctx, testReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !respD.Degraded {
+		t.Fatal("degraded-mode miss not marked degraded")
+	}
+	if respD.Scheduler != "greedy-degraded" {
+		t.Fatalf("degraded scheduler = %q, want greedy-degraded", respD.Scheduler)
+	}
+	if respD.Key == respFull.Key {
+		t.Fatalf("degraded plan shares the full-quality cache key %q", respD.Key)
+	}
+
+	// Degraded fills normalize the search knobs away: another seed of the
+	// same boundary lands on the same degraded key.
+	respD2, err := client.PlanV2(ctx, testReq(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !respD2.Degraded || respD2.Key != respD.Key {
+		t.Fatalf("degraded twin key = %q (degraded=%v), want shared key %q",
+			respD2.Key, respD2.Degraded, respD.Key)
+	}
+
+	// The wire surfaces the decision: admission header on a degraded
+	// response.
+	raw := rawPlanV2(t, url, testReq(2))
+	if got := raw.Header.Get(AdmissionHeader); got != "degraded" {
+		t.Fatalf("%s = %q on degraded response, want degraded", AdmissionHeader, got)
+	}
+
+	// A full-quality cache hit is served untouched whatever the mode.
+	hit, err := client.PlanV2(ctx, testReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Degraded || hit.Key != respFull.Key {
+		t.Fatalf("cached full-quality hit degraded=%v key=%q, want clean %q",
+			hit.Degraded, hit.Key, respFull.Key)
+	}
+
+	// A client that requires full quality is never answered degraded: an
+	// uncached boundary is shed...
+	reqFullQ := testReq(4)
+	reqFullQ.Options.Quality = "full"
+	var oe *OverloadedError
+	if _, err := client.PlanV2(ctx, reqFullQ); !errors.As(err, &oe) {
+		t.Fatalf("quality=full miss under degrade: err = %v, want OverloadedError", err)
+	}
+
+	// ...but its cached full-quality entry is still served.
+	reqFullQ1 := testReq(1)
+	reqFullQ1.Options.Quality = "full"
+	hitFullQ, err := client.PlanV2(ctx, reqFullQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hitFullQ.Degraded || hitFullQ.Key != respFull.Key {
+		t.Fatalf("quality=full cache hit degraded=%v key=%q, want clean %q",
+			hitFullQ.Degraded, hitFullQ.Key, respFull.Key)
+	}
+
+	// Shed mode: cached degraded plans still flow to clients that accept
+	// them...
+	forceMode(t, ctl, AdmitShed, 11*time.Second)
+	shedHit, err := client.PlanV2(ctx, testReq(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shedHit.Degraded || shedHit.Key != respD.Key {
+		t.Fatalf("shed-mode degraded hit degraded=%v key=%q, want %q",
+			shedHit.Degraded, shedHit.Key, respD.Key)
+	}
+
+	// ...while a boundary cached nowhere is rejected with the structured
+	// overloaded envelope and a Retry-After.
+	fresh := testReq(6)
+	fresh.Shape = []int{128, 96}
+	if _, err := client.PlanV2(ctx, fresh); !errors.As(err, &oe) {
+		t.Fatalf("shed-mode miss: err = %v, want OverloadedError", err)
+	}
+	rawShed := rawPlanV2(t, url, fresh)
+	if rawShed.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429", rawShed.StatusCode)
+	}
+	if got := rawShed.Header.Get(AdmissionHeader); got != "shed" {
+		t.Fatalf("%s = %q on shed response, want shed", AdmissionHeader, got)
+	}
+	if rawShed.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	// The stats block accounts for all of it.
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := stats.Admission
+	if a == nil {
+		t.Fatal("stats missing admission block")
+	}
+	if a.Mode != "shed" {
+		t.Fatalf("admission mode = %q, want shed", a.Mode)
+	}
+	if a.DegradedServed < 3 || a.ShedRequests < 2 || a.FullQualityShed < 1 {
+		t.Fatalf("admission counters = %d/%d/%d served/shed/full-shed, want ≥ 3/2/1",
+			a.DegradedServed, a.ShedRequests, a.FullQualityShed)
+	}
+	if len(a.Transitions) == 0 {
+		t.Fatal("admission stats missing transition log")
+	}
+}
+
+// TestDegradedRecoveryRestoresFullQuality pins the back edge: once the
+// window drains and the dwell passes, the same boundary that was planned
+// degraded is re-planned at full quality under its original key.
+func TestDegradedRecoveryRestoresFullQuality(t *testing.T) {
+	cfg := slowSLOConfig()
+	cfg.Window = 100 * time.Millisecond
+	cfg.Dwell = 50 * time.Millisecond
+	client, ctl, clk, _ := newSLOTestServer(t, cfg)
+	ctx := context.Background()
+
+	forceMode(t, ctl, AdmitDegraded, 8*time.Second)
+	respD, err := client.PlanV2(ctx, testReq(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !respD.Degraded {
+		t.Fatal("degraded-mode plan not marked degraded")
+	}
+
+	// The scripted samples age out of the 100ms window and the dwell
+	// passes: the next request recovers to full and plans at full quality.
+	clk.advance(time.Second)
+	respF, err := client.PlanV2(ctx, testReq(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Mode() != AdmitFull {
+		t.Fatalf("controller mode after recovery = %v, want full", ctl.Mode())
+	}
+	if respF.Degraded || respF.Scheduler == "greedy-degraded" {
+		t.Fatalf("post-recovery plan degraded=%v scheduler=%q, want full quality",
+			respF.Degraded, respF.Scheduler)
+	}
+	if respF.Key == respD.Key {
+		t.Fatal("post-recovery plan served from the degraded cache entry")
+	}
+}
+
+// TestDegradedBinaryFlag pins the wire parity: the degraded flag survives
+// the binary frame and the binary body matches the JSON body.
+func TestDegradedBinaryFlag(t *testing.T) {
+	s := New(Config{})
+	clk := newFakeClock()
+	ctl := NewSLOController(slowSLOConfig(), clk.now)
+	s.SetSLOController(ctl)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	jsonClient := NewClient(ts.URL, nil)
+	binClient := NewClient(ts.URL, nil, WithBinary())
+	ctx := context.Background()
+
+	forceMode(t, ctl, AdmitDegraded, 8*time.Second)
+	respJSON, err := jsonClient.PlanV2(ctx, testReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respBin, err := binClient.PlanV2(ctx, testReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !respJSON.Degraded || !respBin.Degraded {
+		t.Fatalf("degraded flag json=%v bin=%v, want true/true", respJSON.Degraded, respBin.Degraded)
+	}
+	if respBin.Key != respJSON.Key || respBin.Scheduler != respJSON.Scheduler {
+		t.Fatalf("binary response diverges: key %q vs %q, scheduler %q vs %q",
+			respBin.Key, respJSON.Key, respBin.Scheduler, respJSON.Scheduler)
+	}
+}
+
+// TestV1UnaffectedByAdmission pins the blast radius: the controller only
+// guards /v2/plan; the v1 endpoint plans at full quality regardless.
+func TestV1UnaffectedByAdmission(t *testing.T) {
+	client, ctl, _, _ := newSLOTestServer(t, slowSLOConfig())
+	forceMode(t, ctl, AdmitDegraded, 8*time.Second)
+	resp, err := client.Plan(context.Background(), testReq(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Fatal("v1 response marked degraded")
+	}
+}

@@ -140,6 +140,7 @@ func newEncodedPlan(plan *resharding.Plan, sim *resharding.SimResult,
 		EffectiveGbps:   sim.EffectiveGbps,
 		NumOps:          sim.NumOps,
 		Key:             key,
+		Degraded:        opts.Scheduler == resharding.SchedDegraded,
 	}
 	full, err := json.Marshal(resp)
 	if err != nil {
@@ -293,6 +294,8 @@ func appendMemoKey(b []byte, ref TopologyRef, shape []int, dtype string, src, ds
 	b = strconv.AppendInt(b, int64(po.Trials), 10)
 	b = append(b, ',')
 	b = strconv.AppendInt(b, po.Seed, 10)
+	b = append(b, 0)
+	b = append(b, po.Quality...)
 	return b
 }
 

@@ -75,6 +75,12 @@ type PlanOptions struct {
 	DFSNodes  int    `json:"dfs_nodes,omitempty"`
 	Trials    int    `json:"trials,omitempty"`
 	Seed      int64  `json:"seed,omitempty"`
+	// Quality states what the client accepts under SLO admission control:
+	// "" or "auto" accepts a degraded (search-free) plan when the server
+	// is defending its p99 budget; "full" insists on full-quality planning
+	// — such a request is served full quality or shed, never degraded. It
+	// does not affect the plan or cache key of a full-quality response.
+	Quality string `json:"quality,omitempty"`
 }
 
 // PlanRequest asks for one cross-mesh resharding plan.
@@ -112,6 +118,13 @@ type PlanResponse struct {
 	// Key is the canonical cache key of the problem, for client-side
 	// dedup accounting.
 	Key string `json:"key"`
+	// Degraded reports that the plan was computed with the search-free
+	// degraded scheduler — the SLO admission controller traded plan
+	// quality for latency (or the client asked for "greedy-degraded"
+	// outright). Degraded plans live under their own cache keys.
+	// Declared before Coalesced so it lands inside the pre-serialized
+	// jsonTail slice; appendJSON patches Coalesced after it.
+	Degraded bool `json:"degraded,omitempty"`
 	// Coalesced reports that this response was shared from another
 	// client's identical in-flight request rather than computed (or looked
 	// up) for this one.
@@ -203,6 +216,9 @@ type StatsResponse struct {
 	// Cluster is the per-node tier block — identity, ring share, routing
 	// and verified-fill counters; nil on a standalone server.
 	Cluster *ClusterNodeStats `json:"cluster,omitempty"`
+	// Admission is the SLO admission controller's block — mode, windowed
+	// p99 estimate, transition counters; nil when SLO admission is off.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 // MaxFaultEntries bounds one request's explicit fault list: like every
@@ -351,6 +367,11 @@ func planOptions(po PlanOptions) (resharding.Options, error) {
 	}
 	if po.Chunks < 0 || po.DFSNodes < 0 || po.Trials < 0 {
 		return opts, fmt.Errorf("negative plan option")
+	}
+	switch po.Quality {
+	case "", "auto", "full":
+	default:
+		return opts, fmt.Errorf("unknown quality %q (want auto or full)", po.Quality)
 	}
 	if po.Chunks > MaxChunks || po.Trials > MaxTrials || po.DFSNodes > MaxDFSNodes {
 		return opts, fmt.Errorf("plan option beyond server bound (chunks <= %d, trials <= %d, dfs_nodes <= %d)",

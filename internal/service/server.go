@@ -105,6 +105,11 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429 responses;
 	// 0 = 1 second.
 	RetryAfter time.Duration
+	// SLO enables the SLO-aware admission controller on /v2/plan: the
+	// server observes served latencies and degrades (search-free plans)
+	// then sheds (structured overloaded) when the p99 budget is at risk.
+	// Nil — or a zero P99Budget — leaves only the fixed worker pools.
+	SLO *SLOConfig
 }
 
 // Server implements the plan-serving HTTP API. Create with New; it is an
@@ -126,9 +131,12 @@ type Server struct {
 	// can be coalesced or queued: topology construction, task
 	// decomposition and cache-key rendering. Without it that work would
 	// run with one goroutine per connection, outside any backpressure.
-	intake     *admission
-	plan       *admission
-	autotune   *admission
+	intake   *admission
+	plan     *admission
+	autotune *admission
+	// slo, when set, is the SLO-aware admission controller consulted by
+	// /v2/plan ahead of the worker pools; nil = fixed pools only.
+	slo        *SLOController
 	planC      endpointCounters
 	autotuneC  endpointCounters
 	batchC     endpointCounters
@@ -157,7 +165,7 @@ func New(cfg Config) *Server {
 		cfg.AutotuneCache = resharding.NewLRUPlanCache(cfg.Cache.Capacity())
 	}
 	if cfg.PlanWorkers <= 0 {
-		cfg.PlanWorkers = runtime.GOMAXPROCS(0)
+		cfg.PlanWorkers = defaultPlanWorkers()
 	}
 	if cfg.PlanQueue <= 0 {
 		cfg.PlanQueue = 4 * cfg.PlanWorkers
@@ -203,6 +211,9 @@ func New(cfg Config) *Server {
 		retryAfter:    cfg.RetryAfter,
 		mux:           http.NewServeMux(),
 	}
+	if cfg.SLO != nil && cfg.SLO.P99Budget > 0 {
+		s.slo = NewSLOController(cfg.SLO.withDefaults(cfg.PlanWorkers, cfg.PlanQueue), nil)
+	}
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/autotune", s.handleAutotune)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -224,8 +235,30 @@ func (s *Server) Cache() *resharding.PlanCache { return s.cache }
 // searches.
 func (s *Server) AutotuneCache() *resharding.PlanCache { return s.autotuneCache }
 
+// SetSLOController replaces the server's admission controller; nil
+// disables SLO admission. Call before serving traffic. Deterministic
+// tests and the loadgen simulator inject a controller built on a
+// synthetic clock here; production servers configure Config.SLO instead.
+func (s *Server) SetSLOController(c *SLOController) { s.slo = c }
+
+// SLOController returns the server's admission controller, nil when SLO
+// admission is disabled.
+func (s *Server) SLOController() *SLOController { return s.slo }
+
+// defaultPlanWorkers is the plan-pool width when Config leaves it unset.
+func defaultPlanWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // errOverloaded marks an admission rejection; mapped to 429.
 var errOverloaded = errors.New("service: worker pool and queue full")
+
+// errSLOShed marks a request shed by the SLO controller; mapped to 429
+// like errOverloaded, but distinguishable in logs and tests.
+var errSLOShed = errors.New("service: shedding load to protect the p99 SLO budget")
+
+// AdmissionHeader reports the SLO controller's decision on /v2/plan
+// responses it affected: "degraded" on a response planned at degraded
+// quality, "shed" on a 429 it produced. Absent on full-quality responses.
+const AdmissionHeader = "X-Alpacomm-Admission"
 
 // errFaultsNeedV2 rejects a faults block on a /v1 endpoint: degraded
 // planning is a /v2 feature (structured errors can name the bad fault).
@@ -386,16 +419,8 @@ type planned struct {
 // fromKey instead of searching from scratch (Planner.PlanKeyedWarm);
 // fromTask nil plans cold exactly as before.
 func (s *Server) computePlan(ctx context.Context, cacheKey string, task *sharding.Task, opts resharding.Options, wireReq *PlanRequest, forwarded bool, fromKey string, fromTask *sharding.Task) (*planned, bool, error) {
-	if plan, sim, att, ok := s.cache.LookupKeyedAttachment(cacheKey); ok {
-		enc, _ := att.(*encodedPlan)
-		if enc == nil {
-			// The entry predates this server's fills (shared cache) or the
-			// attach raced an eviction: serialize now so the next hit is
-			// free.
-			enc = newEncodedPlan(plan, sim, opts, cacheKey)
-			s.cache.Attach(cacheKey, enc)
-		}
-		return &planned{plan: plan, sim: sim, enc: enc}, false, nil
+	if p, ok := s.cachedPlan(cacheKey, opts); ok {
+		return p, false, nil
 	}
 	if s.router != nil && wireReq != nil && !forwarded {
 		if owner, local := s.router.Route(cacheKey); !local {
@@ -443,6 +468,23 @@ func (s *Server) computePlan(ctx context.Context, cacheKey string, task *shardin
 		return nil, shared, err
 	}
 	return v.(*planned), shared, nil
+}
+
+// cachedPlan returns the completed cache entry for the key, ensuring its
+// pre-serialized sidecar exists. An entry without one predates this
+// server's fills (shared cache) or its attach raced an eviction; it is
+// serialized now so the next hit is free.
+func (s *Server) cachedPlan(cacheKey string, opts resharding.Options) (*planned, bool) {
+	plan, sim, att, ok := s.cache.LookupKeyedAttachment(cacheKey)
+	if !ok {
+		return nil, false
+	}
+	enc, _ := att.(*encodedPlan)
+	if enc == nil {
+		enc = newEncodedPlan(plan, sim, opts, cacheKey)
+		s.cache.Attach(cacheKey, enc)
+	}
+	return &planned{plan: plan, sim: sim, enc: enc}, true
 }
 
 // isPeerRequest reports whether the request came from another tier node
@@ -553,6 +595,7 @@ func (s *Server) planResponse(plan *resharding.Plan, sim *resharding.SimResult,
 		EffectiveGbps:   sim.EffectiveGbps,
 		NumOps:          sim.NumOps,
 		Key:             cacheKey,
+		Degraded:        opts.Scheduler == resharding.SchedDegraded,
 		Coalesced:       shared,
 	}
 }
@@ -674,6 +717,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cs.ProxyFallbacks = s.proxyFallbackC.Load()
 		resp.Cluster = &cs
 	}
+	if s.slo != nil {
+		a := s.slo.Snapshot()
+		resp.Admission = &a
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -753,7 +800,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst interface{},
 // an error class. Everything else is 422 (the request parsed but cannot
 // be planned).
 func (s *Server) failCompute(w http.ResponseWriter, c *endpointCounters, err error) {
-	if errors.Is(err, errOverloaded) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, errOverloaded) || errors.Is(err, errSLOShed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		c.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.retryAfter)))
 		writeError(w, http.StatusTooManyRequests, err)

@@ -142,7 +142,7 @@ func (s *Server) v2Error(ctx context.Context, err error) (int, V2Error) {
 	var bad *badRequestError
 	ctxErr := errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 	switch {
-	case errors.Is(err, errOverloaded) || (ctxErr && ctx.Err() == nil):
+	case errors.Is(err, errOverloaded) || errors.Is(err, errSLOShed) || (ctxErr && ctx.Err() == nil):
 		return http.StatusTooManyRequests, V2Error{
 			Code: CodeOverloaded, Message: err.Error(), Retryable: true,
 			RetryAfterSeconds: retryAfterSeconds(s.retryAfter),
@@ -212,6 +212,7 @@ func (s *Server) decodeV2(w http.ResponseWriter, r *http.Request, dst interface{
 // envelope and deadline propagation; the plan payload is byte-identical to
 // /v1's for the same request.
 func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	s.planC.requests.Add(1)
 	bin := wantsBinary(r)
 	var req PlanRequest
@@ -247,7 +248,51 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 
 	s.planC.inFlight.Add(1)
 	defer s.planC.inFlight.Add(-1)
-	p, shared, err := s.computePlan(ctx, cacheKey, task, opts, &req, isPeerRequest(r), fromKey, fromTask)
+
+	// SLO admission. A full-quality cache hit is served whatever the mode
+	// — it costs microseconds and shedding it protects nothing. On a miss,
+	// degraded mode rewrites the request to the search-free scheduler
+	// (partitioned under its own cache key, never proxied to a peer, never
+	// warm-started — its planning is already cheap), and shed mode rejects
+	// with the structured overloaded envelope, after trying the
+	// already-cached degraded entry for clients that accept one. A client
+	// that required full quality ("quality":"full") is never answered with
+	// a degraded plan: it gets the full-quality hit or the rejection.
+	wireReq, forwarded := &req, isPeerRequest(r)
+	degraded := false
+	if s.slo != nil {
+		if mode := s.slo.Admit(int(s.planC.inFlight.Load())); mode != AdmitFull {
+			fullOnly := qualityRequiresFull(req.Options.Quality)
+			if p, ok := s.cachedPlan(cacheKey, opts); ok {
+				s.servePlan(w, &s.planC, p, task, opts, cacheKey, false, bin)
+				s.slo.Observe(time.Since(start))
+				return
+			}
+			if fullOnly || mode == AdmitShed {
+				if !fullOnly {
+					dOpts := degradeOptions(opts)
+					dKey := resharding.CacheKey(task, dOpts)
+					if p, ok := s.cachedPlan(dKey, dOpts); ok {
+						w.Header().Set(AdmissionHeader, "degraded")
+						s.slo.NoteDegraded()
+						s.servePlan(w, &s.planC, p, task, dOpts, dKey, false, bin)
+						s.slo.Observe(time.Since(start))
+						return
+					}
+				}
+				w.Header().Set(AdmissionHeader, "shed")
+				s.slo.NoteShed(fullOnly)
+				s.failV2(ctx, w, &s.planC, errSLOShed, bin)
+				return
+			}
+			opts = degradeOptions(opts)
+			cacheKey = resharding.CacheKey(task, opts)
+			fromKey, fromTask, wireReq = "", nil, nil
+			degraded = true
+		}
+	}
+
+	p, shared, err := s.computePlan(ctx, cacheKey, task, opts, wireReq, forwarded, fromKey, fromTask)
 	if err != nil {
 		s.failV2(ctx, w, &s.planC, err, bin)
 		return
@@ -255,7 +300,34 @@ func (s *Server) handlePlanV2(w http.ResponseWriter, r *http.Request) {
 	if shared {
 		s.planC.coalesced.Add(1)
 	}
+	if degraded {
+		w.Header().Set(AdmissionHeader, "degraded")
+		s.slo.NoteDegraded()
+	}
 	s.servePlan(w, &s.planC, p, task, opts, cacheKey, shared, bin)
+	if s.slo != nil {
+		s.slo.Observe(time.Since(start))
+	}
+}
+
+// qualityRequiresFull reports whether the request's quality option forbids
+// a degraded answer; "" and "auto" accept one.
+func qualityRequiresFull(q string) bool { return q == "full" }
+
+// degradeOptions is the degraded twin of full-quality options: the
+// search-free scheduler with every search knob normalized away, so all
+// degraded fills of one boundary share one cache key no matter which
+// seeds, trials or node budgets the original requests carried — and that
+// key can never collide with a full-quality entry (the scheduler is part
+// of resharding.CacheKey).
+func degradeOptions(o resharding.Options) resharding.Options {
+	d := resharding.Options{
+		Strategy:  o.Strategy,
+		Scheduler: resharding.SchedDegraded,
+		Chunks:    o.Chunks,
+		DFSNodes:  resharding.DefaultAutotuneDFSNodes,
+	}
+	return d.WithDefaults()
 }
 
 // handleAutotuneV2 is /v1/autotune with the v2 envelope and deadline

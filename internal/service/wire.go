@@ -15,7 +15,8 @@ import (
 //
 // Every frame is magic "APB1", a kind byte, then the kind's body:
 //
-//	plan (1):     flags u8 (bit0 = coalesced) | num_units u32 | num_ops u32 |
+//	plan (1):     flags u8 (bit0 = coalesced, bit1 = degraded) |
+//	              num_units u32 | num_ops u32 |
 //	              makespan f64 | effective_gbps f64 |
 //	              senders  u32 count + i32 × count |
 //	              order    u32 count + i32 × count |
@@ -46,6 +47,9 @@ const (
 
 const (
 	binFlagCoalesced = 1 << 0
+	// binFlagDegraded marks a plan computed with the search-free degraded
+	// scheduler (SLO admission); plan frames only.
+	binFlagDegraded = 1 << 1
 	// binFlagsOff is the flags byte's offset in a plan frame.
 	binFlagsOff = 5
 	// binPlanSendersOff is the offset of the first sender i32 in a plan
@@ -82,6 +86,9 @@ func appendPlanBinary(b []byte, r *PlanResponse) []byte {
 	var flags byte
 	if r.Coalesced {
 		flags |= binFlagCoalesced
+	}
+	if r.Degraded {
+		flags |= binFlagDegraded
 	}
 	b = append(b, flags)
 	b = appendU32(b, uint32(r.NumUnits))
@@ -248,12 +255,12 @@ func (r *binReader) ints() []int {
 	return out
 }
 
-// flags reads a flags byte, rejecting undefined bits: the format has one
-// canonical encoding per value, so every accepted frame re-encodes to the
-// exact bytes it arrived as.
-func (r *binReader) flags() byte {
+// flags reads a flags byte, rejecting bits outside the frame kind's mask:
+// the format has one canonical encoding per value, so every accepted
+// frame re-encodes to the exact bytes it arrived as.
+func (r *binReader) flags(mask byte) byte {
 	v := r.u8()
-	if r.err == nil && v&^byte(binFlagCoalesced) != 0 {
+	if r.err == nil && v&^mask != 0 {
 		r.fail("undefined flag bits %#x", v)
 		return 0
 	}
@@ -287,8 +294,9 @@ func (r *binReader) magic() byte {
 
 func (r *binReader) plan() *PlanResponse {
 	var p PlanResponse
-	flags := r.flags()
+	flags := r.flags(binFlagCoalesced | binFlagDegraded)
 	p.Coalesced = flags&binFlagCoalesced != 0
+	p.Degraded = flags&binFlagDegraded != 0
 	p.NumUnits = int(r.u32())
 	p.NumOps = int(r.u32())
 	p.MakespanSeconds = r.f64()
@@ -306,7 +314,7 @@ func (r *binReader) plan() *PlanResponse {
 
 func (r *binReader) autotune() *AutotuneResponse {
 	var a AutotuneResponse
-	flags := r.flags()
+	flags := r.flags(binFlagCoalesced)
 	a.Coalesced = flags&binFlagCoalesced != 0
 	a.BestIndex = int(r.u32())
 	a.MakespanSeconds = r.f64()
